@@ -1,0 +1,111 @@
+"""Ablation (Sec. III-C) -- knowledge distillation vs training students from scratch.
+
+The paper's central methodological claim is that the composite distillation
+loss lets the tiny students retain the teacher's accuracy.  This ablation
+compares, per qubit: (a) the distilled student, (b) the same student trained
+from scratch on hard labels only, and (c) the teacher itself; it also sweeps
+the loss-mixing coefficient alpha on the hardest qubit.  The timed operation
+is one distillation training epoch-equivalent (a forward/backward pass over a
+mini-batch with the composite loss).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.core.config import DistillationConfig
+from repro.core.distillation import DistillationTrainer
+from repro.core.pipeline import QubitReadoutPipeline
+from repro.core.student import StudentModel
+from repro.nn.losses import DistillationLoss
+from repro.nn.metrics import geometric_mean_fidelity
+
+
+def test_ablation_distillation_vs_scratch(benchmark, bench_klinq, bench_artifacts):
+    """Compare distilled students against from-scratch students and their teachers."""
+    readout, report = bench_klinq
+    config = bench_artifacts.config
+
+    # Timed operation: one composite-loss forward/backward on a mini-batch.
+    student = readout.students()[0]
+    view0 = bench_artifacts.dataset.qubit_view(0)
+    features = student.features(view0.train_traces[:128])
+    labels = view0.train_labels[:128].astype(float).reshape(-1, 1)
+    teacher_logits = readout.pipelines[0].teacher.predict_logits(view0.train_traces[:128]).reshape(-1, 1)
+    loss = DistillationLoss(alpha=config.distillation.alpha, temperature=config.distillation.temperature)
+
+    def distillation_step():
+        logits = student.network.forward(features, training=True)
+        total, _, _ = loss.forward_components(logits, labels, teacher_logits)
+        student.network.backward(loss.backward())
+        return total
+
+    benchmark(distillation_step)
+
+    # From-scratch students (hard labels only).
+    scratch_fidelities = []
+    for qubit in range(bench_artifacts.dataset.n_qubits):
+        pipeline = QubitReadoutPipeline(qubit, config.students[qubit], config)
+        view = bench_artifacts.dataset.qubit_view(qubit)
+        result = pipeline.run(view, distill=False)
+        scratch_fidelities.append(result.student_fidelity)
+
+    distilled_fidelities = report.fidelities
+    teacher_fidelities = [result.teacher_fidelity for result in report.per_qubit]
+
+    rows = [
+        [f"Q{q + 1}", teacher_fidelities[q], distilled_fidelities[q], scratch_fidelities[q]]
+        for q in range(5)
+    ]
+    rows.append(
+        [
+            "F5Q",
+            geometric_mean_fidelity(teacher_fidelities),
+            geometric_mean_fidelity(distilled_fidelities),
+            geometric_mean_fidelity(scratch_fidelities),
+        ]
+    )
+    print()
+    print(
+        format_table(
+            ["Qubit", "Teacher", "Distilled student", "From-scratch student"],
+            rows,
+            title="Ablation: knowledge distillation vs hard-label training",
+        )
+    )
+
+    # Alpha sweep on the hardest qubit (Q2).
+    view2 = bench_artifacts.dataset.qubit_view(1)
+    teacher2 = readout.pipelines[1].teacher
+    alpha_rows = []
+    for alpha in (0.0, 0.3, 0.7, 1.0):
+        distillation = DistillationConfig(
+            alpha=alpha,
+            temperature=config.distillation.temperature,
+            learning_rate=config.distillation.learning_rate,
+            batch_size=config.distillation.batch_size,
+            max_epochs=config.distillation.max_epochs,
+            early_stopping_patience=config.distillation.early_stopping_patience,
+            seed=config.distillation.seed,
+        )
+        candidate = StudentModel(config.students[1], n_samples=view2.n_samples, seed=21)
+        DistillationTrainer(teacher2, candidate, distillation).fit(
+            view2.train_traces, view2.train_labels
+        )
+        alpha_rows.append([alpha, candidate.fidelity(view2.test_traces, view2.test_labels)])
+    print()
+    print(
+        format_table(
+            ["alpha", "Q2 student fidelity"],
+            alpha_rows,
+            title="Ablation: distillation weighting (alpha) on the hardest qubit",
+        )
+    )
+
+    # The distilled students track their teachers closely (within ~3 points of geometric mean)...
+    assert geometric_mean_fidelity(distilled_fidelities) > geometric_mean_fidelity(teacher_fidelities) - 0.03
+    # ...and are at least as good overall as from-scratch students of identical size.
+    assert geometric_mean_fidelity(distilled_fidelities) >= geometric_mean_fidelity(scratch_fidelities) - 0.01
+    # Every alpha setting still produces a usable Q2 discriminator.
+    assert np.min([row[1] for row in alpha_rows]) > 0.6

@@ -1,0 +1,66 @@
+"""Fig. 5 -- network-parameter comparison and compression rate.
+
+Regenerates, at the paper's full architectural scale (500-sample traces,
+1000/500/250 teacher, FNN-A / FNN-B students), the parameter counts shown in
+Fig. 5 -- 8 130 005 for the five teachers, 6 754 for the FNN-B group
+(qubits 2-3) and 1 971 for the FNN-A group (qubits 1, 4, 5) -- together with
+the network compression rate of 99.89 % vs the teachers and the reduction vs
+the 1.63 M-parameter baseline FNN.  The timed operation is the analytical
+parameter counting itself (it is what a design-space exploration loop would
+call repeatedly).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.core.compression import compression_report, count_dense_parameters
+from repro.core.config import FNN_A, FNN_B, PAPER_TEACHER
+
+#: Values printed in Fig. 5 of the paper.
+PAPER_FIG5 = {
+    "teacher_parameters": 8_130_005,
+    "fnn_b_group": 6_754,
+    "fnn_a_group": 1_971,
+    "ncr_vs_teacher": 0.9989,
+    "baseline_parameters": 1_630_000,
+    "ncr_vs_baseline": 0.9893,
+}
+
+
+def test_fig5_network_compression(benchmark):
+    """Reproduce the Fig. 5 parameter counts and compression rates."""
+    baseline_parameters = count_dense_parameters([1000, 1000, 500, 250, 1])
+
+    report = benchmark(
+        compression_report,
+        PAPER_TEACHER,
+        [(FNN_B, 2), (FNN_A, 3)],
+        500,
+        baseline_parameters,
+    )
+
+    rows = [
+        ["Teacher NNs (5 qubits)", report["teacher_parameters"], PAPER_FIG5["teacher_parameters"]],
+        ["KLiNQ FNN-B group (Q2, Q3)", report["student_groups"]["FNN-B"]["parameters"], PAPER_FIG5["fnn_b_group"]],
+        ["KLiNQ FNN-A group (Q1, Q4, Q5)", report["student_groups"]["FNN-A"]["parameters"], PAPER_FIG5["fnn_a_group"]],
+        ["All students", report["student_parameters"], PAPER_FIG5["fnn_a_group"] + PAPER_FIG5["fnn_b_group"]],
+        ["Baseline FNN", baseline_parameters, PAPER_FIG5["baseline_parameters"]],
+    ]
+    print()
+    print(format_table(["Network", "Parameters (repro)", "Parameters (paper)"], rows,
+                       title="Fig. 5: parameter counts", float_format="{:.0f}"))
+    print(
+        f"\nNCR vs teachers : {report['ncr_vs_teacher']:.4f} (paper {PAPER_FIG5['ncr_vs_teacher']:.4f})"
+    )
+    print(
+        f"NCR vs baseline : {report['ncr_vs_baseline']:.4f} (paper {PAPER_FIG5['ncr_vs_baseline']:.4f})"
+    )
+
+    # The student group totals match Fig. 5 exactly.
+    assert report["student_groups"]["FNN-B"]["parameters"] == PAPER_FIG5["fnn_b_group"]
+    assert report["student_groups"]["FNN-A"]["parameters"] == PAPER_FIG5["fnn_a_group"]
+    # The teacher total agrees with the paper to within 0.2 % (bias-counting convention).
+    assert abs(report["teacher_parameters"] - PAPER_FIG5["teacher_parameters"]) < 0.002 * PAPER_FIG5["teacher_parameters"]
+    # The headline ~99 % compression claims hold.
+    assert report["ncr_vs_teacher"] > 0.998
+    assert report["ncr_vs_baseline"] > 0.989

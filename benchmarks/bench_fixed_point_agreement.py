@@ -1,0 +1,62 @@
+"""Supporting claim -- Q16.16 fixed-point inference preserves readout accuracy.
+
+The paper's hardware section states that the 32-bit fixed-point datapath
+"maintains discrimination accuracy".  This benchmark quantifies that claim
+with the bit-accurate emulator: for every deployed student it reports the
+decision agreement with the floating-point model and the fidelity of both, and
+asserts that quantization costs essentially nothing.  The timed operation is a
+batched emulated inference (100 shots through the full fixed-point datapath).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.fpga.emulator import FpgaStudentEmulator
+from repro.fpga.fixed_point import Q16_16
+
+
+def test_fixed_point_agreement(benchmark, bench_klinq, bench_artifacts):
+    """Compare every deployed student with its Q16.16 emulation."""
+    readout, report = bench_klinq
+    dataset = bench_artifacts.dataset
+
+    emulators = [
+        FpgaStudentEmulator.from_student(student, Q16_16) for student in readout.students()
+    ]
+    batch = dataset.qubit_view(0).test_traces[:100]
+    benchmark(emulators[0].predict_states, batch)
+
+    rows = []
+    agreements = []
+    for qubit, emulator in enumerate(emulators):
+        view = dataset.qubit_view(qubit)
+        comparison = emulator.agreement_with_float(
+            readout.students()[qubit], view.test_traces, view.test_labels
+        )
+        agreements.append(comparison)
+        rows.append(
+            [
+                f"Q{qubit + 1}",
+                comparison.float_fidelity,
+                comparison.fixed_fidelity,
+                comparison.agreement,
+                comparison.max_logit_error,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["Qubit", "Float fidelity", "Q16.16 fidelity", "Decision agreement", "Max |logit error|"],
+            rows,
+            title="Fixed-point (Q16.16) vs floating-point student inference",
+            float_format="{:.4f}",
+        )
+    )
+
+    for comparison in agreements:
+        # Decisions agree on essentially every shot...
+        assert comparison.agreement > 0.995
+        # ...so the fidelity penalty of quantization is negligible.
+        assert abs(comparison.fixed_fidelity - comparison.float_fidelity) < 0.005
+        # And the raw logits stay numerically close.
+        assert comparison.max_logit_error < 0.05

@@ -1,0 +1,66 @@
+"""Table I -- qubit-readout fidelity, KLiNQ vs baseline FNN vs HERQULES.
+
+Regenerates the per-qubit fidelities and the two geometric means (``F5Q`` over
+all five qubits, ``F4Q`` excluding the noise-dominated qubit 2) for the
+independent-readout scenario, and prints them next to the values the paper
+reports.  The timed operation is the online part: one five-qubit KLiNQ
+readout (all five student networks discriminating one multiplexed shot).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.tables import format_fidelity_table
+
+#: Table I of the paper (1 µs readout traces, independent readout).
+PAPER_TABLE1 = {
+    "Baseline FNN": [0.969, 0.748, 0.940, 0.946, 0.970],
+    "HERQULES": [0.965, 0.730, 0.908, 0.934, 0.953],
+    "KLiNQ": [0.968, 0.748, 0.929, 0.934, 0.959],
+}
+PAPER_GEOMETRIC_MEANS = {
+    "Baseline FNN": (0.910, 0.956),
+    "HERQULES": (0.893, 0.940),
+    "KLiNQ": (0.904, 0.947),
+}
+
+
+def test_table1_fidelity_comparison(benchmark, bench_comparison, bench_klinq, bench_artifacts):
+    """Reproduce Table I and time a single five-qubit independent readout."""
+    readout, _ = bench_klinq
+    one_shot = bench_artifacts.dataset.test_traces[:1]
+
+    benchmark(readout.discriminate_all, one_shot)
+
+    designs = bench_comparison["designs"]
+    results = {name: row["fidelities"] for name, row in designs.items()}
+    means = {name: (row["f_all"], row["f_excl"]) for name, row in designs.items()}
+    print()
+    print(format_fidelity_table(results, means, title="Table I (reproduced, synthetic dataset)"))
+    print()
+    print(
+        format_fidelity_table(
+            PAPER_TABLE1, PAPER_GEOMETRIC_MEANS, title="Table I (paper, measured dataset)"
+        )
+    )
+
+    # Shape checks mirroring the paper's conclusions.  Note (EXPERIMENTS.md): on the
+    # synthetic Gaussian-noise dataset the matched-filter-based designs are close to
+    # the statistical optimum, so HERQULES lands slightly *higher* than in the paper;
+    # the remaining orderings and magnitudes are the ones asserted here.
+    klinq = designs["KLiNQ"]
+    herqules = designs["HERQULES"]
+    baseline = designs["Baseline FNN"]
+    # KLiNQ is competitive with the large baseline FNN (the paper reports a 0.006 gap).
+    assert klinq["f_all"] > baseline["f_all"] - 0.02
+    # KLiNQ stays within a few points of the MF-optimal HERQULES reproduction.
+    assert klinq["f_all"] >= herqules["f_all"] - 0.06
+    # Every design lands in the paper's fidelity regime (F5Q around 0.89-0.94).
+    for row in designs.values():
+        assert 0.85 < row["f_all"] < 0.97
+    # Qubit 2 is the weakest qubit for every design.
+    for row in designs.values():
+        assert int(np.argmin(row["fidelities"])) == 1
+    # Excluding qubit 2 improves the geometric mean (F4Q > F5Q).
+    assert klinq["f_excl"] > klinq["f_all"]

@@ -1,0 +1,83 @@
+"""Table III -- FPGA resource utilization and per-module latency.
+
+Regenerates the per-module latency and resource breakdown for the two student
+configurations at the paper's full scale (500-sample traces, 100 MHz clock,
+ZCU216 target) from the analytical latency and resource models, and prints
+them next to the paper's reported values.  The timed operation is one
+bit-accurate emulated inference of a deployed student (the operation whose
+hardware latency Table III reports).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.core.config import FNN_A, FNN_B, default_student_assignment
+from repro.fpga.emulator import FpgaStudentEmulator
+from repro.fpga.latency import LatencyModel
+from repro.fpga.report import PAPER_TABLE3, fpga_deployment_report
+
+
+def test_table3_latency_and_resources(benchmark, bench_klinq, bench_artifacts):
+    """Reproduce the Table III structure and time one emulated fixed-point inference."""
+    readout, _ = bench_klinq
+    student = readout.students()[0]
+    emulator = FpgaStudentEmulator.from_student(student)
+    one_trace = bench_artifacts.dataset.qubit_view(0).test_traces[:1]
+    benchmark(emulator.predict_states, one_trace)
+
+    report = fpga_deployment_report(default_student_assignment(5), n_samples=500, clock_mhz=100.0)
+
+    rows = []
+    for group, arch_name in (("FNN-A", "FNN-A"), ("FNN-B", "FNN-B")):
+        arch_report = report["per_architecture"][arch_name]
+        for module in ("MF", "AVG&NORM", "Network"):
+            paper_key = ("MF", "shared") if module == "MF" else (module, group)
+            paper = PAPER_TABLE3[paper_key]
+            resources = arch_report["resources"]["modules"][module]
+            latency = arch_report["latency"]["modules"][module]
+            rows.append(
+                [
+                    f"{group} / {module}",
+                    resources["lut"],
+                    paper["lut"],
+                    resources["dsp"],
+                    paper["dsp"],
+                    latency["cycles"],
+                    paper["latency_ns"],
+                ]
+            )
+    print()
+    print(
+        format_table(
+            ["Module", "LUT (model)", "LUT (paper)", "DSP (model)", "DSP (paper)",
+             "Latency cycles (model)", "Latency ns (paper)"],
+            rows,
+            title="Table III: resource and latency breakdown (estimation model vs paper)",
+            float_format="{:.0f}",
+        )
+    )
+    system = report["system_total"]
+    print(
+        f"\nSystem total: {system['lut']} LUT ({system['utilization']['lut']:.1%}), "
+        f"{system['dsp']} DSP ({system['utilization']['dsp']:.1%}) on {report['device']}"
+    )
+
+    # Structural claims of Table III.
+    latency_a = LatencyModel(FNN_A, 500)
+    latency_b = LatencyModel(FNN_B, 500)
+    # (1) AVG&NORM is slower for FNN-A than FNN-B; the network is slower for FNN-B.
+    assert latency_a.average_norm_latency().cycles > latency_b.average_norm_latency().cycles
+    assert latency_b.network_latency().cycles > latency_a.network_latency().cycles
+    # (2) The two configurations end up with (nearly) the same total latency.
+    assert abs(latency_a.total_cycles() - latency_b.total_cycles()) <= 4
+    # (3) The AVG&NORM blocks use no DSPs; the FNN-B network uses several times FNN-A's DSPs.
+    resources = report["per_architecture"]
+    assert resources["FNN-A"]["resources"]["modules"]["AVG&NORM"]["dsp"] == 0
+    assert resources["FNN-B"]["resources"]["modules"]["AVG&NORM"]["dsp"] == 0
+    assert (
+        resources["FNN-B"]["resources"]["modules"]["Network"]["dsp"]
+        > 3 * resources["FNN-A"]["resources"]["modules"]["Network"]["dsp"]
+    )
+    # (4) The whole five-qubit system fits on the ZCU216 with headroom.
+    assert system["utilization"]["lut"] < 0.5
+    assert system["utilization"]["dsp"] < 0.5

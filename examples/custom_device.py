@@ -1,0 +1,87 @@
+"""Using the library on a custom device: define your own qubits, then run KLiNQ.
+
+Everything in the reproduction is parameterized by
+:class:`repro.readout.QubitReadoutParams`, so the same pipeline runs on any
+device you can describe: different dispersive shifts, resonator linewidths,
+probe powers, T1 times, noise levels and crosstalk couplings.  This example
+builds a three-qubit device with one deliberately difficult qubit, assigns it
+the larger FNN-B-style student, and trains/evaluates the full system.
+
+Run it with::
+
+    python examples/custom_device.py
+"""
+
+from __future__ import annotations
+
+from repro.core import ExperimentConfig, KlinqReadout, StudentArchitecture, TeacherArchitecture
+from repro.core.config import DistillationConfig, TrainingConfig
+from repro.nn.metrics import geometric_mean_fidelity
+from repro.readout import QubitReadoutParams, ReadoutPhysics, generate_dataset
+
+
+def build_device() -> ReadoutPhysics:
+    """A three-qubit device: two easy qubits and one slow, noisy, short-T1 qubit."""
+    qubits = [
+        QubitReadoutParams(
+            label="QA", chi=0.013, kappa=0.032, probe_amplitude=1.0,
+            noise_sigma=2.4, t1=50_000.0, crosstalk_coupling=0.01,
+        ),
+        QubitReadoutParams(
+            label="QB", chi=0.011, kappa=0.028, probe_amplitude=0.9,
+            noise_sigma=2.4, t1=35_000.0, crosstalk_coupling=0.02,
+        ),
+        QubitReadoutParams(
+            label="QC (hard)", chi=0.006, kappa=0.022, probe_amplitude=0.6,
+            noise_sigma=2.0, t1=8_000.0, crosstalk_coupling=0.05,
+        ),
+    ]
+    return ReadoutPhysics(qubits, sample_period_ns=10.0)
+
+
+def main() -> None:
+    device = build_device()
+    print("Device summary (1 µs Gaussian-limit fidelities):")
+    for index, qubit in enumerate(device.qubits):
+        print(f"  {qubit.label:<10} ideal fidelity {device.ideal_fidelity(index, 1000.0):.3f}, "
+              f"T1 = {qubit.t1 / 1000:.0f} µs")
+
+    dataset = generate_dataset(
+        device, shots_per_state_train=150, shots_per_state_test=250, duration_ns=1000.0, seed=11
+    )
+
+    # Easy qubits get the small student (64 ns averaging); the hard qubit gets the
+    # fine-grained one -- the same design rule the paper applies to its qubits 2 and 3.
+    small = StudentArchitecture(name="FNN-A-like", samples_per_interval=6, hidden_layers=(16, 8))
+    large = StudentArchitecture(name="FNN-B-like", samples_per_interval=1, hidden_layers=(16, 8))
+    config = ExperimentConfig(
+        name="custom-device",
+        duration_ns=1000.0,
+        sample_period_ns=10.0,
+        shots_per_state_train=150,
+        shots_per_state_test=250,
+        teacher=TeacherArchitecture(name="teacher", hidden_layers=(200, 100, 50)),
+        students=(small, small, large),
+        teacher_training=TrainingConfig(learning_rate=3e-3, max_epochs=60, batch_size=128, seed=1),
+        student_training=TrainingConfig(learning_rate=3e-3, max_epochs=60, batch_size=128, seed=1),
+        distillation=DistillationConfig(learning_rate=3e-3, max_epochs=80, batch_size=128, seed=1),
+        seed=11,
+    )
+
+    print("\nTraining KLiNQ on the custom device ...")
+    readout = KlinqReadout(config)
+    report = readout.fit(dataset)
+
+    print("\nPer-qubit results:")
+    for index, result in enumerate(report.per_qubit):
+        print(
+            f"  {device.qubits[index].label:<10} student {result.student_fidelity:.3f} "
+            f"(teacher {result.teacher_fidelity:.3f}, "
+            f"{result.student_parameters} vs {result.teacher_parameters} parameters)"
+        )
+    print(f"\nGeometric-mean fidelity: {geometric_mean_fidelity(report.fidelities):.3f}")
+    print("The hard qubit dominates the error budget, exactly as qubit 2 does in the paper.")
+
+
+if __name__ == "__main__":
+    main()

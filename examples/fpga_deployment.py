@@ -1,0 +1,88 @@
+"""FPGA deployment: quantize a trained student and emulate the hardware datapath.
+
+This example reproduces the paper's hardware story in software:
+
+1. train one KLiNQ student (teacher + distillation) for the easiest qubit,
+2. quantize every constant (weights, matched-filter envelope, normalization
+   parameters) to the 32-bit Q16.16 fixed-point format used on the ZCU216,
+3. run the bit-accurate datapath emulator and compare its decisions with the
+   floating-point model,
+4. print the latency (clock-cycle) and resource (LUT/FF/DSP) estimates for
+   both student configurations, next to the values reported in Table III.
+
+Run it with::
+
+    python examples/fpga_deployment.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import prepare_dataset
+from repro.analysis.tables import format_table
+from repro.core import scaled_experiment_config
+from repro.core.config import FNN_A, FNN_B, default_student_assignment
+from repro.core.pipeline import QubitReadoutPipeline
+from repro.fpga import FpgaStudentEmulator, LatencyModel, ResourceModel, quantize_student
+from repro.fpga.report import PAPER_TABLE3
+
+
+def main() -> None:
+    # 1. Train one per-qubit pipeline ---------------------------------------
+    config = scaled_experiment_config(seed=1, shots_per_state_train=25, shots_per_state_test=50)
+    artifacts = prepare_dataset(config)
+    qubit_index = 0
+    print(f"Training teacher + student for qubit {qubit_index + 1} ...")
+    pipeline = QubitReadoutPipeline(qubit_index, config.students[qubit_index], config)
+    view = artifacts.dataset.qubit_view(qubit_index)
+    result = pipeline.run(view, distill=True)
+    student = pipeline.student
+    print(f"Float student fidelity: {result.student_fidelity:.3f} "
+          f"({student.parameter_count} parameters)")
+
+    # 2. Quantize to Q16.16 ---------------------------------------------------
+    parameters = quantize_student(student)
+    print(f"\nQuantized constants: {parameters.memory_footprint_bits() // 8} bytes of "
+          f"block-RAM image in {parameters.fmt} format")
+
+    # 3. Bit-accurate emulation ----------------------------------------------
+    emulator = FpgaStudentEmulator(parameters)
+    comparison = emulator.agreement_with_float(student, view.test_traces, view.test_labels)
+    print(
+        f"Fixed-point vs float: agreement={comparison.agreement:.4f}, "
+        f"float fidelity={comparison.float_fidelity:.3f}, "
+        f"fixed fidelity={comparison.fixed_fidelity:.3f}, "
+        f"max |logit error|={comparison.max_logit_error:.4f}"
+    )
+
+    # 4. Latency and resource estimates at paper scale ------------------------
+    print("\nLatency / resource model at paper scale (500-sample traces, 100 MHz):")
+    rows = []
+    for architecture in (FNN_A, FNN_B):
+        latency = LatencyModel(architecture, n_samples=500, clock_mhz=100.0)
+        resources = ResourceModel(architecture, n_samples=500)
+        network = resources.network_resources()
+        rows.append(
+            [
+                architecture.name,
+                latency.average_norm_latency().cycles,
+                latency.network_latency().cycles,
+                latency.total_cycles(),
+                network.luts,
+                network.dsps,
+                PAPER_TABLE3[("Network", architecture.name)]["dsp"],
+            ]
+        )
+    print(
+        format_table(
+            ["Config", "AVG&NORM cycles", "Network cycles", "Total cycles",
+             "Network LUT (est.)", "Network DSP (est.)", "Network DSP (paper)"],
+            rows,
+            float_format="{:.0f}",
+        )
+    )
+    assignment = [arch.name for arch in default_student_assignment(5)]
+    print(f"\nPer-qubit architecture assignment (paper Sec. III-D): {assignment}")
+
+
+if __name__ == "__main__":
+    main()

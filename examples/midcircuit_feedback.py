@@ -1,0 +1,88 @@
+"""Mid-circuit measurement with real-time feedback, the scenario KLiNQ targets.
+
+The architectural argument of the paper is that one compact network per qubit
+lets any single qubit be measured at any time -- without waiting for (or even
+recording) the other qubits -- which is what mid-circuit measurement and
+feed-forward control in quantum error correction require.
+
+This example emulates that control loop on the synthetic device:
+
+1. train a KLiNQ readout system,
+2. emulate a simple "measure ancilla, conditionally act on data qubit"
+   sequence: the ancilla (qubit 3) is measured mid-circuit while the other
+   qubits are untouched, and a conditional correction is recorded based on
+   the readout outcome,
+3. verify that the feedback decisions agree with the true prepared states at
+   the expected single-qubit fidelity, and that the readout of the ancilla is
+   completely independent of what the other qubits are doing.
+
+Run it with::
+
+    python examples/midcircuit_feedback.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import prepare_dataset, run_klinq
+from repro.core import scaled_experiment_config
+from repro.fpga import LatencyModel
+from repro.nn.metrics import assignment_fidelity
+
+
+ANCILLA = 2  # qubit 3 plays the role of the ancilla being measured mid-circuit
+
+
+def main() -> None:
+    config = scaled_experiment_config(seed=3, shots_per_state_train=30, shots_per_state_test=60)
+    print("Training the KLiNQ readout system ...")
+    artifacts = prepare_dataset(config)
+    readout, report = run_klinq(artifacts)
+    print(f"Five-qubit geometric-mean fidelity: {report.geometric_mean:.3f}")
+
+    # --- Mid-circuit measurement loop ---------------------------------------
+    dataset = artifacts.dataset
+    ancilla_traces = dataset.test_traces[:, ANCILLA]
+    ancilla_truth = dataset.test_states[:, ANCILLA]
+
+    print(f"\nMeasuring qubit {ANCILLA + 1} (ancilla) independently on "
+          f"{ancilla_traces.shape[0]} shots ...")
+    outcomes = readout.discriminate(ancilla_traces, qubit_index=ANCILLA)
+    fidelity = assignment_fidelity(outcomes, ancilla_truth, threshold=0.5)
+    print(f"Ancilla assignment fidelity: {fidelity:.3f} "
+          f"(per-qubit fidelity from training report: "
+          f"{report.per_qubit[ANCILLA].student_fidelity:.3f})")
+
+    # Conditional feedback: apply an X correction whenever the ancilla reads 1.
+    corrections = outcomes.astype(bool)
+    print(f"Feedback decisions issued: {int(corrections.sum())} X-corrections "
+          f"out of {corrections.size} shots "
+          f"({corrections.mean():.1%}, expected ~50% for a balanced dataset)")
+
+    # --- Independence from the rest of the device ---------------------------
+    # Corrupt every *other* qubit's trace and check the ancilla outcome is unchanged.
+    tampered = dataset.test_traces.copy()
+    rng = np.random.default_rng(0)
+    for qubit in range(dataset.n_qubits):
+        if qubit != ANCILLA:
+            tampered[:, qubit] = rng.normal(size=tampered[:, qubit].shape)
+    outcomes_tampered = readout.discriminate_all(tampered)[:, ANCILLA]
+    assert np.array_equal(outcomes, outcomes_tampered)
+    print("\nIndependence check passed: the ancilla readout is bit-identical even when "
+          "every other qubit's trace is replaced with noise.")
+
+    # --- Decision latency of the deployed discriminator ----------------------
+    pipeline = readout.pipelines[ANCILLA]
+    n_samples = dataset.qubit_view(ANCILLA).n_samples
+    latency = LatencyModel(pipeline.architecture, n_samples, clock_mhz=100.0)
+    print(
+        f"\nFPGA latency model for the ancilla discriminator: "
+        f"{latency.total_cycles()} cycles "
+        f"({latency.total_nanoseconds():.0f} ns at 100 MHz) after the last sample arrives; "
+        f"the paper reports 32 ns for its measured implementation."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""KLiNQ reproduction: distilled lightweight neural networks for qubit readout.
+
+This package reproduces *KLiNQ: Knowledge Distillation-Assisted Lightweight
+Neural Network for Qubit Readout on FPGA* (DAC 2025) as a self-contained
+Python library:
+
+* :mod:`repro.nn` -- a NumPy neural-network library (layers, losses,
+  optimizers, training loops) used for the teacher and student networks.
+* :mod:`repro.readout` -- a physics-motivated synthetic superconducting-qubit
+  readout simulator standing in for the paper's experimental dataset, plus
+  matched filters and the student-input preprocessing.
+* :mod:`repro.core` -- the KLiNQ contribution: per-qubit teachers, compact
+  students, knowledge distillation, and the independent (mid-circuit capable)
+  multi-qubit readout system :class:`repro.core.KlinqReadout`.
+* :mod:`repro.baselines` -- the comparison designs (baseline deep FNN,
+  HERQULES-style matched-filter network, classical discriminators).
+* :mod:`repro.fpga` -- a bit-accurate Q16.16 fixed-point emulator of the
+  FPGA datapath plus latency and resource models.
+* :mod:`repro.analysis` -- experiment drivers and table formatting used by
+  the benchmark harness.
+
+Quickstart
+----------
+>>> from repro.analysis import prepare_dataset, run_klinq
+>>> from repro.core import scaled_experiment_config
+>>> artifacts = prepare_dataset(scaled_experiment_config(
+...     shots_per_state_train=20, shots_per_state_test=40))
+>>> readout, report = run_klinq(artifacts)          # doctest: +SKIP
+>>> round(report.geometric_mean, 2)                 # doctest: +SKIP
+0.89
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["nn", "readout", "core", "baselines", "fpga", "analysis", "__version__"]

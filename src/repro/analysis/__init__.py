@@ -1,0 +1,33 @@
+"""Experiment drivers, sweeps and report formatting.
+
+These are the pieces the benchmark harness is built from:
+
+* :mod:`repro.analysis.experiments` -- end-to-end experiment runners
+  (dataset generation + KLiNQ + baselines) returning structured results for
+  each of the paper's tables and figures.
+* :mod:`repro.analysis.sweeps` -- the readout-trace-duration sweep of
+  Table II / Fig. 4.
+* :mod:`repro.analysis.tables` -- plain-text table formatting so every
+  benchmark prints rows directly comparable to the paper.
+"""
+
+from repro.analysis.experiments import (
+    ExperimentArtifacts,
+    prepare_dataset,
+    run_fidelity_comparison,
+    run_klinq,
+)
+from repro.analysis.sweeps import DurationSweepResult, run_duration_sweep
+from repro.analysis.tables import format_table, format_fidelity_table, format_sweep_table
+
+__all__ = [
+    "ExperimentArtifacts",
+    "prepare_dataset",
+    "run_fidelity_comparison",
+    "run_klinq",
+    "DurationSweepResult",
+    "run_duration_sweep",
+    "format_table",
+    "format_fidelity_table",
+    "format_sweep_table",
+]

@@ -1,0 +1,139 @@
+"""Readout-trace-duration sweeps (Table II, Fig. 4).
+
+The paper evaluates KLiNQ (and HERQULES) at trace durations from 1 µs down to
+500 ns by truncating the recorded traces and retraining the per-duration
+discriminators.  :func:`run_duration_sweep` does exactly that on a synthetic
+dataset: for every requested duration the dataset views are truncated, the
+teachers/students (or the HERQULES models) are retrained, and the per-qubit
+and geometric-mean fidelities are recorded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.experiments import ExperimentArtifacts
+from repro.baselines import HerqulesDiscriminator
+from repro.core.pipeline import QubitReadoutPipeline
+from repro.nn.metrics import geometric_mean_fidelity
+
+__all__ = ["DurationSweepResult", "run_duration_sweep"]
+
+#: The durations (ns) evaluated in Table II of the paper.
+PAPER_DURATIONS_NS = (1000.0, 950.0, 750.0, 550.0, 500.0)
+
+
+@dataclass
+class DurationSweepResult:
+    """Fidelity-versus-duration series for one design."""
+
+    design: str
+    durations_ns: list[float] = field(default_factory=list)
+    per_qubit: dict[str, list[float]] = field(default_factory=dict)
+    geometric_means: list[float] = field(default_factory=list)
+
+    def best_duration_per_qubit(self) -> dict[str, float]:
+        """Duration at which each qubit achieves its maximum fidelity.
+
+        Table II highlights that some qubits peak at shorter durations; the
+        paper's "optimal duration" F5Q of 0.906 combines those maxima.
+        """
+        best = {}
+        for qubit, series in self.per_qubit.items():
+            index = max(range(len(series)), key=lambda i: series[i])
+            best[qubit] = self.durations_ns[index]
+        return best
+
+    def optimal_geometric_mean(self) -> float:
+        """Geometric mean of each qubit's best fidelity across durations."""
+        best_values = [max(series) for series in self.per_qubit.values()]
+        return geometric_mean_fidelity(best_values)
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for JSON reports."""
+        return {
+            "design": self.design,
+            "durations_ns": list(self.durations_ns),
+            "per_qubit": {k: list(v) for k, v in self.per_qubit.items()},
+            "geometric_means": list(self.geometric_means),
+            "optimal_geometric_mean": self.optimal_geometric_mean(),
+        }
+
+
+def run_duration_sweep(
+    artifacts: ExperimentArtifacts,
+    durations_ns: tuple[float, ...] = PAPER_DURATIONS_NS,
+    design: str = "KLiNQ",
+) -> DurationSweepResult:
+    """Retrain and evaluate a design across readout-trace durations.
+
+    Parameters
+    ----------
+    artifacts:
+        Dataset/config bundle from :func:`repro.analysis.experiments.prepare_dataset`.
+        Every requested duration must not exceed the dataset's recorded
+        duration.
+    durations_ns:
+        Durations to evaluate (defaults to the paper's Table II set).
+    design:
+        ``"KLiNQ"`` (teacher + distilled student per qubit) or ``"HERQULES"``.
+
+    Notes
+    -----
+    Retraining at every duration is what the paper does ("the input size of
+    the networks is fixed, and when the trace length changes, we dynamically
+    adjust the number of samples to be averaged").  For KLiNQ the averaging
+    window is re-derived at each duration so the student input size stays
+    constant, matching that description.
+    """
+    if design not in ("KLiNQ", "HERQULES"):
+        raise ValueError(f"Unknown design {design!r}; expected 'KLiNQ' or 'HERQULES'")
+    config = artifacts.config
+    dataset = artifacts.dataset
+    result = DurationSweepResult(design=design)
+    qubit_labels = [artifacts.physics.qubits[q].label for q in range(dataset.n_qubits)]
+    for label in qubit_labels:
+        result.per_qubit[label] = []
+
+    for duration in durations_ns:
+        if duration > dataset.duration_ns + 1e-9:
+            raise ValueError(
+                f"Requested duration {duration} ns exceeds the recorded {dataset.duration_ns} ns"
+            )
+        fidelities = []
+        for qubit in range(dataset.n_qubits):
+            view = dataset.qubit_view(qubit).truncated(duration)
+            if design == "KLiNQ":
+                architecture = _architecture_for_duration(
+                    config.students[qubit], view.n_samples, config.n_samples
+                )
+                pipeline = QubitReadoutPipeline(qubit, architecture, config)
+                outcome = pipeline.run(view, distill=True)
+                fidelity = outcome.student_fidelity
+            else:
+                model = HerqulesDiscriminator(seed=config.seed * 100 + qubit)
+                model.fit(view.train_traces, view.train_labels, config.student_training)
+                fidelity = model.fidelity(view.test_traces, view.test_labels)
+            fidelities.append(float(fidelity))
+            result.per_qubit[qubit_labels[qubit]].append(float(fidelity))
+        result.durations_ns.append(float(duration))
+        result.geometric_means.append(geometric_mean_fidelity(fidelities))
+    return result
+
+
+def _architecture_for_duration(architecture, n_samples: int, reference_n_samples: int):
+    """Keep the student input size constant by rescaling the averaging window.
+
+    The paper fixes the student input dimension and adjusts how many samples
+    are averaged per interval when the trace shortens ("when the trace length
+    changes, we dynamically adjust the number of samples to be averaged to
+    match the required output size").  The number of intervals implied by the
+    architecture at the *reference* (full) duration is preserved and the
+    window is recomputed for the truncated trace, with at least one sample per
+    window.
+    """
+    if architecture.samples_per_interval == 1:
+        return architecture
+    reference_intervals = max(1, reference_n_samples // architecture.samples_per_interval)
+    window = max(1, n_samples // reference_intervals)
+    return architecture.with_samples_per_interval(window)

@@ -1,0 +1,107 @@
+"""Plain-text table formatting for the benchmark harness.
+
+Every benchmark prints its results as aligned text tables with the same rows
+and columns as the corresponding table or figure in the paper, so the output
+can be compared side by side with the publication.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["format_table", "format_fidelity_table", "format_sweep_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render an aligned plain-text table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Row values; floats are formatted with ``float_format``, everything
+        else with ``str``.
+    title:
+        Optional title printed above the table.
+    float_format:
+        Format spec applied to float cells.
+    """
+    if not headers:
+        raise ValueError("format_table needs at least one column")
+
+    def _cell(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    text_rows = [[_cell(value) for value in row] for row in rows]
+    for index, row in enumerate(text_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"Row {index} has {len(row)} cells but there are {len(headers)} columns"
+            )
+    widths = [
+        max(len(str(headers[col])), *(len(row[col]) for row in text_rows)) if text_rows else len(str(headers[col]))
+        for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in text_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_fidelity_table(
+    results: Mapping[str, Sequence[float]],
+    geometric_means: Mapping[str, tuple[float, float]],
+    title: str = "Qubit-readout fidelity (independent readout)",
+) -> str:
+    """Table I-style comparison: one row per design, per-qubit columns + F5Q/F4Q.
+
+    Parameters
+    ----------
+    results:
+        Mapping from design name to its per-qubit fidelities.
+    geometric_means:
+        Mapping from design name to ``(f_all, f_excluding_q2)``.
+    """
+    if not results:
+        raise ValueError("No results to format")
+    n_qubits = len(next(iter(results.values())))
+    headers = ["Design", *[f"Qubit {i + 1}" for i in range(n_qubits)], "F_all", "F_excl"]
+    rows = []
+    for design, fidelities in results.items():
+        if len(fidelities) != n_qubits:
+            raise ValueError(f"Design {design!r} has {len(fidelities)} fidelities, expected {n_qubits}")
+        f_all, f_excl = geometric_means[design]
+        rows.append([design, *[float(f) for f in fidelities], float(f_all), float(f_excl)])
+    return format_table(headers, rows, title=title)
+
+
+def format_sweep_table(
+    durations_ns: Sequence[float],
+    per_qubit: Mapping[str, Sequence[float]],
+    geometric_means: Sequence[float],
+    title: str = "Readout fidelity vs readout-trace duration",
+) -> str:
+    """Table II-style sweep: one row per duration, per-qubit columns + F5Q."""
+    qubit_names = list(per_qubit)
+    headers = ["Duration (ns)", *qubit_names, "F_all"]
+    rows = []
+    for index, duration in enumerate(durations_ns):
+        row = [f"{duration:.0f}"]
+        for name in qubit_names:
+            row.append(float(per_qubit[name][index]))
+        row.append(float(geometric_means[index]))
+        rows.append(row)
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,30 @@
+"""Comparison methods reproduced alongside KLiNQ.
+
+Table I and Fig. 4(b) of the paper compare KLiNQ against reproductions of
+
+* the **baseline FNN** of Lienhard et al. [3] -- a large feed-forward network
+  operating on the raw flattened I/Q trace (evaluated here, as in the paper's
+  comparison, in the independent per-qubit readout setting), and
+* **HERQULES** [9] -- per-qubit matched-filter features feeding a reduced
+  feed-forward network.
+
+For context and ablation this package also provides the classical
+discriminators the introduction cites (matched-filter thresholding and a
+linear/logistic discriminator on integrated quadratures) and a
+post-training-quantized FNN standing in for the FPGA-quantization approach of
+Gautam et al. [10].
+"""
+
+from repro.baselines.baseline_fnn import BaselineFNN
+from repro.baselines.herqules import HerqulesDiscriminator
+from repro.baselines.matched_filter_threshold import MatchedFilterThreshold
+from repro.baselines.linear import LinearDiscriminator
+from repro.baselines.quantized_fnn import QuantizedFNN
+
+__all__ = [
+    "BaselineFNN",
+    "HerqulesDiscriminator",
+    "MatchedFilterThreshold",
+    "LinearDiscriminator",
+    "QuantizedFNN",
+]

@@ -1,0 +1,177 @@
+"""A HERQULES-style discriminator (reference [9] of the paper).
+
+HERQULES ("Scaling qubit readout with hardware-efficient machine learning
+architectures", ISCA 2023) prepends qubit-specific matched filters to a
+reduced feed-forward network: instead of the raw trace, the network consumes
+a small number of matched-filter projections computed over successive
+sections of the readout window, which shrinks the FNN dramatically while
+keeping most of the accuracy of the deep baseline.
+
+The reproduction here follows that recipe for the *independent-readout*
+setting the KLiNQ paper evaluates (Table I, footnote 2):
+
+* the readout window is split into ``n_sections`` equal segments,
+* a matched filter is trained per segment (plus one over the full window),
+* the resulting scalars feed a small dense network (one hidden layer by
+  default).
+
+Its accuracy should sit close to, but generally below, KLiNQ's students --
+the paper reports roughly a one-percentage-point gap in geometric-mean
+fidelity with the deficit concentrated at shorter trace durations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import TrainingConfig
+from repro.nn.layers import Dense, ReLU
+from repro.nn.metrics import assignment_fidelity
+from repro.nn.network import Sequential
+from repro.nn.trainer import EarlyStopping, Trainer, train_validation_split
+from repro.readout.matched_filter import MatchedFilter, train_matched_filter
+
+__all__ = ["HerqulesDiscriminator"]
+
+
+class HerqulesDiscriminator:
+    """Matched-filter front end + reduced FNN, per qubit.
+
+    Parameters
+    ----------
+    n_sections:
+        Number of equal-length trace sections, each with its own matched
+        filter.  The full-window matched filter is always appended, so the
+        network input has ``n_sections + 1`` features.
+    hidden_layers:
+        Hidden-layer widths of the reduced network.
+    seed:
+        Weight-initialization seed.
+    """
+
+    def __init__(
+        self,
+        n_sections: int = 4,
+        hidden_layers: tuple[int, ...] = (32, 16),
+        seed: int = 0,
+    ) -> None:
+        if n_sections <= 0:
+            raise ValueError(f"n_sections must be positive, got {n_sections}")
+        if not hidden_layers or any(h <= 0 for h in hidden_layers):
+            raise ValueError(f"hidden_layers must be positive, got {hidden_layers}")
+        self.n_sections = int(n_sections)
+        self.hidden_layers = tuple(int(h) for h in hidden_layers)
+        self.seed = int(seed)
+        self.section_filters: list[MatchedFilter] = []
+        self.full_filter: MatchedFilter | None = None
+        self.feature_scale: np.ndarray | None = None
+        self.feature_offset: np.ndarray | None = None
+        self.network: Sequential | None = None
+        self._n_samples: int | None = None
+
+    @property
+    def is_trained(self) -> bool:
+        """Whether :meth:`fit` has completed."""
+        return self.network is not None
+
+    @property
+    def parameter_count(self) -> int:
+        """Trainable parameters of the reduced network (excludes MF envelopes)."""
+        if self.network is None:
+            raise RuntimeError("HerqulesDiscriminator has not been trained yet")
+        return self.network.parameter_count()
+
+    # ------------------------------------------------------------------ features
+    def _section_bounds(self, n_samples: int) -> list[tuple[int, int]]:
+        edges = np.linspace(0, n_samples, self.n_sections + 1, dtype=np.int64)
+        return [(int(edges[i]), int(edges[i + 1])) for i in range(self.n_sections)]
+
+    def _fit_filters(self, traces: np.ndarray, labels: np.ndarray) -> None:
+        self._n_samples = traces.shape[1]
+        self.full_filter = train_matched_filter(traces, labels)
+        self.section_filters = []
+        for start, stop in self._section_bounds(self._n_samples):
+            if stop - start < 1:
+                raise ValueError(
+                    f"Trace of {self._n_samples} samples cannot be split into "
+                    f"{self.n_sections} sections"
+                )
+            self.section_filters.append(train_matched_filter(traces[:, start:stop], labels))
+
+    def _raw_features(self, traces: np.ndarray) -> np.ndarray:
+        if self.full_filter is None:
+            raise RuntimeError("Filters must be fitted before extracting features")
+        traces = np.asarray(traces, dtype=np.float64)
+        if traces.ndim == 2:
+            traces = traces[None, ...]
+        if traces.shape[1] != self._n_samples:
+            raise ValueError(
+                f"Discriminator fitted on {self._n_samples}-sample traces but received "
+                f"{traces.shape[1]}-sample traces"
+            )
+        columns = [self.full_filter.apply(traces)]
+        for (start, stop), mf in zip(self._section_bounds(self._n_samples), self.section_filters):
+            columns.append(mf.apply(traces[:, start:stop]))
+        return np.stack(columns, axis=1)
+
+    def features(self, traces: np.ndarray) -> np.ndarray:
+        """Normalized matched-filter feature vectors for a batch of traces."""
+        raw = self._raw_features(traces)
+        if self.feature_scale is None:
+            raise RuntimeError("HerqulesDiscriminator has not been trained yet")
+        return (raw - self.feature_offset) / self.feature_scale
+
+    # ------------------------------------------------------------------ training
+    def fit(
+        self, traces: np.ndarray, labels: np.ndarray, training: TrainingConfig | None = None
+    ) -> "HerqulesDiscriminator":
+        """Train the matched filters and the reduced network."""
+        training = training or TrainingConfig()
+        traces = np.asarray(traces, dtype=np.float64)
+        labels_flat = np.asarray(labels).reshape(-1)
+        self._fit_filters(traces, labels_flat)
+        raw = self._raw_features(traces)
+        self.feature_offset = raw.mean(axis=0)
+        scale = raw.std(axis=0)
+        self.feature_scale = np.where(scale > 0, scale, 1.0)
+        features = (raw - self.feature_offset) / self.feature_scale
+
+        self.network = Sequential(
+            [layer for width in self.hidden_layers for layer in (Dense(width), ReLU())]
+            + [Dense(1)],
+            input_dim=features.shape[1],
+            seed=self.seed,
+        )
+        y = labels_flat.astype(np.float64).reshape(-1, 1)
+        x_train, y_train, x_val, y_val = train_validation_split(
+            features, y, validation_fraction=training.validation_fraction, seed=training.seed
+        )
+        trainer = Trainer(
+            self.network,
+            loss="bce",
+            optimizer="adam",
+            batch_size=training.batch_size,
+            max_epochs=training.max_epochs,
+            early_stopping=EarlyStopping(
+                patience=training.early_stopping_patience, monitor="val_loss"
+            ),
+            seed=training.seed,
+        )
+        trainer.optimizer.learning_rate = training.learning_rate
+        trainer.fit(x_train, y_train, x_val, y_val)
+        return self
+
+    # ----------------------------------------------------------------- inference
+    def predict_logits(self, traces: np.ndarray) -> np.ndarray:
+        """Raw logits for a batch of traces."""
+        if self.network is None:
+            raise RuntimeError("HerqulesDiscriminator has not been trained yet")
+        return self.network.predict(self.features(traces), batch_size=8192).reshape(-1)
+
+    def predict_states(self, traces: np.ndarray) -> np.ndarray:
+        """Hard 0/1 assignments."""
+        return (self.predict_logits(traces) >= 0.0).astype(np.int64)
+
+    def fidelity(self, traces: np.ndarray, labels: np.ndarray) -> float:
+        """Assignment fidelity on a labelled set."""
+        return assignment_fidelity(self.predict_logits(traces), labels, threshold=0.0)

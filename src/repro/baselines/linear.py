@@ -1,0 +1,129 @@
+"""Linear (logistic-regression) discriminator on integrated quadratures.
+
+This reproduces the family of "simple machine learning" readout
+discriminators the paper's introduction cites (e.g. the SVM of Magesan et
+al.): the trace is reduced to its boxcar-integrated I and Q values (optionally
+over a few sections) and a linear decision boundary is learned by logistic
+regression.  It is a deliberately weak baseline that demonstrates what is
+lost by discarding temporal structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.metrics import assignment_fidelity
+from repro.readout.demodulation import boxcar_integrate
+
+__all__ = ["LinearDiscriminator"]
+
+
+class LinearDiscriminator:
+    """Logistic regression on section-wise boxcar-integrated I/Q values.
+
+    Parameters
+    ----------
+    n_sections:
+        Number of equal trace sections integrated separately (1 reproduces
+        the classic "integrate the whole window then draw a line" readout).
+    learning_rate, max_iterations:
+        Gradient-descent settings for the logistic fit.
+    l2:
+        L2 regularization strength.
+    """
+
+    def __init__(
+        self,
+        n_sections: int = 1,
+        learning_rate: float = 0.1,
+        max_iterations: int = 500,
+        l2: float = 1e-4,
+    ) -> None:
+        if n_sections <= 0:
+            raise ValueError(f"n_sections must be positive, got {n_sections}")
+        if learning_rate <= 0 or max_iterations <= 0:
+            raise ValueError("learning_rate and max_iterations must be positive")
+        if l2 < 0:
+            raise ValueError(f"l2 must be non-negative, got {l2}")
+        self.n_sections = int(n_sections)
+        self.learning_rate = float(learning_rate)
+        self.max_iterations = int(max_iterations)
+        self.l2 = float(l2)
+        self.weights: np.ndarray | None = None
+        self.bias: float = 0.0
+        self.feature_mean: np.ndarray | None = None
+        self.feature_std: np.ndarray | None = None
+        self._n_samples: int | None = None
+
+    @property
+    def is_trained(self) -> bool:
+        """Whether :meth:`fit` has completed."""
+        return self.weights is not None
+
+    @property
+    def parameter_count(self) -> int:
+        """Number of learned weights + bias."""
+        if self.weights is None:
+            raise RuntimeError("LinearDiscriminator has not been trained yet")
+        return int(self.weights.size) + 1
+
+    def _features(self, traces: np.ndarray) -> np.ndarray:
+        traces = np.asarray(traces, dtype=np.float64)
+        if traces.ndim == 2:
+            traces = traces[None, ...]
+        n_samples = traces.shape[1]
+        if self._n_samples is not None and n_samples != self._n_samples:
+            raise ValueError(
+                f"Discriminator fitted on {self._n_samples}-sample traces but received "
+                f"{n_samples}-sample traces"
+            )
+        edges = np.linspace(0, n_samples, self.n_sections + 1, dtype=np.int64)
+        sections = [
+            boxcar_integrate(traces[:, edges[i] : edges[i + 1], :])
+            for i in range(self.n_sections)
+        ]
+        return np.concatenate(sections, axis=1)
+
+    def fit(self, traces: np.ndarray, labels: np.ndarray) -> "LinearDiscriminator":
+        """Fit the logistic regression by full-batch gradient descent."""
+        traces = np.asarray(traces, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.float64).reshape(-1)
+        self._n_samples = traces.shape[1]
+        features = self._features(traces)
+        if features.shape[0] != labels.shape[0]:
+            raise ValueError("traces and labels disagree on the number of shots")
+        self.feature_mean = features.mean(axis=0)
+        std = features.std(axis=0)
+        self.feature_std = np.where(std > 0, std, 1.0)
+        x = (features - self.feature_mean) / self.feature_std
+
+        rng = np.random.default_rng(0)
+        weights = rng.normal(0.0, 0.01, size=x.shape[1])
+        bias = 0.0
+        n = x.shape[0]
+        for _ in range(self.max_iterations):
+            logits = x @ weights + bias
+            probabilities = 1.0 / (1.0 + np.exp(-logits))
+            error = probabilities - labels
+            grad_w = x.T @ error / n + self.l2 * weights
+            grad_b = float(error.mean())
+            weights -= self.learning_rate * grad_w
+            bias -= self.learning_rate * grad_b
+        self.weights = weights
+        self.bias = bias
+        return self
+
+    def predict_logits(self, traces: np.ndarray) -> np.ndarray:
+        """Linear decision scores for a batch of traces."""
+        if self.weights is None:
+            raise RuntimeError("LinearDiscriminator has not been trained yet")
+        x = (self._features(traces) - self.feature_mean) / self.feature_std
+        return x @ self.weights + self.bias
+
+    def predict_states(self, traces: np.ndarray) -> np.ndarray:
+        """Hard 0/1 assignments."""
+        return (self.predict_logits(traces) >= 0.0).astype(np.int64)
+
+    def fidelity(self, traces: np.ndarray, labels: np.ndarray) -> float:
+        """Assignment fidelity on a labelled set."""
+        return assignment_fidelity(self.predict_logits(traces), labels, threshold=0.0)

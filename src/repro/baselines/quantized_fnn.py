@@ -1,0 +1,116 @@
+"""Post-training-quantized FNN baseline (reference [10] of the paper).
+
+Gautam et al. shrink the Lienhard baseline FNN by quantizing it for an FPGA
+accelerator; the KLiNQ paper notes this "sacrifices accuracy and fails to
+support mid-circuit measurements".  :class:`QuantizedFNN` reproduces the
+spirit of that approach: train a (reduced) dense network on the raw trace,
+then post-training-quantize every weight, bias and activation to a fixed-point
+format.  The fidelity delta against its own float version quantifies the
+quantization penalty, and the comparison against KLiNQ's students illustrates
+the paper's argument that distillation-plus-compact-architecture beats
+quantizing a big network.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import TeacherArchitecture, TrainingConfig
+from repro.core.teacher import TeacherModel, flatten_traces
+from repro.fpga.fixed_point import FixedPointFormat
+from repro.nn.metrics import assignment_fidelity
+
+__all__ = ["QuantizedFNN"]
+
+
+class QuantizedFNN:
+    """A dense readout network with post-training fixed-point quantization.
+
+    Parameters
+    ----------
+    n_samples:
+        Trace length in samples per quadrature.
+    architecture:
+        Dense architecture; defaults to a reduced (250, 125, 60) stack, the
+        scale reference [10] targets after their compression.
+    fmt:
+        Fixed-point format used for weights and activations (default Q8.8,
+        a deliberately narrow format so the quantization penalty is visible;
+        the KLiNQ FPGA uses the wider Q16.16).
+    seed:
+        Weight-initialization seed.
+    """
+
+    def __init__(
+        self,
+        n_samples: int,
+        architecture: TeacherArchitecture | None = None,
+        fmt: FixedPointFormat | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.architecture = architecture or TeacherArchitecture(
+            name="quantized-fnn", hidden_layers=(250, 125, 60)
+        )
+        self.fmt = fmt or FixedPointFormat(integer_bits=8, fractional_bits=8)
+        self._model = TeacherModel(self.architecture, n_samples=n_samples, seed=seed)
+        self._quantized_params: dict[str, np.ndarray] | None = None
+
+    @property
+    def parameter_count(self) -> int:
+        """Trainable parameters of the float network."""
+        return self._model.parameter_count
+
+    @property
+    def is_trained(self) -> bool:
+        """Whether :meth:`fit` has completed."""
+        return self._quantized_params is not None
+
+    def fit(
+        self, traces: np.ndarray, labels: np.ndarray, training: TrainingConfig | None = None
+    ) -> "QuantizedFNN":
+        """Train in float, then quantize all parameters to the fixed-point grid."""
+        self._model.fit(traces, labels, training)
+        params = self._model.network.parameters()
+        self._quantized_params = {
+            key: self.fmt.quantize(value) for key, value in params.items()
+        }
+        return self
+
+    def predict_logits(self, traces: np.ndarray, quantized: bool = True) -> np.ndarray:
+        """Logits with quantized (default) or original float parameters.
+
+        The quantized path also quantizes the input features and every
+        intermediate activation, emulating a fixed-point inference engine.
+        """
+        if quantized and self._quantized_params is None:
+            raise RuntimeError("QuantizedFNN has not been trained yet")
+        if not quantized:
+            return self._model.predict_logits(traces)
+        features = self.fmt.quantize(flatten_traces(traces))
+        network = self._model.network
+        original = {key: value.copy() for key, value in network.parameters().items()}
+        try:
+            network.set_parameters(self._quantized_params)
+            activations = features
+            for layer in network.layers:
+                activations = layer.forward(activations, training=False)
+                activations = self.fmt.quantize(activations)
+            return activations.reshape(-1)
+        finally:
+            network.set_parameters(original)
+
+    def predict_states(self, traces: np.ndarray, quantized: bool = True) -> np.ndarray:
+        """Hard 0/1 assignments."""
+        return (self.predict_logits(traces, quantized=quantized) >= 0.0).astype(np.int64)
+
+    def fidelity(self, traces: np.ndarray, labels: np.ndarray, quantized: bool = True) -> float:
+        """Assignment fidelity on a labelled set."""
+        return assignment_fidelity(
+            self.predict_logits(traces, quantized=quantized), labels, threshold=0.0
+        )
+
+    def quantization_penalty(self, traces: np.ndarray, labels: np.ndarray) -> float:
+        """Float fidelity minus quantized fidelity (positive = quantization hurts)."""
+        return self.fidelity(traces, labels, quantized=False) - self.fidelity(
+            traces, labels, quantized=True
+        )

@@ -1,0 +1,73 @@
+"""KLiNQ core: knowledge-distillation-assisted lightweight qubit readout.
+
+This package implements the paper's primary contribution on top of the
+:mod:`repro.nn` and :mod:`repro.readout` substrates:
+
+* :mod:`repro.core.config` -- architecture and experiment configurations,
+  including the paper-scale dimensions (1000/500/250 teacher, FNN-A / FNN-B
+  students) and a scaled configuration used by the CPU-only benchmark harness.
+* :mod:`repro.core.teacher` -- the large per-qubit teacher FNN.
+* :mod:`repro.core.student` -- the compact student networks and their
+  feature extraction (interval averaging + matched filter).
+* :mod:`repro.core.distillation` -- the composite-loss distillation trainer.
+* :mod:`repro.core.pipeline` -- the per-qubit train/distill/evaluate pipeline.
+* :mod:`repro.core.discriminator` -- :class:`KlinqReadout`, the user-facing
+  multi-qubit readout system with independent per-qubit discrimination
+  (mid-circuit capable).
+* :mod:`repro.core.compression` -- parameter counting and the network
+  compression rate (NCR) reported in Fig. 5.
+"""
+
+from repro.core.config import (
+    StudentArchitecture,
+    TeacherArchitecture,
+    TrainingConfig,
+    DistillationConfig,
+    ExperimentConfig,
+    FNN_A,
+    FNN_B,
+    PAPER_TEACHER,
+    paper_experiment_config,
+    scaled_experiment_config,
+    default_student_assignment,
+)
+from repro.core.teacher import TeacherModel
+from repro.core.student import StudentModel, build_student_network
+from repro.core.distillation import DistillationTrainer, DistillationResult
+from repro.core.pipeline import QubitReadoutPipeline, PipelineResult
+from repro.core.discriminator import KlinqReadout, ReadoutReport
+from repro.core.compression import (
+    count_dense_parameters,
+    teacher_parameter_count,
+    student_parameter_count,
+    network_compression_rate,
+    compression_report,
+)
+
+__all__ = [
+    "StudentArchitecture",
+    "TeacherArchitecture",
+    "TrainingConfig",
+    "DistillationConfig",
+    "ExperimentConfig",
+    "FNN_A",
+    "FNN_B",
+    "PAPER_TEACHER",
+    "paper_experiment_config",
+    "scaled_experiment_config",
+    "default_student_assignment",
+    "TeacherModel",
+    "StudentModel",
+    "build_student_network",
+    "DistillationTrainer",
+    "DistillationResult",
+    "QubitReadoutPipeline",
+    "PipelineResult",
+    "KlinqReadout",
+    "ReadoutReport",
+    "count_dense_parameters",
+    "teacher_parameter_count",
+    "student_parameter_count",
+    "network_compression_rate",
+    "compression_report",
+]

@@ -1,0 +1,203 @@
+"""The user-facing KLiNQ readout system.
+
+:class:`KlinqReadout` holds one independent per-qubit discriminator (student
+network + its teacher used only at training time) for every qubit on the
+device.  Because each qubit has its own compact network operating only on its
+own trace, any subset of qubits can be read out at any time -- the mid-circuit
+measurement capability the paper emphasizes -- and the readout of one qubit
+never waits on the others.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import ExperimentConfig, scaled_experiment_config
+from repro.core.pipeline import PipelineResult, QubitReadoutPipeline
+from repro.nn.metrics import geometric_mean_fidelity
+from repro.readout.dataset import ReadoutDataset
+
+__all__ = ["KlinqReadout", "ReadoutReport"]
+
+
+@dataclass
+class ReadoutReport:
+    """Aggregated evaluation of a multi-qubit readout system.
+
+    Attributes
+    ----------
+    per_qubit:
+        One :class:`~repro.core.pipeline.PipelineResult` per qubit.
+    excluded_qubits:
+        0-based indices excluded from the secondary geometric mean (the paper
+        excludes qubit 2, index 1, because noise dominates it).
+    """
+
+    per_qubit: list[PipelineResult] = field(default_factory=list)
+    excluded_qubits: tuple[int, ...] = (1,)
+
+    @property
+    def fidelities(self) -> list[float]:
+        """Per-qubit student fidelities, in qubit order."""
+        return [result.student_fidelity for result in self.per_qubit]
+
+    @property
+    def geometric_mean(self) -> float:
+        """Geometric mean over all qubits (``F5Q`` in Table I)."""
+        return geometric_mean_fidelity(self.fidelities)
+
+    @property
+    def geometric_mean_excluding(self) -> float:
+        """Geometric mean excluding ``excluded_qubits`` (``F4Q`` in Table I)."""
+        kept = [
+            result.student_fidelity
+            for result in self.per_qubit
+            if result.qubit_index not in self.excluded_qubits
+        ]
+        return geometric_mean_fidelity(kept)
+
+    @property
+    def total_student_parameters(self) -> int:
+        """Sum of student parameters across all qubits."""
+        return sum(result.student_parameters for result in self.per_qubit)
+
+    @property
+    def total_teacher_parameters(self) -> int:
+        """Sum of teacher parameters across all qubits."""
+        return sum(result.teacher_parameters for result in self.per_qubit)
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for JSON reports and the benchmark harness."""
+        return {
+            "per_qubit": [result.as_dict() for result in self.per_qubit],
+            "fidelities": self.fidelities,
+            "geometric_mean": self.geometric_mean,
+            "geometric_mean_excluding": self.geometric_mean_excluding,
+            "excluded_qubits": list(self.excluded_qubits),
+            "total_student_parameters": self.total_student_parameters,
+            "total_teacher_parameters": self.total_teacher_parameters,
+        }
+
+    def summary_row(self, label: str = "KLiNQ") -> str:
+        """One formatted row in the style of Table I."""
+        cells = "  ".join(f"{f:.3f}" for f in self.fidelities)
+        return (
+            f"{label:<14} {cells}  "
+            f"F_all={self.geometric_mean:.3f}  F_excl={self.geometric_mean_excluding:.3f}"
+        )
+
+
+class KlinqReadout:
+    """Independent per-qubit readout with distilled lightweight networks.
+
+    Parameters
+    ----------
+    config:
+        Experiment configuration; defaults to the CPU-friendly scaled
+        configuration.  The number of qubits is taken from
+        ``config.students``.
+
+    Examples
+    --------
+    >>> from repro.core import KlinqReadout, scaled_experiment_config
+    >>> from repro.readout import generate_dataset, default_five_qubit_device
+    >>> config = scaled_experiment_config(shots_per_state_train=10, shots_per_state_test=20)
+    >>> device = default_five_qubit_device(sample_period_ns=config.sample_period_ns)
+    >>> dataset = generate_dataset(device,
+    ...     shots_per_state_train=config.shots_per_state_train,
+    ...     shots_per_state_test=config.shots_per_state_test,
+    ...     duration_ns=config.duration_ns, seed=config.seed)
+    >>> readout = KlinqReadout(config)
+    >>> report = readout.fit(dataset)            # doctest: +SKIP
+    >>> report.geometric_mean                    # doctest: +SKIP
+    0.9...
+    """
+
+    def __init__(self, config: ExperimentConfig | None = None) -> None:
+        self.config = config or scaled_experiment_config()
+        self.pipelines: list[QubitReadoutPipeline] = [
+            QubitReadoutPipeline(index, architecture, self.config)
+            for index, architecture in enumerate(self.config.students)
+        ]
+        self.report: ReadoutReport | None = None
+
+    @property
+    def n_qubits(self) -> int:
+        """Number of independently-read qubits."""
+        return len(self.pipelines)
+
+    @property
+    def is_trained(self) -> bool:
+        """Whether every per-qubit student has been trained."""
+        return all(pipeline.student is not None for pipeline in self.pipelines)
+
+    # ------------------------------------------------------------------ training
+    def fit(self, dataset: ReadoutDataset, distill: bool = True) -> ReadoutReport:
+        """Train every per-qubit pipeline on ``dataset`` and evaluate it.
+
+        Parameters
+        ----------
+        dataset:
+            A multiplexed dataset whose qubit count matches the configuration.
+        distill:
+            If True (default) students are produced by knowledge distillation;
+            if False they are trained from scratch on hard labels (ablation).
+        """
+        if dataset.n_qubits != self.n_qubits:
+            raise ValueError(
+                f"Dataset has {dataset.n_qubits} qubits but the configuration "
+                f"expects {self.n_qubits}"
+            )
+        results = []
+        for pipeline in self.pipelines:
+            view = dataset.qubit_view(pipeline.qubit_index)
+            results.append(pipeline.run(view, distill=distill))
+        self.report = ReadoutReport(per_qubit=results)
+        return self.report
+
+    # ----------------------------------------------------------------- inference
+    def discriminate(self, traces: np.ndarray, qubit_index: int) -> np.ndarray:
+        """Independent (mid-circuit capable) readout of a single qubit.
+
+        Parameters
+        ----------
+        traces:
+            This qubit's traces, shape ``(n_shots, n_samples, 2)`` or a single
+            ``(n_samples, 2)`` trace.
+        qubit_index:
+            Which qubit's discriminator to use.
+        """
+        if not 0 <= qubit_index < self.n_qubits:
+            raise IndexError(f"qubit_index {qubit_index} out of range")
+        pipeline = self.pipelines[qubit_index]
+        traces = np.asarray(traces, dtype=np.float64)
+        single = traces.ndim == 2
+        if single:
+            traces = traces[None, ...]
+        states = pipeline.predict_states(traces)
+        return states[0] if single else states
+
+    def discriminate_all(self, traces: np.ndarray) -> np.ndarray:
+        """Read out every qubit of a batch of multiplexed shots.
+
+        ``traces`` has shape ``(n_shots, n_qubits, n_samples, 2)``; the result
+        is ``(n_shots, n_qubits)`` of assigned states.  Each qubit is
+        discriminated independently by its own student network.
+        """
+        traces = np.asarray(traces, dtype=np.float64)
+        if traces.ndim != 4 or traces.shape[1] != self.n_qubits:
+            raise ValueError(
+                f"traces must have shape (shots, {self.n_qubits}, samples, 2), got {traces.shape}"
+            )
+        states = np.empty((traces.shape[0], self.n_qubits), dtype=np.int64)
+        for qubit_index in range(self.n_qubits):
+            states[:, qubit_index] = self.discriminate(traces[:, qubit_index], qubit_index)
+        return states
+
+    def students(self) -> list:
+        """The trained per-qubit student models (for FPGA deployment)."""
+        if not self.is_trained:
+            raise RuntimeError("KlinqReadout has not been trained yet")
+        return [pipeline.student for pipeline in self.pipelines]

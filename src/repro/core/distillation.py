@@ -1,0 +1,165 @@
+"""Knowledge-distillation training (Sec. III-C).
+
+The :class:`DistillationTrainer` trains a student network to minimize the
+composite loss
+
+    L_distill = alpha * L_CE(student, hard labels)
+              + (1 - alpha) * MSE(student logits / T, teacher logits / T)
+
+where the teacher logits ("soft labels") are produced once, up front, by a
+frozen, pre-trained :class:`repro.core.teacher.TeacherModel` on the raw
+traces, while the student consumes its compact averaged-I/Q + matched-filter
+features.  Only the student's parameters are updated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import DistillationConfig
+from repro.core.student import StudentModel
+from repro.core.teacher import TeacherModel
+from repro.nn.losses import DistillationLoss
+from repro.nn.metrics import binary_accuracy
+from repro.nn.optimizers import Adam
+
+__all__ = ["DistillationTrainer", "DistillationResult"]
+
+
+@dataclass
+class DistillationResult:
+    """Training curves and bookkeeping from one distillation run."""
+
+    total_loss: list[float] = field(default_factory=list)
+    ce_loss: list[float] = field(default_factory=list)
+    kd_loss: list[float] = field(default_factory=list)
+    val_accuracy: list[float] = field(default_factory=list)
+    best_epoch: int = 0
+    epochs_run: int = 0
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for JSON reports."""
+        return {
+            "total_loss": list(self.total_loss),
+            "ce_loss": list(self.ce_loss),
+            "kd_loss": list(self.kd_loss),
+            "val_accuracy": list(self.val_accuracy),
+            "best_epoch": self.best_epoch,
+            "epochs_run": self.epochs_run,
+        }
+
+
+class DistillationTrainer:
+    """Distills a frozen teacher into a student network.
+
+    Parameters
+    ----------
+    teacher:
+        A trained :class:`TeacherModel` (its logits are the soft labels).
+    student:
+        The :class:`StudentModel` to train.  Its feature extractor is fitted
+        on the distillation training set if it has not been fitted yet.
+    config:
+        Distillation hyper-parameters (alpha, temperature, optimizer
+        settings).
+    """
+
+    def __init__(
+        self,
+        teacher: TeacherModel,
+        student: StudentModel,
+        config: DistillationConfig | None = None,
+    ) -> None:
+        if not teacher.is_trained:
+            raise ValueError("The teacher must be trained before distillation")
+        self.teacher = teacher
+        self.student = student
+        self.config = config or DistillationConfig()
+        self.loss = DistillationLoss(
+            alpha=self.config.alpha, temperature=self.config.temperature
+        )
+        self.result: DistillationResult | None = None
+
+    def fit(self, traces: np.ndarray, labels: np.ndarray) -> DistillationResult:
+        """Run distillation on labelled single-qubit traces.
+
+        The teacher sees the raw traces; the student sees its extracted
+        features.  A validation split (on the student features) drives early
+        stopping on validation accuracy, and the best-epoch parameters are
+        restored at the end.
+        """
+        config = self.config
+        labels = np.asarray(labels, dtype=np.float64).reshape(-1, 1)
+        if traces.shape[0] != labels.shape[0]:
+            raise ValueError(
+                f"traces ({traces.shape[0]}) and labels ({labels.shape[0]}) disagree on shots"
+            )
+
+        # Soft labels from the frozen teacher, computed once.
+        teacher_logits = self.teacher.predict_logits(traces).reshape(-1, 1)
+
+        # Student features (fit the extractor if needed).
+        if self.student.is_fitted:
+            features = self.student.features(traces)
+        else:
+            features = self.student.fit_features(traces, labels.reshape(-1))
+
+        rng = np.random.default_rng(config.seed)
+        n = features.shape[0]
+        n_val = max(1, int(round(n * config.validation_fraction)))
+        if n_val >= n:
+            raise ValueError("validation_fraction leaves no training samples")
+        order = rng.permutation(n)
+        val_idx, train_idx = order[:n_val], order[n_val:]
+        x_train, y_train, t_train = features[train_idx], labels[train_idx], teacher_logits[train_idx]
+        x_val, y_val = features[val_idx], labels[val_idx]
+
+        optimizer = Adam(learning_rate=config.learning_rate)
+        network = self.student.network
+        result = DistillationResult()
+        best_accuracy = -np.inf
+        best_params: dict[str, np.ndarray] | None = None
+        stale = 0
+
+        for epoch in range(config.max_epochs):
+            epoch_order = rng.permutation(x_train.shape[0])
+            epoch_total, epoch_ce, epoch_kd, batches = 0.0, 0.0, 0.0, 0
+            for start in range(0, x_train.shape[0], config.batch_size):
+                idx = epoch_order[start : start + config.batch_size]
+                logits = network.forward(x_train[idx], training=True)
+                total, ce, kd = self.loss.forward_components(
+                    logits, y_train[idx], t_train[idx]
+                )
+                grad = self.loss.backward()
+                network.backward(grad)
+                optimizer.step(network.parameters(), network.gradients())
+                epoch_total += total
+                epoch_ce += ce
+                epoch_kd += kd
+                batches += 1
+            result.total_loss.append(epoch_total / max(batches, 1))
+            result.ce_loss.append(epoch_ce / max(batches, 1))
+            result.kd_loss.append(epoch_kd / max(batches, 1))
+
+            val_logits = network.predict(x_val, batch_size=8192)
+            accuracy = binary_accuracy(val_logits, y_val, threshold=0.0)
+            result.val_accuracy.append(accuracy)
+            result.epochs_run = epoch + 1
+
+            if accuracy > best_accuracy + 1e-9:
+                best_accuracy = accuracy
+                best_params = {k: v.copy() for k, v in network.parameters().items()}
+                result.best_epoch = epoch
+                stale = 0
+            else:
+                stale += 1
+                if stale >= config.early_stopping_patience:
+                    break
+
+        if best_params is not None:
+            network.set_parameters(best_params)
+        self.result = result
+        self.student.history = None  # distillation history lives in `result`
+        return result

@@ -1,0 +1,167 @@
+"""Per-qubit train → distill → evaluate pipeline.
+
+:class:`QubitReadoutPipeline` encapsulates the complete offline flow of Fig. 1
+for a single qubit:
+
+1. train the large teacher FNN on the qubit's raw traces,
+2. fit the student's input pipeline (averaging, normalization, matched
+   filter) and distill the teacher into the student with the composite loss,
+3. evaluate the resulting student (and optionally the teacher) on held-out
+   traces.
+
+The multi-qubit :class:`repro.core.discriminator.KlinqReadout` simply runs one
+pipeline per qubit, which is exactly the paper's independent-readout design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import ExperimentConfig, StudentArchitecture
+from repro.core.distillation import DistillationResult, DistillationTrainer
+from repro.core.student import StudentModel
+from repro.core.teacher import TeacherModel
+from repro.nn.metrics import assignment_fidelity, readout_error_rates
+from repro.readout.dataset import QubitDatasetView
+
+__all__ = ["QubitReadoutPipeline", "PipelineResult"]
+
+
+@dataclass
+class PipelineResult:
+    """Evaluation summary of one per-qubit pipeline run."""
+
+    qubit_index: int
+    student_fidelity: float
+    teacher_fidelity: float
+    student_parameters: int
+    teacher_parameters: int
+    error_rates: dict[str, float]
+    distillation: DistillationResult | None = None
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for JSON reports."""
+        return {
+            "qubit_index": self.qubit_index,
+            "student_fidelity": self.student_fidelity,
+            "teacher_fidelity": self.teacher_fidelity,
+            "student_parameters": self.student_parameters,
+            "teacher_parameters": self.teacher_parameters,
+            "error_rates": dict(self.error_rates),
+            "distillation": None if self.distillation is None else self.distillation.as_dict(),
+        }
+
+
+class QubitReadoutPipeline:
+    """End-to-end KLiNQ flow for one qubit.
+
+    Parameters
+    ----------
+    qubit_index:
+        0-based index of the qubit (used for reporting and seeding).
+    architecture:
+        Student variant assigned to this qubit (FNN-A or FNN-B style).
+    config:
+        Experiment configuration providing teacher architecture and all
+        training hyper-parameters.
+    """
+
+    def __init__(
+        self,
+        qubit_index: int,
+        architecture: StudentArchitecture,
+        config: ExperimentConfig,
+    ) -> None:
+        if qubit_index < 0:
+            raise ValueError(f"qubit_index must be non-negative, got {qubit_index}")
+        self.qubit_index = int(qubit_index)
+        self.architecture = architecture
+        self.config = config
+        self.teacher: TeacherModel | None = None
+        self.student: StudentModel | None = None
+        self.distillation_result: DistillationResult | None = None
+
+    # ------------------------------------------------------------------ helpers
+    def _seed(self, offset: int) -> int:
+        return self.config.seed * 1000 + self.qubit_index * 10 + offset
+
+    @staticmethod
+    def _check_view(view: QubitDatasetView) -> None:
+        if view.train_traces.shape[0] == 0 or view.test_traces.shape[0] == 0:
+            raise ValueError("Dataset view contains no shots")
+
+    # ----------------------------------------------------------------- training
+    def train_teacher(self, view: QubitDatasetView) -> TeacherModel:
+        """Train (or retrain) the teacher on this qubit's training traces."""
+        self._check_view(view)
+        teacher = TeacherModel(
+            self.config.teacher, n_samples=view.n_samples, seed=self._seed(1)
+        )
+        teacher.fit(view.train_traces, view.train_labels, self.config.teacher_training)
+        self.teacher = teacher
+        return teacher
+
+    def distill_student(self, view: QubitDatasetView) -> StudentModel:
+        """Distill the trained teacher into a fresh student."""
+        if self.teacher is None or not self.teacher.is_trained:
+            raise RuntimeError("train_teacher() must run before distill_student()")
+        self._check_view(view)
+        student = StudentModel(
+            self.architecture, n_samples=view.n_samples, seed=self._seed(2)
+        )
+        trainer = DistillationTrainer(self.teacher, student, self.config.distillation)
+        self.distillation_result = trainer.fit(view.train_traces, view.train_labels)
+        self.student = student
+        return student
+
+    def train_student_from_scratch(self, view: QubitDatasetView) -> StudentModel:
+        """Ablation path: train the student on hard labels only (no teacher)."""
+        self._check_view(view)
+        student = StudentModel(
+            self.architecture, n_samples=view.n_samples, seed=self._seed(3)
+        )
+        student.fit_supervised(view.train_traces, view.train_labels, self.config.student_training)
+        self.student = student
+        self.distillation_result = None
+        return student
+
+    def run(self, view: QubitDatasetView, distill: bool = True) -> PipelineResult:
+        """Full flow: teacher training, (optional) distillation, evaluation."""
+        self.train_teacher(view)
+        if distill:
+            self.distill_student(view)
+        else:
+            self.train_student_from_scratch(view)
+        return self.evaluate(view)
+
+    # --------------------------------------------------------------- evaluation
+    def evaluate(self, view: QubitDatasetView) -> PipelineResult:
+        """Evaluate the trained student (and teacher) on the view's test split."""
+        if self.student is None:
+            raise RuntimeError("No student has been trained yet")
+        student_logits = self.student.predict_logits(view.test_traces)
+        student_fidelity = assignment_fidelity(student_logits, view.test_labels, threshold=0.0)
+        errors = readout_error_rates(student_logits, view.test_labels, threshold=0.0)
+        if self.teacher is not None and self.teacher.is_trained:
+            teacher_fidelity = self.teacher.fidelity(view.test_traces, view.test_labels)
+            teacher_parameters = self.teacher.parameter_count
+        else:
+            teacher_fidelity = float("nan")
+            teacher_parameters = 0
+        return PipelineResult(
+            qubit_index=self.qubit_index,
+            student_fidelity=float(student_fidelity),
+            teacher_fidelity=float(teacher_fidelity),
+            student_parameters=self.student.parameter_count,
+            teacher_parameters=teacher_parameters,
+            error_rates=errors,
+            distillation=self.distillation_result,
+        )
+
+    def predict_states(self, traces: np.ndarray) -> np.ndarray:
+        """Mid-circuit-style independent readout of this qubit only."""
+        if self.student is None:
+            raise RuntimeError("No student has been trained yet")
+        return self.student.predict_states(traces)

@@ -1,0 +1,161 @@
+"""Student networks: the lightweight per-qubit discriminators deployed on FPGA.
+
+A :class:`StudentModel` bundles
+
+* the input pipeline of Sec. III-B (interval averaging, shift-friendly
+  normalization and the matched-filter scalar), via
+  :class:`repro.readout.preprocessing.StudentFeatureExtractor`, and
+* the tiny dense network of Sec. III-D (two hidden layers of 16 and 8
+  neurons, single logit output).
+
+Students can be trained either from scratch on hard labels (the ablation
+baseline) or, as the paper proposes, by knowledge distillation from a
+:class:`repro.core.teacher.TeacherModel` via
+:class:`repro.core.distillation.DistillationTrainer`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import StudentArchitecture, TrainingConfig
+from repro.nn.layers import Dense, ReLU
+from repro.nn.metrics import assignment_fidelity
+from repro.nn.network import Sequential
+from repro.nn.trainer import EarlyStopping, Trainer, TrainingHistory, train_validation_split
+from repro.readout.preprocessing import StudentFeatureExtractor
+
+__all__ = ["StudentModel", "build_student_network"]
+
+
+def build_student_network(
+    input_dim: int, hidden_layers: tuple[int, ...] = (16, 8), seed: int = 0
+) -> Sequential:
+    """Construct a student Sequential network (Dense/ReLU stack + 1 logit)."""
+    if input_dim <= 0:
+        raise ValueError(f"input_dim must be positive, got {input_dim}")
+    layers = []
+    for width in hidden_layers:
+        layers.append(Dense(width))
+        layers.append(ReLU())
+    layers.append(Dense(1))
+    return Sequential(layers, input_dim=input_dim, seed=seed)
+
+
+class StudentModel:
+    """A compact per-qubit discriminator (feature extractor + tiny FNN).
+
+    Parameters
+    ----------
+    architecture:
+        Student variant (FNN-A or FNN-B style).
+    n_samples:
+        Trace length (samples per quadrature) the student is configured for.
+        The input dimension follows from the architecture's averaging window.
+    seed:
+        Weight-initialization seed.
+    normalize:
+        Apply the FPGA-style normalization inside the feature extractor.
+    """
+
+    def __init__(
+        self,
+        architecture: StudentArchitecture,
+        n_samples: int,
+        seed: int = 0,
+        normalize: bool = True,
+    ) -> None:
+        if n_samples <= 0:
+            raise ValueError(f"n_samples must be positive, got {n_samples}")
+        self.architecture = architecture
+        self.n_samples = int(n_samples)
+        self.seed = int(seed)
+        self.feature_extractor = StudentFeatureExtractor(
+            samples_per_interval=architecture.samples_per_interval,
+            include_matched_filter=architecture.include_matched_filter,
+            normalize=normalize,
+        )
+        self.input_dim = architecture.input_dimension(self.n_samples)
+        self.network = build_student_network(
+            self.input_dim, architecture.hidden_layers, seed=seed
+        )
+        self.history: TrainingHistory | None = None
+
+    @property
+    def parameter_count(self) -> int:
+        """Trainable parameters in the student's dense network."""
+        return self.network.parameter_count()
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether the feature extractor statistics have been fitted."""
+        return self.feature_extractor.is_fitted
+
+    # ------------------------------------------------------------------ features
+    def fit_features(self, traces: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """Fit the matched filter / normalizer and return the training features."""
+        features = self.feature_extractor.fit_transform(traces, labels)
+        if features.shape[1] != self.input_dim:
+            raise ValueError(
+                f"Feature extractor produced {features.shape[1]} features but the "
+                f"network expects {self.input_dim}; check n_samples vs the averaging window"
+            )
+        return features
+
+    def features(self, traces: np.ndarray) -> np.ndarray:
+        """Student input vectors for a batch of traces (extractor must be fitted)."""
+        return self.feature_extractor.transform(traces)
+
+    # ------------------------------------------------------------------ training
+    def fit_supervised(
+        self,
+        traces: np.ndarray,
+        labels: np.ndarray,
+        training: TrainingConfig | None = None,
+    ) -> TrainingHistory:
+        """Train the student from scratch on hard labels only.
+
+        This is the no-distillation ablation; the paper's proposed flow uses
+        :class:`repro.core.distillation.DistillationTrainer` instead.
+        """
+        training = training or TrainingConfig()
+        features = self.fit_features(traces, labels)
+        labels = np.asarray(labels, dtype=np.float64).reshape(-1, 1)
+        x_train, y_train, x_val, y_val = train_validation_split(
+            features, labels, validation_fraction=training.validation_fraction, seed=training.seed
+        )
+        trainer = Trainer(
+            self.network,
+            loss="bce",
+            optimizer="adam",
+            batch_size=training.batch_size,
+            max_epochs=training.max_epochs,
+            early_stopping=EarlyStopping(
+                patience=training.early_stopping_patience, monitor="val_loss"
+            ),
+            seed=training.seed,
+        )
+        trainer.optimizer.learning_rate = training.learning_rate
+        trainer.optimizer.weight_decay = training.weight_decay
+        self.history = trainer.fit(x_train, y_train, x_val, y_val)
+        return self.history
+
+    # ----------------------------------------------------------------- inference
+    def predict_logits(self, traces: np.ndarray) -> np.ndarray:
+        """Student logits for a batch of traces, shape ``(n_shots,)``."""
+        if not self.is_fitted:
+            raise RuntimeError("StudentModel used before its feature extractor was fitted")
+        features = self.features(traces)
+        return self.network.predict(features, batch_size=8192).reshape(-1)
+
+    def predict_logits_from_features(self, features: np.ndarray) -> np.ndarray:
+        """Student logits when features were already extracted (used in distillation)."""
+        return self.network.predict(features, batch_size=8192).reshape(-1)
+
+    def predict_states(self, traces: np.ndarray) -> np.ndarray:
+        """Hard 0/1 assignments (logit threshold at zero)."""
+        return (self.predict_logits(traces) >= 0.0).astype(np.int64)
+
+    def fidelity(self, traces: np.ndarray, labels: np.ndarray) -> float:
+        """Assignment fidelity of the student on a labelled set."""
+        return assignment_fidelity(self.predict_logits(traces), labels, threshold=0.0)

@@ -1,0 +1,141 @@
+"""The teacher network.
+
+The teacher is a large feed-forward network trained per qubit on the raw,
+flattened I/Q trace (Sec. III-A): three hidden ReLU layers of 1000, 500 and
+250 neurons (paper scale) followed by a single logit output for binary state
+discrimination.  Once trained it is frozen and queried for "soft labels"
+(logits) during student distillation; it is never deployed on the FPGA.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import TeacherArchitecture, TrainingConfig
+from repro.nn.layers import Dense, Dropout, ReLU
+from repro.nn.metrics import assignment_fidelity
+from repro.nn.network import Sequential
+from repro.nn.trainer import EarlyStopping, Trainer, TrainingHistory, train_validation_split
+
+__all__ = ["TeacherModel", "build_teacher_network", "flatten_traces"]
+
+
+def flatten_traces(traces: np.ndarray) -> np.ndarray:
+    """Flatten I/Q traces ``(n_shots, n_samples, 2)`` into teacher inputs.
+
+    The samples are interleaved as ``[I_0, Q_0, I_1, Q_1, ...]`` which gives
+    the paper's "1000 inputs" for 500-sample traces.
+    """
+    traces = np.asarray(traces, dtype=np.float64)
+    if traces.ndim == 2:
+        traces = traces[None, ...]
+    if traces.ndim != 3 or traces.shape[-1] != 2:
+        raise ValueError(f"traces must have shape (n_shots, n_samples, 2), got {traces.shape}")
+    return traces.reshape(traces.shape[0], -1)
+
+
+def build_teacher_network(
+    architecture: TeacherArchitecture, input_dim: int, seed: int = 0
+) -> Sequential:
+    """Construct the (unbuilt-weights aside) teacher Sequential network."""
+    layers = []
+    for width in architecture.hidden_layers:
+        layers.append(Dense(width))
+        layers.append(ReLU())
+        if architecture.dropout > 0:
+            layers.append(Dropout(architecture.dropout, seed=seed))
+    layers.append(Dense(1))
+    return Sequential(layers, input_dim=input_dim, seed=seed)
+
+
+class TeacherModel:
+    """A per-qubit teacher: raw-trace input, large FNN, single logit output.
+
+    Parameters
+    ----------
+    architecture:
+        Teacher architecture (hidden-layer widths, optional dropout).
+    n_samples:
+        Number of ADC samples per quadrature the teacher expects.
+    seed:
+        Weight-initialization seed.
+    """
+
+    def __init__(
+        self, architecture: TeacherArchitecture, n_samples: int, seed: int = 0
+    ) -> None:
+        if n_samples <= 0:
+            raise ValueError(f"n_samples must be positive, got {n_samples}")
+        self.architecture = architecture
+        self.n_samples = int(n_samples)
+        self.seed = int(seed)
+        self.network = build_teacher_network(
+            architecture, architecture.input_dimension(n_samples), seed=seed
+        )
+        self.history: TrainingHistory | None = None
+
+    @property
+    def input_dim(self) -> int:
+        """Flattened-trace input dimensionality (``2 * n_samples``)."""
+        return self.architecture.input_dimension(self.n_samples)
+
+    @property
+    def parameter_count(self) -> int:
+        """Number of trainable parameters in the teacher network."""
+        return self.network.parameter_count()
+
+    @property
+    def is_trained(self) -> bool:
+        """Whether :meth:`fit` has completed at least once."""
+        return self.history is not None
+
+    def _check_traces(self, traces: np.ndarray) -> np.ndarray:
+        features = flatten_traces(traces)
+        if features.shape[1] != self.input_dim:
+            raise ValueError(
+                f"Teacher expects {self.n_samples}-sample traces "
+                f"({self.input_dim} inputs) but received {features.shape[1]} features"
+            )
+        return features
+
+    def fit(
+        self,
+        traces: np.ndarray,
+        labels: np.ndarray,
+        training: TrainingConfig | None = None,
+    ) -> TrainingHistory:
+        """Train the teacher on labelled single-qubit traces."""
+        training = training or TrainingConfig()
+        features = self._check_traces(traces)
+        labels = np.asarray(labels, dtype=np.float64).reshape(-1, 1)
+        x_train, y_train, x_val, y_val = train_validation_split(
+            features, labels, validation_fraction=training.validation_fraction, seed=training.seed
+        )
+        trainer = Trainer(
+            self.network,
+            loss="bce",
+            optimizer="adam",
+            batch_size=training.batch_size,
+            max_epochs=training.max_epochs,
+            early_stopping=EarlyStopping(
+                patience=training.early_stopping_patience, monitor="val_loss"
+            ),
+            seed=training.seed,
+        )
+        trainer.optimizer.learning_rate = training.learning_rate
+        trainer.optimizer.weight_decay = training.weight_decay
+        self.history = trainer.fit(x_train, y_train, x_val, y_val)
+        return self.history
+
+    def predict_logits(self, traces: np.ndarray) -> np.ndarray:
+        """Teacher logits for a batch of traces, shape ``(n_shots,)``."""
+        features = self._check_traces(traces)
+        return self.network.predict(features, batch_size=4096).reshape(-1)
+
+    def predict_states(self, traces: np.ndarray) -> np.ndarray:
+        """Hard 0/1 assignments (logit threshold at zero)."""
+        return (self.predict_logits(traces) >= 0.0).astype(np.int64)
+
+    def fidelity(self, traces: np.ndarray, labels: np.ndarray) -> float:
+        """Assignment fidelity of the teacher on a labelled set."""
+        return assignment_fidelity(self.predict_logits(traces), labels, threshold=0.0)

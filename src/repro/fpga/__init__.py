@@ -1,0 +1,59 @@
+"""FPGA deployment model: fixed-point emulation, latency and resources.
+
+The paper deploys the student networks on a Xilinx Zynq UltraScale+ RFSoC
+(ZCU216) at 100 MHz using a 32-bit Q16.16 fixed-point datapath (Sec. IV).
+Since this reproduction is software-only, the hardware is modelled at three
+levels, from most to least exact:
+
+* :mod:`repro.fpga.fixed_point` and :mod:`repro.fpga.emulator` -- a
+  **bit-accurate** integer emulation of the programmable-logic datapath
+  (average layer, shift-based normalization, matched-filter MAC, fully
+  connected layers with ReLU and overflow handling).  This validates the
+  paper's central hardware claim: Q16.16 inference matches the floating-point
+  students' decisions.
+* :mod:`repro.fpga.latency` -- a **cycle-count model** built from the
+  formulas the paper states (4-stage pipelined multipliers, adder trees of
+  depth ``ceil(log2(n)) + 1``, 2-cycle shift normalization), used to show the
+  latency is constant across trace durations and balanced between the FNN-A
+  and FNN-B configurations.
+* :mod:`repro.fpga.resources` -- an **estimation model** for LUT/FF/DSP
+  usage per module, calibrated against the utilization figures of Table III,
+  used to reproduce the relative cost of the MF front end versus the per-qubit
+  networks.
+"""
+
+from repro.fpga.fixed_point import FixedPointFormat, Q16_16, FixedPointOverflowError
+from repro.fpga.quantize import QuantizedStudentParameters, quantize_student
+from repro.fpga.modules import (
+    AverageModule,
+    NormalizeModule,
+    MatchedFilterModule,
+    DenseLayerModule,
+    ThresholdModule,
+)
+from repro.fpga.emulator import FpgaStudentEmulator, AgreementReport
+from repro.fpga.latency import LatencyModel, ModuleLatency, adder_tree_depth
+from repro.fpga.resources import ResourceModel, ModuleResources, ZCU216
+from repro.fpga.report import fpga_deployment_report
+
+__all__ = [
+    "FixedPointFormat",
+    "Q16_16",
+    "FixedPointOverflowError",
+    "QuantizedStudentParameters",
+    "quantize_student",
+    "AverageModule",
+    "NormalizeModule",
+    "MatchedFilterModule",
+    "DenseLayerModule",
+    "ThresholdModule",
+    "FpgaStudentEmulator",
+    "AgreementReport",
+    "LatencyModel",
+    "ModuleLatency",
+    "adder_tree_depth",
+    "ResourceModel",
+    "ModuleResources",
+    "ZCU216",
+    "fpga_deployment_report",
+]

@@ -1,0 +1,171 @@
+"""Bit-accurate FPGA inference emulator for the student networks.
+
+:class:`FpgaStudentEmulator` chains the datapath modules of
+:mod:`repro.fpga.modules` exactly as Fig. 3 of the paper does:
+
+    raw trace -> [Average -> Normalize] + [Matched Filter] -> concat
+              -> Dense(16)+ReLU -> Dense(8)+ReLU -> Dense(1) -> Threshold
+
+Everything after the ADC is integer arithmetic in the configured fixed-point
+format, so the emulator answers the question the hardware section of the
+paper answers empirically: does Q16.16 inference reproduce the floating-point
+student's decisions (and hence its fidelity)?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.student import StudentModel
+from repro.fpga.fixed_point import FixedPointFormat, Q16_16
+from repro.fpga.modules import (
+    AverageModule,
+    DenseLayerModule,
+    MatchedFilterModule,
+    NormalizeModule,
+    ThresholdModule,
+)
+from repro.fpga.quantize import QuantizedStudentParameters, quantize_student
+from repro.nn.metrics import assignment_fidelity
+
+__all__ = ["FpgaStudentEmulator", "AgreementReport"]
+
+
+@dataclass
+class AgreementReport:
+    """Comparison between the float student and its fixed-point emulation."""
+
+    n_shots: int
+    agreement: float
+    float_fidelity: float
+    fixed_fidelity: float
+    max_logit_error: float
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for JSON reports."""
+        return {
+            "n_shots": self.n_shots,
+            "agreement": self.agreement,
+            "float_fidelity": self.float_fidelity,
+            "fixed_fidelity": self.fixed_fidelity,
+            "max_logit_error": self.max_logit_error,
+        }
+
+
+class FpgaStudentEmulator:
+    """Runs a quantized student network exactly as the PL datapath would.
+
+    Parameters
+    ----------
+    parameters:
+        Quantized constants produced by :func:`repro.fpga.quantize.quantize_student`.
+    """
+
+    def __init__(self, parameters: QuantizedStudentParameters) -> None:
+        self.parameters = parameters
+        fmt = parameters.fmt
+        self.fmt = fmt
+        self.average = AverageModule(
+            fmt, parameters.samples_per_interval, parameters.average_reciprocal_raw
+        )
+        self.normalize = NormalizeModule(fmt, parameters.norm_minimum, parameters.norm_shift_bits)
+        if parameters.include_matched_filter:
+            self.matched_filter = MatchedFilterModule(
+                fmt,
+                parameters.mf_envelope,
+                parameters.mf_threshold_raw,
+                parameters.mf_scale_reciprocal_raw,
+            )
+        else:
+            self.matched_filter = None
+        self.layers = []
+        n_layers = parameters.n_layers
+        for index, (weights, biases) in enumerate(
+            zip(parameters.layer_weights, parameters.layer_biases)
+        ):
+            relu = index < n_layers - 1
+            self.layers.append(DenseLayerModule(fmt, weights, biases, relu=relu))
+        self.threshold = ThresholdModule()
+
+    @classmethod
+    def from_student(
+        cls, student: StudentModel, fmt: FixedPointFormat = Q16_16
+    ) -> "FpgaStudentEmulator":
+        """Quantize a trained student and build its emulator in one step."""
+        return cls(quantize_student(student, fmt))
+
+    # ---------------------------------------------------------------- datapath
+    def features_raw(self, traces: np.ndarray) -> np.ndarray:
+        """Raw fixed-point student input vectors (averaged+normalized I/Q, MF)."""
+        traces = np.asarray(traces, dtype=np.float64)
+        single = traces.ndim == 2
+        if single:
+            traces = traces[None, ...]
+        trace_raw = self.fmt.to_raw(traces)
+        averaged = self.average.forward(trace_raw)
+        normalized = self.normalize.forward(averaged)
+        blocks = [normalized]
+        if self.matched_filter is not None:
+            mf = self.matched_filter.forward(trace_raw)
+            blocks.append(np.asarray(mf, dtype=np.int64).reshape(-1, 1))
+        features = np.concatenate(blocks, axis=1)
+        return features[0] if single else features
+
+    def predict_logits_raw(self, traces: np.ndarray) -> np.ndarray:
+        """Raw fixed-point output logits for a batch of traces."""
+        features = self.features_raw(traces)
+        if features.ndim == 1:
+            features = features[None, :]
+        activations = features
+        for layer in self.layers:
+            activations = layer.forward(activations)
+        return activations.reshape(-1)
+
+    def predict_logits(self, traces: np.ndarray) -> np.ndarray:
+        """Output logits converted back to real values (for comparison plots)."""
+        return self.fmt.from_raw(self.predict_logits_raw(traces))
+
+    def predict_states(self, traces: np.ndarray) -> np.ndarray:
+        """Hard 0/1 assignments from the fixed-point datapath."""
+        return self.threshold.forward(self.predict_logits_raw(traces))
+
+    def fidelity(self, traces: np.ndarray, labels: np.ndarray) -> float:
+        """Assignment fidelity of the emulated hardware on a labelled set."""
+        return assignment_fidelity(self.predict_states(traces), labels, threshold=0.5)
+
+    # -------------------------------------------------------------- comparison
+    def agreement_with_float(
+        self, student: StudentModel, traces: np.ndarray, labels: np.ndarray | None = None
+    ) -> AgreementReport:
+        """Compare the emulator's decisions with the float student's.
+
+        Parameters
+        ----------
+        student:
+            The float model the emulator was quantized from.
+        traces:
+            Evaluation traces ``(n_shots, n_samples, 2)``.
+        labels:
+            Optional ground-truth states; if given, both fidelities are
+            reported (otherwise they are NaN and only the agreement matters).
+        """
+        float_logits = student.predict_logits(traces)
+        fixed_logits = self.predict_logits(traces)
+        float_states = (float_logits >= 0.0).astype(np.int64)
+        fixed_states = (fixed_logits >= 0.0).astype(np.int64)
+        agreement = float(np.mean(float_states == fixed_states))
+        if labels is not None:
+            float_fidelity = assignment_fidelity(float_logits, labels, threshold=0.0)
+            fixed_fidelity = assignment_fidelity(fixed_logits, labels, threshold=0.0)
+        else:
+            float_fidelity = float("nan")
+            fixed_fidelity = float("nan")
+        return AgreementReport(
+            n_shots=int(traces.shape[0]),
+            agreement=agreement,
+            float_fidelity=float(float_fidelity),
+            fixed_fidelity=float(fixed_fidelity),
+            max_logit_error=float(np.max(np.abs(float_logits - fixed_logits))),
+        )

@@ -1,0 +1,213 @@
+"""Signed fixed-point arithmetic with saturation.
+
+The KLiNQ datapath uses a 32-bit fixed-point representation with 16 integer
+and 16 fractional bits (Sec. IV).  :class:`FixedPointFormat` models an
+arbitrary ``Qm.n`` format on top of NumPy integer arrays:
+
+* ``to_raw`` / ``from_raw`` convert between floats and the underlying signed
+  integer representation (raw value = real value * 2**fractional_bits),
+* ``quantize`` rounds a float array onto the representable grid (the view the
+  float-side code cares about),
+* ``add`` / ``multiply`` operate on raw integers exactly as the hardware
+  would: full-precision products followed by a right shift of
+  ``fractional_bits`` and saturation to the word length.
+
+Saturation (rather than silent wrap-around) mirrors the overflow handling the
+paper performs in the activation layer.  Operations optionally raise
+:class:`FixedPointOverflowError` instead, which the tests use to prove that
+the chosen Q16.16 format never overflows on realistic readout data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FixedPointFormat", "Q16_16", "FixedPointOverflowError"]
+
+
+class FixedPointOverflowError(ArithmeticError):
+    """Raised when a fixed-point operation exceeds the representable range."""
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """A signed ``Q(integer_bits).(fractional_bits)`` fixed-point format.
+
+    The total word length is ``integer_bits + fractional_bits`` (the sign bit
+    is counted inside ``integer_bits``, matching the paper's "16 bits for the
+    integer and 16 bits for the fractional part" description of a 32-bit
+    word).
+    """
+
+    integer_bits: int = 16
+    fractional_bits: int = 16
+
+    def __post_init__(self) -> None:
+        if self.integer_bits < 1:
+            raise ValueError(f"integer_bits must be >= 1 (sign bit), got {self.integer_bits}")
+        if self.fractional_bits < 0:
+            raise ValueError(f"fractional_bits must be >= 0, got {self.fractional_bits}")
+        if self.word_length > 62:
+            raise ValueError(
+                f"word length {self.word_length} too wide to emulate safely with int64"
+            )
+
+    # ---------------------------------------------------------------- metadata
+    @property
+    def word_length(self) -> int:
+        """Total number of bits in the representation."""
+        return self.integer_bits + self.fractional_bits
+
+    @property
+    def scale(self) -> int:
+        """Raw units per 1.0 (``2 ** fractional_bits``)."""
+        return 1 << self.fractional_bits
+
+    @property
+    def max_raw(self) -> int:
+        """Largest representable raw integer."""
+        return (1 << (self.word_length - 1)) - 1
+
+    @property
+    def min_raw(self) -> int:
+        """Smallest (most negative) representable raw integer."""
+        return -(1 << (self.word_length - 1))
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable real value."""
+        return self.max_raw / self.scale
+
+    @property
+    def min_value(self) -> float:
+        """Smallest representable real value."""
+        return self.min_raw / self.scale
+
+    @property
+    def resolution(self) -> float:
+        """Smallest representable step (one least-significant bit)."""
+        return 1.0 / self.scale
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Q{self.integer_bits}.{self.fractional_bits}"
+
+    # -------------------------------------------------------------- conversion
+    def _saturate(self, raw: np.ndarray, strict: bool) -> np.ndarray:
+        if strict and (np.any(raw > self.max_raw) or np.any(raw < self.min_raw)):
+            raise FixedPointOverflowError(
+                f"Value outside the representable range of {self} "
+                f"[{self.min_value}, {self.max_value}]"
+            )
+        return np.clip(raw, self.min_raw, self.max_raw)
+
+    def to_raw(self, values: np.ndarray | float, strict: bool = False) -> np.ndarray:
+        """Convert real values to raw integers (round-to-nearest, saturating)."""
+        values = np.asarray(values, dtype=np.float64)
+        raw = np.rint(values * self.scale).astype(np.int64)
+        return self._saturate(raw, strict)
+
+    def from_raw(self, raw: np.ndarray | int) -> np.ndarray:
+        """Convert raw integers back to real values."""
+        raw = np.asarray(raw, dtype=np.int64)
+        return raw.astype(np.float64) / self.scale
+
+    def quantize(self, values: np.ndarray | float, strict: bool = False) -> np.ndarray:
+        """Round real values onto the representable grid (float in, float out)."""
+        return self.from_raw(self.to_raw(values, strict=strict))
+
+    def representable(self, values: np.ndarray | float, tolerance: float = 0.0) -> bool:
+        """Whether every value fits the range (within ``tolerance`` of the bounds)."""
+        values = np.asarray(values, dtype=np.float64)
+        return bool(
+            np.all(values <= self.max_value + tolerance)
+            and np.all(values >= self.min_value - tolerance)
+        )
+
+    # -------------------------------------------------------------- arithmetic
+    def add(self, a: np.ndarray, b: np.ndarray, strict: bool = False) -> np.ndarray:
+        """Raw fixed-point addition with saturation."""
+        result = np.asarray(a, dtype=np.int64) + np.asarray(b, dtype=np.int64)
+        return self._saturate(result, strict)
+
+    def multiply(self, a: np.ndarray, b: np.ndarray, strict: bool = False) -> np.ndarray:
+        """Raw fixed-point multiplication (full product, then shift, then saturate).
+
+        The product of two ``word_length``-bit raw values needs up to
+        ``2 * word_length`` bits; to stay exact within int64 for Q16.16 we
+        compute the product in Python integers via ``object`` arrays only when
+        the word length requires it, and in int64 otherwise.
+        """
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        if 2 * self.word_length <= 62:
+            product = a * b
+            result = product >> self.fractional_bits
+        else:
+            # Exact big-integer path for wide formats (Q16.16 products span
+            # up to 64 bits, which int64 cannot hold for extreme operands).
+            product = a.astype(object) * b.astype(object)
+            shifted = product // (1 << self.fractional_bits)
+            result = np.asarray(shifted, dtype=np.float64)
+            result = np.clip(result, self.min_raw, self.max_raw).astype(np.int64)
+            return self._saturate(result, strict)
+        return self._saturate(result, strict)
+
+    def multiply_accumulate(
+        self, inputs: np.ndarray, weights: np.ndarray, bias: int = 0, strict: bool = False
+    ) -> np.ndarray:
+        """Dot product of raw vectors plus a raw bias, as one MAC unit would compute.
+
+        ``inputs`` may be ``(n,)`` or ``(batch, n)``; ``weights`` is ``(n,)``.
+        Products are accumulated at full precision before the final shift,
+        which matches a DSP-based MAC with a wide accumulator, then saturated.
+        """
+        inputs = np.asarray(inputs, dtype=np.int64)
+        weights = np.asarray(weights, dtype=np.int64)
+        single = inputs.ndim == 1
+        if single:
+            inputs = inputs[None, :]
+        if inputs.shape[1] != weights.shape[0]:
+            raise ValueError(
+                f"inputs ({inputs.shape[1]}) and weights ({weights.shape[0]}) disagree in length"
+            )
+        # Full-precision accumulation.  The fast path keeps everything in
+        # int64, which is exact as long as the worst-case accumulated product
+        # cannot reach 2**62; otherwise fall back to exact Python integers.
+        n = weights.shape[0]
+        max_abs_input = int(np.max(np.abs(inputs))) if inputs.size else 0
+        max_abs_weight = int(np.max(np.abs(weights))) if weights.size else 0
+        worst_case = max_abs_input * max_abs_weight * max(n, 1)
+        if worst_case < (1 << 62):
+            accumulator = (inputs * weights[None, :]).sum(axis=1)
+            # Floor division matches the arithmetic right shift of the shift
+            # stage for negative accumulators.
+            accumulator = np.floor_divide(accumulator, 1 << self.fractional_bits) + int(bias)
+            overflowed = (accumulator > self.max_raw) | (accumulator < self.min_raw)
+            if strict and np.any(overflowed):
+                raise FixedPointOverflowError(
+                    f"MAC result outside the representable range of {self}"
+                )
+            result = np.clip(accumulator, self.min_raw, self.max_raw)
+        else:  # pragma: no cover - exercised only with extreme formats
+            accumulator = (inputs.astype(object) * weights.astype(object)).sum(axis=1)
+            accumulator = [int(v) // (1 << self.fractional_bits) + int(bias) for v in accumulator]
+            if strict and any(v > self.max_raw or v < self.min_raw for v in accumulator):
+                raise FixedPointOverflowError(
+                    f"MAC result outside the representable range of {self}"
+                )
+            result = np.array(
+                [min(max(v, self.min_raw), self.max_raw) for v in accumulator], dtype=np.int64
+            )
+        return result[0] if single else result
+
+    def shift_right(self, raw: np.ndarray, bits: int) -> np.ndarray:
+        """Arithmetic right shift (the hardware's power-of-two division)."""
+        if bits < 0:
+            raise ValueError(f"shift bits must be non-negative, got {bits}")
+        return np.asarray(raw, dtype=np.int64) >> bits
+
+
+Q16_16 = FixedPointFormat(integer_bits=16, fractional_bits=16)
+"""The paper's 32-bit datapath format: 16 integer bits, 16 fractional bits."""

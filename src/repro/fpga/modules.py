@@ -1,0 +1,230 @@
+"""Bit-accurate emulation of the programmable-logic datapath modules.
+
+Each class mirrors one block of Fig. 3 of the paper and operates purely on
+*raw* fixed-point integers (int64 NumPy arrays), so the emulated arithmetic is
+exactly what a Verilog implementation with the same word length would compute:
+
+* :class:`AverageModule` -- the average layer: accumulate each group of
+  samples in an adder tree, then scale by the reciprocal of the group size
+  (a single multiply; a shift when the group size is a power of two).
+* :class:`NormalizeModule` -- subtract the per-feature minimum and divide by
+  the power-of-two standard deviation with an arithmetic shift.
+* :class:`MatchedFilterModule` -- the MF feature: a MAC of the raw trace with
+  the trained envelope, followed by offset subtraction and reciprocal scaling
+  (the paper notes this block "reuses the same design as a fully connected
+  layer").
+* :class:`DenseLayerModule` -- one fully connected layer: per-neuron MAC with
+  bias, optional ReLU implemented as a sign-bit check with overflow handling.
+* :class:`ThresholdModule` -- the final decision: sign check of the output
+  logit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fpga.fixed_point import FixedPointFormat
+
+__all__ = [
+    "AverageModule",
+    "NormalizeModule",
+    "MatchedFilterModule",
+    "DenseLayerModule",
+    "ThresholdModule",
+]
+
+
+def _as_raw_batch(raw: np.ndarray, expected_last: int | None = None) -> np.ndarray:
+    raw = np.asarray(raw, dtype=np.int64)
+    if raw.ndim == 1:
+        raw = raw[None, :]
+    if expected_last is not None and raw.shape[-1] != expected_last:
+        raise ValueError(f"Expected {expected_last} values per shot, got {raw.shape[-1]}")
+    return raw
+
+
+class AverageModule:
+    """Average groups of ``samples_per_interval`` raw I/Q samples.
+
+    Parameters
+    ----------
+    fmt:
+        Fixed-point format of the datapath.
+    samples_per_interval:
+        Group size (32 or 5 in the paper at the 2 ns sample period).
+    reciprocal_raw:
+        Raw fixed-point value of ``1 / samples_per_interval`` used for the
+        scaling multiply.
+    """
+
+    def __init__(self, fmt: FixedPointFormat, samples_per_interval: int, reciprocal_raw: int) -> None:
+        if samples_per_interval <= 0:
+            raise ValueError(f"samples_per_interval must be positive, got {samples_per_interval}")
+        self.fmt = fmt
+        self.samples_per_interval = int(samples_per_interval)
+        self.reciprocal_raw = int(reciprocal_raw)
+
+    def forward(self, trace_raw: np.ndarray) -> np.ndarray:
+        """Average a batch of raw traces ``(n_shots, n_samples, 2)``.
+
+        Returns raw averaged features flattened per shot as
+        ``[I_0, Q_0, I_1, Q_1, ...]`` of length ``2 * n_intervals`` --
+        the same ordering the float pipeline produces.
+        """
+        trace_raw = np.asarray(trace_raw, dtype=np.int64)
+        single = trace_raw.ndim == 2
+        if single:
+            trace_raw = trace_raw[None, ...]
+        if trace_raw.ndim != 3 or trace_raw.shape[-1] != 2:
+            raise ValueError(f"trace_raw must have shape (shots, samples, 2), got {trace_raw.shape}")
+        n_samples = trace_raw.shape[1]
+        n_intervals = n_samples // self.samples_per_interval
+        if n_intervals == 0:
+            raise ValueError(
+                f"{n_samples}-sample trace cannot fill a {self.samples_per_interval}-sample window"
+            )
+        usable = n_intervals * self.samples_per_interval
+        groups = trace_raw[:, :usable, :].reshape(
+            trace_raw.shape[0], n_intervals, self.samples_per_interval, 2
+        )
+        sums = groups.sum(axis=2)  # adder tree per group
+        if self.samples_per_interval == 1:
+            averaged = sums
+        else:
+            averaged = self.fmt.multiply(sums, np.int64(self.reciprocal_raw))
+        flat = averaged.reshape(averaged.shape[0], -1)
+        return flat[0] if single else flat
+
+
+class NormalizeModule:
+    """Shift-based normalization ``(x - x_min) >> shift_bits``.
+
+    Negative shift amounts (standard deviations below 1.0) are applied as
+    left shifts, with saturation to the word length.
+    """
+
+    def __init__(self, fmt: FixedPointFormat, minimum_raw: np.ndarray, shift_bits: np.ndarray) -> None:
+        minimum_raw = np.asarray(minimum_raw, dtype=np.int64)
+        shift_bits = np.asarray(shift_bits, dtype=np.int64)
+        if minimum_raw.shape != shift_bits.shape:
+            raise ValueError(
+                f"minimum_raw {minimum_raw.shape} and shift_bits {shift_bits.shape} disagree"
+            )
+        self.fmt = fmt
+        self.minimum_raw = minimum_raw
+        self.shift_bits = shift_bits
+
+    def forward(self, features_raw: np.ndarray) -> np.ndarray:
+        """Normalize a batch of raw feature vectors ``(n_shots, n_features)``."""
+        features_raw = _as_raw_batch(features_raw, self.minimum_raw.shape[0])
+        centered = features_raw - self.minimum_raw[None, :]
+        result = np.empty_like(centered)
+        right = self.shift_bits >= 0
+        if np.any(right):
+            result[:, right] = centered[:, right] >> self.shift_bits[right]
+        if np.any(~right):
+            shifted = centered[:, ~right].astype(np.int64) << (-self.shift_bits[~right])
+            result[:, ~right] = np.clip(shifted, self.fmt.min_raw, self.fmt.max_raw)
+        return result
+
+
+class MatchedFilterModule:
+    """The matched-filter feature block (a wide MAC plus offset/scale).
+
+    Computes ``((trace . envelope) - threshold) * scale_reciprocal`` on raw
+    values; the result is the single scalar appended to the averaged I/Q
+    features.
+    """
+
+    def __init__(
+        self,
+        fmt: FixedPointFormat,
+        envelope_raw: np.ndarray,
+        threshold_raw: int,
+        scale_reciprocal_raw: int,
+    ) -> None:
+        envelope_raw = np.asarray(envelope_raw, dtype=np.int64)
+        if envelope_raw.ndim != 2 or envelope_raw.shape[1] != 2:
+            raise ValueError(f"envelope_raw must have shape (n_samples, 2), got {envelope_raw.shape}")
+        self.fmt = fmt
+        self.envelope_raw = envelope_raw
+        self.threshold_raw = int(threshold_raw)
+        self.scale_reciprocal_raw = int(scale_reciprocal_raw)
+
+    def forward(self, trace_raw: np.ndarray) -> np.ndarray:
+        """MF scalar (raw) for a batch of raw traces ``(n_shots, n_samples, 2)``."""
+        trace_raw = np.asarray(trace_raw, dtype=np.int64)
+        single = trace_raw.ndim == 2
+        if single:
+            trace_raw = trace_raw[None, ...]
+        n_envelope = self.envelope_raw.shape[0]
+        if trace_raw.shape[1] < n_envelope:
+            raise ValueError(
+                f"Trace has {trace_raw.shape[1]} samples but the envelope needs {n_envelope}"
+            )
+        window = trace_raw[:, :n_envelope, :].reshape(trace_raw.shape[0], -1)
+        flat_envelope = self.envelope_raw.reshape(-1)
+        scores = self.fmt.multiply_accumulate(window, flat_envelope)
+        centered = scores - self.threshold_raw
+        scaled = self.fmt.multiply(centered, np.int64(self.scale_reciprocal_raw))
+        return scaled[0] if single else scaled
+
+
+class DenseLayerModule:
+    """One fully connected layer with optional ReLU.
+
+    Every neuron performs a MAC over the layer input plus its bias; the ReLU
+    is a sign-bit check (negative accumulators become zero) and overflow is
+    handled by saturation, as described in Sec. IV.
+    """
+
+    def __init__(
+        self,
+        fmt: FixedPointFormat,
+        weights_raw: np.ndarray,
+        biases_raw: np.ndarray,
+        relu: bool = True,
+    ) -> None:
+        weights_raw = np.asarray(weights_raw, dtype=np.int64)
+        biases_raw = np.asarray(biases_raw, dtype=np.int64)
+        if weights_raw.ndim != 2:
+            raise ValueError(f"weights_raw must be 2-D (inputs, neurons), got {weights_raw.shape}")
+        if biases_raw.shape != (weights_raw.shape[1],):
+            raise ValueError(
+                f"biases_raw shape {biases_raw.shape} does not match {weights_raw.shape[1]} neurons"
+            )
+        self.fmt = fmt
+        self.weights_raw = weights_raw
+        self.biases_raw = biases_raw
+        self.relu = bool(relu)
+
+    @property
+    def n_inputs(self) -> int:
+        """Fan-in of each neuron."""
+        return int(self.weights_raw.shape[0])
+
+    @property
+    def n_neurons(self) -> int:
+        """Number of parallel neurons in the layer."""
+        return int(self.weights_raw.shape[1])
+
+    def forward(self, inputs_raw: np.ndarray) -> np.ndarray:
+        """Layer output (raw) for a batch of raw inputs ``(n_shots, n_inputs)``."""
+        inputs_raw = _as_raw_batch(inputs_raw, self.n_inputs)
+        outputs = np.empty((inputs_raw.shape[0], self.n_neurons), dtype=np.int64)
+        for neuron in range(self.n_neurons):
+            outputs[:, neuron] = self.fmt.multiply_accumulate(
+                inputs_raw, self.weights_raw[:, neuron], bias=int(self.biases_raw[neuron])
+            )
+        if self.relu:
+            outputs = np.where(outputs < 0, 0, outputs)
+        return outputs
+
+
+class ThresholdModule:
+    """Final decision: state 1 if the output logit is non-negative."""
+
+    def forward(self, logits_raw: np.ndarray) -> np.ndarray:
+        """Hard 0/1 assignment from raw logits."""
+        logits_raw = np.asarray(logits_raw, dtype=np.int64)
+        return (logits_raw >= 0).astype(np.int64)

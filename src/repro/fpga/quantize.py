@@ -1,0 +1,177 @@
+"""Quantization of a trained student model into FPGA block-RAM images.
+
+The FPGA datapath needs every constant of the student pipeline in raw
+fixed-point form:
+
+* the matched-filter envelope (consumed by the MF MAC module),
+* the normalization constants -- the per-feature minimum and the number of
+  bits to shift by (the power-of-two standard deviation),
+* the matched-filter feature's offset and scale (folded into one subtract +
+  shift, like the averaged features),
+* the dense layers' weight matrices and bias vectors.
+
+:func:`quantize_student` extracts all of these from a trained
+:class:`repro.core.student.StudentModel` and returns a
+:class:`QuantizedStudentParameters` bundle the emulator (and, in a real
+deployment, the weight-loading firmware) consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.student import StudentModel
+from repro.fpga.fixed_point import FixedPointFormat, Q16_16
+from repro.nn.layers import Dense
+
+__all__ = ["QuantizedStudentParameters", "quantize_student"]
+
+
+@dataclass
+class QuantizedStudentParameters:
+    """Raw fixed-point constants of one student discriminator.
+
+    All arrays hold *raw* integers in the given format.  ``norm_shift_bits``
+    is the per-feature arithmetic-right-shift amount that replaces the
+    division by the (power-of-two-rounded) standard deviation.
+    """
+
+    fmt: FixedPointFormat
+    samples_per_interval: int
+    n_samples: int
+    include_matched_filter: bool
+    mf_envelope: np.ndarray | None
+    mf_threshold_raw: int
+    mf_scale_reciprocal_raw: int
+    average_reciprocal_raw: int
+    norm_minimum: np.ndarray
+    norm_shift_bits: np.ndarray
+    layer_weights: list[np.ndarray] = field(default_factory=list)
+    layer_biases: list[np.ndarray] = field(default_factory=list)
+
+    @property
+    def n_layers(self) -> int:
+        """Number of dense layers in the quantized network."""
+        return len(self.layer_weights)
+
+    @property
+    def input_dimension(self) -> int:
+        """Input width of the first dense layer."""
+        if not self.layer_weights:
+            raise ValueError("No layers have been quantized")
+        return int(self.layer_weights[0].shape[0])
+
+    def memory_footprint_bits(self) -> int:
+        """Total storage needed for all constants, in bits.
+
+        This is the quantity that determines block-RAM usage on the FPGA and
+        is proportional to the parameter counts compared in Fig. 5.
+        """
+        word = self.fmt.word_length
+        total = 0
+        if self.mf_envelope is not None:
+            total += self.mf_envelope.size * word
+        total += self.norm_minimum.size * word
+        total += self.norm_shift_bits.size * 8  # shift amounts are tiny integers
+        for weights, biases in zip(self.layer_weights, self.layer_biases):
+            total += weights.size * word + biases.size * word
+        return int(total)
+
+
+def _shift_bits_from_scales(scales: np.ndarray) -> np.ndarray:
+    """Right-shift amounts replacing division by (power-of-two) scales.
+
+    :class:`repro.readout.preprocessing.ShiftNormalizer` already rounds the
+    standard deviation up to a power of two; this merely recovers the
+    exponent.  Negative exponents (scales below 1.0) would correspond to a
+    left shift; they are kept as negative values and the normalize module
+    applies them as a left shift, so the emulation exactly matches the float
+    pipeline.
+    """
+    scales = np.asarray(scales, dtype=np.float64)
+    if np.any(scales <= 0):
+        raise ValueError("Normalization scales must be positive")
+    bits = np.log2(scales)
+    rounded = np.rint(bits)
+    if not np.allclose(bits, rounded, atol=1e-9):
+        raise ValueError(
+            "Normalization scales are not powers of two; fit the ShiftNormalizer with "
+            "power_of_two=True for FPGA deployment"
+        )
+    return rounded.astype(np.int64)
+
+
+def quantize_student(
+    student: StudentModel, fmt: FixedPointFormat = Q16_16
+) -> QuantizedStudentParameters:
+    """Quantize every constant of a trained student into raw fixed-point form.
+
+    Raises
+    ------
+    RuntimeError
+        If the student's feature extractor has not been fitted (there would be
+        no normalization constants or matched filter to quantize).
+    ValueError
+        If any constant falls outside the representable range of ``fmt`` --
+        with the paper's Q16.16 format this indicates a training problem, not
+        a quantization limitation.
+    """
+    if not student.is_fitted:
+        raise RuntimeError("Student must be trained/fitted before quantization")
+    extractor = student.feature_extractor
+
+    if extractor.normalize and extractor.normalizer is not None:
+        norm_state = extractor.normalizer.state_dict()
+        minimum = norm_state["minimum"]
+        shift_bits = _shift_bits_from_scales(norm_state["scale"])
+    else:
+        # No normalization: identity (zero offset, zero shift) for every averaged feature.
+        width = student.input_dim - (1 if extractor.include_matched_filter else 0)
+        minimum = np.zeros(width, dtype=np.float64)
+        shift_bits = np.zeros(width, dtype=np.int64)
+
+    if extractor.include_matched_filter:
+        if extractor.matched_filter is None:
+            raise RuntimeError("Feature extractor reports an MF feature but holds no filter")
+        envelope = fmt.to_raw(extractor.matched_filter.envelope)
+        mf_threshold_raw = int(fmt.to_raw(extractor.mf_offset))
+        mf_scale_reciprocal_raw = int(fmt.to_raw(1.0 / extractor.mf_scale))
+    else:
+        envelope = None
+        mf_threshold_raw = 0
+        mf_scale_reciprocal_raw = 0
+
+    for name, values in (("normalization minimum", minimum),):
+        if not fmt.representable(values):
+            raise ValueError(f"{name} is not representable in {fmt}")
+
+    weights: list[np.ndarray] = []
+    biases: list[np.ndarray] = []
+    for layer in student.network.layers:
+        if not isinstance(layer, Dense):
+            continue
+        w = layer.params["W"]
+        b = layer.params.get("b", np.zeros(layer.units))
+        if not fmt.representable(w) or not fmt.representable(b):
+            raise ValueError(f"Dense layer parameters are not representable in {fmt}")
+        weights.append(fmt.to_raw(w))
+        biases.append(fmt.to_raw(b))
+    if not weights:
+        raise ValueError("Student network contains no Dense layers to quantize")
+
+    return QuantizedStudentParameters(
+        fmt=fmt,
+        samples_per_interval=student.architecture.samples_per_interval,
+        n_samples=student.n_samples,
+        include_matched_filter=extractor.include_matched_filter,
+        mf_envelope=envelope,
+        mf_threshold_raw=mf_threshold_raw,
+        mf_scale_reciprocal_raw=mf_scale_reciprocal_raw,
+        average_reciprocal_raw=int(fmt.to_raw(1.0 / student.architecture.samples_per_interval)),
+        norm_minimum=fmt.to_raw(minimum),
+        norm_shift_bits=shift_bits,
+        layer_weights=weights,
+        layer_biases=biases,
+    )

@@ -1,0 +1,80 @@
+"""Assembly of the Table III-style FPGA deployment report."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.config import StudentArchitecture
+from repro.fpga.latency import LatencyModel
+from repro.fpga.resources import FpgaDevice, ResourceModel, ZCU216, system_resources
+
+__all__ = ["fpga_deployment_report"]
+
+# Values reported in Table III of the paper, for side-by-side comparison in
+# the benchmark output.  Keys are (module, architecture-group).
+PAPER_TABLE3 = {
+    ("MF", "shared"): {"lut": 27_180, "ff": 24_052, "dsp": 375, "latency_ns": 11},
+    ("AVG&NORM", "FNN-A"): {"lut": 17_770, "ff": 11_415, "dsp": 0, "latency_ns": 9},
+    ("Network", "FNN-A"): {"lut": 8_840, "ff": 6_020, "dsp": 55, "latency_ns": 12},
+    ("AVG&NORM", "FNN-B"): {"lut": 19_600, "ff": 17_500, "dsp": 0, "latency_ns": 6},
+    ("Network", "FNN-B"): {"lut": 25_882, "ff": 23_172, "dsp": 226, "latency_ns": 15},
+}
+
+
+def fpga_deployment_report(
+    architectures: Sequence[StudentArchitecture],
+    n_samples: int,
+    clock_mhz: float = 100.0,
+    device: FpgaDevice = ZCU216,
+) -> dict:
+    """Latency and resource summary for a set of per-qubit student deployments.
+
+    Parameters
+    ----------
+    architectures:
+        One student architecture per qubit (e.g. the paper's
+        ``[FNN-A, FNN-B, FNN-B, FNN-A, FNN-A]`` assignment).
+    n_samples:
+        Trace length in samples per quadrature.
+    clock_mhz:
+        PL clock frequency.
+    device:
+        Target FPGA.
+
+    Returns
+    -------
+    dict
+        Per-architecture latency/resource breakdowns, the system-level
+        resource estimate, and the paper's reported Table III values for
+        comparison.
+    """
+    if not architectures:
+        raise ValueError("At least one student architecture is required")
+    unique: dict[str, StudentArchitecture] = {}
+    for arch in architectures:
+        unique.setdefault(arch.name, arch)
+
+    per_architecture = {}
+    for name, arch in unique.items():
+        latency = LatencyModel(arch, n_samples, clock_mhz=clock_mhz)
+        resources = ResourceModel(arch, n_samples, device=device)
+        per_architecture[name] = {
+            "latency": latency.report(),
+            "resources": resources.report(),
+        }
+
+    resource_models = [ResourceModel(arch, n_samples, device=device) for arch in architectures]
+    system = system_resources(resource_models, device=device)
+    return {
+        "n_samples": n_samples,
+        "clock_mhz": clock_mhz,
+        "device": device.name,
+        "per_architecture": per_architecture,
+        "system_total": {
+            "lut": system.luts,
+            "ff": system.ffs,
+            "dsp": system.dsps,
+            "utilization": system.utilization(device),
+        },
+        "paper_table3": PAPER_TABLE3,
+    }

@@ -1,0 +1,234 @@
+"""FPGA resource-utilization model (LUT / FF / DSP estimates).
+
+The paper reports post-synthesis utilization on a Xilinx Zynq UltraScale+
+RFSoC ZCU216 (Table III).  Without running Vivado, resource usage is
+*estimated* from the datapath structure using simple, documented coefficients:
+
+* **DSP blocks** implement the input-weight multiplications.  The paper's
+  multipliers are time-multiplexed over the 4-stage pipeline, so each DSP
+  serves ``TIME_MULTIPLEX_FACTOR`` multiplications of a layer;
+  ``DSPs(layer) ≈ ceil(n_inputs * n_neurons / factor)`` for the network and
+  ``ceil(2 * n_samples / factor)`` for the MF MAC.
+* **LUTs / FFs** are dominated by the adder trees, the pipeline registers and
+  the control logic; they are estimated as per-word coefficients times the
+  number of adder-tree nodes and pipeline registers in each module.
+
+The coefficients are calibrated so the *relative* cost structure of Table III
+is reproduced (MF front end larger than any single network; the FNN-B network
+several times larger than FNN-A; AVG&NORM using no DSPs at all).  Absolute
+counts are estimates, clearly labelled as such in the benchmark output.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.config import StudentArchitecture
+from repro.fpga.latency import adder_tree_depth
+
+__all__ = ["FpgaDevice", "ZCU216", "ModuleResources", "ResourceModel"]
+
+# Multiplications served by one DSP slice in the wide matched-filter MAC
+# (the paper's 4-stage multiplier pipeline).
+MF_TIME_MULTIPLEX_FACTOR = 4
+# Multiplications served by one DSP slice inside a fully connected layer,
+# where each neuron's products are streamed through a small DSP group.
+# Calibrated so the paper-scale FNN-A / FNN-B networks land near the 55 / 226
+# DSP figures of Table III.
+NETWORK_TIME_MULTIPLEX_FACTOR = 16
+# Estimated LUTs / FFs per 32-bit adder-tree node (adder + routing).
+LUTS_PER_ADDER = 8
+FFS_PER_ADDER = 7
+# Estimated LUTs / FFs per pipeline/word register stage.
+LUTS_PER_REGISTER = 2
+FFS_PER_REGISTER = 8
+# Control / AXI interface overhead per module.
+CONTROL_LUTS = 600
+CONTROL_FFS = 450
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """Available resources of the target FPGA."""
+
+    name: str
+    luts: int
+    ffs: int
+    dsps: int
+
+    def __post_init__(self) -> None:
+        if self.luts <= 0 or self.ffs <= 0 or self.dsps <= 0:
+            raise ValueError("Device resource counts must be positive")
+
+
+#: The Zynq UltraScale+ RFSoC used in the paper (XCZU49DR on the ZCU216 board).
+ZCU216 = FpgaDevice(name="ZCU216 (XCZU49DR)", luts=425_280, ffs=850_560, dsps=4_272)
+
+
+@dataclass(frozen=True)
+class ModuleResources:
+    """Estimated resources of one datapath module."""
+
+    name: str
+    luts: int
+    ffs: int
+    dsps: int
+
+    def utilization(self, device: FpgaDevice) -> dict[str, float]:
+        """Fractional utilization of the device, per resource type."""
+        return {
+            "lut": self.luts / device.luts,
+            "ff": self.ffs / device.ffs,
+            "dsp": self.dsps / device.dsps,
+        }
+
+
+def _adder_tree_nodes(n_inputs: int) -> int:
+    """Number of two-input adders in a balanced tree summing ``n_inputs`` terms."""
+    if n_inputs <= 1:
+        return 0
+    return n_inputs - 1
+
+
+class ResourceModel:
+    """Estimates LUT/FF/DSP usage of one per-qubit discriminator.
+
+    Parameters
+    ----------
+    architecture:
+        Student variant deployed for this qubit.
+    n_samples:
+        Trace length in samples per quadrature.
+    device:
+        Target FPGA (defaults to the paper's ZCU216).
+    word_length:
+        Datapath word length in bits (32 for Q16.16); scales the register
+        estimates.
+    """
+
+    def __init__(
+        self,
+        architecture: StudentArchitecture,
+        n_samples: int,
+        device: FpgaDevice = ZCU216,
+        word_length: int = 32,
+    ) -> None:
+        if n_samples <= 0:
+            raise ValueError(f"n_samples must be positive, got {n_samples}")
+        if word_length <= 0:
+            raise ValueError(f"word_length must be positive, got {word_length}")
+        self.architecture = architecture
+        self.n_samples = int(n_samples)
+        self.device = device
+        self.word_length = int(word_length)
+
+    # --------------------------------------------------------------- components
+    def matched_filter_resources(self) -> ModuleResources:
+        """The shared MF MAC over all ``2 * n_samples`` trace words."""
+        terms = 2 * self.n_samples
+        dsps = math.ceil(terms / MF_TIME_MULTIPLEX_FACTOR)
+        adders = _adder_tree_nodes(terms)
+        registers = terms + adder_tree_depth(terms)
+        luts = CONTROL_LUTS + adders * LUTS_PER_ADDER + registers * LUTS_PER_REGISTER
+        ffs = CONTROL_FFS + adders * FFS_PER_ADDER + registers * FFS_PER_REGISTER
+        return ModuleResources("MF", int(luts), int(ffs), int(dsps))
+
+    def average_norm_resources(self) -> ModuleResources:
+        """The AVG & NORM block: group adder trees plus shift normalization (no DSPs)."""
+        group = self.architecture.samples_per_interval
+        n_intervals = self.n_samples // group
+        n_features = 2 * n_intervals
+        adders_per_group = _adder_tree_nodes(group)
+        total_adders = adders_per_group * n_features + n_features  # + min-subtractors
+        registers = n_features * 3  # averaged value, centered value, shifted value
+        luts = CONTROL_LUTS + total_adders * LUTS_PER_ADDER + registers * LUTS_PER_REGISTER
+        ffs = CONTROL_FFS + total_adders * FFS_PER_ADDER + registers * FFS_PER_REGISTER
+        return ModuleResources("AVG&NORM", int(luts), int(ffs), 0)
+
+    def network_resources(self) -> ModuleResources:
+        """The dense stack: per-neuron MACs with time-multiplexed DSPs."""
+        input_dim = self.architecture.input_dimension(self.n_samples)
+        widths = [input_dim, *self.architecture.hidden_layers, 1]
+        dsps = 0
+        adders = 0
+        registers = 0
+        for fan_in, fan_out in zip(widths[:-1], widths[1:]):
+            dsps += fan_out * math.ceil(fan_in / NETWORK_TIME_MULTIPLEX_FACTOR)
+            adders += _adder_tree_nodes(fan_in + 1) * fan_out
+            registers += (fan_in + fan_out) * 2
+        luts = CONTROL_LUTS + adders * LUTS_PER_ADDER + registers * LUTS_PER_REGISTER
+        ffs = CONTROL_FFS + adders * FFS_PER_ADDER + registers * FFS_PER_REGISTER
+        return ModuleResources("Network", int(luts), int(ffs), int(dsps))
+
+    # ------------------------------------------------------------------- totals
+    def components(self) -> list[ModuleResources]:
+        """All modules of this qubit's datapath."""
+        return [
+            self.matched_filter_resources(),
+            self.average_norm_resources(),
+            self.network_resources(),
+        ]
+
+    def per_qubit_total(self, include_shared_mf: bool = False) -> ModuleResources:
+        """Total resources instantiated per qubit.
+
+        The MF block is time-multiplexed across qubits in the paper, so it is
+        excluded from the per-qubit total by default and accounted once at the
+        system level.
+        """
+        modules = self.components()
+        selected = modules if include_shared_mf else modules[1:]
+        return ModuleResources(
+            name="per-qubit total",
+            luts=sum(m.luts for m in selected),
+            ffs=sum(m.ffs for m in selected),
+            dsps=sum(m.dsps for m in selected),
+        )
+
+    def report(self) -> dict:
+        """Module-by-module resource summary with device utilization fractions."""
+        modules = self.components()
+        return {
+            "architecture": self.architecture.name,
+            "n_samples": self.n_samples,
+            "device": self.device.name,
+            "modules": {
+                module.name: {
+                    "lut": module.luts,
+                    "ff": module.ffs,
+                    "dsp": module.dsps,
+                    "utilization": module.utilization(self.device),
+                }
+                for module in modules
+            },
+        }
+
+
+def system_resources(
+    models: list[ResourceModel], device: FpgaDevice = ZCU216
+) -> ModuleResources:
+    """Whole-system estimate: one shared MF block plus per-qubit AVG&NORM and networks.
+
+    Parameters
+    ----------
+    models:
+        One :class:`ResourceModel` per qubit.
+    device:
+        Target FPGA (used only for the returned module's name).
+    """
+    if not models:
+        raise ValueError("system_resources needs at least one per-qubit model")
+    shared_mf = max(
+        (model.matched_filter_resources() for model in models),
+        key=lambda module: module.dsps,
+    )
+    luts = shared_mf.luts
+    ffs = shared_mf.ffs
+    dsps = shared_mf.dsps
+    for model in models:
+        per_qubit = model.per_qubit_total(include_shared_mf=False)
+        luts += per_qubit.luts
+        ffs += per_qubit.ffs
+        dsps += per_qubit.dsps
+    return ModuleResources(name=f"system on {device.name}", luts=luts, ffs=ffs, dsps=dsps)

@@ -1,0 +1,135 @@
+"""A compact, self-contained neural-network library built on NumPy.
+
+The KLiNQ paper trains feed-forward networks (a large "teacher" and tiny
+per-qubit "students") with standard supervised losses plus a knowledge-
+distillation objective.  This subpackage provides everything needed to do that
+without an external deep-learning framework:
+
+* :mod:`repro.nn.layers` -- dense layers, activations, dropout and batch norm,
+  each implementing an explicit ``forward`` / ``backward`` pair.
+* :mod:`repro.nn.losses` -- binary/categorical cross-entropy, mean squared
+  error and the composite distillation loss used by KLiNQ.
+* :mod:`repro.nn.optimizers` -- SGD (with momentum / Nesterov), Adam and
+  AdamW.
+* :mod:`repro.nn.schedulers` -- learning-rate schedules.
+* :mod:`repro.nn.network` -- the :class:`~repro.nn.network.Sequential`
+  container.
+* :mod:`repro.nn.trainer` -- mini-batch training loops with early stopping,
+  validation tracking and callbacks.
+* :mod:`repro.nn.metrics` -- accuracy and readout-fidelity metrics, including
+  the geometric-mean fidelity used throughout the paper.
+* :mod:`repro.nn.serialization` -- save/load of model weights and configs.
+
+The API intentionally mirrors the mental model of small PyTorch/Keras models
+(layers stacked in a ``Sequential``, trained by a ``Trainer``) so the KLiNQ
+core code reads like the paper's methodology section.
+"""
+
+from repro.nn.initializers import (
+    Initializer,
+    HeNormal,
+    HeUniform,
+    GlorotNormal,
+    GlorotUniform,
+    Zeros,
+    Constant,
+    get_initializer,
+)
+from repro.nn.layers import (
+    Layer,
+    Dense,
+    ReLU,
+    LeakyReLU,
+    Sigmoid,
+    Tanh,
+    Softmax,
+    Dropout,
+    BatchNorm,
+    Flatten,
+    Identity,
+)
+from repro.nn.losses import (
+    Loss,
+    MeanSquaredError,
+    BinaryCrossEntropy,
+    CategoricalCrossEntropy,
+    DistillationLoss,
+    get_loss,
+)
+from repro.nn.optimizers import Optimizer, SGD, Adam, AdamW, get_optimizer
+from repro.nn.schedulers import (
+    Scheduler,
+    ConstantSchedule,
+    StepDecay,
+    ExponentialDecay,
+    CosineAnnealing,
+    WarmupSchedule,
+)
+from repro.nn.network import Sequential
+from repro.nn.trainer import Trainer, TrainingHistory, EarlyStopping
+from repro.nn.metrics import (
+    binary_accuracy,
+    assignment_fidelity,
+    geometric_mean_fidelity,
+    confusion_counts,
+    readout_error_rates,
+)
+from repro.nn.serialization import save_model, load_model
+
+__all__ = [
+    # initializers
+    "Initializer",
+    "HeNormal",
+    "HeUniform",
+    "GlorotNormal",
+    "GlorotUniform",
+    "Zeros",
+    "Constant",
+    "get_initializer",
+    # layers
+    "Layer",
+    "Dense",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "Softmax",
+    "Dropout",
+    "BatchNorm",
+    "Flatten",
+    "Identity",
+    # losses
+    "Loss",
+    "MeanSquaredError",
+    "BinaryCrossEntropy",
+    "CategoricalCrossEntropy",
+    "DistillationLoss",
+    "get_loss",
+    # optimizers
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "get_optimizer",
+    # schedulers
+    "Scheduler",
+    "ConstantSchedule",
+    "StepDecay",
+    "ExponentialDecay",
+    "CosineAnnealing",
+    "WarmupSchedule",
+    # network / training
+    "Sequential",
+    "Trainer",
+    "TrainingHistory",
+    "EarlyStopping",
+    # metrics
+    "binary_accuracy",
+    "assignment_fidelity",
+    "geometric_mean_fidelity",
+    "confusion_counts",
+    "readout_error_rates",
+    # serialization
+    "save_model",
+    "load_model",
+]

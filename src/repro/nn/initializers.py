@@ -1,0 +1,153 @@
+"""Weight initialization schemes for dense layers.
+
+The KLiNQ students are "initialized with random weights" (Sec. III-C) and the
+teacher uses standard feed-forward initialization.  He initialization is the
+default for ReLU networks; Glorot is provided for sigmoid/tanh output stacks.
+All initializers draw from a NumPy :class:`~numpy.random.Generator` so that
+every experiment in the benchmark harness is reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = [
+    "Initializer",
+    "HeNormal",
+    "HeUniform",
+    "GlorotNormal",
+    "GlorotUniform",
+    "Zeros",
+    "Constant",
+    "get_initializer",
+]
+
+
+class Initializer(ABC):
+    """Base class for weight initializers.
+
+    An initializer is a callable ``(shape, rng) -> ndarray`` where ``shape`` is
+    ``(fan_in, fan_out)`` for dense weight matrices or ``(fan_out,)`` for bias
+    vectors.
+    """
+
+    @abstractmethod
+    def __call__(self, shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        """Return an array of ``shape`` drawn from the initializer's law."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+    @staticmethod
+    def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
+        """Return ``(fan_in, fan_out)`` for a parameter shape.
+
+        A 1-D shape (a bias) is treated as ``fan_in = fan_out = shape[0]`` so
+        that scale formulas remain finite; in practice biases are initialized
+        with :class:`Zeros`.
+        """
+        if len(shape) == 1:
+            return shape[0], shape[0]
+        if len(shape) == 2:
+            return shape[0], shape[1]
+        receptive = int(np.prod(shape[2:]))
+        return shape[0] * receptive, shape[1] * receptive
+
+
+class HeNormal(Initializer):
+    """He (Kaiming) normal initialization: ``N(0, sqrt(2 / fan_in))``.
+
+    The standard choice for ReLU networks such as the KLiNQ teacher and
+    student FNNs.
+    """
+
+    def __call__(self, shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        fan_in, _ = self._fans(shape)
+        std = math.sqrt(2.0 / max(fan_in, 1))
+        return rng.normal(0.0, std, size=shape)
+
+
+class HeUniform(Initializer):
+    """He uniform initialization: ``U(-limit, limit)`` with ``limit = sqrt(6 / fan_in)``."""
+
+    def __call__(self, shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        fan_in, _ = self._fans(shape)
+        limit = math.sqrt(6.0 / max(fan_in, 1))
+        return rng.uniform(-limit, limit, size=shape)
+
+
+class GlorotNormal(Initializer):
+    """Glorot (Xavier) normal initialization: ``N(0, sqrt(2 / (fan_in + fan_out)))``."""
+
+    def __call__(self, shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        fan_in, fan_out = self._fans(shape)
+        std = math.sqrt(2.0 / max(fan_in + fan_out, 1))
+        return rng.normal(0.0, std, size=shape)
+
+
+class GlorotUniform(Initializer):
+    """Glorot (Xavier) uniform initialization: ``U(-limit, limit)``, ``limit = sqrt(6/(fan_in+fan_out))``."""
+
+    def __call__(self, shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        fan_in, fan_out = self._fans(shape)
+        limit = math.sqrt(6.0 / max(fan_in + fan_out, 1))
+        return rng.uniform(-limit, limit, size=shape)
+
+
+class Zeros(Initializer):
+    """All-zeros initialization (the default for biases)."""
+
+    def __call__(self, shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        return np.zeros(shape, dtype=np.float64)
+
+
+class Constant(Initializer):
+    """Constant-valued initialization.
+
+    Parameters
+    ----------
+    value:
+        The fill value.
+    """
+
+    def __init__(self, value: float) -> None:
+        self.value = float(value)
+
+    def __call__(self, shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        return np.full(shape, self.value, dtype=np.float64)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Constant(value={self.value})"
+
+
+_REGISTRY: dict[str, type[Initializer]] = {
+    "he_normal": HeNormal,
+    "he_uniform": HeUniform,
+    "glorot_normal": GlorotNormal,
+    "glorot_uniform": GlorotUniform,
+    "zeros": Zeros,
+}
+
+
+def get_initializer(name: str | Initializer) -> Initializer:
+    """Resolve an initializer from its name.
+
+    Accepts an :class:`Initializer` instance (returned unchanged) or one of
+    ``"he_normal"``, ``"he_uniform"``, ``"glorot_normal"``, ``"glorot_uniform"``,
+    ``"zeros"``.
+
+    Raises
+    ------
+    ValueError
+        If ``name`` is not a known initializer.
+    """
+    if isinstance(name, Initializer):
+        return name
+    key = str(name).lower()
+    if key not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"Unknown initializer {name!r}; expected one of: {known}")
+    return _REGISTRY[key]()

@@ -1,0 +1,432 @@
+"""Layers with explicit forward/backward passes.
+
+Every layer implements
+
+* ``forward(x, training)`` -- compute the layer output and cache whatever the
+  backward pass needs,
+* ``backward(grad_output)`` -- given ``dL/d(output)`` return ``dL/d(input)``
+  and accumulate parameter gradients in ``self.grads``,
+* ``params`` / ``grads`` -- dictionaries of trainable parameters and their
+  gradients (empty for parameter-free layers).
+
+Shapes follow the batch-first convention: inputs are ``(batch, features)``.
+The backward pass averages nothing -- gradients are summed over the batch by
+the loss (which divides by the batch size), so layers simply propagate what
+they receive.  This keeps each layer a literal transcription of the chain
+rule, which is easy to verify against finite differences (see
+``tests/nn/test_gradients.py``).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.nn.initializers import Initializer, HeNormal, Zeros, get_initializer
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "Softmax",
+    "Dropout",
+    "BatchNorm",
+    "Flatten",
+    "Identity",
+]
+
+
+class Layer(ABC):
+    """Base class for all layers.
+
+    Attributes
+    ----------
+    params:
+        Mapping from parameter name to the parameter array.  Optimizers update
+        these arrays in place.
+    grads:
+        Mapping from parameter name to the gradient array accumulated by the
+        most recent :meth:`backward` call.  Keys always mirror ``params``.
+    """
+
+    def __init__(self) -> None:
+        self.params: dict[str, np.ndarray] = {}
+        self.grads: dict[str, np.ndarray] = {}
+        self.built = False
+
+    def build(self, input_dim: int, rng: np.random.Generator) -> None:
+        """Allocate parameters for a given input dimensionality.
+
+        Parameter-free layers do not need to override this; the default simply
+        records the (unchanged) output dimension.
+        """
+        self.built = True
+
+    @abstractmethod
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Compute the layer output for a batch ``x`` of shape ``(batch, features)``."""
+
+    @abstractmethod
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Back-propagate ``dL/d(output)`` and return ``dL/d(input)``."""
+
+    def output_dim(self, input_dim: int) -> int:
+        """Return the output feature dimension given the input dimension."""
+        return input_dim
+
+    def parameter_count(self) -> int:
+        """Total number of trainable scalars in this layer."""
+        return int(sum(p.size for p in self.params.values()))
+
+    def zero_grad(self) -> None:
+        """Reset all gradient buffers to zero."""
+        for key, value in self.grads.items():
+            self.grads[key] = np.zeros_like(value)
+
+    def get_config(self) -> dict:
+        """Return a JSON-serializable description of the layer (for save/load)."""
+        return {"type": type(self).__name__}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class Dense(Layer):
+    """Fully connected layer: ``y = x @ W + b``.
+
+    Parameters
+    ----------
+    units:
+        Number of output neurons.
+    use_bias:
+        Whether to add a bias term (the FPGA datapath always does).
+    weight_initializer, bias_initializer:
+        Initializer instances or registry names (see
+        :func:`repro.nn.initializers.get_initializer`).
+    """
+
+    def __init__(
+        self,
+        units: int,
+        use_bias: bool = True,
+        weight_initializer: str | Initializer = "he_normal",
+        bias_initializer: str | Initializer = "zeros",
+    ) -> None:
+        super().__init__()
+        if units <= 0:
+            raise ValueError(f"Dense layer needs a positive number of units, got {units}")
+        self.units = int(units)
+        self.use_bias = bool(use_bias)
+        self.weight_initializer = get_initializer(weight_initializer)
+        self.bias_initializer = get_initializer(bias_initializer)
+        self.input_dim: int | None = None
+        self._x: np.ndarray | None = None
+
+    def build(self, input_dim: int, rng: np.random.Generator) -> None:
+        if input_dim <= 0:
+            raise ValueError(f"Dense layer needs a positive input dimension, got {input_dim}")
+        self.input_dim = int(input_dim)
+        self.params["W"] = self.weight_initializer((self.input_dim, self.units), rng)
+        self.grads["W"] = np.zeros_like(self.params["W"])
+        if self.use_bias:
+            self.params["b"] = self.bias_initializer((self.units,), rng)
+            self.grads["b"] = np.zeros_like(self.params["b"])
+        self.built = True
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not self.built:
+            raise RuntimeError("Dense layer used before build(); add it to a Sequential first")
+        if x.ndim != 2:
+            raise ValueError(f"Dense expects a 2-D batch, got shape {x.shape}")
+        if x.shape[1] != self.input_dim:
+            raise ValueError(
+                f"Dense built for input_dim={self.input_dim} but received {x.shape[1]} features"
+            )
+        self._x = x if training else None
+        y = x @ self.params["W"]
+        if self.use_bias:
+            y = y + self.params["b"]
+        return y
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward() called before a training-mode forward() pass")
+        self.grads["W"] = self._x.T @ grad_output
+        if self.use_bias:
+            self.grads["b"] = grad_output.sum(axis=0)
+        return grad_output @ self.params["W"].T
+
+    def output_dim(self, input_dim: int) -> int:
+        return self.units
+
+    def get_config(self) -> dict:
+        return {"type": "Dense", "units": self.units, "use_bias": self.use_bias}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Dense(units={self.units}, use_bias={self.use_bias})"
+
+
+class ReLU(Layer):
+    """Rectified linear activation, ``max(x, 0)``.
+
+    This is the activation used between all fully connected layers of the
+    teacher and student networks, and the one implemented as a sign-bit check
+    in the FPGA datapath (Sec. IV).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        mask = x > 0
+        self._mask = mask if training else None
+        return np.where(mask, x, 0.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward() called before a training-mode forward() pass")
+        return grad_output * self._mask
+
+
+class LeakyReLU(Layer):
+    """Leaky ReLU: ``x if x > 0 else alpha * x``."""
+
+    def __init__(self, alpha: float = 0.01) -> None:
+        super().__init__()
+        if alpha < 0:
+            raise ValueError(f"LeakyReLU slope must be non-negative, got {alpha}")
+        self.alpha = float(alpha)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        mask = x > 0
+        self._mask = mask if training else None
+        return np.where(mask, x, self.alpha * x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward() called before a training-mode forward() pass")
+        return grad_output * np.where(self._mask, 1.0, self.alpha)
+
+    def get_config(self) -> dict:
+        return {"type": "LeakyReLU", "alpha": self.alpha}
+
+
+class Sigmoid(Layer):
+    """Logistic sigmoid, used on the single output neuron for binary readout."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._y: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        # Numerically stable piecewise evaluation.
+        y = np.empty_like(x, dtype=np.float64)
+        pos = x >= 0
+        y[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        exp_x = np.exp(x[~pos])
+        y[~pos] = exp_x / (1.0 + exp_x)
+        self._y = y if training else None
+        return y
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("backward() called before a training-mode forward() pass")
+        return grad_output * self._y * (1.0 - self._y)
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._y: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        y = np.tanh(x)
+        self._y = y if training else None
+        return y
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("backward() called before a training-mode forward() pass")
+        return grad_output * (1.0 - self._y**2)
+
+
+class Softmax(Layer):
+    """Row-wise softmax.
+
+    Used by multi-class variants of the teacher (e.g. joint readout over all
+    2^N qubit-state permutations) and by the distillation loss when softened
+    probabilities rather than logits are compared.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._y: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        shifted = x - x.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        y = exp / exp.sum(axis=-1, keepdims=True)
+        self._y = y if training else None
+        return y
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("backward() called before a training-mode forward() pass")
+        y = self._y
+        dot = (grad_output * y).sum(axis=-1, keepdims=True)
+        return y * (grad_output - dot)
+
+
+class Dropout(Layer):
+    """Inverted dropout regularization.
+
+    During training each activation is dropped with probability ``rate`` and
+    the survivors are scaled by ``1 / (1 - rate)``; inference is the identity.
+    The teacher benefits from mild dropout when trained on small synthetic
+    datasets; the students are small enough that it is usually disabled.
+    """
+
+    def __init__(self, rate: float, seed: int | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"Dropout rate must be in [0, 1), got {rate}")
+        self.rate = float(rate)
+        self._rng = np.random.default_rng(seed)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask
+
+    def get_config(self) -> dict:
+        return {"type": "Dropout", "rate": self.rate}
+
+
+class BatchNorm(Layer):
+    """Batch normalization over the feature axis.
+
+    Normalizes each feature to zero mean / unit variance over the mini-batch
+    during training, tracks running statistics for inference, and applies a
+    learned affine transform (``gamma``, ``beta``).
+    """
+
+    def __init__(self, momentum: float = 0.9, epsilon: float = 1e-5) -> None:
+        super().__init__()
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"BatchNorm momentum must be in [0, 1), got {momentum}")
+        self.momentum = float(momentum)
+        self.epsilon = float(epsilon)
+        self.running_mean: np.ndarray | None = None
+        self.running_var: np.ndarray | None = None
+        self._cache: tuple | None = None
+
+    def build(self, input_dim: int, rng: np.random.Generator) -> None:
+        self.params["gamma"] = np.ones(input_dim, dtype=np.float64)
+        self.params["beta"] = np.zeros(input_dim, dtype=np.float64)
+        self.grads["gamma"] = np.zeros(input_dim, dtype=np.float64)
+        self.grads["beta"] = np.zeros(input_dim, dtype=np.float64)
+        self.running_mean = np.zeros(input_dim, dtype=np.float64)
+        self.running_var = np.ones(input_dim, dtype=np.float64)
+        self.built = True
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not self.built:
+            raise RuntimeError("BatchNorm used before build(); add it to a Sequential first")
+        if training:
+            mean = x.mean(axis=0)
+            var = x.var(axis=0)
+            self.running_mean = self.momentum * self.running_mean + (1 - self.momentum) * mean
+            self.running_var = self.momentum * self.running_var + (1 - self.momentum) * var
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        std = np.sqrt(var + self.epsilon)
+        x_hat = (x - mean) / std
+        y = self.params["gamma"] * x_hat + self.params["beta"]
+        self._cache = (x_hat, std) if training else None
+        return y
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward() called before a training-mode forward() pass")
+        x_hat, std = self._cache
+        gamma = self.params["gamma"]
+        self.grads["gamma"] = (grad_output * x_hat).sum(axis=0)
+        self.grads["beta"] = grad_output.sum(axis=0)
+        dx_hat = grad_output * gamma
+        return (dx_hat - dx_hat.mean(axis=0) - x_hat * (dx_hat * x_hat).mean(axis=0)) / std
+
+    def get_config(self) -> dict:
+        return {"type": "BatchNorm", "momentum": self.momentum, "epsilon": self.epsilon}
+
+
+class Flatten(Layer):
+    """Flatten any trailing dimensions into a single feature axis.
+
+    Used when raw multi-channel I/Q traces of shape ``(batch, samples, 2)``
+    are fed directly to a dense network, matching the paper's "flattened into
+    1000 inputs" description of the teacher.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._input_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._input_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward() called before forward()")
+        return grad_output.reshape(self._input_shape)
+
+
+class Identity(Layer):
+    """Pass-through layer, useful as a placeholder in configurable stacks."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output
+
+
+_LAYER_REGISTRY: dict[str, type[Layer]] = {
+    "Dense": Dense,
+    "ReLU": ReLU,
+    "LeakyReLU": LeakyReLU,
+    "Sigmoid": Sigmoid,
+    "Tanh": Tanh,
+    "Softmax": Softmax,
+    "Dropout": Dropout,
+    "BatchNorm": BatchNorm,
+    "Flatten": Flatten,
+    "Identity": Identity,
+}
+
+
+def layer_from_config(config: dict) -> Layer:
+    """Re-create a layer from its :meth:`Layer.get_config` dictionary."""
+    kind = config.get("type")
+    if kind not in _LAYER_REGISTRY:
+        raise ValueError(f"Unknown layer type {kind!r} in config {config!r}")
+    kwargs = {k: v for k, v in config.items() if k != "type"}
+    return _LAYER_REGISTRY[kind](**kwargs)

@@ -1,0 +1,265 @@
+"""Loss functions, including the KLiNQ composite distillation loss.
+
+All losses follow the convention::
+
+    value = loss.forward(prediction, target)      # scalar, averaged over batch
+    grad  = loss.backward()                       # dL/d(prediction), already / batch
+
+The distillation loss implements Sec. III-C of the paper::
+
+    L_distill = alpha * L_CE + (1 - alpha) * L_KD
+
+where ``L_CE`` is binary cross-entropy against the hard labels and ``L_KD`` is
+the mean squared error between the temperature-softened teacher and student
+logits (the paper's "soft labels").
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = [
+    "Loss",
+    "MeanSquaredError",
+    "BinaryCrossEntropy",
+    "CategoricalCrossEntropy",
+    "DistillationLoss",
+    "get_loss",
+]
+
+_EPS = 1e-12
+
+
+class Loss(ABC):
+    """Base class for losses operating on ``(batch, outputs)`` arrays."""
+
+    @abstractmethod
+    def forward(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        """Return the scalar loss averaged over the batch."""
+
+    @abstractmethod
+    def backward(self) -> np.ndarray:
+        """Return ``dL/d(prediction)`` for the most recent :meth:`forward` call."""
+
+    def __call__(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        return self.forward(prediction, target)
+
+    @staticmethod
+    def _as_2d(array: np.ndarray) -> np.ndarray:
+        array = np.asarray(array, dtype=np.float64)
+        if array.ndim == 1:
+            array = array[:, None]
+        return array
+
+
+class MeanSquaredError(Loss):
+    """Mean squared error, ``mean((prediction - target)^2)``."""
+
+    def __init__(self) -> None:
+        self._cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    def forward(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        prediction = self._as_2d(prediction)
+        target = self._as_2d(target)
+        if prediction.shape != target.shape:
+            raise ValueError(
+                f"MSE shape mismatch: prediction {prediction.shape} vs target {target.shape}"
+            )
+        self._cache = (prediction, target)
+        return float(np.mean((prediction - target) ** 2))
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward() called before forward()")
+        prediction, target = self._cache
+        return 2.0 * (prediction - target) / prediction.size
+
+
+class BinaryCrossEntropy(Loss):
+    """Binary cross-entropy on probabilities in ``(0, 1)``.
+
+    Expects the network to end in a :class:`~repro.nn.layers.Sigmoid`.  The
+    ``from_logits`` flag lets callers feed raw logits instead, in which case a
+    numerically-stable formulation is used and the gradient is computed with
+    respect to the logits.
+    """
+
+    def __init__(self, from_logits: bool = False) -> None:
+        self.from_logits = bool(from_logits)
+        self._cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    def forward(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        prediction = self._as_2d(prediction)
+        target = self._as_2d(target)
+        if prediction.shape != target.shape:
+            raise ValueError(
+                f"BCE shape mismatch: prediction {prediction.shape} vs target {target.shape}"
+            )
+        self._cache = (prediction, target)
+        if self.from_logits:
+            z = prediction
+            # log(1 + exp(-|z|)) + max(z, 0) - z*y, the standard stable form.
+            loss = np.maximum(z, 0.0) - z * target + np.log1p(np.exp(-np.abs(z)))
+            return float(np.mean(loss))
+        p = np.clip(prediction, _EPS, 1.0 - _EPS)
+        loss = -(target * np.log(p) + (1.0 - target) * np.log(1.0 - p))
+        return float(np.mean(loss))
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward() called before forward()")
+        prediction, target = self._cache
+        n = prediction.size
+        if self.from_logits:
+            p = 1.0 / (1.0 + np.exp(-prediction))
+            return (p - target) / n
+        p = np.clip(prediction, _EPS, 1.0 - _EPS)
+        return (-(target / p) + (1.0 - target) / (1.0 - p)) / n
+
+
+class CategoricalCrossEntropy(Loss):
+    """Cross-entropy for one-hot targets over softmax probabilities.
+
+    Used by the multi-class "joint" teacher variant that classifies all
+    2^N qubit-state permutations at once (as in the baseline FNN paper).
+    """
+
+    def __init__(self, from_logits: bool = False) -> None:
+        self.from_logits = bool(from_logits)
+        self._cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    @staticmethod
+    def _softmax(z: np.ndarray) -> np.ndarray:
+        shifted = z - z.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=-1, keepdims=True)
+
+    def forward(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        prediction = self._as_2d(prediction)
+        target = self._as_2d(target)
+        if prediction.shape != target.shape:
+            raise ValueError(
+                "CategoricalCrossEntropy shape mismatch: "
+                f"prediction {prediction.shape} vs target {target.shape}"
+            )
+        self._cache = (prediction, target)
+        probs = self._softmax(prediction) if self.from_logits else prediction
+        probs = np.clip(probs, _EPS, 1.0)
+        return float(-np.mean(np.sum(target * np.log(probs), axis=-1)))
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward() called before forward()")
+        prediction, target = self._cache
+        batch = prediction.shape[0]
+        if self.from_logits:
+            probs = self._softmax(prediction)
+            return (probs - target) / batch
+        probs = np.clip(prediction, _EPS, 1.0)
+        return -(target / probs) / batch
+
+
+class DistillationLoss(Loss):
+    """Composite loss ``alpha * L_CE + (1 - alpha) * L_KD`` from Sec. III-C.
+
+    The supervised term is binary cross-entropy between the student's sigmoid
+    probability and the hard label.  The distillation term is mean squared
+    error between temperature-softened teacher and student *logits*.  Both the
+    student prediction and the teacher's soft target are supplied as logits so
+    the two terms can be formed consistently; the sigmoid needed for the CE
+    term is applied internally.
+
+    Parameters
+    ----------
+    alpha:
+        Weight of the supervised (hard-label) term in ``[0, 1]``.  ``alpha=1``
+        disables distillation, ``alpha=0`` trains purely on teacher outputs.
+    temperature:
+        Softening temperature ``T``.  Logits are divided by ``T`` before the
+        MSE is taken, matching the "softened logits" of the paper.
+    """
+
+    def __init__(self, alpha: float = 0.5, temperature: float = 2.0) -> None:
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError(f"alpha must lie in [0, 1], got {alpha}")
+        if temperature <= 0:
+            raise ValueError(f"temperature must be positive, got {temperature}")
+        self.alpha = float(alpha)
+        self.temperature = float(temperature)
+        self._cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    def forward_components(
+        self,
+        student_logits: np.ndarray,
+        hard_labels: np.ndarray,
+        teacher_logits: np.ndarray,
+    ) -> tuple[float, float, float]:
+        """Return ``(total, ce, kd)`` losses for one batch.
+
+        Also caches what :meth:`backward` needs.
+        """
+        student_logits = self._as_2d(student_logits)
+        hard_labels = self._as_2d(hard_labels)
+        teacher_logits = self._as_2d(teacher_logits)
+        if student_logits.shape != hard_labels.shape or student_logits.shape != teacher_logits.shape:
+            raise ValueError(
+                "DistillationLoss shape mismatch: "
+                f"student {student_logits.shape}, labels {hard_labels.shape}, "
+                f"teacher {teacher_logits.shape}"
+            )
+        self._cache = (student_logits, hard_labels, teacher_logits)
+
+        z = student_logits
+        ce_terms = np.maximum(z, 0.0) - z * hard_labels + np.log1p(np.exp(-np.abs(z)))
+        ce = float(np.mean(ce_terms))
+
+        t = self.temperature
+        kd = float(np.mean((student_logits / t - teacher_logits / t) ** 2))
+        total = self.alpha * ce + (1.0 - self.alpha) * kd
+        return total, ce, kd
+
+    def forward(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        """Loss-protocol entry point.
+
+        ``target`` must be a tuple-like of ``(hard_labels, teacher_logits)``;
+        ``prediction`` holds the student logits.  Prefer
+        :meth:`forward_components` in new code -- this wrapper exists so the
+        distillation loss can be passed anywhere a plain :class:`Loss` is
+        accepted.
+        """
+        hard_labels, teacher_logits = target
+        total, _, _ = self.forward_components(prediction, hard_labels, teacher_logits)
+        return total
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward() called before forward()")
+        student_logits, hard_labels, teacher_logits = self._cache
+        n = student_logits.size
+        sigmoid = 1.0 / (1.0 + np.exp(-student_logits))
+        grad_ce = (sigmoid - hard_labels) / n
+        t = self.temperature
+        grad_kd = 2.0 * (student_logits - teacher_logits) / (t * t) / n
+        return self.alpha * grad_ce + (1.0 - self.alpha) * grad_kd
+
+
+_REGISTRY: dict[str, type[Loss]] = {
+    "mse": MeanSquaredError,
+    "bce": BinaryCrossEntropy,
+    "binary_cross_entropy": BinaryCrossEntropy,
+    "categorical_cross_entropy": CategoricalCrossEntropy,
+    "distillation": DistillationLoss,
+}
+
+
+def get_loss(name: str | Loss, **kwargs) -> Loss:
+    """Resolve a loss from its registry name (or pass an instance through)."""
+    if isinstance(name, Loss):
+        return name
+    key = str(name).lower()
+    if key not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"Unknown loss {name!r}; expected one of: {known}")
+    return _REGISTRY[key](**kwargs)

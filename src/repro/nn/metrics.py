@@ -1,0 +1,165 @@
+"""Readout-fidelity metrics.
+
+The paper's primary metric is the per-qubit assignment fidelity ``F_i`` (the
+fraction of shots whose state is assigned correctly) and the geometric mean
+
+    F_GM = (prod_i F_i) ** (1 / N)
+
+over ``N`` qubits (Sec. III-A), reported as ``F5Q`` (all five qubits) and
+``F4Q`` (excluding the noisy qubit 2) in Table I.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "binary_accuracy",
+    "assignment_fidelity",
+    "geometric_mean_fidelity",
+    "confusion_counts",
+    "readout_error_rates",
+]
+
+
+def _to_binary(predictions: np.ndarray, threshold: float) -> np.ndarray:
+    predictions = np.asarray(predictions, dtype=np.float64).reshape(-1)
+    return (predictions >= threshold).astype(np.int64)
+
+
+def binary_accuracy(
+    predictions: np.ndarray, labels: np.ndarray, threshold: float = 0.5
+) -> float:
+    """Fraction of correct binary assignments.
+
+    Parameters
+    ----------
+    predictions:
+        Scores in any range; values ``>= threshold`` are assigned state ``1``.
+        For sigmoid probabilities use the default ``threshold=0.5``; for raw
+        logits pass ``threshold=0.0``.
+    labels:
+        Ground-truth states (0/1).
+    """
+    labels = np.asarray(labels).reshape(-1).astype(np.int64)
+    assigned = _to_binary(predictions, threshold)
+    if assigned.shape != labels.shape:
+        raise ValueError(
+            f"predictions ({assigned.shape}) and labels ({labels.shape}) disagree in length"
+        )
+    if labels.size == 0:
+        raise ValueError("Cannot compute accuracy on an empty label array")
+    return float(np.mean(assigned == labels))
+
+
+def assignment_fidelity(
+    predictions: np.ndarray, labels: np.ndarray, threshold: float = 0.5
+) -> float:
+    """Single-qubit assignment fidelity.
+
+    Defined as ``1 - 0.5 * (P(assign 1 | prepared 0) + P(assign 0 | prepared 1))``,
+    i.e. one minus the average of the two conditional error probabilities.
+    This is the standard definition in the readout literature and is robust to
+    class imbalance in the test set; for a balanced set it coincides with
+    :func:`binary_accuracy`.
+    """
+    labels = np.asarray(labels).reshape(-1).astype(np.int64)
+    assigned = _to_binary(predictions, threshold)
+    if assigned.shape != labels.shape:
+        raise ValueError(
+            f"predictions ({assigned.shape}) and labels ({labels.shape}) disagree in length"
+        )
+    ground = labels == 0
+    excited = labels == 1
+    if not ground.any() or not excited.any():
+        # Degenerate test set: fall back to plain accuracy so the metric stays defined.
+        return binary_accuracy(assigned, labels, threshold=0.5)
+    p_err_given_0 = float(np.mean(assigned[ground] == 1))
+    p_err_given_1 = float(np.mean(assigned[excited] == 0))
+    return 1.0 - 0.5 * (p_err_given_0 + p_err_given_1)
+
+
+def geometric_mean_fidelity(fidelities: Iterable[float]) -> float:
+    """Geometric mean of per-qubit fidelities (``F_GM`` in the paper).
+
+    Raises
+    ------
+    ValueError
+        If the iterable is empty or any fidelity lies outside ``[0, 1]``.
+    """
+    values = np.asarray(list(fidelities), dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("geometric_mean_fidelity needs at least one fidelity")
+    if np.any(values < 0.0) or np.any(values > 1.0):
+        raise ValueError(f"Fidelities must lie in [0, 1], got {values}")
+    if np.any(values == 0.0):
+        return 0.0
+    return float(np.exp(np.mean(np.log(values))))
+
+
+def confusion_counts(
+    predictions: np.ndarray, labels: np.ndarray, threshold: float = 0.5
+) -> dict[str, int]:
+    """Binary confusion-matrix counts.
+
+    Returns a dictionary with keys ``tp`` (assigned 1, prepared 1), ``tn``,
+    ``fp`` (assigned 1, prepared 0) and ``fn``.
+    """
+    labels = np.asarray(labels).reshape(-1).astype(np.int64)
+    assigned = _to_binary(predictions, threshold)
+    if assigned.shape != labels.shape:
+        raise ValueError(
+            f"predictions ({assigned.shape}) and labels ({labels.shape}) disagree in length"
+        )
+    return {
+        "tp": int(np.sum((assigned == 1) & (labels == 1))),
+        "tn": int(np.sum((assigned == 0) & (labels == 0))),
+        "fp": int(np.sum((assigned == 1) & (labels == 0))),
+        "fn": int(np.sum((assigned == 0) & (labels == 1))),
+    }
+
+
+def readout_error_rates(
+    predictions: np.ndarray, labels: np.ndarray, threshold: float = 0.5
+) -> dict[str, float]:
+    """Conditional readout error probabilities.
+
+    Returns ``{"p10": P(assign 1 | prepared 0), "p01": P(assign 0 | prepared 1)}``.
+    ``p01`` is typically larger than ``p10`` because of T1 relaxation during
+    the readout window -- a structural asymmetry the synthetic dataset
+    reproduces and the tests assert.
+    """
+    counts = confusion_counts(predictions, labels, threshold)
+    prepared_0 = counts["tn"] + counts["fp"]
+    prepared_1 = counts["tp"] + counts["fn"]
+    p10 = counts["fp"] / prepared_0 if prepared_0 else 0.0
+    p01 = counts["fn"] / prepared_1 if prepared_1 else 0.0
+    return {"p10": float(p10), "p01": float(p01)}
+
+
+def fidelity_table(
+    per_qubit_fidelities: Sequence[float], exclude: Sequence[int] = ()
+) -> dict[str, float]:
+    """Assemble the per-qubit + geometric-mean row used by Table I.
+
+    Parameters
+    ----------
+    per_qubit_fidelities:
+        Fidelity of each qubit, ordered ``Q1..QN``.
+    exclude:
+        0-based qubit indices excluded from the secondary geometric mean
+        (Table I excludes qubit 2, i.e. index 1, for ``F4Q``).
+
+    Returns
+    -------
+    dict
+        ``{"q1": ..., "q2": ..., "f_all": ..., "f_excluded": ...}``.
+    """
+    fidelities = list(per_qubit_fidelities)
+    row = {f"q{i + 1}": float(f) for i, f in enumerate(fidelities)}
+    row["f_all"] = geometric_mean_fidelity(fidelities)
+    kept = [f for i, f in enumerate(fidelities) if i not in set(exclude)]
+    row["f_excluded"] = geometric_mean_fidelity(kept) if kept else float("nan")
+    return row

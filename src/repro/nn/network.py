@@ -1,0 +1,226 @@
+"""The :class:`Sequential` model container.
+
+A :class:`Sequential` is an ordered stack of :class:`repro.nn.layers.Layer`
+objects.  It owns the build step (allocating parameters once the input
+dimension is known), the forward pass, the backward pass, and access to the
+flattened parameter/gradient dictionaries consumed by the optimizers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.nn.layers import Layer, layer_from_config
+
+__all__ = ["Sequential"]
+
+
+class Sequential:
+    """An ordered stack of layers trained by backpropagation.
+
+    Parameters
+    ----------
+    layers:
+        The layers, in order of application.
+    input_dim:
+        Dimensionality of the input features.  If given, the network is built
+        immediately; otherwise :meth:`build` must be called before use.
+    seed:
+        Seed for parameter initialization.  Two networks constructed with the
+        same layers, input_dim and seed are bit-identical.
+
+    Examples
+    --------
+    The KLiNQ student FNN-A (31 inputs, 16/8 hidden neurons, one output)::
+
+        model = Sequential(
+            [Dense(16), ReLU(), Dense(8), ReLU(), Dense(1)],
+            input_dim=31,
+            seed=7,
+        )
+        logits = model.forward(x)
+    """
+
+    def __init__(
+        self,
+        layers: Sequence[Layer],
+        input_dim: int | None = None,
+        seed: int | None = None,
+    ) -> None:
+        self.layers: list[Layer] = list(layers)
+        if not self.layers:
+            raise ValueError("Sequential requires at least one layer")
+        for layer in self.layers:
+            if not isinstance(layer, Layer):
+                raise TypeError(f"Expected Layer instances, got {type(layer).__name__}")
+        self.seed = seed
+        self.input_dim: int | None = None
+        self._rng = np.random.default_rng(seed)
+        if input_dim is not None:
+            self.build(input_dim)
+
+    # ------------------------------------------------------------------ build
+    def build(self, input_dim: int) -> "Sequential":
+        """Allocate every layer's parameters for ``input_dim`` input features."""
+        if input_dim <= 0:
+            raise ValueError(f"input_dim must be positive, got {input_dim}")
+        dim = int(input_dim)
+        self.input_dim = dim
+        for layer in self.layers:
+            layer.build(dim, self._rng)
+            dim = layer.output_dim(dim)
+        self.output_dim = dim
+        return self
+
+    @property
+    def is_built(self) -> bool:
+        """Whether :meth:`build` has been called."""
+        return self.input_dim is not None
+
+    def _require_built(self) -> None:
+        if not self.is_built:
+            raise RuntimeError("Sequential used before build(); pass input_dim or call build()")
+
+    # ---------------------------------------------------------------- forward
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the full forward pass on a batch ``(batch, input_dim)``."""
+        self._require_built()
+        out = np.asarray(x, dtype=np.float64)
+        if out.ndim == 1:
+            out = out[None, :]
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(x, training=training)
+
+    def predict(self, x: np.ndarray, batch_size: int | None = None) -> np.ndarray:
+        """Inference-mode forward pass, optionally in mini-batches."""
+        self._require_built()
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[None, :]
+        if batch_size is None or x.shape[0] <= batch_size:
+            return self.forward(x, training=False)
+        chunks = [
+            self.forward(x[start : start + batch_size], training=False)
+            for start in range(0, x.shape[0], batch_size)
+        ]
+        return np.concatenate(chunks, axis=0)
+
+    # --------------------------------------------------------------- backward
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Back-propagate ``dL/d(output)`` through every layer (reverse order)."""
+        self._require_built()
+        grad = grad_output
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def zero_grad(self) -> None:
+        """Clear gradient buffers in all layers."""
+        for layer in self.layers:
+            layer.zero_grad()
+
+    # ------------------------------------------------------------- parameters
+    def parameters(self) -> dict[str, np.ndarray]:
+        """Flattened parameter dictionary keyed by ``"layer{i}.{name}"``."""
+        params: dict[str, np.ndarray] = {}
+        for index, layer in enumerate(self.layers):
+            for name, value in layer.params.items():
+                params[f"layer{index}.{name}"] = value
+        return params
+
+    def gradients(self) -> dict[str, np.ndarray]:
+        """Flattened gradient dictionary matching :meth:`parameters`."""
+        grads: dict[str, np.ndarray] = {}
+        for index, layer in enumerate(self.layers):
+            for name, value in layer.grads.items():
+                grads[f"layer{index}.{name}"] = value
+        return grads
+
+    def set_parameters(self, params: dict[str, np.ndarray]) -> None:
+        """Load a parameter dictionary produced by :meth:`parameters`.
+
+        Shapes must match exactly; unknown or missing keys raise ``KeyError``.
+        """
+        self._require_built()
+        current = self.parameters()
+        missing = set(current) - set(params)
+        extra = set(params) - set(current)
+        if missing or extra:
+            raise KeyError(
+                f"Parameter mismatch: missing={sorted(missing)}, unexpected={sorted(extra)}"
+            )
+        for index, layer in enumerate(self.layers):
+            for name in layer.params:
+                key = f"layer{index}.{name}"
+                new_value = np.asarray(params[key], dtype=np.float64)
+                if new_value.shape != layer.params[name].shape:
+                    raise ValueError(
+                        f"Shape mismatch for {key!r}: expected {layer.params[name].shape}, "
+                        f"got {new_value.shape}"
+                    )
+                layer.params[name][...] = new_value
+
+    def parameter_count(self) -> int:
+        """Total number of trainable scalars across all layers.
+
+        This is the quantity compared in Fig. 5 of the paper (teacher
+        8 130 005 vs student 6 754 / 1 971 parameters).
+        """
+        return int(sum(layer.parameter_count() for layer in self.layers))
+
+    def copy(self) -> "Sequential":
+        """Deep copy: same architecture and parameter values, fresh buffers."""
+        clone = Sequential([layer_from_config(layer.get_config()) for layer in self.layers], seed=self.seed)
+        if self.is_built:
+            clone.build(self.input_dim)
+            clone.set_parameters({k: v.copy() for k, v in self.parameters().items()})
+        return clone
+
+    # ------------------------------------------------------------------ misc
+    def get_config(self) -> dict:
+        """JSON-serializable architecture description."""
+        return {
+            "input_dim": self.input_dim,
+            "seed": self.seed,
+            "layers": [layer.get_config() for layer in self.layers],
+        }
+
+    @classmethod
+    def from_config(cls, config: dict) -> "Sequential":
+        """Rebuild a (unbuilt-weights) network from :meth:`get_config` output."""
+        layers = [layer_from_config(layer_cfg) for layer_cfg in config["layers"]]
+        model = cls(layers, seed=config.get("seed"))
+        if config.get("input_dim"):
+            model.build(int(config["input_dim"]))
+        return model
+
+    def summary(self) -> str:
+        """Human-readable architecture summary (one line per layer)."""
+        self._require_built()
+        lines = [f"Sequential(input_dim={self.input_dim})"]
+        dim = self.input_dim
+        for index, layer in enumerate(self.layers):
+            out_dim = layer.output_dim(dim)
+            lines.append(
+                f"  [{index:2d}] {type(layer).__name__:<12} {dim:>6} -> {out_dim:<6} "
+                f"params={layer.parameter_count()}"
+            )
+            dim = out_dim
+        lines.append(f"  total parameters: {self.parameter_count()}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        names = ", ".join(type(layer).__name__ for layer in self.layers)
+        return f"Sequential([{names}], input_dim={self.input_dim})"
+
+    def __iter__(self) -> Iterable[Layer]:
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)

@@ -1,0 +1,189 @@
+"""Gradient-descent optimizers.
+
+The paper trains both teacher and students "using gradient descent"
+(Sec. III-C); in practice FNNs of this size are trained with Adam.  The
+optimizers below operate on the parameter/gradient dictionaries exposed by
+:class:`repro.nn.network.Sequential` and update parameters in place.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["Optimizer", "SGD", "Adam", "AdamW", "get_optimizer"]
+
+
+class Optimizer(ABC):
+    """Base optimizer.
+
+    Subclasses implement :meth:`update_param`, which receives a stable string
+    key identifying the parameter (layer index + parameter name), the
+    parameter array and its gradient, and must modify the parameter in place.
+    """
+
+    def __init__(self, learning_rate: float = 1e-3) -> None:
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        self.learning_rate = float(learning_rate)
+        self.iterations = 0
+
+    def step(self, params: dict[str, np.ndarray], grads: dict[str, np.ndarray]) -> None:
+        """Apply one update to every parameter in ``params``.
+
+        ``params`` and ``grads`` must share keys; missing gradients raise a
+        ``KeyError`` rather than being silently skipped, because that almost
+        always indicates a backward-pass bug.
+        """
+        self.iterations += 1
+        for key, param in params.items():
+            grad = grads[key]
+            if grad.shape != param.shape:
+                raise ValueError(
+                    f"Gradient shape {grad.shape} does not match parameter {key!r} "
+                    f"shape {param.shape}"
+                )
+            self.update_param(key, param, grad)
+
+    @abstractmethod
+    def update_param(self, key: str, param: np.ndarray, grad: np.ndarray) -> None:
+        """Update one parameter array in place."""
+
+    def state_dict(self) -> dict:
+        """Return internal state for checkpointing (overridden by stateful optimizers)."""
+        return {"learning_rate": self.learning_rate, "iterations": self.iterations}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(learning_rate={self.learning_rate})"
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional (Nesterov) momentum.
+
+    Parameters
+    ----------
+    learning_rate:
+        Step size.
+    momentum:
+        Momentum coefficient in ``[0, 1)``; ``0`` gives plain SGD.
+    nesterov:
+        Use Nesterov's accelerated form of the momentum update.
+    weight_decay:
+        L2 penalty added to the gradient (``grad + weight_decay * param``).
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-2,
+        momentum: float = 0.0,
+        nesterov: bool = False,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0:
+            raise ValueError(f"weight_decay must be non-negative, got {weight_decay}")
+        if nesterov and momentum == 0.0:
+            raise ValueError("Nesterov momentum requires a non-zero momentum coefficient")
+        self.momentum = float(momentum)
+        self.nesterov = bool(nesterov)
+        self.weight_decay = float(weight_decay)
+        self._velocity: dict[str, np.ndarray] = {}
+
+    def update_param(self, key: str, param: np.ndarray, grad: np.ndarray) -> None:
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param
+        if self.momentum == 0.0:
+            param -= self.learning_rate * grad
+            return
+        velocity = self._velocity.get(key)
+        if velocity is None:
+            velocity = np.zeros_like(param)
+        velocity = self.momentum * velocity - self.learning_rate * grad
+        self._velocity[key] = velocity
+        if self.nesterov:
+            param += self.momentum * velocity - self.learning_rate * grad
+        else:
+            param += velocity
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015) with bias correction."""
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"betas must lie in [0, 1), got beta1={beta1}, beta2={beta2}")
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        if weight_decay < 0:
+            raise ValueError(f"weight_decay must be non-negative, got {weight_decay}")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.epsilon = float(epsilon)
+        self.weight_decay = float(weight_decay)
+        self._m: dict[str, np.ndarray] = {}
+        self._v: dict[str, np.ndarray] = {}
+        self._steps: dict[str, int] = {}
+
+    def update_param(self, key: str, param: np.ndarray, grad: np.ndarray) -> None:
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param
+        m = self._m.get(key)
+        v = self._v.get(key)
+        if m is None:
+            m = np.zeros_like(param)
+            v = np.zeros_like(param)
+        t = self._steps.get(key, 0) + 1
+        m = self.beta1 * m + (1.0 - self.beta1) * grad
+        v = self.beta2 * v + (1.0 - self.beta2) * grad * grad
+        self._m[key], self._v[key], self._steps[key] = m, v, t
+        m_hat = m / (1.0 - self.beta1**t)
+        v_hat = v / (1.0 - self.beta2**t)
+        param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter, 2019).
+
+    Unlike :class:`Adam`, the decay is applied directly to the weights rather
+    than folded into the gradient, which behaves better for the heavily
+    over-parameterized teacher network.
+    """
+
+    def update_param(self, key: str, param: np.ndarray, grad: np.ndarray) -> None:
+        decay = self.weight_decay
+        self.weight_decay = 0.0
+        try:
+            super().update_param(key, param, grad)
+        finally:
+            self.weight_decay = decay
+        if decay:
+            param -= self.learning_rate * decay * param
+
+
+_REGISTRY: dict[str, type[Optimizer]] = {
+    "sgd": SGD,
+    "adam": Adam,
+    "adamw": AdamW,
+}
+
+
+def get_optimizer(name: str | Optimizer, **kwargs) -> Optimizer:
+    """Resolve an optimizer from its registry name (or pass an instance through)."""
+    if isinstance(name, Optimizer):
+        return name
+    key = str(name).lower()
+    if key not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"Unknown optimizer {name!r}; expected one of: {known}")
+    return _REGISTRY[key](**kwargs)

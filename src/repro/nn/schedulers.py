@@ -1,0 +1,117 @@
+"""Learning-rate schedules.
+
+A :class:`Scheduler` maps an epoch index to a learning rate and is applied by
+the :class:`repro.nn.trainer.Trainer` at the start of every epoch.  Schedules
+are deliberately stateless (pure functions of the epoch) so that training is
+resumable and unit-testable.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+__all__ = [
+    "Scheduler",
+    "ConstantSchedule",
+    "StepDecay",
+    "ExponentialDecay",
+    "CosineAnnealing",
+    "WarmupSchedule",
+]
+
+
+class Scheduler(ABC):
+    """Base class: maps ``epoch`` (0-based) to a learning rate."""
+
+    @abstractmethod
+    def learning_rate(self, epoch: int) -> float:
+        """Return the learning rate to use during ``epoch``."""
+
+    def __call__(self, epoch: int) -> float:
+        if epoch < 0:
+            raise ValueError(f"epoch must be non-negative, got {epoch}")
+        return self.learning_rate(epoch)
+
+
+class ConstantSchedule(Scheduler):
+    """A constant learning rate."""
+
+    def __init__(self, learning_rate: float) -> None:
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        self.base = float(learning_rate)
+
+    def learning_rate(self, epoch: int) -> float:
+        return self.base
+
+
+class StepDecay(Scheduler):
+    """Multiply the rate by ``factor`` every ``step_size`` epochs."""
+
+    def __init__(self, learning_rate: float, step_size: int, factor: float = 0.1) -> None:
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive, got {step_size}")
+        if not 0.0 < factor <= 1.0:
+            raise ValueError(f"factor must be in (0, 1], got {factor}")
+        self.base = float(learning_rate)
+        self.step_size = int(step_size)
+        self.factor = float(factor)
+
+    def learning_rate(self, epoch: int) -> float:
+        return self.base * self.factor ** (epoch // self.step_size)
+
+
+class ExponentialDecay(Scheduler):
+    """Exponentially decay the rate: ``base * decay ** epoch``."""
+
+    def __init__(self, learning_rate: float, decay: float = 0.95) -> None:
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
+        self.base = float(learning_rate)
+        self.decay = float(decay)
+
+    def learning_rate(self, epoch: int) -> float:
+        return self.base * self.decay**epoch
+
+
+class CosineAnnealing(Scheduler):
+    """Cosine annealing from ``base`` down to ``min_rate`` over ``total_epochs``."""
+
+    def __init__(self, learning_rate: float, total_epochs: int, min_rate: float = 0.0) -> None:
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        if total_epochs <= 0:
+            raise ValueError(f"total_epochs must be positive, got {total_epochs}")
+        if min_rate < 0 or min_rate > learning_rate:
+            raise ValueError(
+                f"min_rate must lie in [0, learning_rate], got {min_rate} vs {learning_rate}"
+            )
+        self.base = float(learning_rate)
+        self.total_epochs = int(total_epochs)
+        self.min_rate = float(min_rate)
+
+    def learning_rate(self, epoch: int) -> float:
+        progress = min(epoch, self.total_epochs) / self.total_epochs
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_rate + (self.base - self.min_rate) * cosine
+
+
+class WarmupSchedule(Scheduler):
+    """Linear warm-up for ``warmup_epochs`` followed by another schedule."""
+
+    def __init__(self, inner: Scheduler, warmup_epochs: int) -> None:
+        if warmup_epochs < 0:
+            raise ValueError(f"warmup_epochs must be non-negative, got {warmup_epochs}")
+        self.inner = inner
+        self.warmup_epochs = int(warmup_epochs)
+
+    def learning_rate(self, epoch: int) -> float:
+        target = self.inner.learning_rate(max(epoch - self.warmup_epochs, 0))
+        if self.warmup_epochs == 0 or epoch >= self.warmup_epochs:
+            return target
+        return target * (epoch + 1) / (self.warmup_epochs + 1)

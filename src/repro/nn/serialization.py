@@ -1,0 +1,72 @@
+"""Model persistence.
+
+Models are saved as a pair of files sharing a stem:
+
+* ``<stem>.json`` -- the architecture config (layer types and sizes, seed,
+  input dimension),
+* ``<stem>.npz``  -- the parameter arrays keyed as in
+  :meth:`repro.nn.network.Sequential.parameters`.
+
+This mirrors how the FPGA flow consumes the trained students: the JSON config
+determines the datapath configuration (layer widths) and the ``.npz`` weights
+are quantized into the Q16.16 block RAM images by :mod:`repro.fpga.quantize`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.network import Sequential
+
+__all__ = ["save_model", "load_model"]
+
+
+def save_model(model: Sequential, path: str | Path) -> tuple[Path, Path]:
+    """Save ``model`` to ``<path>.json`` + ``<path>.npz``.
+
+    ``path`` may include or omit a suffix; any suffix is stripped and replaced.
+    Returns the two paths written.
+    """
+    if not model.is_built:
+        raise ValueError("Cannot save an unbuilt model; call build() or fit() first")
+    stem = Path(path)
+    if stem.suffix:
+        stem = stem.with_suffix("")
+    stem.parent.mkdir(parents=True, exist_ok=True)
+    config_path = stem.with_suffix(".json")
+    weights_path = stem.with_suffix(".npz")
+
+    with open(config_path, "w", encoding="utf-8") as handle:
+        json.dump(model.get_config(), handle, indent=2, sort_keys=True)
+    np.savez(weights_path, **model.parameters())
+    return config_path, weights_path
+
+
+def load_model(path: str | Path) -> Sequential:
+    """Load a model previously written by :func:`save_model`.
+
+    Raises
+    ------
+    FileNotFoundError
+        If either the config or the weights file is missing.
+    """
+    stem = Path(path)
+    if stem.suffix:
+        stem = stem.with_suffix("")
+    config_path = stem.with_suffix(".json")
+    weights_path = stem.with_suffix(".npz")
+    if not config_path.exists():
+        raise FileNotFoundError(f"Missing model config: {config_path}")
+    if not weights_path.exists():
+        raise FileNotFoundError(f"Missing model weights: {weights_path}")
+
+    with open(config_path, encoding="utf-8") as handle:
+        config = json.load(handle)
+    model = Sequential.from_config(config)
+    with np.load(weights_path) as archive:
+        params = {key: archive[key] for key in archive.files}
+    model.set_parameters(params)
+    return model

@@ -1,0 +1,320 @@
+"""Mini-batch training loop with validation tracking and early stopping.
+
+The :class:`Trainer` is deliberately framework-like but small: it shuffles the
+training set each epoch, iterates mini-batches, calls the loss and the
+optimizer, and records a :class:`TrainingHistory`.  The distillation trainer
+in :mod:`repro.core.distillation` builds on the same loop but supplies
+teacher logits alongside the hard labels.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.losses import Loss, get_loss
+from repro.nn.metrics import binary_accuracy
+from repro.nn.network import Sequential
+from repro.nn.optimizers import Optimizer, get_optimizer
+from repro.nn.schedulers import Scheduler
+
+__all__ = ["TrainingHistory", "EarlyStopping", "Trainer"]
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch training curves recorded by :class:`Trainer.fit`."""
+
+    train_loss: list[float] = field(default_factory=list)
+    train_accuracy: list[float] = field(default_factory=list)
+    val_loss: list[float] = field(default_factory=list)
+    val_accuracy: list[float] = field(default_factory=list)
+    learning_rates: list[float] = field(default_factory=list)
+
+    @property
+    def epochs_run(self) -> int:
+        """Number of epochs actually executed (early stopping may cut training short)."""
+        return len(self.train_loss)
+
+    def best_epoch(self, monitor: str = "val_loss") -> int:
+        """Index of the best epoch according to ``monitor``.
+
+        Loss-like monitors are minimized, accuracy-like monitors maximized.
+        """
+        series = getattr(self, monitor, None)
+        if not series:
+            raise ValueError(f"No history recorded for monitor {monitor!r}")
+        values = np.asarray(series, dtype=np.float64)
+        if monitor.endswith("accuracy"):
+            return int(np.argmax(values))
+        return int(np.argmin(values))
+
+    def as_dict(self) -> dict[str, list[float]]:
+        """Plain-dict view (useful for JSON dumps in the benchmark harness)."""
+        return {
+            "train_loss": list(self.train_loss),
+            "train_accuracy": list(self.train_accuracy),
+            "val_loss": list(self.val_loss),
+            "val_accuracy": list(self.val_accuracy),
+            "learning_rates": list(self.learning_rates),
+        }
+
+
+class EarlyStopping:
+    """Stop training when a monitored quantity stops improving.
+
+    Parameters
+    ----------
+    patience:
+        Number of consecutive non-improving epochs tolerated before stopping.
+    min_delta:
+        Minimum change that counts as an improvement.
+    monitor:
+        ``"val_loss"`` (minimized), ``"val_accuracy"`` (maximized), or the
+        ``train_*`` equivalents when no validation split is supplied.
+    restore_best:
+        If True, the trainer restores the best-epoch parameters when stopping.
+    """
+
+    def __init__(
+        self,
+        patience: int = 10,
+        min_delta: float = 0.0,
+        monitor: str = "val_loss",
+        restore_best: bool = True,
+    ) -> None:
+        if patience <= 0:
+            raise ValueError(f"patience must be positive, got {patience}")
+        if min_delta < 0:
+            raise ValueError(f"min_delta must be non-negative, got {min_delta}")
+        self.patience = int(patience)
+        self.min_delta = float(min_delta)
+        self.monitor = monitor
+        self.restore_best = bool(restore_best)
+        self.best_value: float | None = None
+        self.best_params: dict[str, np.ndarray] | None = None
+        self.stale_epochs = 0
+
+    @property
+    def maximize(self) -> bool:
+        """Whether the monitored metric should be maximized."""
+        return self.monitor.endswith("accuracy")
+
+    def update(self, value: float, model: Sequential) -> bool:
+        """Record ``value`` for the current epoch; return True if training should stop."""
+        improved = (
+            self.best_value is None
+            or (self.maximize and value > self.best_value + self.min_delta)
+            or (not self.maximize and value < self.best_value - self.min_delta)
+        )
+        if improved:
+            self.best_value = value
+            self.stale_epochs = 0
+            if self.restore_best:
+                self.best_params = {k: v.copy() for k, v in model.parameters().items()}
+            return False
+        self.stale_epochs += 1
+        return self.stale_epochs >= self.patience
+
+    def restore(self, model: Sequential) -> None:
+        """Copy the best-seen parameters back into ``model`` (if tracking them)."""
+        if self.restore_best and self.best_params is not None:
+            model.set_parameters(self.best_params)
+
+
+class Trainer:
+    """Trains a :class:`~repro.nn.network.Sequential` on ``(X, y)`` arrays.
+
+    Parameters
+    ----------
+    model:
+        The network to train (built or buildable from ``X.shape[1]``).
+    loss:
+        Loss instance or registry name (default binary cross-entropy on
+        logits, matching the single-output readout networks).
+    optimizer:
+        Optimizer instance or registry name.
+    batch_size:
+        Mini-batch size.
+    max_epochs:
+        Upper bound on epochs; early stopping may end training sooner.
+    scheduler:
+        Optional learning-rate schedule applied at the start of each epoch.
+    early_stopping:
+        Optional :class:`EarlyStopping` controller.
+    shuffle:
+        Shuffle the training set every epoch.
+    seed:
+        Seed for the shuffling RNG.
+    metric:
+        Callable ``(predictions, labels) -> float`` used for the accuracy
+        curves; defaults to thresholded binary accuracy on logits.
+    verbose:
+        If True, print one line per epoch (off by default; the benchmark
+        harness prints its own tables).
+    """
+
+    def __init__(
+        self,
+        model: Sequential,
+        loss: str | Loss = "bce",
+        optimizer: str | Optimizer = "adam",
+        batch_size: int = 64,
+        max_epochs: int = 50,
+        scheduler: Scheduler | None = None,
+        early_stopping: EarlyStopping | None = None,
+        shuffle: bool = True,
+        seed: int | None = None,
+        metric: Callable[[np.ndarray, np.ndarray], float] | None = None,
+        verbose: bool = False,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if max_epochs <= 0:
+            raise ValueError(f"max_epochs must be positive, got {max_epochs}")
+        self.model = model
+        if isinstance(loss, str) and loss == "bce":
+            self.loss = get_loss(loss, from_logits=True)
+        else:
+            self.loss = get_loss(loss)
+        self.optimizer = get_optimizer(optimizer)
+        self.batch_size = int(batch_size)
+        self.max_epochs = int(max_epochs)
+        self.scheduler = scheduler
+        self.early_stopping = early_stopping
+        self.shuffle = bool(shuffle)
+        self.metric = metric or (lambda pred, lab: binary_accuracy(pred, lab, threshold=0.0))
+        self.verbose = bool(verbose)
+        self._rng = np.random.default_rng(seed)
+
+    # ----------------------------------------------------------------- fitting
+    def fit(
+        self,
+        x_train: np.ndarray,
+        y_train: np.ndarray,
+        x_val: np.ndarray | None = None,
+        y_val: np.ndarray | None = None,
+    ) -> TrainingHistory:
+        """Train the model and return the per-epoch history."""
+        x_train, y_train = self._validate_data(x_train, y_train)
+        has_val = x_val is not None and y_val is not None
+        if has_val:
+            x_val, y_val = self._validate_data(x_val, y_val)
+
+        if not self.model.is_built:
+            self.model.build(x_train.shape[1])
+
+        history = TrainingHistory()
+        for epoch in range(self.max_epochs):
+            if self.scheduler is not None:
+                self.optimizer.learning_rate = self.scheduler(epoch)
+            history.learning_rates.append(self.optimizer.learning_rate)
+
+            epoch_loss = self._run_epoch(x_train, y_train)
+            train_pred = self.model.predict(x_train, batch_size=4096)
+            history.train_loss.append(epoch_loss)
+            history.train_accuracy.append(self.metric(train_pred, y_train))
+
+            if has_val:
+                val_pred = self.model.predict(x_val, batch_size=4096)
+                val_loss = self.loss.forward(val_pred, y_val)
+                history.val_loss.append(float(val_loss))
+                history.val_accuracy.append(self.metric(val_pred, y_val))
+
+            if self.verbose:  # pragma: no cover - console output
+                msg = (
+                    f"epoch {epoch + 1:3d}/{self.max_epochs}  "
+                    f"loss={history.train_loss[-1]:.4f}  acc={history.train_accuracy[-1]:.4f}"
+                )
+                if has_val:
+                    msg += f"  val_loss={history.val_loss[-1]:.4f}  val_acc={history.val_accuracy[-1]:.4f}"
+                print(msg)
+
+            if self.early_stopping is not None:
+                monitored = self._monitored_value(history, has_val)
+                if self.early_stopping.update(monitored, self.model):
+                    self.early_stopping.restore(self.model)
+                    break
+        else:
+            if self.early_stopping is not None:
+                self.early_stopping.restore(self.model)
+        return history
+
+    def _monitored_value(self, history: TrainingHistory, has_val: bool) -> float:
+        monitor = self.early_stopping.monitor
+        if monitor.startswith("val") and not has_val:
+            monitor = monitor.replace("val", "train")
+        series = getattr(history, monitor)
+        return series[-1]
+
+    def _run_epoch(self, x_train: np.ndarray, y_train: np.ndarray) -> float:
+        n = x_train.shape[0]
+        order = self._rng.permutation(n) if self.shuffle else np.arange(n)
+        total_loss = 0.0
+        batches = 0
+        for start in range(0, n, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            xb, yb = x_train[idx], y_train[idx]
+            logits = self.model.forward(xb, training=True)
+            batch_loss = self.loss.forward(logits, yb)
+            grad = self.loss.backward()
+            self.model.backward(grad)
+            self.optimizer.step(self.model.parameters(), self.model.gradients())
+            total_loss += batch_loss
+            batches += 1
+        return total_loss / max(batches, 1)
+
+    # -------------------------------------------------------------- evaluation
+    def evaluate(self, x: np.ndarray, y: np.ndarray) -> dict[str, float]:
+        """Return ``{"loss": ..., "accuracy": ...}`` on a held-out set."""
+        x, y = self._validate_data(x, y)
+        predictions = self.model.predict(x, batch_size=4096)
+        return {
+            "loss": float(self.loss.forward(predictions, y)),
+            "accuracy": float(self.metric(predictions, y)),
+        }
+
+    @staticmethod
+    def _validate_data(x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[:, None]
+        if y.ndim == 1:
+            y = y[:, None]
+        if x.shape[0] != y.shape[0]:
+            raise ValueError(
+                f"X and y disagree on the number of samples: {x.shape[0]} vs {y.shape[0]}"
+            )
+        if x.shape[0] == 0:
+            raise ValueError("Cannot train/evaluate on an empty dataset")
+        return x, y
+
+
+def train_validation_split(
+    x: np.ndarray,
+    y: np.ndarray,
+    validation_fraction: float = 0.2,
+    seed: int | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Random train/validation split.
+
+    Returns ``(x_train, y_train, x_val, y_val)``.  The split is stratification-
+    free because the readout datasets are balanced by construction.
+    """
+    if not 0.0 < validation_fraction < 1.0:
+        raise ValueError(f"validation_fraction must be in (0, 1), got {validation_fraction}")
+    x = np.asarray(x)
+    y = np.asarray(y)
+    if x.shape[0] != y.shape[0]:
+        raise ValueError("X and y disagree on the number of samples")
+    n = x.shape[0]
+    n_val = max(1, int(round(n * validation_fraction)))
+    if n_val >= n:
+        raise ValueError("validation_fraction leaves no training samples")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    val_idx, train_idx = order[:n_val], order[n_val:]
+    return x[train_idx], y[train_idx], x[val_idx], y[val_idx]

@@ -1,0 +1,79 @@
+"""Synthetic superconducting-qubit readout substrate.
+
+The KLiNQ paper trains and evaluates on real measurement data from a
+five-qubit superconducting processor (Lienhard et al., Phys. Rev. Applied 17,
+014024).  That dataset is not publicly redistributable, so this subpackage
+provides a physics-motivated synthetic equivalent that exercises exactly the
+same code paths:
+
+* :mod:`repro.readout.physics` -- dispersive-readout model producing the
+  state-dependent mean I/Q trajectories of each qubit's readout resonator
+  (ring-up dynamics, state-dependent phase shift).
+* :mod:`repro.readout.noise` -- amplifier (Gaussian) noise, T1 relaxation
+  during the readout window, and frequency-multiplexing crosstalk between
+  qubits.
+* :mod:`repro.readout.trace_generator` -- single-shot trace synthesis for a
+  multi-qubit device given a joint computational state.
+* :mod:`repro.readout.dataset` -- the 2^N-permutation dataset builder with
+  train/test splits, per-qubit label views and trace truncation (the paper's
+  1 µs → 500 ns duration sweep).
+* :mod:`repro.readout.matched_filter` -- the matched-filter envelope
+  ``mean(T0 - T1) / var(T0 - T1)`` and its application as a scalar feature.
+* :mod:`repro.readout.preprocessing` -- interval averaging, the
+  shift-friendly normalization used on the FPGA, and assembly of the student
+  input vectors (averaged I/Q + MF feature).
+* :mod:`repro.readout.demodulation` -- digital demodulation / boxcar
+  integration used by the classical baselines.
+
+The five default qubits are calibrated so the *relative* difficulty ordering
+of the paper is reproduced: qubit 2 has by far the lowest SNR and the most
+crosstalk, qubits 1 and 5 are the easiest, and excited-state relaxation makes
+``P(read 0 | prepared 1)`` the dominant error everywhere.
+"""
+
+from repro.readout.physics import (
+    QubitReadoutParams,
+    ReadoutPhysics,
+    default_five_qubit_device,
+    mean_trajectory,
+)
+from repro.readout.noise import NoiseModel, CrosstalkModel, RelaxationModel
+from repro.readout.trace_generator import TraceGenerator, MultiplexedTraceGenerator
+from repro.readout.dataset import (
+    ReadoutDataset,
+    QubitDatasetView,
+    generate_dataset,
+    truncate_traces,
+)
+from repro.readout.matched_filter import MatchedFilter, train_matched_filter
+from repro.readout.preprocessing import (
+    interval_average,
+    averaged_feature_dimension,
+    ShiftNormalizer,
+    StudentFeatureExtractor,
+)
+from repro.readout.demodulation import demodulate_trace, boxcar_integrate
+
+__all__ = [
+    "QubitReadoutParams",
+    "ReadoutPhysics",
+    "default_five_qubit_device",
+    "mean_trajectory",
+    "NoiseModel",
+    "CrosstalkModel",
+    "RelaxationModel",
+    "TraceGenerator",
+    "MultiplexedTraceGenerator",
+    "ReadoutDataset",
+    "QubitDatasetView",
+    "generate_dataset",
+    "truncate_traces",
+    "MatchedFilter",
+    "train_matched_filter",
+    "interval_average",
+    "averaged_feature_dimension",
+    "ShiftNormalizer",
+    "StudentFeatureExtractor",
+    "demodulate_trace",
+    "boxcar_integrate",
+]

@@ -1,0 +1,68 @@
+"""Digital demodulation and boxcar integration.
+
+The HERQULES-style designs require "an additional digital demodulation
+process" before discrimination (one of the drawbacks KLiNQ avoids by working
+directly on the baseband I/Q samples).  These helpers implement that step so
+the baselines can be reproduced faithfully: the raw trace is mixed with a
+complex tone at the intermediate frequency and either low-pass filtered by a
+moving average or integrated with a boxcar window.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["demodulate_trace", "boxcar_integrate"]
+
+
+def demodulate_trace(
+    traces: np.ndarray,
+    intermediate_frequency: float,
+    sample_period_ns: float,
+) -> np.ndarray:
+    """Mix a trace down by ``intermediate_frequency`` (rad/ns).
+
+    ``traces`` is ``(..., n_samples, 2)``; the I/Q pair is interpreted as a
+    complex sample ``I + jQ`` which is multiplied by ``exp(-j w t)``.  With
+    ``intermediate_frequency = 0`` this is the identity, which is the KLiNQ
+    operating point (its networks consume the raw ADC samples directly).
+    """
+    traces = np.asarray(traces, dtype=np.float64)
+    if traces.shape[-1] != 2:
+        raise ValueError(f"traces must have I/Q on the last axis, got shape {traces.shape}")
+    if sample_period_ns <= 0:
+        raise ValueError(f"sample_period_ns must be positive, got {sample_period_ns}")
+    n_samples = traces.shape[-2]
+    times = np.arange(n_samples, dtype=np.float64) * sample_period_ns
+    phase = np.exp(-1.0j * intermediate_frequency * times)
+    complex_trace = traces[..., 0] + 1.0j * traces[..., 1]
+    mixed = complex_trace * phase
+    return np.stack([mixed.real, mixed.imag], axis=-1)
+
+
+def boxcar_integrate(traces: np.ndarray, window: int | None = None) -> np.ndarray:
+    """Boxcar (rectangular-window) integration of I and Q.
+
+    Parameters
+    ----------
+    traces:
+        ``(..., n_samples, 2)``.
+    window:
+        Number of leading samples to integrate; ``None`` integrates the whole
+        trace.
+
+    Returns
+    -------
+    ndarray
+        ``(..., 2)`` -- the summed I and Q values, the classic
+        "integrate-then-threshold" readout statistic.
+    """
+    traces = np.asarray(traces, dtype=np.float64)
+    if traces.shape[-1] != 2:
+        raise ValueError(f"traces must have I/Q on the last axis, got shape {traces.shape}")
+    n_samples = traces.shape[-2]
+    if window is None:
+        window = n_samples
+    if not 1 <= window <= n_samples:
+        raise ValueError(f"window must be in [1, {n_samples}], got {window}")
+    return traces[..., :window, :].sum(axis=-2)

@@ -1,0 +1,179 @@
+"""Noise processes applied to the ideal readout trajectories.
+
+Three effects dominate single-shot readout errors on real devices, and each is
+modelled explicitly so that the synthetic dataset exhibits the same error
+structure the paper's discriminators contend with:
+
+* **Amplifier noise** (:class:`NoiseModel`) -- additive white Gaussian noise on
+  every I and Q sample.  Its magnitude, relative to the pointer-state
+  separation, sets the SNR and hence the Gaussian-limit fidelity.
+* **Energy relaxation** (:class:`RelaxationModel`) -- a qubit prepared in
+  ``|1>`` may decay to ``|0>`` at a random time during the readout window, in
+  which case the remainder of its trace follows the ground-state trajectory.
+  This produces the characteristic asymmetry ``P(0 | prepared 1) >
+  P(1 | prepared 0)`` and caps the achievable fidelity for short-``T1`` qubits
+  (qubit 2 in the paper).
+* **Multiplexing crosstalk** (:class:`CrosstalkModel`) -- with
+  frequency-multiplexed readout a fraction of every other qubit's
+  state-dependent signal leaks into each digitized trace.  Because the leaked
+  component depends on the *other* qubits' states, it is irreducible noise for
+  an independent per-qubit discriminator -- the reason the paper's independent
+  readout underperforms joint readout, especially on qubit 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.readout.physics import QubitReadoutParams
+
+__all__ = ["NoiseModel", "RelaxationModel", "CrosstalkModel"]
+
+
+class NoiseModel:
+    """Additive white Gaussian noise on I and Q samples.
+
+    Parameters
+    ----------
+    rng:
+        NumPy random generator (shared across models for reproducibility).
+    """
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self.rng = rng
+
+    def apply(self, trace: np.ndarray, noise_sigma: float) -> np.ndarray:
+        """Return ``trace + N(0, noise_sigma)`` with independent noise per sample.
+
+        ``trace`` has shape ``(..., 2)`` (last axis is I/Q); the noise is
+        i.i.d. across samples and quadratures.
+        """
+        if noise_sigma < 0:
+            raise ValueError(f"noise_sigma must be non-negative, got {noise_sigma}")
+        if noise_sigma == 0:
+            return np.array(trace, copy=True)
+        return trace + self.rng.normal(0.0, noise_sigma, size=trace.shape)
+
+
+class RelaxationModel:
+    """T1 relaxation during the readout window.
+
+    A qubit prepared in the excited state decays with rate ``1 / T1``.  If the
+    sampled decay time falls inside the readout window, the mean trajectory is
+    switched to the ground-state one from that sample onward (the resonator
+    re-rings towards the ground-state pointer; we approximate the transient by
+    an instantaneous switch, which is the standard approximation in readout
+    modelling and is what matters to a discriminator: the late part of the
+    trace stops carrying excited-state information).
+    """
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self.rng = rng
+
+    def sample_decay_time(self, t1: float) -> float:
+        """Draw an exponential decay time (ns) for one shot."""
+        if t1 <= 0:
+            raise ValueError(f"t1 must be positive, got {t1}")
+        return float(self.rng.exponential(t1))
+
+    def apply(
+        self,
+        excited_trace: np.ndarray,
+        ground_trace: np.ndarray,
+        times: np.ndarray,
+        t1: float,
+    ) -> tuple[np.ndarray, float]:
+        """Apply a (possibly trivial) relaxation event to an excited-state shot.
+
+        Parameters
+        ----------
+        excited_trace, ground_trace:
+            Mean trajectories of shape ``(n_samples, 2)``.
+        times:
+            Sample times in ns.
+        t1:
+            Relaxation time in ns.
+
+        Returns
+        -------
+        (trace, decay_time):
+            The composite mean trajectory for this shot and the sampled decay
+            time (``inf``-like large values mean no decay happened within the
+            window; the exact value is still returned for diagnostics).
+        """
+        if excited_trace.shape != ground_trace.shape:
+            raise ValueError(
+                f"Trace shapes disagree: {excited_trace.shape} vs {ground_trace.shape}"
+            )
+        decay_time = self.sample_decay_time(t1)
+        if decay_time >= times[-1]:
+            return np.array(excited_trace, copy=True), decay_time
+        switched = np.array(excited_trace, copy=True)
+        decayed = times >= decay_time
+        switched[decayed] = ground_trace[decayed]
+        return switched, decay_time
+
+
+class CrosstalkModel:
+    """Linear leakage of other qubits' readout signals into each trace.
+
+    The leaked contribution to qubit ``i`` is
+    ``coupling_i * mean(other qubits' state-dependent trajectories)``.  Only
+    the *state-dependent part* (deviation from the midpoint of the two
+    trajectories) is injected, so crosstalk shifts the victim's trace in a
+    direction that depends on the aggressors' states -- exactly the
+    correlated error the paper's discussion section describes.
+    """
+
+    def apply(
+        self,
+        traces: np.ndarray,
+        qubit_params: list[QubitReadoutParams],
+        mean_trajectories: np.ndarray,
+        joint_state: np.ndarray,
+    ) -> np.ndarray:
+        """Mix state-dependent leakage into every qubit's trace.
+
+        Parameters
+        ----------
+        traces:
+            Array ``(n_qubits, n_samples, 2)`` of per-qubit traces (already
+            containing their own signal and noise).
+        qubit_params:
+            Per-qubit parameters (for the coupling coefficients).
+        mean_trajectories:
+            Array ``(n_qubits, 2, n_samples, 2)`` of noise-free mean
+            trajectories indexed ``[qubit, state, sample, iq]``.
+        joint_state:
+            The prepared joint state, one 0/1 entry per qubit.
+
+        Returns
+        -------
+        ndarray
+            New array of the same shape as ``traces`` with crosstalk added.
+        """
+        n_qubits = traces.shape[0]
+        if len(qubit_params) != n_qubits or mean_trajectories.shape[0] != n_qubits:
+            raise ValueError("traces, qubit_params and mean_trajectories disagree on qubit count")
+        if len(joint_state) != n_qubits:
+            raise ValueError(
+                f"joint_state has {len(joint_state)} entries for {n_qubits} qubits"
+            )
+        # State-dependent deviation of each aggressor from its trajectory midpoint.
+        midpoints = mean_trajectories.mean(axis=1)  # (n_qubits, n_samples, 2)
+        deviations = np.stack(
+            [
+                mean_trajectories[q, int(joint_state[q])] - midpoints[q]
+                for q in range(n_qubits)
+            ],
+            axis=0,
+        )
+        mixed = np.array(traces, copy=True)
+        for victim in range(n_qubits):
+            coupling = qubit_params[victim].crosstalk_coupling
+            if coupling == 0.0 or n_qubits == 1:
+                continue
+            aggressors = [q for q in range(n_qubits) if q != victim]
+            leak = deviations[aggressors].mean(axis=0)
+            mixed[victim] += coupling * leak
+        return mixed

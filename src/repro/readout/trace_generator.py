@@ -1,0 +1,212 @@
+"""Single-shot trace synthesis.
+
+:class:`TraceGenerator` produces single-qubit shots (used by unit tests and by
+per-qubit calibration utilities); :class:`MultiplexedTraceGenerator` produces
+whole-device shots for a joint computational state, including relaxation and
+crosstalk, and is what the dataset builder uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.readout.noise import CrosstalkModel, NoiseModel, RelaxationModel
+from repro.readout.physics import ReadoutPhysics
+
+__all__ = ["TraceGenerator", "MultiplexedTraceGenerator"]
+
+
+class TraceGenerator:
+    """Generates noisy single-qubit readout traces.
+
+    Parameters
+    ----------
+    physics:
+        Device description (qubit parameters + sampling configuration).
+    seed:
+        Seed for the internal random generator.
+    include_relaxation:
+        Model T1 decay of excited-state shots (on by default).
+    """
+
+    def __init__(
+        self,
+        physics: ReadoutPhysics,
+        seed: int | None = None,
+        include_relaxation: bool = True,
+    ) -> None:
+        self.physics = physics
+        self.rng = np.random.default_rng(seed)
+        self.include_relaxation = bool(include_relaxation)
+        self._noise = NoiseModel(self.rng)
+        self._relaxation = RelaxationModel(self.rng)
+
+    def generate(
+        self, qubit_index: int, state: int, duration_ns: float, n_shots: int = 1
+    ) -> np.ndarray:
+        """Generate ``n_shots`` traces for one qubit prepared in ``state``.
+
+        Returns an array of shape ``(n_shots, n_samples, 2)`` (last axis I/Q).
+        """
+        if state not in (0, 1):
+            raise ValueError(f"state must be 0 or 1, got {state}")
+        if n_shots <= 0:
+            raise ValueError(f"n_shots must be positive, got {n_shots}")
+        params = self.physics.qubits[qubit_index]
+        times = self.physics.sample_times(duration_ns)
+        trajectories = self.physics.mean_trajectories(qubit_index, duration_ns)
+        ground, excited = trajectories[0], trajectories[1]
+
+        shots = np.empty((n_shots, times.shape[0], 2), dtype=np.float64)
+        for shot in range(n_shots):
+            if state == 1 and self.include_relaxation:
+                mean, _ = self._relaxation.apply(excited, ground, times, params.t1)
+            else:
+                mean = trajectories[state]
+            shots[shot] = self._noise.apply(mean, params.noise_sigma)
+        return shots
+
+
+class MultiplexedTraceGenerator:
+    """Generates whole-device shots for a joint computational state.
+
+    Each shot returns one trace per qubit; relaxation is sampled independently
+    per excited qubit and multiplexing crosstalk mixes the state-dependent
+    parts of all qubits' signals into every trace.
+
+    Parameters
+    ----------
+    physics:
+        Device description.
+    seed:
+        Seed for the internal random generator.
+    include_relaxation, include_crosstalk:
+        Toggles for the two correlated-error mechanisms (both on by default;
+        ablation benchmarks switch them off to isolate their impact).
+    """
+
+    def __init__(
+        self,
+        physics: ReadoutPhysics,
+        seed: int | None = None,
+        include_relaxation: bool = True,
+        include_crosstalk: bool = True,
+    ) -> None:
+        self.physics = physics
+        self.rng = np.random.default_rng(seed)
+        self.include_relaxation = bool(include_relaxation)
+        self.include_crosstalk = bool(include_crosstalk)
+        self._noise = NoiseModel(self.rng)
+        self._relaxation = RelaxationModel(self.rng)
+        self._crosstalk = CrosstalkModel()
+        self._trajectory_cache: dict[float, np.ndarray] = {}
+
+    def _mean_trajectories(self, duration_ns: float) -> np.ndarray:
+        """Cached per-qubit mean trajectories ``(n_qubits, 2, n_samples, 2)``."""
+        key = float(duration_ns)
+        if key not in self._trajectory_cache:
+            self._trajectory_cache[key] = np.stack(
+                [
+                    self.physics.mean_trajectories(q, duration_ns)
+                    for q in range(self.physics.n_qubits)
+                ],
+                axis=0,
+            )
+        return self._trajectory_cache[key]
+
+    def generate_shot(self, joint_state: np.ndarray, duration_ns: float) -> np.ndarray:
+        """Generate one shot: an array ``(n_qubits, n_samples, 2)``.
+
+        ``joint_state`` holds one 0/1 entry per qubit (Q1 first).
+        """
+        joint_state = np.asarray(joint_state, dtype=np.int64).reshape(-1)
+        n_qubits = self.physics.n_qubits
+        if joint_state.shape[0] != n_qubits:
+            raise ValueError(
+                f"joint_state has {joint_state.shape[0]} entries for a {n_qubits}-qubit device"
+            )
+        if np.any((joint_state != 0) & (joint_state != 1)):
+            raise ValueError(f"joint_state entries must be 0 or 1, got {joint_state}")
+
+        times = self.physics.sample_times(duration_ns)
+        trajectories = self._mean_trajectories(duration_ns)
+        shot = np.empty((n_qubits, times.shape[0], 2), dtype=np.float64)
+        for q in range(n_qubits):
+            params = self.physics.qubits[q]
+            state = int(joint_state[q])
+            if state == 1 and self.include_relaxation:
+                mean, _ = self._relaxation.apply(
+                    trajectories[q, 1], trajectories[q, 0], times, params.t1
+                )
+            else:
+                mean = trajectories[q, state]
+            shot[q] = mean
+        if self.include_crosstalk:
+            shot = self._crosstalk.apply(shot, self.physics.qubits, trajectories, joint_state)
+        for q in range(n_qubits):
+            shot[q] = self._noise.apply(shot[q], self.physics.qubits[q].noise_sigma)
+        return shot
+
+    def generate_shots(
+        self, joint_state: np.ndarray, duration_ns: float, n_shots: int
+    ) -> np.ndarray:
+        """Generate ``n_shots`` shots of the same joint state (vectorized).
+
+        Returns ``(n_shots, n_qubits, n_samples, 2)``.  Statistically
+        equivalent to calling :meth:`generate_shot` ``n_shots`` times but
+        draws relaxation times and noise in bulk, which is what makes the
+        32-permutation dataset builder fast enough for the benchmark harness.
+        """
+        if n_shots <= 0:
+            raise ValueError(f"n_shots must be positive, got {n_shots}")
+        joint_state = np.asarray(joint_state, dtype=np.int64).reshape(-1)
+        n_qubits = self.physics.n_qubits
+        if joint_state.shape[0] != n_qubits:
+            raise ValueError(
+                f"joint_state has {joint_state.shape[0]} entries for a {n_qubits}-qubit device"
+            )
+        if np.any((joint_state != 0) & (joint_state != 1)):
+            raise ValueError(f"joint_state entries must be 0 or 1, got {joint_state}")
+
+        times = self.physics.sample_times(duration_ns)
+        n_samples = times.shape[0]
+        trajectories = self._mean_trajectories(duration_ns)
+
+        # Per-shot mean trajectories including relaxation switches.
+        shots = np.empty((n_shots, n_qubits, n_samples, 2), dtype=np.float64)
+        for q in range(n_qubits):
+            params = self.physics.qubits[q]
+            state = int(joint_state[q])
+            mean = trajectories[q, state]
+            if state == 1 and self.include_relaxation:
+                decay_times = self.rng.exponential(params.t1, size=n_shots)
+                decayed = times[None, :] >= decay_times[:, None]  # (n_shots, n_samples)
+                per_shot = np.where(
+                    decayed[:, :, None], trajectories[q, 0][None, :, :], mean[None, :, :]
+                )
+                shots[:, q] = per_shot
+            else:
+                shots[:, q] = mean[None, :, :]
+
+        # Crosstalk: the leaked, state-dependent deviation is identical for
+        # every shot of the same joint state, so compute it once.
+        if self.include_crosstalk and n_qubits > 1:
+            midpoints = trajectories.mean(axis=1)
+            deviations = np.stack(
+                [trajectories[q, int(joint_state[q])] - midpoints[q] for q in range(n_qubits)],
+                axis=0,
+            )
+            for victim in range(n_qubits):
+                coupling = self.physics.qubits[victim].crosstalk_coupling
+                if coupling == 0.0:
+                    continue
+                aggressors = [q for q in range(n_qubits) if q != victim]
+                leak = deviations[aggressors].mean(axis=0)
+                shots[:, victim] += coupling * leak[None, :, :]
+
+        # Amplifier noise, drawn in one call per qubit.
+        for q in range(n_qubits):
+            sigma = self.physics.qubits[q].noise_sigma
+            if sigma > 0:
+                shots[:, q] += self.rng.normal(0.0, sigma, size=(n_shots, n_samples, 2))
+        return shots

@@ -1,0 +1,73 @@
+"""Tests for the experiment drivers (dataset preparation and fidelity comparison)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import prepare_dataset, run_fidelity_comparison, run_klinq
+from repro.core.config import scaled_experiment_config
+
+
+@pytest.fixture(scope="module")
+def tiny_artifacts():
+    """A deliberately small scaled configuration so the drivers stay fast in CI."""
+    config = scaled_experiment_config(seed=5, shots_per_state_train=20, shots_per_state_test=30)
+    return prepare_dataset(config)
+
+
+class TestPrepareDataset:
+    def test_device_matches_config(self, tiny_artifacts):
+        assert tiny_artifacts.physics.sample_period_ns == tiny_artifacts.config.sample_period_ns
+        assert tiny_artifacts.dataset.n_qubits == tiny_artifacts.config.n_qubits
+
+    def test_dataset_sizes(self, tiny_artifacts):
+        config = tiny_artifacts.config
+        expected_train = 32 * config.shots_per_state_train
+        assert tiny_artifacts.dataset.train_traces.shape[0] == expected_train
+
+    def test_default_config_used_when_none(self):
+        artifacts = prepare_dataset(
+            scaled_experiment_config(shots_per_state_train=2, shots_per_state_test=2)
+        )
+        assert artifacts.config.name == "scaled"
+
+
+class TestRunKlinq:
+    def test_report_covers_all_qubits(self, tiny_artifacts):
+        _, report = run_klinq(tiny_artifacts)
+        assert len(report.per_qubit) == 5
+        assert 0.5 < report.geometric_mean <= 1.0
+
+    def test_qubit2_is_the_weakest(self, tiny_artifacts):
+        """Even at small dataset scale, qubit 2 (index 1) is clearly the hardest qubit."""
+        _, report = run_klinq(tiny_artifacts)
+        fidelities = report.fidelities
+        others = [f for index, f in enumerate(fidelities) if index != 1]
+        assert fidelities[1] < min(others)
+
+
+class TestFidelityComparison:
+    @pytest.fixture(scope="class")
+    def comparison(self, tiny_artifacts):
+        return run_fidelity_comparison(
+            tiny_artifacts,
+            include_baseline_fnn=False,  # keep CI fast; the benchmark runs the full table
+            include_herqules=True,
+            include_matched_filter=True,
+        )
+
+    def test_designs_present(self, comparison):
+        assert "KLiNQ" in comparison["designs"]
+        assert "HERQULES" in comparison["designs"]
+        assert "Matched filter" in comparison["designs"]
+
+    def test_rows_have_five_qubits_and_means(self, comparison):
+        for design, row in comparison["designs"].items():
+            assert len(row["fidelities"]) == 5, design
+            assert 0.0 < row["f_all"] <= 1.0
+            assert row["f_excl"] >= row["f_all"] - 1e-9
+
+    def test_excluding_qubit2_raises_geometric_mean(self, comparison):
+        """F4Q >= F5Q because qubit 2 is the weakest (Table I structure)."""
+        for row in comparison["designs"].values():
+            assert row["f_excl"] >= row["f_all"]

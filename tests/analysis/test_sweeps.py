@@ -1,0 +1,69 @@
+"""Tests for the readout-trace-duration sweep driver (Table II / Fig. 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import prepare_dataset
+from repro.analysis.sweeps import DurationSweepResult, run_duration_sweep
+from repro.core.config import scaled_experiment_config
+from repro.nn.metrics import geometric_mean_fidelity
+
+
+@pytest.fixture(scope="module")
+def sweep_artifacts():
+    config = scaled_experiment_config(seed=2, shots_per_state_train=8, shots_per_state_test=12)
+    return prepare_dataset(config)
+
+
+@pytest.fixture(scope="module")
+def klinq_sweep(sweep_artifacts):
+    return run_duration_sweep(sweep_artifacts, durations_ns=(1000.0, 500.0), design="KLiNQ")
+
+
+class TestDurationSweep:
+    def test_series_lengths(self, klinq_sweep):
+        assert klinq_sweep.durations_ns == [1000.0, 500.0]
+        assert len(klinq_sweep.geometric_means) == 2
+        assert set(klinq_sweep.per_qubit) == {"Q1", "Q2", "Q3", "Q4", "Q5"}
+        assert all(len(series) == 2 for series in klinq_sweep.per_qubit.values())
+
+    def test_fidelities_in_range(self, klinq_sweep):
+        for series in klinq_sweep.per_qubit.values():
+            assert all(0.0 < value <= 1.0 for value in series)
+
+    def test_geometric_means_consistent_with_per_qubit(self, klinq_sweep):
+        for index in range(2):
+            per_qubit = [series[index] for series in klinq_sweep.per_qubit.values()]
+            assert klinq_sweep.geometric_means[index] == pytest.approx(
+                geometric_mean_fidelity(per_qubit)
+            )
+
+    def test_optimal_geometric_mean_at_least_full_duration(self, klinq_sweep):
+        """Combining each qubit's best duration can only improve on any single duration."""
+        assert klinq_sweep.optimal_geometric_mean() >= max(klinq_sweep.geometric_means) - 1e-9
+
+    def test_best_duration_per_qubit_keys(self, klinq_sweep):
+        best = klinq_sweep.best_duration_per_qubit()
+        assert set(best) == {"Q1", "Q2", "Q3", "Q4", "Q5"}
+        assert all(duration in (1000.0, 500.0) for duration in best.values())
+
+    def test_as_dict(self, klinq_sweep):
+        payload = klinq_sweep.as_dict()
+        assert payload["design"] == "KLiNQ"
+        assert "optimal_geometric_mean" in payload
+
+    def test_herqules_sweep_runs(self, sweep_artifacts):
+        result = run_duration_sweep(
+            sweep_artifacts, durations_ns=(1000.0,), design="HERQULES"
+        )
+        assert isinstance(result, DurationSweepResult)
+        assert len(result.geometric_means) == 1
+
+    def test_unknown_design_rejected(self, sweep_artifacts):
+        with pytest.raises(ValueError):
+            run_duration_sweep(sweep_artifacts, durations_ns=(1000.0,), design="SVM")
+
+    def test_duration_beyond_recording_rejected(self, sweep_artifacts):
+        with pytest.raises(ValueError):
+            run_duration_sweep(sweep_artifacts, durations_ns=(2000.0,), design="KLiNQ")

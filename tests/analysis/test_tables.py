@@ -1,0 +1,68 @@
+"""Unit tests for plain-text table formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import format_fidelity_table, format_sweep_table, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(["a", "bb"], [[1.0, "x"], [2.5, "yy"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "1.000" in text and "2.500" in text
+
+    def test_title(self):
+        text = format_table(["a"], [[1.0]], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_custom_float_format(self):
+        text = format_table(["a"], [[0.123456]], float_format="{:.1f}")
+        assert "0.1" in text and "0.1234" not in text
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1.0]])
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+    def test_empty_rows_allowed(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+
+class TestFidelityTable:
+    def test_paper_style_rows(self):
+        results = {
+            "KLiNQ": [0.968, 0.748, 0.929, 0.934, 0.959],
+            "HERQULES": [0.965, 0.730, 0.908, 0.934, 0.953],
+        }
+        means = {"KLiNQ": (0.904, 0.947), "HERQULES": (0.893, 0.940)}
+        text = format_fidelity_table(results, means)
+        assert "KLiNQ" in text and "HERQULES" in text
+        assert "Qubit 5" in text and "F_all" in text
+        assert "0.904" in text
+
+    def test_inconsistent_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            format_fidelity_table({"a": [0.9, 0.8], "b": [0.9]}, {"a": (0.85, 0.9), "b": (0.9, 0.9)})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_fidelity_table({}, {})
+
+
+class TestSweepTable:
+    def test_table2_style(self):
+        text = format_sweep_table(
+            durations_ns=[1000, 750, 500],
+            per_qubit={"Q1": [0.97, 0.96, 0.94], "Q2": [0.75, 0.74, 0.72]},
+            geometric_means=[0.9, 0.89, 0.87],
+        )
+        assert "1000" in text and "500" in text
+        assert "Q1" in text and "Q2" in text and "F_all" in text
+        assert "0.970" in text

@@ -1,0 +1,50 @@
+"""Unit tests for the Lienhard-style baseline FNN (independent readout)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import BaselineFNN
+from repro.core.config import TeacherArchitecture
+
+
+@pytest.fixture(scope="module")
+def trained_baseline(small_dataset, fast_training, tiny_teacher_architecture):
+    view = small_dataset.qubit_view(0)
+    model = BaselineFNN(n_samples=view.n_samples, architecture=tiny_teacher_architecture, seed=0)
+    model.fit(view.train_traces, view.train_labels, fast_training)
+    return model
+
+
+class TestBaselineFNN:
+    def test_default_architecture_is_paper_scale(self):
+        model = BaselineFNN(n_samples=500)
+        assert model.parameter_count == 1_627_001
+
+    def test_untrained_flag(self, tiny_teacher_architecture):
+        model = BaselineFNN(n_samples=40, architecture=tiny_teacher_architecture)
+        assert not model.is_trained
+
+    def test_training_fidelity(self, trained_baseline, small_dataset):
+        view = small_dataset.qubit_view(0)
+        assert trained_baseline.fidelity(view.test_traces, view.test_labels) > 0.8
+
+    def test_predict_states_binary(self, trained_baseline, small_dataset):
+        states = trained_baseline.predict_states(small_dataset.qubit_view(0).test_traces[:15])
+        assert set(np.unique(states)).issubset({0, 1})
+
+    def test_logits_shape(self, trained_baseline, small_dataset):
+        logits = trained_baseline.predict_logits(small_dataset.qubit_view(0).test_traces[:15])
+        assert logits.shape == (15,)
+
+    def test_fit_returns_self(self, small_dataset, fast_training, tiny_teacher_architecture):
+        view = small_dataset.qubit_view(1)
+        model = BaselineFNN(n_samples=view.n_samples, architecture=tiny_teacher_architecture, seed=1)
+        assert model.fit(view.train_traces, view.train_labels, fast_training) is model
+        assert model.is_trained
+
+    def test_custom_architecture_respected(self):
+        arch = TeacherArchitecture(name="custom", hidden_layers=(10, 5))
+        model = BaselineFNN(n_samples=20, architecture=arch)
+        assert model.parameter_count == 40 * 10 + 10 + 10 * 5 + 5 + 5 * 1 + 1

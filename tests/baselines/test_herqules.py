@@ -1,0 +1,64 @@
+"""Unit tests for the HERQULES-style matched-filter + reduced-FNN baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import HerqulesDiscriminator
+
+
+@pytest.fixture(scope="module")
+def trained_herqules(small_dataset, fast_training):
+    view = small_dataset.qubit_view(0)
+    model = HerqulesDiscriminator(n_sections=4, seed=0)
+    model.fit(view.train_traces, view.train_labels, fast_training)
+    return model
+
+
+class TestHerqulesDiscriminator:
+    def test_feature_dimension_is_sections_plus_one(self, trained_herqules, small_dataset):
+        features = trained_herqules.features(small_dataset.qubit_view(0).test_traces[:10])
+        assert features.shape == (10, 5)
+
+    def test_fidelity_reasonable(self, trained_herqules, small_dataset):
+        view = small_dataset.qubit_view(0)
+        assert trained_herqules.fidelity(view.test_traces, view.test_labels) > 0.8
+
+    def test_network_is_small(self, trained_herqules):
+        assert trained_herqules.parameter_count < 10_000
+
+    def test_predict_states_binary(self, trained_herqules, small_dataset):
+        states = trained_herqules.predict_states(small_dataset.qubit_view(0).test_traces[:12])
+        assert set(np.unique(states)).issubset({0, 1})
+
+    def test_untrained_guards(self, small_dataset):
+        model = HerqulesDiscriminator()
+        view = small_dataset.qubit_view(0)
+        with pytest.raises(RuntimeError):
+            model.predict_logits(view.test_traces[:2])
+        with pytest.raises(RuntimeError):
+            model.features(view.test_traces[:2])
+        with pytest.raises(RuntimeError):
+            _ = model.parameter_count
+
+    def test_wrong_trace_length_rejected(self, trained_herqules, small_dataset):
+        view = small_dataset.qubit_view(0)
+        with pytest.raises(ValueError):
+            trained_herqules.predict_logits(view.test_traces[:, :10, :])
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            HerqulesDiscriminator(n_sections=0)
+        with pytest.raises(ValueError):
+            HerqulesDiscriminator(hidden_layers=())
+
+    def test_section_filters_count(self, trained_herqules):
+        assert len(trained_herqules.section_filters) == 4
+        assert trained_herqules.full_filter is not None
+
+    def test_too_many_sections_for_short_trace_rejected(self, small_dataset, fast_training):
+        view = small_dataset.qubit_view(0)
+        model = HerqulesDiscriminator(n_sections=100, seed=0)
+        with pytest.raises(ValueError):
+            model.fit(view.train_traces[:, :30, :], view.train_labels, fast_training)

@@ -1,0 +1,62 @@
+"""Unit tests for the linear (logistic) discriminator baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import LinearDiscriminator, MatchedFilterThreshold
+
+
+@pytest.fixture(scope="module")
+def trained_linear(small_dataset):
+    view = small_dataset.qubit_view(0)
+    return LinearDiscriminator(n_sections=2).fit(view.train_traces, view.train_labels)
+
+
+class TestLinearDiscriminator:
+    def test_learns_something_useful(self, trained_linear, small_dataset):
+        view = small_dataset.qubit_view(0)
+        assert trained_linear.fidelity(view.test_traces, view.test_labels) > 0.75
+
+    def test_single_section_is_weaker_than_matched_filter(self, small_dataset):
+        """Discarding temporal structure costs fidelity relative to the matched filter."""
+        view = small_dataset.qubit_view(1)
+        linear = LinearDiscriminator(n_sections=1).fit(view.train_traces, view.train_labels)
+        matched = MatchedFilterThreshold().fit(view.train_traces, view.train_labels)
+        assert matched.fidelity(view.test_traces, view.test_labels) >= (
+            linear.fidelity(view.test_traces, view.test_labels) - 0.02
+        )
+
+    def test_parameter_count(self, trained_linear):
+        assert trained_linear.parameter_count == 2 * 2 + 1  # 2 sections x (I, Q) + bias
+
+    def test_predict_states_binary(self, trained_linear, small_dataset):
+        states = trained_linear.predict_states(small_dataset.qubit_view(0).test_traces[:7])
+        assert set(np.unique(states)).issubset({0, 1})
+
+    def test_single_trace(self, trained_linear, small_dataset):
+        logits = trained_linear.predict_logits(small_dataset.qubit_view(0).test_traces[0])
+        assert logits.shape == (1,)
+
+    def test_untrained_guard(self, small_dataset):
+        model = LinearDiscriminator()
+        with pytest.raises(RuntimeError):
+            model.predict_logits(small_dataset.qubit_view(0).test_traces[:2])
+
+    def test_wrong_trace_length_rejected(self, trained_linear, small_dataset):
+        with pytest.raises(ValueError):
+            trained_linear.predict_logits(small_dataset.qubit_view(0).test_traces[:, :10, :])
+
+    def test_mismatched_labels_rejected(self, small_dataset):
+        view = small_dataset.qubit_view(0)
+        with pytest.raises(ValueError):
+            LinearDiscriminator().fit(view.train_traces, view.train_labels[:-1])
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            LinearDiscriminator(n_sections=0)
+        with pytest.raises(ValueError):
+            LinearDiscriminator(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            LinearDiscriminator(l2=-1.0)

@@ -1,0 +1,45 @@
+"""Unit tests for the classical matched-filter-threshold baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import MatchedFilterThreshold
+
+
+@pytest.fixture(scope="module")
+def trained_mft(small_dataset):
+    view = small_dataset.qubit_view(0)
+    return MatchedFilterThreshold().fit(view.train_traces, view.train_labels)
+
+
+class TestMatchedFilterThreshold:
+    def test_fidelity_approaches_gaussian_limit(self, trained_mft, small_dataset, small_device):
+        view = small_dataset.qubit_view(0)
+        fidelity = trained_mft.fidelity(view.test_traces, view.test_labels)
+        ideal = small_device.ideal_fidelity(0, 400.0)
+        assert fidelity > ideal - 0.08  # close to the noise-limited bound
+
+    def test_predict_states_binary(self, trained_mft, small_dataset):
+        states = trained_mft.predict_states(small_dataset.qubit_view(0).test_traces[:9])
+        assert set(np.unique(states)).issubset({0, 1})
+
+    def test_scores_are_scalars_per_shot(self, trained_mft, small_dataset):
+        scores = trained_mft.predict_scores(small_dataset.qubit_view(0).test_traces[:9])
+        assert scores.shape == (9,)
+
+    def test_parameter_count(self, trained_mft, small_dataset):
+        n_samples = small_dataset.qubit_view(0).n_samples
+        assert trained_mft.parameter_count == n_samples * 2 + 1
+
+    def test_untrained_guards(self, small_dataset):
+        model = MatchedFilterThreshold()
+        view = small_dataset.qubit_view(0)
+        assert not model.is_trained
+        with pytest.raises(RuntimeError):
+            model.predict_states(view.test_traces[:2])
+        with pytest.raises(RuntimeError):
+            model.fidelity(view.test_traces[:2], view.test_labels[:2])
+        with pytest.raises(RuntimeError):
+            _ = model.parameter_count

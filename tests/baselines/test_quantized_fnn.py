@@ -1,0 +1,74 @@
+"""Unit tests for the post-training-quantized FNN baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import QuantizedFNN
+from repro.core.config import TeacherArchitecture
+from repro.fpga.fixed_point import FixedPointFormat
+
+
+@pytest.fixture(scope="module")
+def trained_quantized(small_dataset, fast_training):
+    view = small_dataset.qubit_view(0)
+    model = QuantizedFNN(
+        n_samples=view.n_samples,
+        architecture=TeacherArchitecture(name="tiny", hidden_layers=(32, 16)),
+        fmt=FixedPointFormat(integer_bits=8, fractional_bits=8),
+        seed=0,
+    )
+    model.fit(view.train_traces, view.train_labels, fast_training)
+    return model
+
+
+class TestQuantizedFNN:
+    def test_quantized_fidelity_reasonable(self, trained_quantized, small_dataset):
+        view = small_dataset.qubit_view(0)
+        assert trained_quantized.fidelity(view.test_traces, view.test_labels, quantized=True) > 0.75
+
+    def test_float_path_at_least_as_good_roughly(self, trained_quantized, small_dataset):
+        view = small_dataset.qubit_view(0)
+        penalty = trained_quantized.quantization_penalty(view.test_traces, view.test_labels)
+        # Quantization can help by luck on a finite test set, but never by much.
+        assert penalty > -0.03
+
+    def test_wider_format_smaller_penalty(self, small_dataset, fast_training):
+        """Q16.16 quantization hurts no more than an aggressive Q4.4 format."""
+        view = small_dataset.qubit_view(0)
+        results = {}
+        for bits in (4, 16):
+            model = QuantizedFNN(
+                n_samples=view.n_samples,
+                architecture=TeacherArchitecture(name="tiny", hidden_layers=(16, 8)),
+                fmt=FixedPointFormat(integer_bits=bits, fractional_bits=bits),
+                seed=3,
+            )
+            model.fit(view.train_traces, view.train_labels, fast_training)
+            results[bits] = model.fidelity(view.test_traces, view.test_labels, quantized=True)
+        assert results[16] >= results[4] - 0.01
+
+    def test_predict_states_binary(self, trained_quantized, small_dataset):
+        states = trained_quantized.predict_states(small_dataset.qubit_view(0).test_traces[:6])
+        assert set(np.unique(states)).issubset({0, 1})
+
+    def test_untrained_guard(self, small_dataset):
+        model = QuantizedFNN(n_samples=40)
+        with pytest.raises(RuntimeError):
+            model.predict_logits(small_dataset.qubit_view(0).test_traces[:2], quantized=True)
+
+    def test_float_weights_restored_after_quantized_inference(self, trained_quantized, small_dataset):
+        """Quantized inference must not permanently alter the float parameters."""
+        view = small_dataset.qubit_view(0)
+        before = {
+            k: v.copy() for k, v in trained_quantized._model.network.parameters().items()
+        }
+        trained_quantized.predict_logits(view.test_traces[:5], quantized=True)
+        after = trained_quantized._model.network.parameters()
+        for key in before:
+            np.testing.assert_array_equal(before[key], after[key])
+
+    def test_default_architecture_is_reduced(self):
+        model = QuantizedFNN(n_samples=500)
+        assert model.parameter_count < 1_627_001

@@ -1,0 +1,161 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (synthetic datasets, trained models) are session-scoped so
+that the suite exercises realistic objects without re-training in every test.
+All fixtures use fixed seeds; tests asserting on fidelity values use generous
+margins so they remain stable across NumPy versions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import (
+    DistillationConfig,
+    StudentArchitecture,
+    TeacherArchitecture,
+    TrainingConfig,
+    ExperimentConfig,
+)
+from repro.core.student import StudentModel
+from repro.core.teacher import TeacherModel
+from repro.readout.dataset import ReadoutDataset, generate_dataset
+from repro.readout.physics import QubitReadoutParams, ReadoutPhysics, default_five_qubit_device
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """A deterministic random generator for ad-hoc array construction."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_device() -> ReadoutPhysics:
+    """A two-qubit device with coarse sampling: fast to simulate, easy to separate."""
+    qubits = [
+        QubitReadoutParams(
+            label="QA", chi=0.012, kappa=0.03, probe_amplitude=1.0,
+            noise_sigma=2.0, t1=50_000.0, crosstalk_coupling=0.02,
+        ),
+        QubitReadoutParams(
+            label="QB", chi=0.008, kappa=0.025, probe_amplitude=0.7,
+            noise_sigma=1.5, t1=20_000.0, crosstalk_coupling=0.04,
+        ),
+    ]
+    return ReadoutPhysics(qubits, sample_period_ns=10.0)
+
+
+@pytest.fixture(scope="session")
+def five_qubit_device() -> ReadoutPhysics:
+    """The default five-qubit device at a coarse (fast) sample rate."""
+    return default_five_qubit_device(sample_period_ns=10.0)
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_device: ReadoutPhysics) -> ReadoutDataset:
+    """A small two-qubit dataset (400 ns traces, 40 samples per quadrature)."""
+    return generate_dataset(
+        small_device,
+        shots_per_state_train=110,
+        shots_per_state_test=110,
+        duration_ns=400.0,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def five_qubit_dataset(five_qubit_device: ReadoutPhysics) -> ReadoutDataset:
+    """A compact five-qubit dataset (1 µs traces at 10 ns sampling)."""
+    return generate_dataset(
+        five_qubit_device,
+        shots_per_state_train=12,
+        shots_per_state_test=20,
+        duration_ns=1000.0,
+        seed=3,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_teacher_architecture() -> TeacherArchitecture:
+    """A teacher small enough to train inside a unit test."""
+    return TeacherArchitecture(name="teacher-tiny", hidden_layers=(32, 16, 8))
+
+
+@pytest.fixture(scope="session")
+def student_architecture() -> StudentArchitecture:
+    """An FNN-A-like student for the small dataset (40-sample traces)."""
+    return StudentArchitecture(name="FNN-A-test", samples_per_interval=4, hidden_layers=(16, 8))
+
+
+@pytest.fixture(scope="session")
+def fast_training() -> TrainingConfig:
+    """Few-epoch training settings used throughout the unit tests."""
+    return TrainingConfig(
+        learning_rate=3e-3, max_epochs=20, batch_size=32, early_stopping_patience=8, seed=1
+    )
+
+
+@pytest.fixture(scope="session")
+def fast_distillation() -> DistillationConfig:
+    """Few-epoch distillation settings used throughout the unit tests."""
+    return DistillationConfig(
+        learning_rate=3e-3, max_epochs=30, batch_size=32, early_stopping_patience=10, seed=1
+    )
+
+
+@pytest.fixture(scope="session")
+def trained_teacher(
+    small_dataset: ReadoutDataset,
+    tiny_teacher_architecture: TeacherArchitecture,
+    fast_training: TrainingConfig,
+) -> TeacherModel:
+    """A teacher trained on qubit 0 of the small dataset."""
+    view = small_dataset.qubit_view(0)
+    teacher = TeacherModel(tiny_teacher_architecture, n_samples=view.n_samples, seed=11)
+    teacher.fit(view.train_traces, view.train_labels, fast_training)
+    return teacher
+
+
+@pytest.fixture(scope="session")
+def trained_student(
+    small_dataset: ReadoutDataset,
+    student_architecture: StudentArchitecture,
+    trained_teacher: TeacherModel,
+    fast_distillation: DistillationConfig,
+) -> StudentModel:
+    """A student distilled from ``trained_teacher`` on qubit 0 of the small dataset."""
+    from repro.core.distillation import DistillationTrainer
+
+    view = small_dataset.qubit_view(0)
+    student = StudentModel(student_architecture, n_samples=view.n_samples, seed=13)
+    DistillationTrainer(trained_teacher, student, fast_distillation).fit(
+        view.train_traces, view.train_labels
+    )
+    return student
+
+
+@pytest.fixture(scope="session")
+def small_experiment_config(
+    tiny_teacher_architecture: TeacherArchitecture,
+    fast_training: TrainingConfig,
+    fast_distillation: DistillationConfig,
+) -> ExperimentConfig:
+    """A two-qubit experiment configuration matching ``small_dataset``."""
+    students = (
+        StudentArchitecture(name="FNN-A-test", samples_per_interval=4, hidden_layers=(16, 8)),
+        StudentArchitecture(name="FNN-B-test", samples_per_interval=1, hidden_layers=(16, 8)),
+    )
+    return ExperimentConfig(
+        name="test-small",
+        duration_ns=400.0,
+        sample_period_ns=10.0,
+        shots_per_state_train=60,
+        shots_per_state_test=80,
+        teacher=tiny_teacher_architecture,
+        students=students,
+        teacher_training=fast_training,
+        student_training=fast_training,
+        distillation=fast_distillation,
+        seed=7,
+    )

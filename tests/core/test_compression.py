@@ -1,0 +1,110 @@
+"""Unit tests for parameter counting and the network compression rate (Fig. 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compression import (
+    compression_report,
+    count_dense_parameters,
+    network_compression_rate,
+    student_parameter_count,
+    teacher_parameter_count,
+)
+from repro.core.config import FNN_A, FNN_B, PAPER_TEACHER, TeacherArchitecture
+
+
+class TestCountDenseParameters:
+    def test_simple_stack(self):
+        # 3 -> 2 -> 1: (3*2+2) + (2*1+1) = 11
+        assert count_dense_parameters([3, 2, 1]) == 11
+
+    def test_without_bias(self):
+        assert count_dense_parameters([3, 2, 1], use_bias=False) == 8
+
+    def test_matches_built_network(self):
+        from repro.core.student import build_student_network
+
+        assert count_dense_parameters([31, 16, 8, 1]) == build_student_network(31).parameter_count()
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            count_dense_parameters([5])
+        with pytest.raises(ValueError):
+            count_dense_parameters([5, 0, 1])
+
+
+class TestPaperScaleCounts:
+    def test_teacher_total_close_to_paper(self):
+        """Five paper-scale teachers: the paper reports 8 130 005 parameters."""
+        total = teacher_parameter_count(PAPER_TEACHER, n_samples=500, n_qubits=5)
+        assert total == 5 * 1_627_001
+        # Within 0.2 % of the figure printed in Fig. 5 (8 130 005).
+        assert abs(total - 8_130_005) / 8_130_005 < 0.002
+
+    def test_student_group_totals_match_fig5_exactly(self):
+        assert student_parameter_count(FNN_A, 500, n_qubits=3) == 1_971
+        assert student_parameter_count(FNN_B, 500, n_qubits=2) == 6_754
+
+    def test_invalid_qubit_count(self):
+        with pytest.raises(ValueError):
+            teacher_parameter_count(PAPER_TEACHER, 500, n_qubits=0)
+
+
+class TestNetworkCompressionRate:
+    def test_basic(self):
+        assert network_compression_rate(100, 1) == pytest.approx(0.99)
+
+    def test_paper_ncr_vs_teacher(self):
+        """The paper reports an NCR of 99.89 % relative to the teacher networks."""
+        teacher_total = teacher_parameter_count(PAPER_TEACHER, 500, n_qubits=5)
+        student_total = student_parameter_count(FNN_A, 500, 3) + student_parameter_count(FNN_B, 500, 2)
+        ncr = network_compression_rate(teacher_total, student_total)
+        assert ncr == pytest.approx(0.9989, abs=0.0002)
+
+    def test_ncr_vs_baseline_exceeds_99_percent(self):
+        """Against the ~1.63 M-parameter baseline FNN the students are still >99 % smaller."""
+        baseline = count_dense_parameters([1000, 1000, 500, 250, 1])
+        student_total = student_parameter_count(FNN_A, 500, 3) + student_parameter_count(FNN_B, 500, 2)
+        assert network_compression_rate(baseline, student_total) > 0.99
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            network_compression_rate(0, 1)
+        with pytest.raises(ValueError):
+            network_compression_rate(10, -1)
+        with pytest.raises(ValueError):
+            network_compression_rate(10, 20)
+
+
+class TestCompressionReport:
+    def test_full_report_structure(self):
+        report = compression_report(
+            PAPER_TEACHER,
+            [(FNN_B, 2), (FNN_A, 3)],
+            n_samples=500,
+            baseline_parameters=count_dense_parameters([1000, 1000, 500, 250, 1]),
+        )
+        assert report["student_parameters"] == 1_971 + 6_754
+        assert report["student_groups"]["FNN-A"]["parameters"] == 1_971
+        assert report["student_groups"]["FNN-B"]["parameters"] == 6_754
+        assert report["ncr_vs_teacher"] > 0.998
+        assert report["ncr_vs_baseline"] > 0.99
+
+    def test_report_without_baseline(self):
+        report = compression_report(PAPER_TEACHER, [(FNN_A, 3)], n_samples=500)
+        assert "ncr_vs_baseline" not in report
+
+    def test_empty_groups_rejected(self):
+        with pytest.raises(ValueError):
+            compression_report(PAPER_TEACHER, [], n_samples=500)
+
+    def test_scaled_architectures_still_compress_heavily(self):
+        """Even the scaled benchmark teacher is >95 % larger than its students."""
+        scaled_teacher = TeacherArchitecture(name="scaled", hidden_layers=(200, 100, 50))
+        report = compression_report(
+            scaled_teacher,
+            [(FNN_A.with_samples_per_interval(6), 3), (FNN_B.with_samples_per_interval(1), 2)],
+            n_samples=100,
+        )
+        assert report["ncr_vs_teacher"] > 0.90

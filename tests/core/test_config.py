@@ -1,0 +1,141 @@
+"""Unit tests for architecture and experiment configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import (
+    FNN_A,
+    FNN_B,
+    PAPER_TEACHER,
+    DistillationConfig,
+    ExperimentConfig,
+    StudentArchitecture,
+    TeacherArchitecture,
+    TrainingConfig,
+    default_student_assignment,
+    paper_experiment_config,
+    scaled_experiment_config,
+)
+
+
+class TestStudentArchitecture:
+    def test_paper_input_dimensions(self):
+        """FNN-A sees 31 inputs and FNN-B 201 inputs at 500-sample traces."""
+        assert FNN_A.input_dimension(500) == 31
+        assert FNN_B.input_dimension(500) == 201
+
+    def test_input_dimension_without_mf(self):
+        arch = StudentArchitecture(name="x", samples_per_interval=32, include_matched_filter=False)
+        assert arch.input_dimension(500) == 30
+
+    def test_too_short_trace_rejected(self):
+        with pytest.raises(ValueError):
+            FNN_A.input_dimension(16)
+
+    def test_with_samples_per_interval(self):
+        rescaled = FNN_A.with_samples_per_interval(8)
+        assert rescaled.samples_per_interval == 8
+        assert rescaled.name == FNN_A.name
+        assert FNN_A.samples_per_interval == 32
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            StudentArchitecture(name="bad", samples_per_interval=0)
+        with pytest.raises(ValueError):
+            StudentArchitecture(name="bad", samples_per_interval=4, hidden_layers=())
+
+    def test_paper_hidden_layers(self):
+        assert FNN_A.hidden_layers == (16, 8)
+        assert FNN_B.hidden_layers == (16, 8)
+
+
+class TestTeacherArchitecture:
+    def test_paper_dimensions(self):
+        assert PAPER_TEACHER.hidden_layers == (1000, 500, 250)
+        assert PAPER_TEACHER.input_dimension(500) == 1000
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            TeacherArchitecture(hidden_layers=(0,))
+        with pytest.raises(ValueError):
+            TeacherArchitecture(dropout=1.0)
+        with pytest.raises(ValueError):
+            PAPER_TEACHER.input_dimension(0)
+
+
+class TestTrainingConfigs:
+    def test_training_config_validation(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            TrainingConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            TrainingConfig(validation_fraction=0.6)
+        with pytest.raises(ValueError):
+            TrainingConfig(weight_decay=-1.0)
+
+    def test_distillation_config_validation(self):
+        with pytest.raises(ValueError):
+            DistillationConfig(alpha=-0.1)
+        with pytest.raises(ValueError):
+            DistillationConfig(temperature=0.0)
+        with pytest.raises(ValueError):
+            DistillationConfig(early_stopping_patience=0)
+
+    def test_defaults_are_valid(self):
+        assert TrainingConfig().learning_rate > 0
+        assert 0.0 <= DistillationConfig().alpha <= 1.0
+
+
+class TestDefaultAssignment:
+    def test_paper_assignment(self):
+        """Qubits 2 and 3 (indices 1 and 2) get FNN-B, the rest FNN-A."""
+        assignment = default_student_assignment(5)
+        assert [a.name for a in assignment] == ["FNN-A", "FNN-B", "FNN-B", "FNN-A", "FNN-A"]
+
+    def test_small_device(self):
+        assert [a.name for a in default_student_assignment(2)] == ["FNN-A", "FNN-A"]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            default_student_assignment(0)
+
+
+class TestExperimentConfig:
+    def test_paper_preset(self):
+        config = paper_experiment_config()
+        assert config.n_qubits == 5
+        assert config.n_samples == 500
+        assert config.shots_per_state_train == 15_000
+        assert config.teacher.hidden_layers == (1000, 500, 250)
+
+    def test_scaled_preset_preserves_interval_ratio(self):
+        config = scaled_experiment_config()
+        # At 10 ns/sample the 64 ns FNN-A window is ~6 samples, the 10 ns FNN-B window 1.
+        assert config.students[0].samples_per_interval > config.students[1].samples_per_interval
+        assert config.students[1].samples_per_interval == 1
+
+    def test_scaled_preset_runs_at_coarser_sample_rate(self):
+        config = scaled_experiment_config()
+        assert config.sample_period_ns > paper_experiment_config().sample_period_ns
+        assert config.n_samples == 100
+
+    def test_with_duration(self):
+        config = scaled_experiment_config().with_duration(550.0)
+        assert config.duration_ns == 550.0
+        assert config.n_samples == 55
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(name="bad", duration_ns=0.0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(name="bad", students=())
+        with pytest.raises(ValueError):
+            ExperimentConfig(name="bad", shots_per_state_train=0)
+
+    def test_seed_propagates(self):
+        config = scaled_experiment_config(seed=42)
+        assert config.seed == 42
+        assert config.teacher_training.seed == 42
+        assert config.distillation.seed == 42

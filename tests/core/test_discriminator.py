@@ -1,0 +1,122 @@
+"""Unit tests for the multi-qubit KLiNQ readout system."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.discriminator import KlinqReadout, ReadoutReport
+from repro.core.pipeline import PipelineResult
+from repro.nn.metrics import geometric_mean_fidelity
+
+
+@pytest.fixture(scope="module")
+def trained_readout(small_dataset, small_experiment_config):
+    """A two-qubit KLiNQ system trained on the small dataset (module-scoped)."""
+    readout = KlinqReadout(small_experiment_config)
+    report = readout.fit(small_dataset)
+    return readout, report
+
+
+class TestReadoutReport:
+    def test_geometric_means(self):
+        results = [
+            PipelineResult(q, fidelity, 0.95, 100, 1000, {"p10": 0.0, "p01": 0.0})
+            for q, fidelity in enumerate([0.9, 0.7, 0.8])
+        ]
+        report = ReadoutReport(per_qubit=results, excluded_qubits=(1,))
+        assert report.fidelities == [0.9, 0.7, 0.8]
+        assert report.geometric_mean == pytest.approx(geometric_mean_fidelity([0.9, 0.7, 0.8]))
+        assert report.geometric_mean_excluding == pytest.approx(
+            geometric_mean_fidelity([0.9, 0.8])
+        )
+
+    def test_parameter_totals(self):
+        results = [
+            PipelineResult(0, 0.9, 0.95, 657, 1_627_001, {"p10": 0.0, "p01": 0.0}),
+            PipelineResult(1, 0.9, 0.95, 3377, 1_627_001, {"p10": 0.0, "p01": 0.0}),
+        ]
+        report = ReadoutReport(per_qubit=results)
+        assert report.total_student_parameters == 657 + 3377
+        assert report.total_teacher_parameters == 2 * 1_627_001
+
+    def test_summary_row_contains_values(self):
+        results = [PipelineResult(0, 0.912, 0.95, 10, 20, {"p10": 0.0, "p01": 0.0})]
+        report = ReadoutReport(per_qubit=results, excluded_qubits=())
+        row = report.summary_row("TEST")
+        assert "TEST" in row and "0.912" in row
+
+    def test_as_dict_keys(self):
+        results = [PipelineResult(0, 0.9, 0.95, 10, 20, {"p10": 0.0, "p01": 0.0})]
+        payload = ReadoutReport(per_qubit=results, excluded_qubits=()).as_dict()
+        assert "per_qubit" in payload and "geometric_mean" in payload
+
+
+class TestKlinqReadout:
+    def test_n_qubits_from_config(self, small_experiment_config):
+        assert KlinqReadout(small_experiment_config).n_qubits == 2
+
+    def test_default_config_is_five_qubits(self):
+        assert KlinqReadout().n_qubits == 5
+
+    def test_fit_reports_all_qubits(self, trained_readout):
+        _, report = trained_readout
+        assert len(report.per_qubit) == 2
+        assert all(0.70 < f <= 1.0 for f in report.fidelities)
+
+    def test_is_trained_flag(self, trained_readout, small_experiment_config):
+        readout, _ = trained_readout
+        assert readout.is_trained
+        assert not KlinqReadout(small_experiment_config).is_trained
+
+    def test_students_accessor(self, trained_readout):
+        readout, _ = trained_readout
+        students = readout.students()
+        assert len(students) == 2
+        assert all(s.is_fitted for s in students)
+
+    def test_students_accessor_before_training_raises(self, small_experiment_config):
+        with pytest.raises(RuntimeError):
+            KlinqReadout(small_experiment_config).students()
+
+    def test_qubit_count_mismatch_rejected(self, five_qubit_dataset, small_experiment_config):
+        readout = KlinqReadout(small_experiment_config)
+        with pytest.raises(ValueError):
+            readout.fit(five_qubit_dataset)
+
+    def test_single_qubit_discrimination(self, trained_readout, small_dataset):
+        readout, _ = trained_readout
+        view = small_dataset.qubit_view(0)
+        states = readout.discriminate(view.test_traces[:20], qubit_index=0)
+        accuracy = np.mean(states == view.test_labels[:20])
+        assert accuracy > 0.7
+
+    def test_single_trace_discrimination(self, trained_readout, small_dataset):
+        readout, _ = trained_readout
+        state = readout.discriminate(small_dataset.qubit_view(0).test_traces[0], qubit_index=0)
+        assert state in (0, 1)
+
+    def test_discriminate_out_of_range(self, trained_readout, small_dataset):
+        readout, _ = trained_readout
+        with pytest.raises(IndexError):
+            readout.discriminate(small_dataset.qubit_view(0).test_traces[:2], qubit_index=5)
+
+    def test_discriminate_all_shape_and_accuracy(self, trained_readout, small_dataset):
+        readout, _ = trained_readout
+        states = readout.discriminate_all(small_dataset.test_traces[:100])
+        assert states.shape == (100, 2)
+        accuracy = np.mean(states == small_dataset.test_states[:100])
+        assert accuracy > 0.8
+
+    def test_discriminate_all_rejects_wrong_shape(self, trained_readout, small_dataset):
+        readout, _ = trained_readout
+        with pytest.raises(ValueError):
+            readout.discriminate_all(small_dataset.test_traces[:5, :1])
+
+    def test_independent_readout_of_one_qubit_matches_joint(self, trained_readout, small_dataset):
+        """Mid-circuit property: reading one qubit alone gives the same answer as reading all."""
+        readout, _ = trained_readout
+        shots = small_dataset.test_traces[:50]
+        joint = readout.discriminate_all(shots)
+        solo = readout.discriminate(shots[:, 1], qubit_index=1)
+        np.testing.assert_array_equal(joint[:, 1], solo)

@@ -1,0 +1,102 @@
+"""Unit tests for the knowledge-distillation trainer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import DistillationConfig
+from repro.core.distillation import DistillationResult, DistillationTrainer
+from repro.core.student import StudentModel
+from repro.core.teacher import TeacherModel
+
+
+class TestDistillationTrainer:
+    def test_requires_trained_teacher(
+        self, tiny_teacher_architecture, student_architecture, small_dataset
+    ):
+        untrained = TeacherModel(tiny_teacher_architecture, n_samples=40)
+        student = StudentModel(student_architecture, n_samples=40)
+        with pytest.raises(ValueError):
+            DistillationTrainer(untrained, student)
+
+    def test_result_curves_recorded(self, trained_student):
+        # The session-scoped fixture ran distillation; check through a fresh run instead.
+        assert trained_student.is_fitted
+
+    def test_fit_returns_result_with_curves(
+        self, trained_teacher, student_architecture, small_dataset, fast_distillation
+    ):
+        view = small_dataset.qubit_view(0)
+        student = StudentModel(student_architecture, n_samples=view.n_samples, seed=5)
+        trainer = DistillationTrainer(trained_teacher, student, fast_distillation)
+        result = trainer.fit(view.train_traces, view.train_labels)
+        assert isinstance(result, DistillationResult)
+        assert result.epochs_run >= 1
+        assert len(result.total_loss) == result.epochs_run
+        assert len(result.ce_loss) == result.epochs_run
+        assert len(result.kd_loss) == result.epochs_run
+        assert len(result.val_accuracy) == result.epochs_run
+        assert 0 <= result.best_epoch < result.epochs_run
+
+    def test_distillation_improves_over_initialization(
+        self, trained_teacher, student_architecture, small_dataset, fast_distillation
+    ):
+        view = small_dataset.qubit_view(0)
+        student = StudentModel(student_architecture, n_samples=view.n_samples, seed=6)
+        # Fidelity of the untrained student (random weights) on fitted features.
+        student.fit_features(view.train_traces, view.train_labels)
+        before = student.fidelity(view.test_traces, view.test_labels)
+        DistillationTrainer(trained_teacher, student, fast_distillation).fit(
+            view.train_traces, view.train_labels
+        )
+        after = student.fidelity(view.test_traces, view.test_labels)
+        assert after > before
+        assert after > 0.85
+
+    def test_loss_decreases_during_training(
+        self, trained_teacher, student_architecture, small_dataset, fast_distillation
+    ):
+        view = small_dataset.qubit_view(0)
+        student = StudentModel(student_architecture, n_samples=view.n_samples, seed=7)
+        result = DistillationTrainer(trained_teacher, student, fast_distillation).fit(
+            view.train_traces, view.train_labels
+        )
+        assert result.total_loss[-1] < result.total_loss[0]
+
+    def test_mismatched_shots_rejected(
+        self, trained_teacher, student_architecture, small_dataset, fast_distillation
+    ):
+        view = small_dataset.qubit_view(0)
+        student = StudentModel(student_architecture, n_samples=view.n_samples)
+        trainer = DistillationTrainer(trained_teacher, student, fast_distillation)
+        with pytest.raises(ValueError):
+            trainer.fit(view.train_traces, view.train_labels[:-3])
+
+    def test_alpha_extremes_both_learn(
+        self, trained_teacher, student_architecture, small_dataset
+    ):
+        """Pure-CE (alpha=1) and pure-KD (alpha=0) distillation both produce working students."""
+        view = small_dataset.qubit_view(0)
+        fidelities = {}
+        for alpha in (0.0, 1.0):
+            config = DistillationConfig(alpha=alpha, max_epochs=15, early_stopping_patience=6, seed=2)
+            student = StudentModel(student_architecture, n_samples=view.n_samples, seed=8)
+            DistillationTrainer(trained_teacher, student, config).fit(
+                view.train_traces, view.train_labels
+            )
+            fidelities[alpha] = student.fidelity(view.test_traces, view.test_labels)
+        assert fidelities[0.0] > 0.8
+        assert fidelities[1.0] > 0.8
+
+    def test_result_as_dict_roundtrip(self, trained_teacher, student_architecture, small_dataset, fast_distillation):
+        view = small_dataset.qubit_view(0)
+        student = StudentModel(student_architecture, n_samples=view.n_samples, seed=9)
+        result = DistillationTrainer(trained_teacher, student, fast_distillation).fit(
+            view.train_traces, view.train_labels
+        )
+        payload = result.as_dict()
+        assert set(payload) == {
+            "total_loss", "ce_loss", "kd_loss", "val_accuracy", "best_epoch", "epochs_run",
+        }
+        assert payload["epochs_run"] == result.epochs_run

@@ -1,0 +1,84 @@
+"""Unit tests for the per-qubit readout pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import PipelineResult, QubitReadoutPipeline
+
+
+@pytest.fixture(scope="module")
+def run_pipeline(small_dataset, small_experiment_config):
+    """One fully-run pipeline on qubit 0 (module-scoped: training is not free)."""
+    pipeline = QubitReadoutPipeline(0, small_experiment_config.students[0], small_experiment_config)
+    result = pipeline.run(small_dataset.qubit_view(0), distill=True)
+    return pipeline, result
+
+
+class TestPipelineFlow:
+    def test_run_produces_result(self, run_pipeline):
+        _, result = run_pipeline
+        assert isinstance(result, PipelineResult)
+        assert result.qubit_index == 0
+
+    def test_student_fidelity_reasonable(self, run_pipeline):
+        _, result = run_pipeline
+        assert 0.8 < result.student_fidelity <= 1.0
+
+    def test_teacher_recorded(self, run_pipeline):
+        _, result = run_pipeline
+        assert 0.8 < result.teacher_fidelity <= 1.0
+        assert result.teacher_parameters > result.student_parameters
+
+    def test_error_rates_present(self, run_pipeline):
+        _, result = run_pipeline
+        assert set(result.error_rates) == {"p10", "p01"}
+        assert 0.0 <= result.error_rates["p10"] <= 1.0
+        assert 0.0 <= result.error_rates["p01"] <= 1.0
+
+    def test_distillation_curves_attached(self, run_pipeline):
+        _, result = run_pipeline
+        assert result.distillation is not None
+        assert result.distillation.epochs_run >= 1
+
+    def test_as_dict(self, run_pipeline):
+        _, result = run_pipeline
+        payload = result.as_dict()
+        assert payload["qubit_index"] == 0
+        assert "student_fidelity" in payload and "error_rates" in payload
+
+    def test_predict_states_for_midcircuit_readout(self, run_pipeline, small_dataset):
+        pipeline, _ = run_pipeline
+        states = pipeline.predict_states(small_dataset.qubit_view(0).test_traces[:11])
+        assert states.shape == (11,)
+        assert set(np.unique(states)).issubset({0, 1})
+
+
+class TestPipelineGuards:
+    def test_distill_requires_teacher(self, small_dataset, small_experiment_config):
+        pipeline = QubitReadoutPipeline(0, small_experiment_config.students[0], small_experiment_config)
+        with pytest.raises(RuntimeError):
+            pipeline.distill_student(small_dataset.qubit_view(0))
+
+    def test_evaluate_requires_student(self, small_dataset, small_experiment_config):
+        pipeline = QubitReadoutPipeline(0, small_experiment_config.students[0], small_experiment_config)
+        with pytest.raises(RuntimeError):
+            pipeline.evaluate(small_dataset.qubit_view(0))
+
+    def test_predict_requires_student(self, small_dataset, small_experiment_config):
+        pipeline = QubitReadoutPipeline(0, small_experiment_config.students[0], small_experiment_config)
+        with pytest.raises(RuntimeError):
+            pipeline.predict_states(small_dataset.qubit_view(0).test_traces[:2])
+
+    def test_negative_qubit_index_rejected(self, small_experiment_config):
+        with pytest.raises(ValueError):
+            QubitReadoutPipeline(-1, small_experiment_config.students[0], small_experiment_config)
+
+
+class TestFromScratchPath:
+    def test_from_scratch_training_works(self, small_dataset, small_experiment_config):
+        pipeline = QubitReadoutPipeline(1, small_experiment_config.students[1], small_experiment_config)
+        result = pipeline.run(small_dataset.qubit_view(1), distill=False)
+        assert result.student_fidelity > 0.70
+        assert result.distillation is None

@@ -1,0 +1,106 @@
+"""Unit tests for the student model (feature pipeline + tiny network)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import FNN_A, FNN_B, StudentArchitecture, TrainingConfig
+from repro.core.student import StudentModel, build_student_network
+
+
+class TestBuildStudentNetwork:
+    def test_paper_fnn_a_parameter_count(self):
+        """FNN-A per qubit: 31 inputs, 16/8 hidden, 1 output -> 657 parameters."""
+        network = build_student_network(31, (16, 8))
+        assert network.parameter_count() == 657
+
+    def test_paper_fnn_b_parameter_count(self):
+        """FNN-B per qubit: 201 inputs, 16/8 hidden, 1 output -> 3377 parameters."""
+        network = build_student_network(201, (16, 8))
+        assert network.parameter_count() == 3377
+
+    def test_paper_group_totals_match_fig5(self):
+        """Fig. 5 reports group totals: 3 x FNN-A = 1971 and 2 x FNN-B = 6754."""
+        assert 3 * build_student_network(31, (16, 8)).parameter_count() == 1971
+        assert 2 * build_student_network(201, (16, 8)).parameter_count() == 6754
+
+    def test_invalid_input_dim(self):
+        with pytest.raises(ValueError):
+            build_student_network(0)
+
+
+class TestStudentModel:
+    def test_input_dim_from_architecture(self, student_architecture):
+        student = StudentModel(student_architecture, n_samples=40)
+        assert student.input_dim == student_architecture.input_dimension(40)
+
+    def test_unfitted_prediction_raises(self, student_architecture, small_dataset):
+        student = StudentModel(student_architecture, n_samples=40)
+        with pytest.raises(RuntimeError):
+            student.predict_logits(small_dataset.qubit_view(0).test_traces)
+
+    def test_supervised_training_reaches_good_fidelity(
+        self, student_architecture, small_dataset, fast_training
+    ):
+        view = small_dataset.qubit_view(0)
+        student = StudentModel(student_architecture, n_samples=view.n_samples, seed=0)
+        student.fit_supervised(view.train_traces, view.train_labels, fast_training)
+        assert student.fidelity(view.test_traces, view.test_labels) > 0.85
+
+    def test_distilled_student_good_fidelity(self, trained_student, small_dataset):
+        view = small_dataset.qubit_view(0)
+        assert trained_student.fidelity(view.test_traces, view.test_labels) > 0.85
+
+    def test_distilled_close_to_teacher(self, trained_student, trained_teacher, small_dataset):
+        """The student should lose at most a couple of points of fidelity vs its teacher."""
+        view = small_dataset.qubit_view(0)
+        student_fidelity = trained_student.fidelity(view.test_traces, view.test_labels)
+        teacher_fidelity = trained_teacher.fidelity(view.test_traces, view.test_labels)
+        assert student_fidelity > teacher_fidelity - 0.05
+
+    def test_student_much_smaller_than_teacher(self, trained_student, trained_teacher):
+        # At test scale the teacher is deliberately tiny; the paper-scale 99 %
+        # compression claim is asserted in tests/core/test_compression.py.
+        assert trained_student.parameter_count < 0.2 * trained_teacher.parameter_count
+
+    def test_predict_states_binary(self, trained_student, small_dataset):
+        states = trained_student.predict_states(small_dataset.qubit_view(0).test_traces[:20])
+        assert set(np.unique(states)).issubset({0, 1})
+
+    def test_feature_shape_consistency(self, trained_student, small_dataset):
+        view = small_dataset.qubit_view(0)
+        features = trained_student.features(view.test_traces[:7])
+        assert features.shape == (7, trained_student.input_dim)
+
+    def test_logits_from_features_matches_traces_path(self, trained_student, small_dataset):
+        view = small_dataset.qubit_view(0)
+        traces = view.test_traces[:13]
+        via_traces = trained_student.predict_logits(traces)
+        via_features = trained_student.predict_logits_from_features(
+            trained_student.features(traces)
+        )
+        np.testing.assert_allclose(via_traces, via_features, atol=1e-12)
+
+    def test_invalid_n_samples(self, student_architecture):
+        with pytest.raises(ValueError):
+            StudentModel(student_architecture, n_samples=0)
+
+    def test_window_not_dividing_trace_still_works(self, small_dataset, fast_training):
+        """A 7-sample window over 40 samples leaves a remainder that is dropped."""
+        view = small_dataset.qubit_view(0)
+        arch = StudentArchitecture(name="odd", samples_per_interval=7, hidden_layers=(8, 4))
+        student = StudentModel(arch, n_samples=view.n_samples, seed=1)
+        student.fit_supervised(view.train_traces, view.train_labels, fast_training)
+        assert student.input_dim == 2 * (40 // 7) + 1
+        assert student.fidelity(view.test_traces, view.test_labels) > 0.7
+
+
+class TestPaperArchitectures:
+    def test_fnn_a_and_b_input_dims_at_paper_scale(self):
+        student_a = StudentModel(FNN_A, n_samples=500)
+        student_b = StudentModel(FNN_B, n_samples=500)
+        assert student_a.input_dim == 31
+        assert student_b.input_dim == 201
+        assert student_a.parameter_count == 657
+        assert student_b.parameter_count == 3377

@@ -1,0 +1,86 @@
+"""Unit tests for the teacher model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import TeacherArchitecture, TrainingConfig
+from repro.core.teacher import TeacherModel, build_teacher_network, flatten_traces
+
+
+class TestFlattenTraces:
+    def test_interleaving(self):
+        trace = np.array([[[1.0, 2.0], [3.0, 4.0]]])  # one shot, two samples
+        flat = flatten_traces(trace)
+        np.testing.assert_array_equal(flat, [[1.0, 2.0, 3.0, 4.0]])
+
+    def test_single_trace_promoted(self):
+        flat = flatten_traces(np.zeros((10, 2)))
+        assert flat.shape == (1, 20)
+
+    def test_paper_input_size(self):
+        assert flatten_traces(np.zeros((3, 500, 2))).shape == (3, 1000)
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            flatten_traces(np.zeros((3, 10, 3)))
+
+
+class TestBuildTeacherNetwork:
+    def test_paper_scale_parameter_count(self):
+        """The paper-scale teacher has ~1.63 M parameters per qubit."""
+        network = build_teacher_network(
+            TeacherArchitecture(hidden_layers=(1000, 500, 250)), input_dim=1000, seed=0
+        )
+        assert network.parameter_count() == 1_627_001
+
+    def test_dropout_layers_included(self):
+        network = build_teacher_network(
+            TeacherArchitecture(hidden_layers=(8, 4), dropout=0.2), input_dim=10, seed=0
+        )
+        assert any(type(layer).__name__ == "Dropout" for layer in network.layers)
+
+
+class TestTeacherModel:
+    def test_parameter_count_matches_architecture(self, tiny_teacher_architecture):
+        teacher = TeacherModel(tiny_teacher_architecture, n_samples=40, seed=0)
+        # 80 inputs -> 32 -> 16 -> 8 -> 1
+        expected = 80 * 32 + 32 + 32 * 16 + 16 + 16 * 8 + 8 + 8 * 1 + 1
+        assert teacher.parameter_count == expected
+
+    def test_untrained_flag(self, tiny_teacher_architecture):
+        teacher = TeacherModel(tiny_teacher_architecture, n_samples=40)
+        assert not teacher.is_trained
+
+    def test_training_reaches_good_fidelity(self, trained_teacher, small_dataset):
+        view = small_dataset.qubit_view(0)
+        fidelity = trained_teacher.fidelity(view.test_traces, view.test_labels)
+        assert fidelity > 0.80
+
+    def test_predict_shapes(self, trained_teacher, small_dataset):
+        view = small_dataset.qubit_view(0)
+        logits = trained_teacher.predict_logits(view.test_traces[:10])
+        states = trained_teacher.predict_states(view.test_traces[:10])
+        assert logits.shape == (10,)
+        assert states.shape == (10,)
+        assert set(np.unique(states)).issubset({0, 1})
+
+    def test_logits_thresholding_consistency(self, trained_teacher, small_dataset):
+        view = small_dataset.qubit_view(0)
+        logits = trained_teacher.predict_logits(view.test_traces[:50])
+        states = trained_teacher.predict_states(view.test_traces[:50])
+        np.testing.assert_array_equal(states, (logits >= 0).astype(int))
+
+    def test_wrong_trace_length_rejected(self, trained_teacher, small_dataset):
+        view = small_dataset.qubit_view(0)
+        with pytest.raises(ValueError):
+            trained_teacher.predict_logits(view.test_traces[:, :20, :])
+
+    def test_invalid_n_samples(self, tiny_teacher_architecture):
+        with pytest.raises(ValueError):
+            TeacherModel(tiny_teacher_architecture, n_samples=0)
+
+    def test_history_recorded_after_fit(self, trained_teacher):
+        assert trained_teacher.is_trained
+        assert trained_teacher.history.epochs_run >= 1

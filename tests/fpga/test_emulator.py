@@ -1,0 +1,107 @@
+"""Unit and integration tests for the bit-accurate FPGA student emulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fpga.emulator import FpgaStudentEmulator
+from repro.fpga.fixed_point import FixedPointFormat, Q16_16
+from repro.fpga.quantize import quantize_student
+
+
+@pytest.fixture(scope="module")
+def emulator(trained_student):
+    return FpgaStudentEmulator.from_student(trained_student, Q16_16)
+
+
+class TestEmulatorConstruction:
+    def test_from_student(self, emulator, trained_student):
+        assert len(emulator.layers) == 3
+        assert emulator.parameters.input_dimension == trained_student.input_dim
+
+    def test_from_parameters(self, trained_student):
+        params = quantize_student(trained_student)
+        emulator = FpgaStudentEmulator(params)
+        assert emulator.matched_filter is not None
+
+    def test_last_layer_has_no_relu(self, emulator):
+        assert emulator.layers[-1].relu is False
+        assert all(layer.relu for layer in emulator.layers[:-1])
+
+
+class TestEmulatorInference:
+    def test_feature_vector_matches_float_pipeline(self, emulator, trained_student, small_dataset):
+        """The fixed-point feature extraction closely tracks the float features."""
+        traces = small_dataset.qubit_view(0).test_traces[:50]
+        fixed = Q16_16.from_raw(emulator.features_raw(traces))
+        float_features = trained_student.features(traces)
+        assert np.max(np.abs(fixed - float_features)) < 0.02
+
+    def test_logits_match_float_student(self, emulator, trained_student, small_dataset):
+        traces = small_dataset.qubit_view(0).test_traces[:100]
+        fixed_logits = emulator.predict_logits(traces)
+        float_logits = trained_student.predict_logits(traces)
+        assert np.max(np.abs(fixed_logits - float_logits)) < 0.05
+
+    def test_decision_agreement_is_near_perfect(self, emulator, trained_student, small_dataset):
+        """The paper's central hardware claim: Q16.16 preserves the discrimination decisions."""
+        view = small_dataset.qubit_view(0)
+        report = emulator.agreement_with_float(trained_student, view.test_traces, view.test_labels)
+        assert report.agreement >= 0.99
+        assert abs(report.fixed_fidelity - report.float_fidelity) < 0.01
+
+    def test_fidelity_close_to_float(self, emulator, trained_student, small_dataset):
+        view = small_dataset.qubit_view(0)
+        fixed = emulator.fidelity(view.test_traces, view.test_labels)
+        float_fidelity = trained_student.fidelity(view.test_traces, view.test_labels)
+        assert fixed == pytest.approx(float_fidelity, abs=0.01)
+
+    def test_predict_states_binary(self, emulator, small_dataset):
+        states = emulator.predict_states(small_dataset.qubit_view(0).test_traces[:20])
+        assert set(np.unique(states)).issubset({0, 1})
+
+    def test_single_trace(self, emulator, small_dataset):
+        trace = small_dataset.qubit_view(0).test_traces[0]
+        logits = emulator.predict_logits_raw(trace)
+        assert logits.shape == (1,)
+
+    def test_agreement_without_labels(self, emulator, trained_student, small_dataset):
+        traces = small_dataset.qubit_view(0).test_traces[:30]
+        report = emulator.agreement_with_float(trained_student, traces)
+        assert report.n_shots == 30
+        assert np.isnan(report.float_fidelity) and np.isnan(report.fixed_fidelity)
+
+    def test_report_as_dict(self, emulator, trained_student, small_dataset):
+        view = small_dataset.qubit_view(0)
+        report = emulator.agreement_with_float(
+            trained_student, view.test_traces[:10], view.test_labels[:10]
+        )
+        assert set(report.as_dict()) == {
+            "n_shots", "agreement", "float_fidelity", "fixed_fidelity", "max_logit_error",
+        }
+
+
+class TestNarrowFormats:
+    def test_narrow_format_degrades_agreement(self, trained_student, small_dataset):
+        """Very narrow fixed-point formats visibly hurt, wide ones do not (word-length ablation)."""
+        view = small_dataset.qubit_view(0)
+        traces = view.test_traces[:200]
+        narrow = FpgaStudentEmulator.from_student(
+            trained_student, FixedPointFormat(integer_bits=6, fractional_bits=2)
+        )
+        wide = FpgaStudentEmulator.from_student(trained_student, Q16_16)
+        agreement_narrow = narrow.agreement_with_float(trained_student, traces).agreement
+        agreement_wide = wide.agreement_with_float(trained_student, traces).agreement
+        assert agreement_wide >= agreement_narrow
+        assert agreement_wide >= 0.99
+
+    def test_q8_8_still_reasonable(self, trained_student, small_dataset):
+        view = small_dataset.qubit_view(0)
+        emulator = FpgaStudentEmulator.from_student(
+            trained_student, FixedPointFormat(integer_bits=8, fractional_bits=8)
+        )
+        report = emulator.agreement_with_float(
+            trained_student, view.test_traces[:200], view.test_labels[:200]
+        )
+        assert report.agreement > 0.9

@@ -1,0 +1,154 @@
+"""Unit tests for the Q-format fixed-point arithmetic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fpga.fixed_point import FixedPointFormat, FixedPointOverflowError, Q16_16
+
+
+class TestFormatMetadata:
+    def test_q16_16_properties(self):
+        assert Q16_16.word_length == 32
+        assert Q16_16.scale == 65_536
+        assert Q16_16.resolution == pytest.approx(1.0 / 65_536)
+        assert Q16_16.max_value == pytest.approx(32_768 - 1.0 / 65_536)
+        assert Q16_16.min_value == pytest.approx(-32_768)
+
+    def test_str(self):
+        assert str(Q16_16) == "Q16.16"
+
+    def test_invalid_formats(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(integer_bits=0, fractional_bits=16)
+        with pytest.raises(ValueError):
+            FixedPointFormat(integer_bits=-1, fractional_bits=4)
+        with pytest.raises(ValueError):
+            FixedPointFormat(integer_bits=40, fractional_bits=40)
+
+
+class TestConversion:
+    def test_roundtrip_error_bounded_by_resolution(self):
+        values = np.random.default_rng(0).uniform(-100, 100, size=1000)
+        recovered = Q16_16.from_raw(Q16_16.to_raw(values))
+        assert np.max(np.abs(recovered - values)) <= Q16_16.resolution / 2 + 1e-12
+
+    def test_quantize_idempotent(self):
+        values = np.random.default_rng(1).uniform(-10, 10, size=100)
+        once = Q16_16.quantize(values)
+        np.testing.assert_array_equal(Q16_16.quantize(once), once)
+
+    def test_saturation_on_overflow(self):
+        raw = Q16_16.to_raw(np.array([1e9, -1e9]))
+        np.testing.assert_array_equal(raw, [Q16_16.max_raw, Q16_16.min_raw])
+
+    def test_strict_overflow_raises(self):
+        with pytest.raises(FixedPointOverflowError):
+            Q16_16.to_raw(np.array([1e9]), strict=True)
+
+    def test_representable(self):
+        assert Q16_16.representable(np.array([100.0, -100.0]))
+        assert not Q16_16.representable(np.array([1e6]))
+
+    def test_exact_representation_of_grid_values(self):
+        fmt = FixedPointFormat(integer_bits=8, fractional_bits=4)
+        values = np.array([0.0625, -1.5, 3.25])  # all multiples of 1/16
+        np.testing.assert_array_equal(fmt.quantize(values), values)
+
+
+class TestArithmetic:
+    def test_add(self):
+        a = Q16_16.to_raw(1.5)
+        b = Q16_16.to_raw(2.25)
+        np.testing.assert_array_equal(Q16_16.add(a, b), Q16_16.to_raw(3.75))
+
+    def test_add_saturates(self):
+        a = np.array([Q16_16.max_raw])
+        result = Q16_16.add(a, a)
+        np.testing.assert_array_equal(result, [Q16_16.max_raw])
+
+    def test_add_strict_raises(self):
+        a = np.array([Q16_16.max_raw])
+        with pytest.raises(FixedPointOverflowError):
+            Q16_16.add(a, a, strict=True)
+
+    def test_multiply_known_values(self):
+        a = Q16_16.to_raw(3.0)
+        b = Q16_16.to_raw(-2.5)
+        product = Q16_16.multiply(a, b)
+        assert Q16_16.from_raw(product) == pytest.approx(-7.5, abs=Q16_16.resolution)
+
+    def test_multiply_small_values_keeps_precision(self):
+        a = Q16_16.to_raw(0.125)
+        b = Q16_16.to_raw(0.25)
+        assert Q16_16.from_raw(Q16_16.multiply(a, b)) == pytest.approx(0.03125, abs=Q16_16.resolution)
+
+    def test_multiply_accumulate_matches_float(self):
+        rng = np.random.default_rng(2)
+        inputs = rng.uniform(-2, 2, size=(8, 30))
+        weights = rng.uniform(-1, 1, size=30)
+        raw = Q16_16.multiply_accumulate(Q16_16.to_raw(inputs), Q16_16.to_raw(weights))
+        expected = (Q16_16.quantize(inputs) @ Q16_16.quantize(weights))
+        np.testing.assert_allclose(Q16_16.from_raw(raw), expected, atol=30 * Q16_16.resolution)
+
+    def test_multiply_accumulate_single_vector(self):
+        raw = Q16_16.multiply_accumulate(Q16_16.to_raw(np.ones(4)), Q16_16.to_raw(np.ones(4)))
+        assert Q16_16.from_raw(raw) == pytest.approx(4.0, abs=4 * Q16_16.resolution)
+
+    def test_multiply_accumulate_with_bias(self):
+        bias = int(Q16_16.to_raw(1.5))
+        raw = Q16_16.multiply_accumulate(
+            Q16_16.to_raw(np.ones(2)), Q16_16.to_raw(np.ones(2)), bias=bias
+        )
+        assert Q16_16.from_raw(raw) == pytest.approx(3.5, abs=3 * Q16_16.resolution)
+
+    def test_multiply_accumulate_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Q16_16.multiply_accumulate(np.zeros((2, 3), dtype=np.int64), np.zeros(4, dtype=np.int64))
+
+    def test_mac_saturates_not_wraps(self):
+        """An overflowing accumulation clamps at the maximum instead of wrapping negative."""
+        big = Q16_16.to_raw(np.full(100, 100.0))
+        weights = Q16_16.to_raw(np.full(100, 100.0))
+        result = Q16_16.multiply_accumulate(big, weights)
+        assert result == Q16_16.max_raw
+
+    def test_mac_strict_overflow_raises(self):
+        big = Q16_16.to_raw(np.full(100, 100.0))
+        with pytest.raises(FixedPointOverflowError):
+            Q16_16.multiply_accumulate(big, big, strict=True)
+
+    def test_shift_right_is_arithmetic(self):
+        raw = np.array([-65536, 65536])  # -1.0 and 1.0 in Q16.16
+        shifted = Q16_16.shift_right(raw, 1)
+        np.testing.assert_array_equal(Q16_16.from_raw(shifted), [-0.5, 0.5])
+
+    def test_shift_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            Q16_16.shift_right(np.array([1]), -1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    values=st.lists(st.floats(-1000, 1000, allow_nan=False), min_size=1, max_size=20),
+)
+def test_property_quantization_error_bounded(values):
+    """Quantization error never exceeds half a least-significant bit."""
+    values = np.asarray(values)
+    error = np.abs(Q16_16.quantize(values) - values)
+    assert np.all(error <= Q16_16.resolution / 2 + 1e-12)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    a=st.floats(-100, 100, allow_nan=False),
+    b=st.floats(-100, 100, allow_nan=False),
+)
+def test_property_multiplication_error_bounded(a, b):
+    """Fixed-point products stay within a small multiple of the resolution of the float product."""
+    raw = Q16_16.multiply(Q16_16.to_raw(a), Q16_16.to_raw(b))
+    exact = Q16_16.quantize(a) * Q16_16.quantize(b)
+    assert abs(Q16_16.from_raw(raw) - exact) <= (abs(a) + abs(b) + 2) * Q16_16.resolution

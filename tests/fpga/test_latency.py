@@ -1,0 +1,108 @@
+"""Unit tests for the latency model (Table III latency claims)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import FNN_A, FNN_B
+from repro.fpga.latency import LatencyModel, ModuleLatency, adder_tree_depth
+
+
+class TestAdderTreeDepth:
+    def test_known_values(self):
+        assert adder_tree_depth(1) == 1
+        assert adder_tree_depth(2) == 2
+        assert adder_tree_depth(8) == 4
+        assert adder_tree_depth(31) == 6
+        assert adder_tree_depth(32) == 6
+        assert adder_tree_depth(33) == 7
+
+    def test_monotone_nondecreasing(self):
+        depths = [adder_tree_depth(n) for n in range(1, 200)]
+        assert all(a <= b for a, b in zip(depths, depths[1:]))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            adder_tree_depth(0)
+
+
+class TestModuleLatency:
+    def test_nanoseconds_at_100mhz(self):
+        assert ModuleLatency("x", 5).nanoseconds(100.0) == pytest.approx(50.0)
+
+    def test_invalid_clock(self):
+        with pytest.raises(ValueError):
+            ModuleLatency("x", 5).nanoseconds(0.0)
+
+
+class TestLatencyModel:
+    def test_avg_norm_deeper_for_fnn_a(self):
+        """FNN-A averages 32-sample groups, so its AVG&NORM stage is slower than FNN-B's
+        5-sample groups -- the ordering Table III reports (9 ns vs 6 ns)."""
+        a = LatencyModel(FNN_A, 500).average_norm_latency().cycles
+        b = LatencyModel(FNN_B, 500).average_norm_latency().cycles
+        assert a > b
+
+    def test_network_slower_for_fnn_b(self):
+        """FNN-B's 201-input first layer makes its network stage slower than FNN-A's
+        (15 ns vs 12 ns in Table III)."""
+        a = LatencyModel(FNN_A, 500).network_latency().cycles
+        b = LatencyModel(FNN_B, 500).network_latency().cycles
+        assert b > a
+
+    def test_totals_nearly_balanced(self):
+        """The two effects compensate: total latency differs by at most a few cycles
+        (the paper reports exactly 32 ns for both)."""
+        total_a = LatencyModel(FNN_A, 500).total_cycles()
+        total_b = LatencyModel(FNN_B, 500).total_cycles()
+        assert abs(total_a - total_b) <= 4
+
+    def test_latency_independent_of_trace_duration(self):
+        """Table III: latency is essentially constant from 1 µs down to 550 ns because
+        the ceil(log2) adder-tree depths barely change (at most one level anywhere)."""
+        for architecture in (FNN_A, FNN_B):
+            totals = [
+                LatencyModel(architecture, duration // 2).total_cycles()
+                for duration in (1000, 950, 750, 550)
+            ]
+            assert max(totals) - min(totals) <= 1
+
+    def test_latency_exactly_constant_for_fnn_a_network(self):
+        """FNN-A's network stage is cycle-identical across the paper's duration range."""
+        cycles = {
+            LatencyModel(FNN_A, duration // 2).network_latency().cycles
+            for duration in (1000, 950, 750, 550)
+        }
+        assert len(cycles) == 1
+
+    def test_mf_latency_grows_slowly_with_trace_length(self):
+        short = LatencyModel(FNN_A, 250).matched_filter_latency().cycles
+        long = LatencyModel(FNN_A, 500).matched_filter_latency().cycles
+        assert long - short <= 1  # only the adder-tree depth changes, by at most one level
+
+    def test_total_nanoseconds_at_100mhz(self):
+        model = LatencyModel(FNN_A, 500, clock_mhz=100.0)
+        assert model.total_nanoseconds() == pytest.approx(model.total_cycles() * 10.0)
+
+    def test_overlap_vs_sequential_accounting(self):
+        model = LatencyModel(FNN_B, 500)
+        assert model.total_cycles(overlap_front_end=True) < model.total_cycles(
+            overlap_front_end=False
+        )
+
+    def test_report_structure(self):
+        report = LatencyModel(FNN_A, 500).report()
+        assert set(report["modules"]) == {"MF", "AVG&NORM", "Network"}
+        assert report["total_cycles"] > 0
+        assert report["architecture"] == "FNN-A"
+
+    def test_faster_clock_reduces_ns(self):
+        slow = LatencyModel(FNN_A, 500, clock_mhz=100.0).total_nanoseconds()
+        fast = LatencyModel(FNN_A, 500, clock_mhz=400.0).total_nanoseconds()
+        assert fast == pytest.approx(slow / 4)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            LatencyModel(FNN_A, 0)
+        with pytest.raises(ValueError):
+            LatencyModel(FNN_A, 500, clock_mhz=0.0)

@@ -1,0 +1,171 @@
+"""Unit tests for the individual FPGA datapath modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fpga.fixed_point import Q16_16
+from repro.fpga.modules import (
+    AverageModule,
+    DenseLayerModule,
+    MatchedFilterModule,
+    NormalizeModule,
+    ThresholdModule,
+)
+
+
+class TestAverageModule:
+    def test_matches_float_average(self):
+        rng = np.random.default_rng(0)
+        traces = rng.uniform(-3, 3, size=(5, 32, 2))
+        module = AverageModule(Q16_16, 8, int(Q16_16.to_raw(1.0 / 8)))
+        raw_out = module.forward(Q16_16.to_raw(traces))
+        float_avg = traces.reshape(5, 4, 8, 2).mean(axis=2).reshape(5, -1)
+        np.testing.assert_allclose(Q16_16.from_raw(raw_out), float_avg, atol=1e-3)
+
+    def test_window_of_one_passthrough(self):
+        traces = np.random.default_rng(1).uniform(-2, 2, size=(3, 10, 2))
+        module = AverageModule(Q16_16, 1, int(Q16_16.to_raw(1.0)))
+        out = Q16_16.from_raw(module.forward(Q16_16.to_raw(traces)))
+        np.testing.assert_allclose(out, traces.reshape(3, -1), atol=1e-4)
+
+    def test_single_trace(self):
+        trace = np.ones((8, 2))
+        module = AverageModule(Q16_16, 4, int(Q16_16.to_raw(0.25)))
+        out = module.forward(Q16_16.to_raw(trace))
+        assert out.shape == (4,)
+
+    def test_interleaving_order_is_iq_per_interval(self):
+        trace = np.zeros((4, 2))
+        trace[:, 0] = 1.0  # I channel
+        trace[:, 1] = 2.0  # Q channel
+        module = AverageModule(Q16_16, 2, int(Q16_16.to_raw(0.5)))
+        out = Q16_16.from_raw(module.forward(Q16_16.to_raw(trace)))
+        np.testing.assert_allclose(out, [1.0, 2.0, 1.0, 2.0], atol=1e-4)
+
+    def test_window_too_large_rejected(self):
+        module = AverageModule(Q16_16, 100, int(Q16_16.to_raw(0.01)))
+        with pytest.raises(ValueError):
+            module.forward(Q16_16.to_raw(np.zeros((2, 10, 2))))
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            AverageModule(Q16_16, 0, 1)
+
+
+class TestNormalizeModule:
+    def test_matches_float_shift_normalization(self):
+        rng = np.random.default_rng(2)
+        features = rng.uniform(-4, 4, size=(6, 5))
+        minimum = features.min(axis=0)
+        shift_bits = np.array([1, 2, 0, 3, 1])
+        module = NormalizeModule(Q16_16, Q16_16.to_raw(minimum), shift_bits)
+        raw_out = module.forward(Q16_16.to_raw(features))
+        expected = (features - minimum) / (2.0 ** shift_bits)
+        np.testing.assert_allclose(Q16_16.from_raw(raw_out), expected, atol=1e-3)
+
+    def test_negative_shift_is_left_shift(self):
+        features = np.array([[1.0, 2.0]])
+        module = NormalizeModule(
+            Q16_16, Q16_16.to_raw(np.zeros(2)), np.array([-1, -2])
+        )
+        out = Q16_16.from_raw(module.forward(Q16_16.to_raw(features)))
+        np.testing.assert_allclose(out, [[2.0, 8.0]], atol=1e-4)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            NormalizeModule(Q16_16, np.zeros(3, dtype=np.int64), np.zeros(4, dtype=np.int64))
+
+    def test_wrong_feature_count_rejected(self):
+        module = NormalizeModule(Q16_16, np.zeros(3, dtype=np.int64), np.zeros(3, dtype=np.int64))
+        with pytest.raises(ValueError):
+            module.forward(np.zeros((2, 4), dtype=np.int64))
+
+
+class TestMatchedFilterModule:
+    def test_matches_float_projection(self):
+        rng = np.random.default_rng(3)
+        envelope = rng.uniform(-0.5, 0.5, size=(20, 2))
+        traces = rng.uniform(-3, 3, size=(4, 20, 2))
+        threshold = 1.2
+        scale = 2.5
+        module = MatchedFilterModule(
+            Q16_16,
+            Q16_16.to_raw(envelope),
+            int(Q16_16.to_raw(threshold)),
+            int(Q16_16.to_raw(1.0 / scale)),
+        )
+        raw_out = module.forward(Q16_16.to_raw(traces))
+        expected = (np.einsum("nsq,sq->n", traces, envelope) - threshold) / scale
+        np.testing.assert_allclose(Q16_16.from_raw(raw_out), expected, atol=2e-2)
+
+    def test_single_trace_scalar(self):
+        envelope = np.ones((5, 2)) * 0.1
+        module = MatchedFilterModule(Q16_16, Q16_16.to_raw(envelope), 0, int(Q16_16.to_raw(1.0)))
+        out = module.forward(Q16_16.to_raw(np.ones((5, 2))))
+        assert np.ndim(out) == 0
+
+    def test_trace_shorter_than_envelope_rejected(self):
+        envelope = np.ones((10, 2))
+        module = MatchedFilterModule(Q16_16, Q16_16.to_raw(envelope), 0, int(Q16_16.to_raw(1.0)))
+        with pytest.raises(ValueError):
+            module.forward(Q16_16.to_raw(np.ones((2, 5, 2))))
+
+    def test_invalid_envelope_shape(self):
+        with pytest.raises(ValueError):
+            MatchedFilterModule(Q16_16, np.zeros((10, 3), dtype=np.int64), 0, 1)
+
+
+class TestDenseLayerModule:
+    def test_matches_float_layer_with_relu(self):
+        rng = np.random.default_rng(4)
+        weights = rng.uniform(-1, 1, size=(12, 6))
+        biases = rng.uniform(-0.5, 0.5, size=6)
+        inputs = rng.uniform(-2, 2, size=(7, 12))
+        module = DenseLayerModule(Q16_16, Q16_16.to_raw(weights), Q16_16.to_raw(biases), relu=True)
+        raw_out = module.forward(Q16_16.to_raw(inputs))
+        expected = np.maximum(inputs @ weights + biases, 0.0)
+        np.testing.assert_allclose(Q16_16.from_raw(raw_out), expected, atol=1e-2)
+
+    def test_no_relu_on_output_layer(self):
+        weights = np.array([[1.0], [1.0]])
+        biases = np.array([-10.0])
+        module = DenseLayerModule(Q16_16, Q16_16.to_raw(weights), Q16_16.to_raw(biases), relu=False)
+        out = Q16_16.from_raw(module.forward(Q16_16.to_raw(np.array([[1.0, 1.0]]))))
+        assert out[0, 0] == pytest.approx(-8.0, abs=1e-3)
+
+    def test_relu_clamps_negative_accumulator(self):
+        weights = np.array([[1.0], [1.0]])
+        biases = np.array([-10.0])
+        module = DenseLayerModule(Q16_16, Q16_16.to_raw(weights), Q16_16.to_raw(biases), relu=True)
+        out = module.forward(Q16_16.to_raw(np.array([[1.0, 1.0]])))
+        assert out[0, 0] == 0
+
+    def test_properties(self):
+        module = DenseLayerModule(
+            Q16_16, np.zeros((31, 16), dtype=np.int64), np.zeros(16, dtype=np.int64)
+        )
+        assert module.n_inputs == 31
+        assert module.n_neurons == 16
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            DenseLayerModule(Q16_16, np.zeros((4, 2), dtype=np.int64), np.zeros(3, dtype=np.int64))
+        with pytest.raises(ValueError):
+            DenseLayerModule(Q16_16, np.zeros(4, dtype=np.int64), np.zeros(1, dtype=np.int64))
+
+    def test_wrong_input_width_rejected(self):
+        module = DenseLayerModule(
+            Q16_16, np.zeros((4, 2), dtype=np.int64), np.zeros(2, dtype=np.int64)
+        )
+        with pytest.raises(ValueError):
+            module.forward(np.zeros((1, 5), dtype=np.int64))
+
+
+class TestThresholdModule:
+    def test_sign_decision(self):
+        module = ThresholdModule()
+        np.testing.assert_array_equal(
+            module.forward(np.array([-5, 0, 7], dtype=np.int64)), [0, 1, 1]
+        )

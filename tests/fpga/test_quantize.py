@@ -1,0 +1,81 @@
+"""Unit tests for student-model quantization into FPGA constants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.student import StudentModel
+from repro.fpga.fixed_point import FixedPointFormat, Q16_16
+from repro.fpga.quantize import quantize_student
+
+
+class TestQuantizeStudent:
+    def test_requires_fitted_student(self, student_architecture):
+        student = StudentModel(student_architecture, n_samples=40)
+        with pytest.raises(RuntimeError):
+            quantize_student(student)
+
+    def test_layer_count_and_shapes(self, trained_student):
+        params = quantize_student(trained_student)
+        assert params.n_layers == 3  # 16, 8, 1
+        assert params.layer_weights[0].shape == (trained_student.input_dim, 16)
+        assert params.layer_weights[1].shape == (16, 8)
+        assert params.layer_weights[2].shape == (8, 1)
+        assert params.layer_biases[0].shape == (16,)
+        assert params.input_dimension == trained_student.input_dim
+
+    def test_weights_are_raw_integers(self, trained_student):
+        params = quantize_student(trained_student)
+        for weights in params.layer_weights:
+            assert weights.dtype == np.int64
+
+    def test_weights_match_float_within_resolution(self, trained_student):
+        params = quantize_student(trained_student)
+        float_weights = trained_student.network.layers[0].params["W"]
+        recovered = Q16_16.from_raw(params.layer_weights[0])
+        assert np.max(np.abs(recovered - float_weights)) <= Q16_16.resolution / 2 + 1e-12
+
+    def test_mf_constants_present(self, trained_student):
+        params = quantize_student(trained_student)
+        assert params.include_matched_filter
+        assert params.mf_envelope is not None
+        assert params.mf_envelope.shape == (trained_student.n_samples, 2)
+        assert params.mf_scale_reciprocal_raw != 0
+
+    def test_norm_constants_shapes(self, trained_student):
+        params = quantize_student(trained_student)
+        averaged_width = trained_student.input_dim - 1
+        assert params.norm_minimum.shape == (averaged_width,)
+        assert params.norm_shift_bits.shape == (averaged_width,)
+
+    def test_average_reciprocal(self, trained_student):
+        params = quantize_student(trained_student)
+        expected = 1.0 / trained_student.architecture.samples_per_interval
+        assert Q16_16.from_raw(np.array(params.average_reciprocal_raw)) == pytest.approx(
+            expected, abs=Q16_16.resolution
+        )
+
+    def test_memory_footprint_positive_and_scales_with_format(self, trained_student):
+        q16 = quantize_student(trained_student, Q16_16)
+        q8 = quantize_student(trained_student, FixedPointFormat(integer_bits=8, fractional_bits=8))
+        assert q16.memory_footprint_bits() > 0
+        assert q16.memory_footprint_bits() > q8.memory_footprint_bits()
+
+    def test_custom_format(self, trained_student):
+        fmt = FixedPointFormat(integer_bits=12, fractional_bits=12)
+        params = quantize_student(trained_student, fmt)
+        assert params.fmt == fmt
+
+    def test_student_without_mf(self, small_dataset, fast_training):
+        from repro.core.config import StudentArchitecture
+
+        view = small_dataset.qubit_view(0)
+        arch = StudentArchitecture(
+            name="no-mf", samples_per_interval=4, include_matched_filter=False
+        )
+        student = StudentModel(arch, n_samples=view.n_samples, seed=2)
+        student.fit_supervised(view.train_traces, view.train_labels, fast_training)
+        params = quantize_student(student)
+        assert params.mf_envelope is None
+        assert not params.include_matched_filter

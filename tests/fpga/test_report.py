@@ -1,0 +1,42 @@
+"""Unit tests for the Table III-style deployment report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import FNN_A, FNN_B, default_student_assignment
+from repro.fpga.report import PAPER_TABLE3, fpga_deployment_report
+
+
+class TestDeploymentReport:
+    def test_structure(self):
+        report = fpga_deployment_report(default_student_assignment(5), n_samples=500)
+        assert set(report["per_architecture"]) == {"FNN-A", "FNN-B"}
+        assert "system_total" in report and "paper_table3" in report
+        for arch_report in report["per_architecture"].values():
+            assert "latency" in arch_report and "resources" in arch_report
+
+    def test_paper_reference_values_included(self):
+        report = fpga_deployment_report([FNN_A, FNN_B], n_samples=500)
+        assert report["paper_table3"] is PAPER_TABLE3
+        assert PAPER_TABLE3[("MF", "shared")]["dsp"] == 375
+        assert PAPER_TABLE3[("Network", "FNN-B")]["latency_ns"] == 15
+
+    def test_system_totals_positive(self):
+        report = fpga_deployment_report(default_student_assignment(5), n_samples=500)
+        totals = report["system_total"]
+        assert totals["lut"] > 0 and totals["ff"] > 0 and totals["dsp"] > 0
+        assert 0 < totals["utilization"]["dsp"] < 1
+
+    def test_duplicate_architectures_reported_once(self):
+        report = fpga_deployment_report([FNN_A, FNN_A, FNN_A], n_samples=500)
+        assert list(report["per_architecture"]) == ["FNN-A"]
+
+    def test_empty_architectures_rejected(self):
+        with pytest.raises(ValueError):
+            fpga_deployment_report([], n_samples=500)
+
+    def test_clock_recorded(self):
+        report = fpga_deployment_report([FNN_A], n_samples=500, clock_mhz=250.0)
+        assert report["clock_mhz"] == 250.0
+        assert report["per_architecture"]["FNN-A"]["latency"]["clock_mhz"] == 250.0

@@ -1,0 +1,96 @@
+"""Unit tests for the resource-utilization model (Table III resource claims)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import FNN_A, FNN_B, default_student_assignment
+from repro.fpga.resources import FpgaDevice, ModuleResources, ResourceModel, ZCU216, system_resources
+
+
+class TestDevice:
+    def test_zcu216_capacity(self):
+        assert ZCU216.dsps == 4272
+        assert ZCU216.luts > 400_000
+
+    def test_invalid_device(self):
+        with pytest.raises(ValueError):
+            FpgaDevice(name="bad", luts=0, ffs=1, dsps=1)
+
+
+class TestModuleResources:
+    def test_utilization_fractions(self):
+        module = ModuleResources("x", luts=42_528, ffs=85_056, dsps=427)
+        utilization = module.utilization(ZCU216)
+        assert utilization["lut"] == pytest.approx(0.1, abs=0.01)
+        assert utilization["ff"] == pytest.approx(0.1, abs=0.01)
+        assert utilization["dsp"] == pytest.approx(0.1, abs=0.01)
+
+
+class TestResourceModel:
+    def test_avg_norm_uses_no_dsps(self):
+        """Table III: the AVG&NORM blocks use zero DSP slices (shift-based normalization)."""
+        for architecture in (FNN_A, FNN_B):
+            resources = ResourceModel(architecture, 500).average_norm_resources()
+            assert resources.dsps == 0
+            assert resources.luts > 0
+
+    def test_fnn_b_network_needs_more_dsps_than_fnn_a(self):
+        """Table III ordering: the FNN-B network (226 DSPs) is several times larger than
+        FNN-A's (55 DSPs)."""
+        a = ResourceModel(FNN_A, 500).network_resources()
+        b = ResourceModel(FNN_B, 500).network_resources()
+        assert b.dsps > 3 * a.dsps
+        assert b.luts > a.luts
+
+    def test_mf_is_the_largest_single_module(self):
+        """The shared MF front end dominates the DSP budget (375 DSPs in Table III)."""
+        model = ResourceModel(FNN_B, 500)
+        mf = model.matched_filter_resources()
+        assert mf.dsps > model.network_resources().dsps
+
+    def test_mf_dsp_count_matches_paper_scale(self):
+        """At 500-sample traces the MF MAC needs ~250 DSPs with 4-way time multiplexing,
+        the same order as the paper's 375."""
+        mf = ResourceModel(FNN_A, 500).matched_filter_resources()
+        assert 150 <= mf.dsps <= 600
+
+    def test_per_qubit_total_excludes_shared_mf_by_default(self):
+        model = ResourceModel(FNN_A, 500)
+        without_mf = model.per_qubit_total()
+        with_mf = model.per_qubit_total(include_shared_mf=True)
+        assert with_mf.dsps > without_mf.dsps
+        assert with_mf.luts > without_mf.luts
+
+    def test_whole_system_fits_on_zcu216(self):
+        """The full five-qubit system must fit comfortably on the paper's FPGA."""
+        models = [ResourceModel(arch, 500) for arch in default_student_assignment(5)]
+        system = system_resources(models)
+        assert system.dsps < ZCU216.dsps
+        assert system.luts < ZCU216.luts
+        assert system.ffs < ZCU216.ffs
+
+    def test_system_utilization_order_of_magnitude(self):
+        """Total utilization stays within ~45 % of the device in every resource class,
+        consistent with the paper's 'low resource utilization' claim."""
+        models = [ResourceModel(arch, 500) for arch in default_student_assignment(5)]
+        system = system_resources(models)
+        utilization = system.utilization(ZCU216)
+        assert utilization["lut"] < 0.45
+        assert utilization["dsp"] < 0.45
+
+    def test_report_structure(self):
+        report = ResourceModel(FNN_A, 500).report()
+        assert set(report["modules"]) == {"MF", "AVG&NORM", "Network"}
+        for module in report["modules"].values():
+            assert {"lut", "ff", "dsp", "utilization"} <= set(module)
+
+    def test_system_resources_requires_models(self):
+        with pytest.raises(ValueError):
+            system_resources([])
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            ResourceModel(FNN_A, 0)
+        with pytest.raises(ValueError):
+            ResourceModel(FNN_A, 500, word_length=0)

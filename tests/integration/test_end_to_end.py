@@ -1,0 +1,123 @@
+"""Integration tests: the full KLiNQ flow from synthetic device to FPGA emulation.
+
+These tests exercise the paper's complete story on the small two-qubit test
+device: dataset generation, teacher training, distillation, independent
+readout, compression accounting and bit-accurate fixed-point deployment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import MatchedFilterThreshold
+from repro.core.compression import network_compression_rate
+from repro.core.discriminator import KlinqReadout
+from repro.fpga.emulator import FpgaStudentEmulator
+from repro.fpga.latency import LatencyModel
+from repro.fpga.resources import ResourceModel, ZCU216
+from repro.nn.serialization import load_model, save_model
+
+
+@pytest.fixture(scope="module")
+def system(small_dataset, small_experiment_config):
+    """A fully trained two-qubit KLiNQ system (distilled students)."""
+    readout = KlinqReadout(small_experiment_config)
+    report = readout.fit(small_dataset)
+    return readout, report
+
+
+class TestEndToEndFidelity:
+    def test_all_qubits_above_chance_with_margin(self, system):
+        _, report = system
+        assert all(fidelity > 0.7 for fidelity in report.fidelities)
+
+    def test_geometric_mean_consistent(self, system):
+        _, report = system
+        expected = float(np.prod(report.fidelities)) ** (1 / len(report.fidelities))
+        assert report.geometric_mean == pytest.approx(expected)
+
+    def test_students_competitive_with_matched_filter(self, system, small_dataset):
+        """Distilled students should not lose more than a few points to the matched filter."""
+        _, report = system
+        for qubit, result in enumerate(report.per_qubit):
+            view = small_dataset.qubit_view(qubit)
+            mf = MatchedFilterThreshold().fit(view.train_traces, view.train_labels)
+            mf_fidelity = mf.fidelity(view.test_traces, view.test_labels)
+            assert result.student_fidelity > mf_fidelity - 0.06
+
+    def test_students_close_to_their_teachers(self, system):
+        _, report = system
+        for result in report.per_qubit:
+            assert result.student_fidelity > result.teacher_fidelity - 0.05
+
+    def test_relaxation_asymmetry_visible(self, system):
+        """P(read 0 | prepared 1) should not be smaller than P(read 1 | prepared 0) - margin,
+        reflecting T1 decay during the readout window."""
+        _, report = system
+        p01 = np.mean([r.error_rates["p01"] for r in report.per_qubit])
+        p10 = np.mean([r.error_rates["p10"] for r in report.per_qubit])
+        assert p01 > p10 - 0.02
+
+
+class TestCompressionEndToEnd:
+    def test_substantial_compression_even_at_test_scale(self, system):
+        _, report = system
+        ncr = network_compression_rate(
+            report.total_teacher_parameters, report.total_student_parameters
+        )
+        assert ncr > 0.5
+
+    def test_per_qubit_student_smaller_than_teacher(self, system):
+        _, report = system
+        for result in report.per_qubit:
+            assert result.student_parameters < result.teacher_parameters
+
+
+class TestFpgaDeploymentEndToEnd:
+    def test_every_student_survives_quantization(self, system, small_dataset):
+        readout, report = system
+        for qubit, student in enumerate(readout.students()):
+            view = small_dataset.qubit_view(qubit)
+            emulator = FpgaStudentEmulator.from_student(student)
+            agreement = emulator.agreement_with_float(
+                student, view.test_traces[:300], view.test_labels[:300]
+            )
+            assert agreement.agreement > 0.98
+            assert agreement.fixed_fidelity > report.per_qubit[qubit].student_fidelity - 0.03
+
+    def test_latency_and_resources_available_for_deployed_students(self, system, small_dataset):
+        readout, _ = system
+        for qubit, pipeline in enumerate(readout.pipelines):
+            n_samples = small_dataset.qubit_view(qubit).n_samples
+            latency = LatencyModel(pipeline.architecture, n_samples)
+            resources = ResourceModel(pipeline.architecture, n_samples)
+            assert latency.total_cycles() > 0
+            assert resources.per_qubit_total().luts < ZCU216.luts
+
+
+class TestPersistenceEndToEnd:
+    def test_student_network_roundtrips_through_disk(self, system, small_dataset, tmp_path):
+        readout, _ = system
+        student = readout.students()[0]
+        view = small_dataset.qubit_view(0)
+        features = student.features(view.test_traces[:20])
+        save_model(student.network, tmp_path / "student_q0")
+        restored = load_model(tmp_path / "student_q0")
+        np.testing.assert_allclose(
+            restored.predict(features), student.network.predict(features), atol=1e-12
+        )
+
+
+class TestMidCircuitScenario:
+    def test_single_qubit_readout_unaffected_by_other_qubit_activity(self, system, small_dataset):
+        """Reading qubit 0 uses only qubit 0's trace: decisions are identical whatever
+        the other qubit is doing (the architectural property enabling mid-circuit use)."""
+        readout, _ = system
+        shots = small_dataset.test_traces[:60]
+        solo = readout.discriminate(shots[:, 0], qubit_index=0)
+        # Replace the other qubit's trace with noise; qubit 0's readout must not change.
+        tampered = shots.copy()
+        tampered[:, 1] = np.random.default_rng(0).normal(size=tampered[:, 1].shape)
+        joint = readout.discriminate_all(tampered)
+        np.testing.assert_array_equal(joint[:, 0], solo)

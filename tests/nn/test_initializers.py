@@ -1,0 +1,126 @@
+"""Unit tests for weight initializers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.initializers import (
+    Constant,
+    GlorotNormal,
+    GlorotUniform,
+    HeNormal,
+    HeUniform,
+    Initializer,
+    Zeros,
+    get_initializer,
+)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+class TestHeNormal:
+    def test_shape(self, rng):
+        weights = HeNormal()((128, 64), rng)
+        assert weights.shape == (128, 64)
+
+    def test_scale_tracks_fan_in(self, rng):
+        narrow = HeNormal()((10_000, 4), rng)
+        wide = HeNormal()((40_000, 4), rng)
+        # std ~ sqrt(2/fan_in): quadrupling fan_in halves the std.
+        assert np.std(wide) == pytest.approx(np.std(narrow) / 2, rel=0.1)
+
+    def test_zero_mean(self, rng):
+        weights = HeNormal()((5000, 8), rng)
+        assert abs(np.mean(weights)) < 0.01
+
+
+class TestHeUniform:
+    def test_bounds(self, rng):
+        weights = HeUniform()((50, 20), rng)
+        limit = np.sqrt(6.0 / 50)
+        assert np.all(np.abs(weights) <= limit)
+
+
+class TestGlorot:
+    def test_normal_scale(self, rng):
+        weights = GlorotNormal()((300, 100), rng)
+        expected_std = np.sqrt(2.0 / 400)
+        assert np.std(weights) == pytest.approx(expected_std, rel=0.1)
+
+    def test_uniform_bounds(self, rng):
+        weights = GlorotUniform()((30, 10), rng)
+        limit = np.sqrt(6.0 / 40)
+        assert np.all(np.abs(weights) <= limit)
+
+
+class TestConstantAndZeros:
+    def test_zeros(self, rng):
+        assert np.all(Zeros()((17,), rng) == 0.0)
+
+    def test_constant(self, rng):
+        values = Constant(2.5)((3, 4), rng)
+        assert np.all(values == 2.5)
+
+
+class TestBiasShapes:
+    def test_one_dimensional_shape_supported(self, rng):
+        bias = HeNormal()((32,), rng)
+        assert bias.shape == (32,)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "name, cls",
+        [
+            ("he_normal", HeNormal),
+            ("he_uniform", HeUniform),
+            ("glorot_normal", GlorotNormal),
+            ("glorot_uniform", GlorotUniform),
+            ("zeros", Zeros),
+        ],
+    )
+    def test_lookup(self, name, cls):
+        assert isinstance(get_initializer(name), cls)
+
+    def test_case_insensitive(self):
+        assert isinstance(get_initializer("HE_NORMAL"), HeNormal)
+
+    def test_instance_passthrough(self):
+        instance = Constant(1.0)
+        assert get_initializer(instance) is instance
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="Unknown initializer"):
+            get_initializer("lecun")
+
+
+class TestDeterminism:
+    def test_same_seed_same_weights(self):
+        a = HeNormal()((20, 20), np.random.default_rng(42))
+        b = HeNormal()((20, 20), np.random.default_rng(42))
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = HeNormal()((20, 20), np.random.default_rng(1))
+        b = HeNormal()((20, 20), np.random.default_rng(2))
+        assert not np.array_equal(a, b)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    fan_in=st.integers(min_value=1, max_value=200),
+    fan_out=st.integers(min_value=1, max_value=50),
+)
+def test_property_all_initializers_produce_finite_values(fan_in, fan_out):
+    """Every initializer yields finite values of the requested shape."""
+    rng = np.random.default_rng(fan_in * 1000 + fan_out)
+    for init in (HeNormal(), HeUniform(), GlorotNormal(), GlorotUniform(), Zeros()):
+        weights = init((fan_in, fan_out), rng)
+        assert weights.shape == (fan_in, fan_out)
+        assert np.all(np.isfinite(weights))

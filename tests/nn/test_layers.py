@@ -1,0 +1,253 @@
+"""Unit tests for the layer forward/backward implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn.layers import (
+    BatchNorm,
+    Dense,
+    Dropout,
+    Flatten,
+    Identity,
+    LeakyReLU,
+    ReLU,
+    Sigmoid,
+    Softmax,
+    Tanh,
+    layer_from_config,
+)
+
+
+def _build(layer, input_dim, seed=0):
+    layer.build(input_dim, np.random.default_rng(seed))
+    return layer
+
+
+class TestDense:
+    def test_forward_shape(self):
+        layer = _build(Dense(8), 5)
+        out = layer.forward(np.ones((3, 5)), training=True)
+        assert out.shape == (3, 8)
+
+    def test_linear_in_input(self):
+        layer = _build(Dense(4), 6)
+        x1 = np.random.default_rng(1).normal(size=(2, 6))
+        x2 = np.random.default_rng(2).normal(size=(2, 6))
+        lhs = layer.forward(x1 + x2) + layer.forward(np.zeros((2, 6)))
+        rhs = layer.forward(x1) + layer.forward(x2)
+        np.testing.assert_allclose(lhs, rhs, atol=1e-12)
+
+    def test_no_bias_option(self):
+        layer = _build(Dense(4, use_bias=False), 6)
+        assert "b" not in layer.params
+        out = layer.forward(np.zeros((2, 6)))
+        np.testing.assert_array_equal(out, np.zeros((2, 4)))
+
+    def test_parameter_count(self):
+        layer = _build(Dense(8), 31)
+        assert layer.parameter_count() == 31 * 8 + 8
+
+    def test_backward_shapes(self):
+        layer = _build(Dense(8), 5)
+        x = np.random.default_rng(0).normal(size=(7, 5))
+        layer.forward(x, training=True)
+        grad_in = layer.backward(np.ones((7, 8)))
+        assert grad_in.shape == (7, 5)
+        assert layer.grads["W"].shape == (5, 8)
+        assert layer.grads["b"].shape == (8,)
+
+    def test_backward_before_forward_raises(self):
+        layer = _build(Dense(8), 5)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((1, 8)))
+
+    def test_inference_forward_does_not_cache(self):
+        layer = _build(Dense(3), 4)
+        layer.forward(np.ones((2, 4)), training=False)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((2, 3)))
+
+    def test_wrong_input_dim_raises(self):
+        layer = _build(Dense(3), 4)
+        with pytest.raises(ValueError, match="input_dim"):
+            layer.forward(np.ones((2, 5)))
+
+    def test_unbuilt_raises(self):
+        with pytest.raises(RuntimeError):
+            Dense(3).forward(np.ones((1, 2)))
+
+    def test_invalid_units(self):
+        with pytest.raises(ValueError):
+            Dense(0)
+
+
+class TestActivations:
+    def test_relu_clips_negative(self):
+        out = ReLU().forward(np.array([[-1.0, 0.0, 2.0]]))
+        np.testing.assert_array_equal(out, [[0.0, 0.0, 2.0]])
+
+    def test_relu_gradient_masks(self):
+        layer = ReLU()
+        layer.forward(np.array([[-1.0, 3.0]]), training=True)
+        grad = layer.backward(np.array([[5.0, 5.0]]))
+        np.testing.assert_array_equal(grad, [[0.0, 5.0]])
+
+    def test_leaky_relu_slope(self):
+        layer = LeakyReLU(alpha=0.1)
+        out = layer.forward(np.array([[-10.0, 10.0]]))
+        np.testing.assert_allclose(out, [[-1.0, 10.0]])
+
+    def test_leaky_relu_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            LeakyReLU(alpha=-0.5)
+
+    def test_sigmoid_range_and_symmetry(self):
+        x = np.linspace(-50, 50, 101)[None, :]
+        y = Sigmoid().forward(x)
+        assert np.all((y >= 0) & (y <= 1))
+        np.testing.assert_allclose(y + Sigmoid().forward(-x), 1.0, atol=1e-12)
+
+    def test_sigmoid_extreme_values_finite(self):
+        y = Sigmoid().forward(np.array([[-1e4, 1e4]]))
+        assert np.all(np.isfinite(y))
+
+    def test_tanh_matches_numpy(self):
+        x = np.random.default_rng(0).normal(size=(4, 6))
+        np.testing.assert_allclose(Tanh().forward(x), np.tanh(x))
+
+    def test_softmax_rows_sum_to_one(self):
+        x = np.random.default_rng(0).normal(size=(5, 7)) * 10
+        y = Softmax().forward(x)
+        np.testing.assert_allclose(y.sum(axis=1), 1.0, atol=1e-12)
+        assert np.all(y >= 0)
+
+    def test_softmax_shift_invariance(self):
+        x = np.random.default_rng(1).normal(size=(3, 4))
+        np.testing.assert_allclose(
+            Softmax().forward(x), Softmax().forward(x + 100.0), atol=1e-12
+        )
+
+
+class TestDropout:
+    def test_inference_is_identity(self):
+        x = np.random.default_rng(0).normal(size=(10, 10))
+        np.testing.assert_array_equal(Dropout(0.5, seed=1).forward(x, training=False), x)
+
+    def test_training_preserves_expectation(self):
+        x = np.ones((200, 50))
+        out = Dropout(0.4, seed=3).forward(x, training=True)
+        assert np.mean(out) == pytest.approx(1.0, abs=0.05)
+
+    def test_zero_rate_is_identity_in_training(self):
+        x = np.ones((4, 4))
+        np.testing.assert_array_equal(Dropout(0.0).forward(x, training=True), x)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_backward_uses_same_mask(self):
+        layer = Dropout(0.5, seed=5)
+        x = np.ones((6, 6))
+        out = layer.forward(x, training=True)
+        grad = layer.backward(np.ones_like(x))
+        np.testing.assert_array_equal((out == 0), (grad == 0))
+
+
+class TestBatchNorm:
+    def test_training_normalizes_batch(self):
+        layer = _build(BatchNorm(), 4)
+        x = np.random.default_rng(0).normal(loc=5.0, scale=3.0, size=(256, 4))
+        y = layer.forward(x, training=True)
+        np.testing.assert_allclose(y.mean(axis=0), 0.0, atol=1e-7)
+        np.testing.assert_allclose(y.std(axis=0), 1.0, atol=1e-2)
+
+    def test_running_statistics_converge(self):
+        layer = _build(BatchNorm(momentum=0.5), 3)
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            layer.forward(rng.normal(loc=2.0, size=(64, 3)), training=True)
+        assert np.all(np.abs(layer.running_mean - 2.0) < 0.3)
+
+    def test_inference_uses_running_stats(self):
+        layer = _build(BatchNorm(momentum=0.0), 2)
+        layer.forward(np.random.default_rng(0).normal(size=(128, 2)), training=True)
+        x = np.array([[100.0, -100.0]])
+        y = layer.forward(x, training=False)
+        # With running stats ~N(0,1), the output should stay near the input.
+        assert np.abs(y[0, 0]) > 10
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            BatchNorm(momentum=1.0)
+
+
+class TestFlattenIdentity:
+    def test_flatten_roundtrip(self):
+        layer = Flatten()
+        x = np.random.default_rng(0).normal(size=(4, 5, 2))
+        flat = layer.forward(x, training=True)
+        assert flat.shape == (4, 10)
+        restored = layer.backward(flat)
+        assert restored.shape == x.shape
+
+    def test_identity(self):
+        x = np.ones((2, 3))
+        layer = Identity()
+        np.testing.assert_array_equal(layer.forward(x), x)
+        np.testing.assert_array_equal(layer.backward(x), x)
+
+
+class TestConfigRoundTrip:
+    @pytest.mark.parametrize(
+        "layer",
+        [Dense(7), ReLU(), LeakyReLU(0.2), Sigmoid(), Tanh(), Softmax(), Dropout(0.3), BatchNorm(), Flatten(), Identity()],
+    )
+    def test_roundtrip_type(self, layer):
+        clone = layer_from_config(layer.get_config())
+        assert type(clone) is type(layer)
+
+    def test_dense_units_preserved(self):
+        clone = layer_from_config(Dense(12, use_bias=False).get_config())
+        assert clone.units == 12
+        assert clone.use_bias is False
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(ValueError):
+            layer_from_config({"type": "Conv2D"})
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    x=arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 8), st.integers(1, 16)),
+        elements=st.floats(-100, 100, allow_nan=False),
+    )
+)
+def test_property_relu_idempotent(x):
+    """Applying ReLU twice equals applying it once, and output is non-negative."""
+    once = ReLU().forward(x)
+    twice = ReLU().forward(once)
+    np.testing.assert_array_equal(once, twice)
+    assert np.all(once >= 0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    x=arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 6), st.integers(2, 10)),
+        elements=st.floats(-50, 50, allow_nan=False),
+    )
+)
+def test_property_softmax_is_probability_distribution(x):
+    """Softmax rows are valid probability distributions for any finite input."""
+    y = Softmax().forward(x)
+    assert np.all(y >= 0)
+    np.testing.assert_allclose(y.sum(axis=-1), 1.0, atol=1e-9)

@@ -1,0 +1,234 @@
+"""Unit tests for loss functions, including the distillation composite loss."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn.losses import (
+    BinaryCrossEntropy,
+    CategoricalCrossEntropy,
+    DistillationLoss,
+    MeanSquaredError,
+    get_loss,
+)
+
+
+class TestMeanSquaredError:
+    def test_zero_for_perfect_prediction(self):
+        loss = MeanSquaredError()
+        assert loss.forward(np.ones((4, 1)), np.ones((4, 1))) == 0.0
+
+    def test_known_value(self):
+        loss = MeanSquaredError()
+        value = loss.forward(np.array([[1.0], [3.0]]), np.array([[0.0], [0.0]]))
+        assert value == pytest.approx(5.0)
+
+    def test_gradient_matches_finite_difference(self):
+        loss = MeanSquaredError()
+        rng = np.random.default_rng(0)
+        prediction = rng.normal(size=(5, 2))
+        target = rng.normal(size=(5, 2))
+        loss.forward(prediction, target)
+        grad = loss.backward()
+        eps = 1e-6
+        numeric = np.zeros_like(prediction)
+        for i in range(5):
+            for j in range(2):
+                bumped = prediction.copy()
+                bumped[i, j] += eps
+                numeric[i, j] = (loss.forward(bumped, target) - loss.forward(prediction, target)) / eps
+        np.testing.assert_allclose(grad, numeric, atol=1e-5)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            MeanSquaredError().forward(np.ones((3, 1)), np.ones((4, 1)))
+
+
+class TestBinaryCrossEntropy:
+    def test_perfect_probability_prediction_near_zero(self):
+        loss = BinaryCrossEntropy()
+        value = loss.forward(np.array([[0.9999], [0.0001]]), np.array([[1.0], [0.0]]))
+        assert value < 1e-3
+
+    def test_logits_and_probability_paths_agree(self):
+        logits = np.array([[-2.0], [0.5], [3.0]])
+        targets = np.array([[0.0], [1.0], [1.0]])
+        probabilities = 1.0 / (1.0 + np.exp(-logits))
+        from_logits = BinaryCrossEntropy(from_logits=True).forward(logits, targets)
+        from_probs = BinaryCrossEntropy(from_logits=False).forward(probabilities, targets)
+        assert from_logits == pytest.approx(from_probs, rel=1e-9)
+
+    def test_logits_gradient_is_sigmoid_minus_target(self):
+        loss = BinaryCrossEntropy(from_logits=True)
+        logits = np.array([[0.3], [-1.2]])
+        targets = np.array([[1.0], [0.0]])
+        loss.forward(logits, targets)
+        grad = loss.backward()
+        expected = (1.0 / (1.0 + np.exp(-logits)) - targets) / logits.size
+        np.testing.assert_allclose(grad, expected, atol=1e-12)
+
+    def test_extreme_logits_do_not_overflow(self):
+        loss = BinaryCrossEntropy(from_logits=True)
+        value = loss.forward(np.array([[1000.0], [-1000.0]]), np.array([[1.0], [0.0]]))
+        assert np.isfinite(value)
+        assert value < 1e-6
+
+    def test_wrong_prediction_is_penalized_more(self):
+        loss = BinaryCrossEntropy(from_logits=True)
+        good = loss.forward(np.array([[3.0]]), np.array([[1.0]]))
+        bad = loss.forward(np.array([[-3.0]]), np.array([[1.0]]))
+        assert bad > good
+
+
+class TestCategoricalCrossEntropy:
+    def test_perfect_one_hot(self):
+        loss = CategoricalCrossEntropy(from_logits=False)
+        probs = np.array([[1.0, 0.0, 0.0]])
+        target = np.array([[1.0, 0.0, 0.0]])
+        assert loss.forward(probs, target) == pytest.approx(0.0, abs=1e-9)
+
+    def test_logits_gradient(self):
+        loss = CategoricalCrossEntropy(from_logits=True)
+        logits = np.array([[2.0, 1.0, -1.0]])
+        target = np.array([[0.0, 1.0, 0.0]])
+        loss.forward(logits, target)
+        grad = loss.backward()
+        softmax = np.exp(logits) / np.exp(logits).sum()
+        np.testing.assert_allclose(grad, (softmax - target) / 1, atol=1e-9)
+
+    def test_uniform_prediction_loss_is_log_k(self):
+        k = 4
+        loss = CategoricalCrossEntropy(from_logits=False)
+        probs = np.full((3, k), 1.0 / k)
+        target = np.eye(k)[:3]
+        assert loss.forward(probs, target) == pytest.approx(np.log(k))
+
+
+class TestDistillationLoss:
+    def test_alpha_one_is_pure_cross_entropy(self):
+        loss = DistillationLoss(alpha=1.0, temperature=2.0)
+        student = np.array([[0.7], [-0.3]])
+        labels = np.array([[1.0], [0.0]])
+        teacher = np.array([[5.0], [-5.0]])
+        total, ce, kd = loss.forward_components(student, labels, teacher)
+        assert total == pytest.approx(ce)
+
+    def test_alpha_zero_is_pure_distillation(self):
+        loss = DistillationLoss(alpha=0.0, temperature=1.0)
+        student = np.array([[0.7], [-0.3]])
+        labels = np.array([[1.0], [0.0]])
+        teacher = np.array([[0.7], [-0.3]])
+        total, _, kd = loss.forward_components(student, labels, teacher)
+        assert total == pytest.approx(kd)
+        assert kd == pytest.approx(0.0)
+
+    def test_temperature_scales_kd_term(self):
+        student = np.array([[2.0]])
+        labels = np.array([[1.0]])
+        teacher = np.array([[-2.0]])
+        _, _, kd_t1 = DistillationLoss(alpha=0.5, temperature=1.0).forward_components(
+            student, labels, teacher
+        )
+        _, _, kd_t2 = DistillationLoss(alpha=0.5, temperature=2.0).forward_components(
+            student, labels, teacher
+        )
+        assert kd_t1 == pytest.approx(4.0 * kd_t2)
+
+    def test_gradient_matches_finite_difference(self):
+        loss = DistillationLoss(alpha=0.3, temperature=2.0)
+        rng = np.random.default_rng(0)
+        student = rng.normal(size=(6, 1))
+        labels = rng.integers(0, 2, size=(6, 1)).astype(float)
+        teacher = rng.normal(size=(6, 1))
+        loss.forward_components(student, labels, teacher)
+        grad = loss.backward()
+        eps = 1e-6
+        numeric = np.zeros_like(student)
+        for i in range(student.shape[0]):
+            bumped = student.copy()
+            bumped[i, 0] += eps
+            up, _, _ = loss.forward_components(bumped, labels, teacher)
+            base, _, _ = loss.forward_components(student, labels, teacher)
+            numeric[i, 0] = (up - base) / eps
+        np.testing.assert_allclose(grad, numeric, atol=1e-5)
+
+    def test_loss_protocol_wrapper(self):
+        loss = DistillationLoss(alpha=0.5)
+        student = np.array([[0.2], [0.4]])
+        labels = np.array([[1.0], [0.0]])
+        teacher = np.array([[1.0], [-1.0]])
+        total_via_protocol = loss.forward(student, (labels, teacher))
+        total_direct, _, _ = loss.forward_components(student, labels, teacher)
+        assert total_via_protocol == pytest.approx(total_direct)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            DistillationLoss(alpha=1.5)
+
+    def test_invalid_temperature(self):
+        with pytest.raises(ValueError):
+            DistillationLoss(temperature=0.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            DistillationLoss().forward_components(
+                np.ones((3, 1)), np.ones((3, 1)), np.ones((4, 1))
+            )
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert isinstance(get_loss("mse"), MeanSquaredError)
+        assert isinstance(get_loss("bce"), BinaryCrossEntropy)
+        assert isinstance(get_loss("distillation"), DistillationLoss)
+
+    def test_kwargs_forwarded(self):
+        loss = get_loss("distillation", alpha=0.25)
+        assert loss.alpha == 0.25
+
+    def test_instance_passthrough(self):
+        loss = MeanSquaredError()
+        assert get_loss(loss) is loss
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            get_loss("hinge")
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    logits=arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 10)),
+        elements=st.floats(-20, 20, allow_nan=False),
+    ),
+    labels=arrays(dtype=np.int64, shape=st.tuples(st.integers(1, 10)), elements=st.integers(0, 1)),
+)
+def test_property_bce_non_negative(logits, labels):
+    """Binary cross-entropy is non-negative for any logits and labels."""
+    n = min(len(logits), len(labels))
+    if n == 0:
+        return
+    loss = BinaryCrossEntropy(from_logits=True)
+    value = loss.forward(logits[:n].reshape(-1, 1), labels[:n].astype(float).reshape(-1, 1))
+    assert value >= 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    student=arrays(dtype=np.float64, shape=(5, 1), elements=st.floats(-10, 10, allow_nan=False)),
+    teacher=arrays(dtype=np.float64, shape=(5, 1), elements=st.floats(-10, 10, allow_nan=False)),
+    alpha=st.floats(0.0, 1.0),
+)
+def test_property_distillation_loss_is_convex_combination(student, teacher, alpha):
+    """The composite loss always lies between its CE and KD components."""
+    labels = np.ones((5, 1))
+    total, ce, kd = DistillationLoss(alpha=alpha, temperature=1.5).forward_components(
+        student, labels, teacher
+    )
+    lower, upper = min(ce, kd), max(ce, kd)
+    assert lower - 1e-9 <= total <= upper + 1e-9

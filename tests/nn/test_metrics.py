@@ -1,0 +1,131 @@
+"""Unit tests for the readout-fidelity metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.metrics import (
+    assignment_fidelity,
+    binary_accuracy,
+    confusion_counts,
+    geometric_mean_fidelity,
+    readout_error_rates,
+)
+from repro.nn.metrics import fidelity_table
+
+
+class TestBinaryAccuracy:
+    def test_perfect(self):
+        assert binary_accuracy(np.array([0.9, 0.1, 0.8]), np.array([1, 0, 1])) == 1.0
+
+    def test_all_wrong(self):
+        assert binary_accuracy(np.array([0.9, 0.1]), np.array([0, 1])) == 0.0
+
+    def test_logit_threshold(self):
+        assert binary_accuracy(np.array([2.0, -3.0]), np.array([1, 0]), threshold=0.0) == 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            binary_accuracy(np.array([1.0]), np.array([1, 0]))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            binary_accuracy(np.array([]), np.array([]))
+
+
+class TestAssignmentFidelity:
+    def test_balanced_equals_accuracy(self):
+        predictions = np.array([0.9, 0.2, 0.7, 0.1])
+        labels = np.array([1, 0, 1, 0])
+        assert assignment_fidelity(predictions, labels) == binary_accuracy(predictions, labels)
+
+    def test_class_imbalance_robustness(self):
+        # 90 ground shots all correct, 10 excited shots all wrong:
+        # plain accuracy 0.9, assignment fidelity 0.5.
+        predictions = np.concatenate([np.zeros(90), np.zeros(10)])
+        labels = np.concatenate([np.zeros(90), np.ones(10)])
+        assert binary_accuracy(predictions, labels) == pytest.approx(0.9)
+        assert assignment_fidelity(predictions, labels) == pytest.approx(0.5)
+
+    def test_single_class_falls_back_to_accuracy(self):
+        predictions = np.array([0.9, 0.8])
+        labels = np.array([1, 1])
+        assert assignment_fidelity(predictions, labels) == 1.0
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean_fidelity([0.25, 1.0]) == pytest.approx(0.5)
+
+    def test_paper_table1_row(self):
+        # KLiNQ row of Table I: F5Q should come out to ~0.904.
+        fidelities = [0.968, 0.748, 0.929, 0.934, 0.959]
+        assert geometric_mean_fidelity(fidelities) == pytest.approx(0.904, abs=0.001)
+
+    def test_penalizes_outliers_more_than_arithmetic_mean(self):
+        values = [0.99, 0.99, 0.5]
+        assert geometric_mean_fidelity(values) < np.mean(values)
+
+    def test_zero_fidelity(self):
+        assert geometric_mean_fidelity([0.0, 0.9]) == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean_fidelity([])
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean_fidelity([1.2])
+
+
+class TestConfusionAndErrorRates:
+    def test_counts(self):
+        predictions = np.array([1, 1, 0, 0, 1])
+        labels = np.array([1, 0, 0, 1, 1])
+        counts = confusion_counts(predictions, labels, threshold=0.5)
+        assert counts == {"tp": 2, "tn": 1, "fp": 1, "fn": 1}
+
+    def test_error_rates(self):
+        predictions = np.array([1, 1, 0, 0])
+        labels = np.array([0, 0, 1, 1])
+        rates = readout_error_rates(predictions, labels, threshold=0.5)
+        assert rates["p10"] == 1.0 and rates["p01"] == 1.0
+
+    def test_error_rates_with_missing_class(self):
+        rates = readout_error_rates(np.array([1, 1]), np.array([1, 1]), threshold=0.5)
+        assert rates["p10"] == 0.0
+
+
+class TestFidelityTable:
+    def test_row_structure(self):
+        row = fidelity_table([0.9, 0.7, 0.8], exclude=[1])
+        assert row["q1"] == 0.9 and row["q2"] == 0.7 and row["q3"] == 0.8
+        assert row["f_all"] == pytest.approx(geometric_mean_fidelity([0.9, 0.7, 0.8]))
+        assert row["f_excluded"] == pytest.approx(geometric_mean_fidelity([0.9, 0.8]))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    fidelities=st.lists(st.floats(0.01, 1.0), min_size=1, max_size=8),
+)
+def test_property_geometric_mean_bounded_by_min_and_max(fidelities):
+    """The geometric mean lies between the smallest and largest fidelity."""
+    value = geometric_mean_fidelity(fidelities)
+    assert min(fidelities) - 1e-12 <= value <= max(fidelities) + 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    predictions=st.lists(st.floats(-5, 5), min_size=2, max_size=50),
+    threshold=st.floats(-1, 1),
+)
+def test_property_accuracy_complement(predictions, threshold):
+    """Accuracy against labels and against flipped labels sums to 1."""
+    predictions = np.asarray(predictions)
+    labels = (predictions > 0).astype(int)
+    accuracy = binary_accuracy(predictions, labels, threshold=threshold)
+    flipped = binary_accuracy(predictions, 1 - labels, threshold=threshold)
+    assert accuracy + flipped == pytest.approx(1.0)

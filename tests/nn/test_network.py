@@ -1,0 +1,157 @@
+"""Unit tests for the Sequential container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense, Dropout, ReLU, Sigmoid
+from repro.nn.network import Sequential
+
+
+@pytest.fixture()
+def student_like():
+    """The FNN-A student topology: 31 -> 16 -> 8 -> 1."""
+    return Sequential([Dense(16), ReLU(), Dense(8), ReLU(), Dense(1)], input_dim=31, seed=0)
+
+
+class TestConstruction:
+    def test_requires_layers(self):
+        with pytest.raises(ValueError):
+            Sequential([])
+
+    def test_rejects_non_layers(self):
+        with pytest.raises(TypeError):
+            Sequential([Dense(4), "relu"])
+
+    def test_deferred_build(self):
+        model = Sequential([Dense(4), ReLU(), Dense(1)])
+        assert not model.is_built
+        model.build(10)
+        assert model.is_built
+        assert model.output_dim == 1
+
+    def test_forward_before_build_raises(self):
+        model = Sequential([Dense(4)])
+        with pytest.raises(RuntimeError):
+            model.forward(np.ones((1, 3)))
+
+    def test_invalid_input_dim(self):
+        with pytest.raises(ValueError):
+            Sequential([Dense(4)], input_dim=0)
+
+
+class TestForward:
+    def test_output_shape(self, student_like):
+        out = student_like.forward(np.zeros((5, 31)))
+        assert out.shape == (5, 1)
+
+    def test_single_sample_promoted_to_batch(self, student_like):
+        out = student_like.forward(np.zeros(31))
+        assert out.shape == (1, 1)
+
+    def test_predict_batched_equals_full(self, student_like):
+        x = np.random.default_rng(0).normal(size=(100, 31))
+        np.testing.assert_allclose(
+            student_like.predict(x, batch_size=7), student_like.predict(x), atol=1e-12
+        )
+
+    def test_training_flag_reaches_dropout(self):
+        model = Sequential([Dense(64), Dropout(0.9, seed=0), Dense(1)], input_dim=8, seed=1)
+        x = np.ones((16, 8))
+        train_out = model.forward(x, training=True)
+        infer_out_1 = model.forward(x, training=False)
+        infer_out_2 = model.forward(x, training=False)
+        np.testing.assert_array_equal(infer_out_1, infer_out_2)
+        assert not np.allclose(train_out, infer_out_1)
+
+
+class TestParameters:
+    def test_parameter_count_fnn_a(self, student_like):
+        # 31*16+16 + 16*8+8 + 8*1+1 = 657, the per-qubit FNN-A size (Fig. 5 / 3).
+        assert student_like.parameter_count() == 657
+
+    def test_parameter_keys(self, student_like):
+        keys = set(student_like.parameters())
+        assert "layer0.W" in keys and "layer0.b" in keys
+        assert "layer4.W" in keys
+
+    def test_set_parameters_roundtrip(self, student_like):
+        params = {k: v + 1.0 for k, v in student_like.parameters().items()}
+        student_like.set_parameters(params)
+        for key, value in student_like.parameters().items():
+            np.testing.assert_array_equal(value, params[key])
+
+    def test_set_parameters_rejects_missing_keys(self, student_like):
+        params = student_like.parameters()
+        params.pop("layer0.b")
+        with pytest.raises(KeyError):
+            student_like.set_parameters(params)
+
+    def test_set_parameters_rejects_bad_shapes(self, student_like):
+        params = student_like.parameters()
+        params["layer0.W"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            student_like.set_parameters(params)
+
+    def test_same_seed_reproducible(self):
+        a = Sequential([Dense(4), ReLU(), Dense(1)], input_dim=6, seed=9)
+        b = Sequential([Dense(4), ReLU(), Dense(1)], input_dim=6, seed=9)
+        for key in a.parameters():
+            np.testing.assert_array_equal(a.parameters()[key], b.parameters()[key])
+
+
+class TestCopyAndConfig:
+    def test_copy_is_independent(self, student_like):
+        clone = student_like.copy()
+        x = np.random.default_rng(1).normal(size=(3, 31))
+        np.testing.assert_allclose(clone.predict(x), student_like.predict(x), atol=1e-12)
+        clone.parameters()["layer0.W"][...] += 1.0
+        assert not np.allclose(clone.predict(x), student_like.predict(x))
+
+    def test_config_roundtrip(self, student_like):
+        config = student_like.get_config()
+        rebuilt = Sequential.from_config(config)
+        assert rebuilt.parameter_count() == student_like.parameter_count()
+        assert [type(l).__name__ for l in rebuilt.layers] == [
+            type(l).__name__ for l in student_like.layers
+        ]
+
+    def test_summary_mentions_every_layer(self, student_like):
+        summary = student_like.summary()
+        assert "Dense" in summary and "ReLU" in summary
+        assert "657" in summary
+
+
+class TestBackward:
+    def test_gradients_populated_for_all_parameters(self, student_like):
+        x = np.random.default_rng(0).normal(size=(4, 31))
+        out = student_like.forward(x, training=True)
+        student_like.backward(np.ones_like(out))
+        grads = student_like.gradients()
+        assert set(grads) == set(student_like.parameters())
+        assert any(np.any(g != 0) for g in grads.values())
+
+    def test_zero_grad(self, student_like):
+        x = np.random.default_rng(0).normal(size=(4, 31))
+        out = student_like.forward(x, training=True)
+        student_like.backward(np.ones_like(out))
+        student_like.zero_grad()
+        assert all(np.all(g == 0) for g in student_like.gradients().values())
+
+
+class TestDunder:
+    def test_len_and_iter(self, student_like):
+        assert len(student_like) == 5
+        assert len(list(iter(student_like))) == 5
+
+    def test_call_equals_forward(self, student_like):
+        x = np.zeros((2, 31))
+        np.testing.assert_array_equal(student_like(x), student_like.forward(x))
+
+
+class TestSigmoidOutputNetwork:
+    def test_probability_outputs(self):
+        model = Sequential([Dense(4), ReLU(), Dense(1), Sigmoid()], input_dim=3, seed=0)
+        out = model.forward(np.random.default_rng(0).normal(size=(10, 3)))
+        assert np.all((out >= 0) & (out <= 1))

@@ -1,0 +1,135 @@
+"""Unit tests for the optimizers and learning-rate schedulers interplay."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.optimizers import SGD, Adam, AdamW, get_optimizer
+
+
+def _quadratic_problem(dim=5, seed=0):
+    """A convex quadratic: minimum at ``target``."""
+    rng = np.random.default_rng(seed)
+    target = rng.normal(size=dim)
+    params = {"w": np.zeros(dim)}
+
+    def gradient():
+        return {"w": params["w"] - target}
+
+    return params, gradient, target
+
+
+class TestSGD:
+    def test_plain_sgd_converges_on_quadratic(self):
+        params, gradient, target = _quadratic_problem()
+        optimizer = SGD(learning_rate=0.2)
+        for _ in range(200):
+            optimizer.step(params, gradient())
+        np.testing.assert_allclose(params["w"], target, atol=1e-4)
+
+    def test_momentum_faster_than_plain(self):
+        params_plain, grad_plain, target = _quadratic_problem(seed=1)
+        params_momentum, grad_momentum, _ = _quadratic_problem(seed=1)
+        plain = SGD(learning_rate=0.05)
+        momentum = SGD(learning_rate=0.05, momentum=0.9)
+        for _ in range(50):
+            plain.step(params_plain, grad_plain())
+            momentum.step(params_momentum, grad_momentum())
+        error_plain = np.linalg.norm(params_plain["w"] - target)
+        error_momentum = np.linalg.norm(params_momentum["w"] - target)
+        assert error_momentum < error_plain
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError):
+            SGD(momentum=0.0, nesterov=True)
+
+    def test_weight_decay_shrinks_weights(self):
+        params = {"w": np.ones(4) * 10.0}
+        optimizer = SGD(learning_rate=0.1, weight_decay=1.0)
+        optimizer.step(params, {"w": np.zeros(4)})
+        assert np.all(params["w"] < 10.0)
+
+    def test_invalid_learning_rate(self):
+        with pytest.raises(ValueError):
+            SGD(learning_rate=0.0)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            SGD(momentum=1.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        params, gradient, target = _quadratic_problem(seed=2)
+        optimizer = Adam(learning_rate=0.05)
+        for _ in range(500):
+            optimizer.step(params, gradient())
+        np.testing.assert_allclose(params["w"], target, atol=1e-3)
+
+    def test_first_step_magnitude_close_to_learning_rate(self):
+        # With bias correction the very first Adam step is ~lr in magnitude.
+        params = {"w": np.zeros(1)}
+        optimizer = Adam(learning_rate=0.01)
+        optimizer.step(params, {"w": np.array([5.0])})
+        assert abs(params["w"][0]) == pytest.approx(0.01, rel=0.05)
+
+    def test_per_parameter_state_is_independent(self):
+        params = {"a": np.zeros(2), "b": np.zeros(3)}
+        grads = {"a": np.ones(2), "b": np.zeros(3)}
+        optimizer = Adam(learning_rate=0.1)
+        optimizer.step(params, grads)
+        assert np.all(params["a"] != 0)
+        np.testing.assert_array_equal(params["b"], np.zeros(3))
+
+    def test_shape_mismatch_raises(self):
+        optimizer = Adam()
+        with pytest.raises(ValueError):
+            optimizer.step({"w": np.zeros(3)}, {"w": np.zeros(4)})
+
+    def test_missing_gradient_raises(self):
+        optimizer = Adam()
+        with pytest.raises(KeyError):
+            optimizer.step({"w": np.zeros(3)}, {})
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam(beta1=1.0)
+
+
+class TestAdamW:
+    def test_decay_applied_to_weights_not_gradient_path(self):
+        params = {"w": np.full(3, 4.0)}
+        optimizer = AdamW(learning_rate=0.1, weight_decay=0.5)
+        optimizer.step(params, {"w": np.zeros(3)})
+        # Zero gradient: the only change is the decoupled decay.
+        np.testing.assert_allclose(params["w"], 4.0 - 0.1 * 0.5 * 4.0, atol=1e-9)
+
+    def test_converges_with_decay(self):
+        params, gradient, target = _quadratic_problem(seed=3)
+        optimizer = AdamW(learning_rate=0.05, weight_decay=1e-3)
+        for _ in range(500):
+            optimizer.step(params, gradient())
+        assert np.linalg.norm(params["w"] - target) < 0.1
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert isinstance(get_optimizer("sgd"), SGD)
+        assert isinstance(get_optimizer("adam"), Adam)
+        assert isinstance(get_optimizer("adamw"), AdamW)
+
+    def test_instance_passthrough(self):
+        optimizer = Adam()
+        assert get_optimizer(optimizer) is optimizer
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            get_optimizer("rmsprop")
+
+    def test_iterations_counter(self):
+        optimizer = SGD(learning_rate=0.1)
+        params = {"w": np.zeros(1)}
+        for _ in range(5):
+            optimizer.step(params, {"w": np.ones(1)})
+        assert optimizer.iterations == 5

@@ -1,0 +1,90 @@
+"""Unit tests for learning-rate schedules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nn.schedulers import (
+    ConstantSchedule,
+    CosineAnnealing,
+    ExponentialDecay,
+    StepDecay,
+    WarmupSchedule,
+)
+
+
+class TestConstant:
+    def test_value(self):
+        schedule = ConstantSchedule(0.01)
+        assert schedule(0) == 0.01
+        assert schedule(100) == 0.01
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ConstantSchedule(0.0)
+
+    def test_negative_epoch_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantSchedule(0.1)(-1)
+
+
+class TestStepDecay:
+    def test_decays_every_step_size(self):
+        schedule = StepDecay(1.0, step_size=10, factor=0.5)
+        assert schedule(0) == 1.0
+        assert schedule(9) == 1.0
+        assert schedule(10) == 0.5
+        assert schedule(20) == 0.25
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            StepDecay(1.0, step_size=5, factor=0.0)
+
+
+class TestExponentialDecay:
+    def test_monotone_decay(self):
+        schedule = ExponentialDecay(0.1, decay=0.9)
+        values = [schedule(epoch) for epoch in range(10)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_decay_of_one_is_constant(self):
+        schedule = ExponentialDecay(0.1, decay=1.0)
+        assert schedule(50) == pytest.approx(0.1)
+
+
+class TestCosineAnnealing:
+    def test_endpoints(self):
+        schedule = CosineAnnealing(0.1, total_epochs=20, min_rate=0.001)
+        assert schedule(0) == pytest.approx(0.1)
+        assert schedule(20) == pytest.approx(0.001)
+
+    def test_midpoint(self):
+        schedule = CosineAnnealing(0.1, total_epochs=10, min_rate=0.0)
+        assert schedule(5) == pytest.approx(0.05)
+
+    def test_clamps_beyond_total(self):
+        schedule = CosineAnnealing(0.1, total_epochs=10)
+        assert schedule(25) == pytest.approx(schedule(10))
+
+    def test_invalid_min_rate(self):
+        with pytest.raises(ValueError):
+            CosineAnnealing(0.1, total_epochs=10, min_rate=0.2)
+
+
+class TestWarmup:
+    def test_ramps_up_then_follows_inner(self):
+        inner = ConstantSchedule(0.1)
+        schedule = WarmupSchedule(inner, warmup_epochs=4)
+        values = [schedule(epoch) for epoch in range(6)]
+        assert values[0] < values[1] < values[2] < values[3]
+        assert values[4] == pytest.approx(0.1)
+        assert values[5] == pytest.approx(0.1)
+
+    def test_zero_warmup_is_identity(self):
+        inner = ExponentialDecay(0.1, decay=0.9)
+        schedule = WarmupSchedule(inner, warmup_epochs=0)
+        assert schedule(3) == pytest.approx(inner(3))
+
+    def test_negative_warmup_rejected(self):
+        with pytest.raises(ValueError):
+            WarmupSchedule(ConstantSchedule(0.1), warmup_epochs=-1)

@@ -1,0 +1,56 @@
+"""Unit tests for model save/load."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense, ReLU
+from repro.nn.network import Sequential
+from repro.nn.serialization import load_model, save_model
+
+
+@pytest.fixture()
+def model():
+    return Sequential([Dense(8), ReLU(), Dense(1)], input_dim=12, seed=4)
+
+
+class TestSaveLoad:
+    def test_roundtrip_predictions_identical(self, model, tmp_path):
+        x = np.random.default_rng(0).normal(size=(20, 12))
+        save_model(model, tmp_path / "student")
+        restored = load_model(tmp_path / "student")
+        np.testing.assert_array_equal(restored.predict(x), model.predict(x))
+
+    def test_files_created(self, model, tmp_path):
+        config_path, weights_path = save_model(model, tmp_path / "sub" / "model")
+        assert config_path.exists() and config_path.suffix == ".json"
+        assert weights_path.exists() and weights_path.suffix == ".npz"
+
+    def test_suffix_is_normalized(self, model, tmp_path):
+        config_path, _ = save_model(model, tmp_path / "model.anything")
+        assert config_path.name == "model.json"
+        restored = load_model(tmp_path / "model.npz")
+        assert restored.parameter_count() == model.parameter_count()
+
+    def test_unbuilt_model_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_model(Sequential([Dense(4)]), tmp_path / "x")
+
+    def test_missing_config_raises(self, model, tmp_path):
+        _, weights_path = save_model(model, tmp_path / "m")
+        (tmp_path / "m.json").unlink()
+        with pytest.raises(FileNotFoundError):
+            load_model(tmp_path / "m")
+
+    def test_missing_weights_raises(self, model, tmp_path):
+        save_model(model, tmp_path / "m")
+        (tmp_path / "m.npz").unlink()
+        with pytest.raises(FileNotFoundError):
+            load_model(tmp_path / "m")
+
+    def test_architecture_preserved(self, model, tmp_path):
+        save_model(model, tmp_path / "m")
+        restored = load_model(tmp_path / "m")
+        assert [type(l).__name__ for l in restored.layers] == ["Dense", "ReLU", "Dense"]
+        assert restored.input_dim == 12

@@ -1,0 +1,192 @@
+"""Unit tests for the Trainer, EarlyStopping and the train/validation split."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense, ReLU
+from repro.nn.network import Sequential
+from repro.nn.schedulers import StepDecay
+from repro.nn.trainer import EarlyStopping, Trainer, train_validation_split
+
+
+def _toy_classification(n=400, dim=10, seed=0):
+    """A linearly separable binary problem with margin."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, dim))
+    weights = rng.normal(size=dim)
+    y = (x @ weights > 0).astype(float)
+    return x, y
+
+
+def _small_model(dim=10, seed=0):
+    return Sequential([Dense(16), ReLU(), Dense(1)], input_dim=dim, seed=seed)
+
+
+class TestFit:
+    def test_learns_separable_problem(self):
+        x, y = _toy_classification()
+        trainer = Trainer(_small_model(), max_epochs=30, batch_size=32, seed=0)
+        history = trainer.fit(x, y)
+        assert history.train_accuracy[-1] > 0.9
+
+    def test_loss_decreases(self):
+        x, y = _toy_classification(seed=1)
+        trainer = Trainer(_small_model(seed=1), max_epochs=15, batch_size=32, seed=1)
+        history = trainer.fit(x, y)
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_validation_curves_recorded(self):
+        x, y = _toy_classification(seed=2)
+        trainer = Trainer(_small_model(seed=2), max_epochs=5, seed=2)
+        history = trainer.fit(x[:300], y[:300], x[300:], y[300:])
+        assert len(history.val_loss) == history.epochs_run
+        assert len(history.val_accuracy) == history.epochs_run
+
+    def test_builds_unbuilt_model(self):
+        x, y = _toy_classification(seed=3)
+        model = Sequential([Dense(8), ReLU(), Dense(1)])
+        Trainer(model, max_epochs=2, seed=3).fit(x, y)
+        assert model.is_built and model.input_dim == x.shape[1]
+
+    def test_scheduler_changes_learning_rate(self):
+        x, y = _toy_classification(seed=4)
+        trainer = Trainer(
+            _small_model(seed=4),
+            max_epochs=6,
+            scheduler=StepDecay(0.01, step_size=2, factor=0.5),
+            seed=4,
+        )
+        history = trainer.fit(x, y)
+        assert history.learning_rates[0] == pytest.approx(0.01)
+        assert history.learning_rates[2] == pytest.approx(0.005)
+        assert history.learning_rates[4] == pytest.approx(0.0025)
+
+    def test_shape_mismatch_raises(self):
+        trainer = Trainer(_small_model())
+        with pytest.raises(ValueError):
+            trainer.fit(np.zeros((10, 10)), np.zeros(9))
+
+    def test_empty_dataset_raises(self):
+        trainer = Trainer(_small_model())
+        with pytest.raises(ValueError):
+            trainer.fit(np.zeros((0, 10)), np.zeros(0))
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            Trainer(_small_model(), batch_size=0)
+
+
+class TestEvaluate:
+    def test_reports_loss_and_accuracy(self):
+        x, y = _toy_classification(seed=5)
+        trainer = Trainer(_small_model(seed=5), max_epochs=40, batch_size=32, seed=5)
+        trainer.fit(x, y)
+        metrics = trainer.evaluate(x, y)
+        assert set(metrics) == {"loss", "accuracy"}
+        assert metrics["accuracy"] > 0.85
+
+
+class TestEarlyStopping:
+    def test_stops_before_max_epochs(self):
+        # Random labels: validation loss cannot keep improving, so the
+        # patience threshold must trigger well before max_epochs.
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=(200, 10))
+        y = rng.integers(0, 2, size=200).astype(float)
+        stopper = EarlyStopping(patience=3, monitor="val_loss", min_delta=1e-4)
+        trainer = Trainer(
+            _small_model(seed=6), max_epochs=200, early_stopping=stopper, seed=6
+        )
+        history = trainer.fit(x[:150], y[:150], x[150:], y[150:])
+        assert history.epochs_run < 200
+
+    def test_restores_best_parameters(self):
+        model = _small_model(seed=7)
+        stopper = EarlyStopping(patience=1, monitor="val_accuracy", restore_best=True)
+        # Feed improving then degrading metric values manually.
+        assert stopper.update(0.8, model) is False
+        best_snapshot = {k: v.copy() for k, v in model.parameters().items()}
+        model.parameters()["layer0.W"][...] += 10.0
+        assert stopper.update(0.7, model) is True
+        stopper.restore(model)
+        np.testing.assert_allclose(model.parameters()["layer0.W"], best_snapshot["layer0.W"])
+
+    def test_maximize_flag_from_monitor_name(self):
+        assert EarlyStopping(monitor="val_accuracy").maximize is True
+        assert EarlyStopping(monitor="val_loss").maximize is False
+
+    def test_falls_back_to_train_monitor_without_validation(self):
+        x, y = _toy_classification(n=150, seed=8)
+        stopper = EarlyStopping(patience=3, monitor="val_loss")
+        trainer = Trainer(_small_model(seed=8), max_epochs=10, early_stopping=stopper, seed=8)
+        history = trainer.fit(x, y)
+        assert history.epochs_run >= 1
+
+    def test_invalid_patience(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=0)
+
+
+class TestHistory:
+    def test_best_epoch_for_loss_and_accuracy(self):
+        from repro.nn.trainer import TrainingHistory
+
+        history = TrainingHistory(
+            train_loss=[1.0, 0.5, 0.7],
+            train_accuracy=[0.5, 0.8, 0.7],
+            val_loss=[1.1, 0.6, 0.9],
+            val_accuracy=[0.4, 0.9, 0.6],
+        )
+        assert history.best_epoch("val_loss") == 1
+        assert history.best_epoch("val_accuracy") == 1
+        assert history.best_epoch("train_loss") == 1
+
+    def test_best_epoch_without_history_raises(self):
+        from repro.nn.trainer import TrainingHistory
+
+        with pytest.raises(ValueError):
+            TrainingHistory().best_epoch("val_loss")
+
+    def test_as_dict_keys(self):
+        from repro.nn.trainer import TrainingHistory
+
+        assert set(TrainingHistory().as_dict()) == {
+            "train_loss",
+            "train_accuracy",
+            "val_loss",
+            "val_accuracy",
+            "learning_rates",
+        }
+
+
+class TestTrainValidationSplit:
+    def test_split_sizes(self):
+        x = np.arange(100).reshape(-1, 1).astype(float)
+        y = np.arange(100).astype(float)
+        x_train, y_train, x_val, y_val = train_validation_split(x, y, 0.2, seed=0)
+        assert x_train.shape[0] == 80 and x_val.shape[0] == 20
+        assert y_train.shape[0] == 80 and y_val.shape[0] == 20
+
+    def test_split_is_a_partition(self):
+        x = np.arange(50).reshape(-1, 1).astype(float)
+        y = np.arange(50).astype(float)
+        x_train, _, x_val, _ = train_validation_split(x, y, 0.3, seed=1)
+        combined = np.sort(np.concatenate([x_train, x_val]).reshape(-1))
+        np.testing.assert_array_equal(combined, np.arange(50))
+
+    def test_deterministic_given_seed(self):
+        x = np.arange(30).reshape(-1, 1).astype(float)
+        y = np.arange(30).astype(float)
+        a = train_validation_split(x, y, 0.25, seed=3)
+        b = train_validation_split(x, y, 0.25, seed=3)
+        np.testing.assert_array_equal(a[0], b[0])
+
+    def test_invalid_fraction(self):
+        x = np.zeros((10, 2))
+        y = np.zeros(10)
+        with pytest.raises(ValueError):
+            train_validation_split(x, y, 0.0)
+        with pytest.raises(ValueError):
+            train_validation_split(x, y, 1.0)

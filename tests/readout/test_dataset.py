@@ -1,0 +1,163 @@
+"""Unit tests for dataset construction, views and truncation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.readout.dataset import (
+    ReadoutDataset,
+    all_joint_states,
+    generate_dataset,
+    truncate_traces,
+)
+
+
+class TestAllJointStates:
+    def test_counts(self):
+        assert all_joint_states(1).shape == (2, 1)
+        assert all_joint_states(3).shape == (8, 3)
+        assert all_joint_states(5).shape == (32, 5)
+
+    def test_binary_ordering(self):
+        states = all_joint_states(3)
+        np.testing.assert_array_equal(states[0], [0, 0, 0])
+        np.testing.assert_array_equal(states[1], [0, 0, 1])
+        np.testing.assert_array_equal(states[7], [1, 1, 1])
+
+    def test_all_rows_unique(self):
+        states = all_joint_states(4)
+        assert len({tuple(row) for row in states}) == 16
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            all_joint_states(0)
+        with pytest.raises(ValueError):
+            all_joint_states(25)
+
+    @settings(max_examples=10, deadline=None)
+    @given(n=st.integers(1, 8))
+    def test_property_each_qubit_excited_half_the_time(self, n):
+        states = all_joint_states(n)
+        np.testing.assert_array_equal(states.sum(axis=0), np.full(n, 2 ** (n - 1)))
+
+
+class TestTruncateTraces:
+    def test_keeps_prefix(self):
+        traces = np.arange(2 * 10 * 2, dtype=float).reshape(2, 10, 2)
+        truncated = truncate_traces(traces, duration_ns=50.0, sample_period_ns=10.0)
+        assert truncated.shape == (2, 5, 2)
+        np.testing.assert_array_equal(truncated, traces[:, :5, :])
+
+    def test_full_duration_is_identity(self):
+        traces = np.zeros((3, 8, 2))
+        truncated = truncate_traces(traces, 80.0, 10.0)
+        assert truncated.shape == traces.shape
+
+    def test_too_long_duration_rejected(self):
+        with pytest.raises(ValueError):
+            truncate_traces(np.zeros((3, 8, 2)), 200.0, 10.0)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError):
+            truncate_traces(np.zeros((3, 8, 2)), 0.0, 10.0)
+
+
+class TestGenerateDataset:
+    def test_shapes_and_balance(self, small_device):
+        dataset = generate_dataset(
+            small_device, shots_per_state_train=5, shots_per_state_test=7,
+            duration_ns=400.0, seed=1,
+        )
+        assert dataset.train_traces.shape == (5 * 4, 2, 40, 2)
+        assert dataset.test_traces.shape == (7 * 4, 2, 40, 2)
+        # Every joint state appears exactly shots_per_state times.
+        unique, counts = np.unique(dataset.train_states, axis=0, return_counts=True)
+        assert unique.shape[0] == 4
+        assert np.all(counts == 5)
+
+    def test_train_and_test_are_different_draws(self, small_device):
+        dataset = generate_dataset(
+            small_device, shots_per_state_train=5, shots_per_state_test=5,
+            duration_ns=400.0, seed=1,
+        )
+        assert not np.allclose(dataset.train_traces[:5], dataset.test_traces[:5])
+
+    def test_reproducible_given_seed(self, small_device):
+        a = generate_dataset(small_device, 3, 3, 400.0, seed=9)
+        b = generate_dataset(small_device, 3, 3, 400.0, seed=9)
+        np.testing.assert_array_equal(a.train_traces, b.train_traces)
+        np.testing.assert_array_equal(a.test_states, b.test_states)
+
+    def test_different_seeds_differ(self, small_device):
+        a = generate_dataset(small_device, 3, 3, 400.0, seed=1)
+        b = generate_dataset(small_device, 3, 3, 400.0, seed=2)
+        assert not np.allclose(a.train_traces, b.train_traces)
+
+    def test_default_device_is_five_qubits(self):
+        dataset = generate_dataset(
+            None, shots_per_state_train=1, shots_per_state_test=1, duration_ns=100.0, seed=0
+        )
+        assert dataset.n_qubits == 5
+
+    def test_invalid_shot_counts(self, small_device):
+        with pytest.raises(ValueError):
+            generate_dataset(small_device, 0, 5, 400.0)
+
+
+class TestReadoutDataset:
+    def test_properties(self, small_dataset):
+        assert small_dataset.n_qubits == 2
+        assert small_dataset.sample_period_ns == 10.0
+        assert small_dataset.duration_ns == pytest.approx(400.0)
+
+    def test_qubit_view_labels_match_states(self, small_dataset):
+        view = small_dataset.qubit_view(1)
+        np.testing.assert_array_equal(view.train_labels, small_dataset.train_states[:, 1])
+        np.testing.assert_array_equal(view.test_labels, small_dataset.test_states[:, 1])
+
+    def test_qubit_view_traces_match(self, small_dataset):
+        view = small_dataset.qubit_view(0)
+        np.testing.assert_array_equal(view.train_traces, small_dataset.train_traces[:, 0])
+
+    def test_view_truncation(self, small_dataset):
+        view = small_dataset.qubit_view(0).truncated(200.0)
+        assert view.n_samples == 20
+        assert view.duration_ns == pytest.approx(200.0)
+
+    def test_joint_views(self, small_dataset):
+        views = small_dataset.joint_views()
+        assert len(views) == 2
+        assert views[0].qubit_index == 0 and views[1].qubit_index == 1
+
+    def test_flattened_multiplexed(self, small_dataset):
+        features, states = small_dataset.flattened_multiplexed("train")
+        n_shots = small_dataset.train_traces.shape[0]
+        assert features.shape == (n_shots, 2 * 40 * 2)
+        assert states.shape == (n_shots, 2)
+
+    def test_flattened_invalid_split(self, small_dataset):
+        with pytest.raises(ValueError):
+            small_dataset.flattened_multiplexed("validation")
+
+    def test_qubit_view_out_of_range(self, small_dataset):
+        with pytest.raises(IndexError):
+            small_dataset.qubit_view(2)
+
+    def test_constructor_validates_shapes(self, small_device):
+        good = np.zeros((4, 2, 10, 2))
+        states = np.zeros((4, 2), dtype=int)
+        with pytest.raises(ValueError):
+            ReadoutDataset(small_device, np.zeros((4, 10, 2)), states, good, states)
+        with pytest.raises(ValueError):
+            ReadoutDataset(small_device, good, np.zeros((3, 2), dtype=int), good, states)
+        with pytest.raises(ValueError):
+            ReadoutDataset(small_device, np.zeros((4, 3, 10, 2)), np.zeros((4, 3)), good, states)
+
+    def test_labels_are_balanced_per_qubit(self, small_dataset):
+        for qubit in range(small_dataset.n_qubits):
+            view = small_dataset.qubit_view(qubit)
+            assert np.mean(view.train_labels) == pytest.approx(0.5, abs=0.01)
+            assert np.mean(view.test_labels) == pytest.approx(0.5, abs=0.01)

@@ -1,0 +1,112 @@
+"""Unit tests for matched-filter training and application."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.metrics import assignment_fidelity
+from repro.readout.matched_filter import MatchedFilter, train_matched_filter
+
+
+def _labelled_traces(view):
+    return view.train_traces, view.train_labels
+
+
+class TestTrainMatchedFilter:
+    def test_envelope_shape(self, small_dataset):
+        traces, labels = _labelled_traces(small_dataset.qubit_view(0))
+        mf = train_matched_filter(traces, labels)
+        assert mf.envelope.shape == (traces.shape[1], 2)
+
+    def test_scores_separate_classes(self, small_dataset):
+        view = small_dataset.qubit_view(0)
+        mf = train_matched_filter(view.train_traces, view.train_labels)
+        scores = mf.apply(view.test_traces)
+        excited_mean = scores[view.test_labels == 1].mean()
+        ground_mean = scores[view.test_labels == 0].mean()
+        assert excited_mean > mf.threshold > ground_mean
+
+    def test_discrimination_beats_chance_comfortably(self, small_dataset):
+        view = small_dataset.qubit_view(0)
+        mf = train_matched_filter(view.train_traces, view.train_labels)
+        fidelity = assignment_fidelity(mf.discriminate(view.test_traces), view.test_labels, 0.5)
+        assert fidelity > 0.85
+
+    def test_requires_both_classes(self, small_dataset):
+        view = small_dataset.qubit_view(0)
+        only_ground = view.train_labels == 0
+        with pytest.raises(ValueError):
+            train_matched_filter(view.train_traces[only_ground], view.train_labels[only_ground])
+
+    def test_length_mismatch(self, small_dataset):
+        view = small_dataset.qubit_view(0)
+        with pytest.raises(ValueError):
+            train_matched_filter(view.train_traces, view.train_labels[:-1])
+
+    def test_sample_period_recorded(self, small_dataset):
+        view = small_dataset.qubit_view(0)
+        mf = train_matched_filter(view.train_traces, view.train_labels, sample_period_ns=10.0)
+        assert mf.sample_period_ns == 10.0
+
+    def test_noise_weighted_envelope_downweights_noisy_samples(self):
+        """Samples with huge noise variance get tiny envelope weights."""
+        rng = np.random.default_rng(0)
+        n = 400
+        signal = np.zeros((n, 20, 2))
+        labels = np.repeat([0, 1], n // 2)
+        signal[labels == 1, :, 0] = 1.0
+        noise = rng.normal(0, 0.5, size=signal.shape)
+        noise[:, 10:, :] *= 20  # second half of the trace is very noisy
+        traces = signal + noise
+        mf = train_matched_filter(traces, labels)
+        early_weight = np.abs(mf.envelope[:10, 0]).mean()
+        late_weight = np.abs(mf.envelope[10:, 0]).mean()
+        assert early_weight > 10 * late_weight
+
+
+class TestMatchedFilterApply:
+    def test_single_trace_returns_scalar(self, small_dataset):
+        view = small_dataset.qubit_view(0)
+        mf = train_matched_filter(view.train_traces, view.train_labels)
+        score = mf.apply(view.test_traces[0])
+        assert np.isscalar(score) or np.ndim(score) == 0
+
+    def test_longer_traces_are_truncated(self, small_dataset):
+        view = small_dataset.qubit_view(0)
+        mf = train_matched_filter(view.train_traces[:, :30, :], view.train_labels)
+        scores_full = mf.apply(view.test_traces)
+        scores_trunc = mf.apply(view.test_traces[:, :30, :])
+        np.testing.assert_allclose(scores_full, scores_trunc)
+
+    def test_shorter_traces_rejected(self, small_dataset):
+        view = small_dataset.qubit_view(0)
+        mf = train_matched_filter(view.train_traces, view.train_labels)
+        with pytest.raises(ValueError):
+            mf.apply(view.test_traces[:, :10, :])
+
+    def test_invalid_envelope_shape(self):
+        with pytest.raises(ValueError):
+            MatchedFilter(np.zeros((10, 3)))
+
+    def test_truncated_filter(self, small_dataset):
+        view = small_dataset.qubit_view(0)
+        mf = train_matched_filter(view.train_traces, view.train_labels)
+        short = mf.truncated(10)
+        assert short.n_samples == 10
+        np.testing.assert_array_equal(short.envelope, mf.envelope[:10])
+
+    def test_truncated_bounds(self, small_dataset):
+        view = small_dataset.qubit_view(0)
+        mf = train_matched_filter(view.train_traces, view.train_labels)
+        with pytest.raises(ValueError):
+            mf.truncated(0)
+        with pytest.raises(ValueError):
+            mf.truncated(mf.n_samples + 1)
+
+    def test_apply_is_linear(self, small_dataset):
+        view = small_dataset.qubit_view(0)
+        mf = train_matched_filter(view.train_traces, view.train_labels)
+        a = view.test_traces[0]
+        b = view.test_traces[1]
+        assert mf.apply(a + b) == pytest.approx(mf.apply(a) + mf.apply(b), rel=1e-9)

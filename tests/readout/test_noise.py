@@ -1,0 +1,129 @@
+"""Unit tests for the noise, relaxation and crosstalk models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.readout.noise import CrosstalkModel, NoiseModel, RelaxationModel
+from repro.readout.physics import QubitReadoutParams, ReadoutPhysics
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestNoiseModel:
+    def test_zero_sigma_is_identity(self, rng):
+        trace = np.ones((10, 2))
+        noisy = NoiseModel(rng).apply(trace, 0.0)
+        np.testing.assert_array_equal(noisy, trace)
+        assert noisy is not trace  # copy, not a reference
+
+    def test_noise_statistics(self, rng):
+        trace = np.zeros((20_000, 2))
+        noisy = NoiseModel(rng).apply(trace, 2.5)
+        assert np.std(noisy) == pytest.approx(2.5, rel=0.05)
+        assert np.mean(noisy) == pytest.approx(0.0, abs=0.05)
+
+    def test_negative_sigma_rejected(self, rng):
+        with pytest.raises(ValueError):
+            NoiseModel(rng).apply(np.zeros((5, 2)), -1.0)
+
+    def test_original_not_modified(self, rng):
+        trace = np.zeros((5, 2))
+        NoiseModel(rng).apply(trace, 1.0)
+        np.testing.assert_array_equal(trace, np.zeros((5, 2)))
+
+
+class TestRelaxationModel:
+    def test_decay_time_distribution(self, rng):
+        model = RelaxationModel(rng)
+        samples = [model.sample_decay_time(10_000.0) for _ in range(5000)]
+        assert np.mean(samples) == pytest.approx(10_000.0, rel=0.1)
+
+    def test_no_decay_beyond_window_returns_excited_trace(self):
+        model = RelaxationModel(np.random.default_rng(1))
+        times = np.arange(100) * 2.0
+        excited = np.ones((100, 2))
+        ground = np.zeros((100, 2))
+        # Very long T1: a decay inside a 200 ns window is essentially impossible.
+        trace, decay_time = model.apply(excited, ground, times, t1=1e12)
+        np.testing.assert_array_equal(trace, excited)
+        assert decay_time > times[-1]
+
+    def test_decay_switches_to_ground_trajectory(self):
+        model = RelaxationModel(np.random.default_rng(2))
+        times = np.arange(1000) * 2.0
+        excited = np.ones((1000, 2))
+        ground = np.zeros((1000, 2))
+        # Very short T1: decay is essentially guaranteed early in the window.
+        trace, decay_time = model.apply(excited, ground, times, t1=5.0)
+        assert decay_time < times[-1]
+        decayed_samples = times >= decay_time
+        np.testing.assert_array_equal(trace[decayed_samples], ground[decayed_samples])
+        np.testing.assert_array_equal(trace[~decayed_samples], excited[~decayed_samples])
+
+    def test_shape_mismatch_rejected(self, rng):
+        model = RelaxationModel(rng)
+        with pytest.raises(ValueError):
+            model.apply(np.ones((5, 2)), np.zeros((6, 2)), np.arange(5.0), 100.0)
+
+    def test_invalid_t1(self, rng):
+        with pytest.raises(ValueError):
+            RelaxationModel(rng).sample_decay_time(0.0)
+
+
+def _two_qubit_setup(couplings=(0.1, 0.0)):
+    qubits = [
+        QubitReadoutParams(
+            label="QA", chi=0.01, kappa=0.03, probe_amplitude=1.0,
+            crosstalk_coupling=couplings[0],
+        ),
+        QubitReadoutParams(
+            label="QB", chi=0.012, kappa=0.028, probe_amplitude=0.9,
+            crosstalk_coupling=couplings[1],
+        ),
+    ]
+    physics = ReadoutPhysics(qubits, sample_period_ns=10.0)
+    trajectories = np.stack(
+        [physics.mean_trajectories(q, 400.0) for q in range(2)], axis=0
+    )
+    return physics, trajectories
+
+
+class TestCrosstalkModel:
+    def test_uncoupled_qubit_unchanged(self):
+        physics, trajectories = _two_qubit_setup(couplings=(0.1, 0.0))
+        traces = np.stack([trajectories[0, 0], trajectories[1, 1]], axis=0)
+        mixed = CrosstalkModel().apply(traces, physics.qubits, trajectories, np.array([0, 1]))
+        np.testing.assert_array_equal(mixed[1], traces[1])
+        assert not np.allclose(mixed[0], traces[0])
+
+    def test_leakage_depends_on_aggressor_state(self):
+        physics, trajectories = _two_qubit_setup(couplings=(0.1, 0.0))
+        traces = np.stack([trajectories[0, 0], trajectories[1, 0]], axis=0)
+        mixed_a = CrosstalkModel().apply(traces, physics.qubits, trajectories, np.array([0, 0]))
+        mixed_b = CrosstalkModel().apply(traces, physics.qubits, trajectories, np.array([0, 1]))
+        # The victim's trace (qubit 0) differs depending on qubit 1's state.
+        assert not np.allclose(mixed_a[0], mixed_b[0])
+
+    def test_zero_coupling_everywhere_is_identity(self):
+        physics, trajectories = _two_qubit_setup(couplings=(0.0, 0.0))
+        traces = np.stack([trajectories[0, 1], trajectories[1, 1]], axis=0)
+        mixed = CrosstalkModel().apply(traces, physics.qubits, trajectories, np.array([1, 1]))
+        np.testing.assert_array_equal(mixed, traces)
+
+    def test_state_vector_length_checked(self):
+        physics, trajectories = _two_qubit_setup()
+        traces = np.stack([trajectories[0, 0], trajectories[1, 0]], axis=0)
+        with pytest.raises(ValueError):
+            CrosstalkModel().apply(traces, physics.qubits, trajectories, np.array([0, 1, 0]))
+
+    def test_original_traces_not_modified(self):
+        physics, trajectories = _two_qubit_setup()
+        traces = np.stack([trajectories[0, 0], trajectories[1, 0]], axis=0)
+        before = traces.copy()
+        CrosstalkModel().apply(traces, physics.qubits, trajectories, np.array([0, 1]))
+        np.testing.assert_array_equal(traces, before)

@@ -1,0 +1,229 @@
+"""Unit tests for the dispersive-readout physics model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.readout.physics import (
+    QubitReadoutParams,
+    ReadoutPhysics,
+    calibrate_noise_sigma,
+    default_five_qubit_device,
+    mean_trajectory,
+    steady_state_points,
+)
+
+
+@pytest.fixture()
+def params():
+    return QubitReadoutParams(
+        label="Q1", chi=0.01, kappa=0.03, probe_amplitude=1.0, noise_sigma=1.0, t1=30_000.0
+    )
+
+
+class TestQubitReadoutParams:
+    def test_valid_construction(self, params):
+        assert params.label == "Q1"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"chi": 0.0},
+            {"kappa": -0.1},
+            {"probe_amplitude": 0.0},
+            {"noise_sigma": -1.0},
+            {"t1": 0.0},
+            {"crosstalk_coupling": 1.0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        base = dict(label="Q", chi=0.01, kappa=0.03, probe_amplitude=1.0)
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            QubitReadoutParams(**base)
+
+    def test_with_noise_sigma_returns_copy(self, params):
+        updated = params.with_noise_sigma(3.0)
+        assert updated.noise_sigma == 3.0
+        assert params.noise_sigma == 1.0
+        assert updated.chi == params.chi
+
+
+class TestSteadyStatePoints:
+    def test_states_are_distinct(self, params):
+        p0, p1 = steady_state_points(params)
+        assert abs(p0 - p1) > 0
+
+    def test_conjugate_symmetry_at_zero_detuning(self, params):
+        p0, p1 = steady_state_points(params)
+        # Probing at the bare frequency makes the two states complex conjugates.
+        assert p0 == pytest.approx(np.conj(p1))
+
+    def test_amplitude_scales_separation(self, params):
+        stronger = QubitReadoutParams(
+            label="Qs", chi=params.chi, kappa=params.kappa, probe_amplitude=2.0
+        )
+        sep_weak = abs(np.subtract(*steady_state_points(params)))
+        sep_strong = abs(np.subtract(*steady_state_points(stronger)))
+        assert sep_strong == pytest.approx(2 * sep_weak)
+
+
+class TestMeanTrajectory:
+    def test_shape(self, params):
+        times = np.arange(100) * 2.0
+        trajectory = mean_trajectory(params, times, 0)
+        assert trajectory.shape == (100, 2)
+
+    def test_starts_at_origin(self, params):
+        times = np.arange(10) * 2.0
+        trajectory = mean_trajectory(params, times, 1)
+        np.testing.assert_allclose(trajectory[0], [0.0, 0.0], atol=1e-12)
+
+    def test_converges_to_steady_state(self, params):
+        times = np.arange(5000) * 2.0
+        trajectory = mean_trajectory(params, times, 1)
+        _, p1 = steady_state_points(params)
+        np.testing.assert_allclose(trajectory[-1], [p1.real, p1.imag], atol=1e-3)
+
+    def test_states_diverge_over_time(self, params):
+        times = np.arange(500) * 2.0
+        t0 = mean_trajectory(params, times, 0)
+        t1 = mean_trajectory(params, times, 1)
+        separation = np.linalg.norm(t1 - t0, axis=1)
+        assert separation[-1] > separation[10]
+        assert separation[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_invalid_state(self, params):
+        with pytest.raises(ValueError):
+            mean_trajectory(params, np.arange(5.0), 2)
+
+    def test_negative_times_rejected(self, params):
+        with pytest.raises(ValueError):
+            mean_trajectory(params, np.array([-1.0, 0.0]), 0)
+
+    def test_intermediate_frequency_rotates_trace(self):
+        base = QubitReadoutParams(label="Q", chi=0.01, kappa=0.03, probe_amplitude=1.0)
+        rotated = QubitReadoutParams(
+            label="Q", chi=0.01, kappa=0.03, probe_amplitude=1.0, intermediate_frequency=0.1
+        )
+        times = np.arange(200) * 2.0
+        a = mean_trajectory(base, times, 0)
+        b = mean_trajectory(rotated, times, 0)
+        np.testing.assert_allclose(
+            np.linalg.norm(a, axis=1), np.linalg.norm(b, axis=1), atol=1e-9
+        )
+        assert not np.allclose(a, b)
+
+
+class TestReadoutPhysics:
+    def test_sample_times(self):
+        device = default_five_qubit_device(sample_period_ns=2.0)
+        times = device.sample_times(1000.0)
+        assert times.shape == (500,)
+        assert times[1] - times[0] == pytest.approx(2.0)
+
+    def test_n_samples_paper_scale(self):
+        device = default_five_qubit_device(sample_period_ns=2.0)
+        assert device.n_samples(1000.0) == 500
+        assert device.n_samples(550.0) == 275
+
+    def test_mean_trajectories_shape(self):
+        device = default_five_qubit_device(sample_period_ns=10.0)
+        trajectories = device.mean_trajectories(0, 1000.0)
+        assert trajectories.shape == (2, 100, 2)
+
+    def test_requires_unique_labels(self, params):
+        with pytest.raises(ValueError):
+            ReadoutPhysics([params, params])
+
+    def test_requires_at_least_one_qubit(self):
+        with pytest.raises(ValueError):
+            ReadoutPhysics([])
+
+    def test_qubit_index_out_of_range(self):
+        device = default_five_qubit_device()
+        with pytest.raises(IndexError):
+            device.mean_trajectories(5, 1000.0)
+
+    def test_invalid_duration(self):
+        device = default_five_qubit_device()
+        with pytest.raises(ValueError):
+            device.sample_times(0.0)
+
+    def test_snr_increases_with_duration(self):
+        device = default_five_qubit_device(sample_period_ns=10.0)
+        assert device.matched_filter_snr(0, 1000.0) > device.matched_filter_snr(0, 200.0)
+
+    def test_ideal_fidelity_in_unit_interval(self):
+        device = default_five_qubit_device(sample_period_ns=10.0)
+        for qubit in range(device.n_qubits):
+            fidelity = device.ideal_fidelity(qubit, 1000.0)
+            assert 0.5 < fidelity <= 1.0
+
+    def test_zero_noise_gives_perfect_ideal_fidelity(self, params):
+        device = ReadoutPhysics([params.with_noise_sigma(0.0)], sample_period_ns=10.0)
+        assert device.ideal_fidelity(0, 500.0) == 1.0
+
+
+class TestDefaultDevice:
+    def test_five_qubits_with_paper_labels(self):
+        device = default_five_qubit_device()
+        assert [q.label for q in device.qubits] == ["Q1", "Q2", "Q3", "Q4", "Q5"]
+
+    def test_qubit2_is_hardest(self):
+        device = default_five_qubit_device(sample_period_ns=10.0)
+        fidelities = [device.ideal_fidelity(q, 1000.0) for q in range(5)]
+        assert np.argmin(fidelities) == 1
+
+    def test_qubit_ordering_matches_paper(self):
+        """Q1 and Q5 are the easiest qubits; Q2 the hardest (Table I ordering)."""
+        device = default_five_qubit_device(sample_period_ns=10.0)
+        fidelities = [device.ideal_fidelity(q, 1000.0) for q in range(5)]
+        assert fidelities[0] > fidelities[2] > fidelities[1]
+        assert fidelities[4] > fidelities[2]
+
+    def test_noise_scale_degrades_every_qubit(self):
+        easy = default_five_qubit_device(sample_period_ns=10.0, noise_scale=1.0)
+        hard = default_five_qubit_device(sample_period_ns=10.0, noise_scale=2.0)
+        for qubit in range(5):
+            assert hard.ideal_fidelity(qubit, 1000.0) < easy.ideal_fidelity(qubit, 1000.0)
+
+    def test_invalid_noise_scale(self):
+        with pytest.raises(ValueError):
+            default_five_qubit_device(noise_scale=0.0)
+
+
+class TestCalibration:
+    def test_calibrated_sigma_reaches_target(self, params):
+        target = 0.95
+        sigma = calibrate_noise_sigma(params, target, 1000.0, 2.0)
+        device = ReadoutPhysics([params.with_noise_sigma(sigma)], sample_period_ns=2.0)
+        assert device.ideal_fidelity(0, 1000.0) == pytest.approx(target, abs=1e-6)
+
+    def test_higher_target_means_less_noise(self, params):
+        low = calibrate_noise_sigma(params, 0.8, 1000.0, 2.0)
+        high = calibrate_noise_sigma(params, 0.99, 1000.0, 2.0)
+        assert high < low
+
+    def test_invalid_target(self, params):
+        with pytest.raises(ValueError):
+            calibrate_noise_sigma(params, 0.4, 1000.0, 2.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    chi=st.floats(0.002, 0.05),
+    kappa=st.floats(0.01, 0.1),
+    amplitude=st.floats(0.1, 2.0),
+    state=st.integers(0, 1),
+)
+def test_property_trajectory_is_bounded_by_steady_state(chi, kappa, amplitude, state):
+    """No point of the ring-up trajectory exceeds twice the steady-state amplitude."""
+    params = QubitReadoutParams(label="Q", chi=chi, kappa=kappa, probe_amplitude=amplitude)
+    times = np.arange(300) * 2.0
+    trajectory = mean_trajectory(params, times, state)
+    steady = steady_state_points(params)[state]
+    assert np.all(np.linalg.norm(trajectory, axis=1) <= 2.0 * abs(steady) + 1e-9)

@@ -1,0 +1,189 @@
+"""Unit tests for interval averaging, shift normalization and feature assembly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.readout.preprocessing import (
+    ShiftNormalizer,
+    StudentFeatureExtractor,
+    averaged_feature_dimension,
+    interval_average,
+)
+
+
+class TestIntervalAverage:
+    def test_basic_averaging(self):
+        trace = np.arange(12, dtype=float).reshape(6, 2)
+        averaged = interval_average(trace, samples_per_interval=3)
+        assert averaged.shape == (2, 2)
+        np.testing.assert_allclose(averaged[0], trace[:3].mean(axis=0))
+        np.testing.assert_allclose(averaged[1], trace[3:].mean(axis=0))
+
+    def test_batch_averaging(self):
+        traces = np.random.default_rng(0).normal(size=(5, 10, 2))
+        averaged = interval_average(traces, 5)
+        assert averaged.shape == (5, 2, 2)
+
+    def test_trailing_samples_dropped(self):
+        trace = np.ones((7, 2))
+        averaged = interval_average(trace, 3)
+        assert averaged.shape == (2, 2)
+
+    def test_window_of_one_is_identity(self):
+        trace = np.random.default_rng(1).normal(size=(8, 2))
+        np.testing.assert_allclose(interval_average(trace, 1), trace)
+
+    def test_paper_dimensions(self):
+        """500 samples -> 15 intervals at window 32, 100 intervals at window 5."""
+        trace = np.zeros((500, 2))
+        assert interval_average(trace, 32).shape == (15, 2)
+        assert interval_average(trace, 5).shape == (100, 2)
+
+    def test_window_larger_than_trace_rejected(self):
+        with pytest.raises(ValueError):
+            interval_average(np.zeros((4, 2)), 5)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            interval_average(np.zeros((4, 2)), 0)
+
+    def test_averaging_reduces_noise_variance(self):
+        rng = np.random.default_rng(2)
+        traces = rng.normal(size=(200, 64, 2))
+        averaged = interval_average(traces, 16)
+        assert averaged.std() == pytest.approx(1.0 / 4.0, rel=0.1)
+
+
+class TestAveragedFeatureDimension:
+    def test_paper_student_inputs(self):
+        assert averaged_feature_dimension(500, 32) == 30   # FNN-A: 30 + MF = 31
+        assert averaged_feature_dimension(500, 5) == 200   # FNN-B: 200 + MF = 201
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            averaged_feature_dimension(0, 5)
+        with pytest.raises(ValueError):
+            averaged_feature_dimension(4, 8)
+
+
+class TestShiftNormalizer:
+    def test_power_of_two_scales(self):
+        rng = np.random.default_rng(0)
+        features = rng.normal(scale=7.3, size=(500, 6))
+        normalizer = ShiftNormalizer(power_of_two=True).fit(features)
+        log_scales = np.log2(normalizer.scale)
+        np.testing.assert_allclose(log_scales, np.round(log_scales))
+
+    def test_power_of_two_rounds_up(self):
+        features = np.random.default_rng(1).normal(scale=5.0, size=(2000, 3))
+        normalizer = ShiftNormalizer(power_of_two=True).fit(features)
+        assert np.all(normalizer.scale >= features.std(axis=0) - 1e-9)
+
+    def test_normalized_features_non_negative_min(self):
+        features = np.random.default_rng(2).normal(loc=-3, scale=2, size=(300, 4))
+        normalized = ShiftNormalizer().fit_transform(features)
+        assert normalized.min() >= 0.0
+
+    def test_exact_std_mode(self):
+        features = np.random.default_rng(3).normal(scale=4.0, size=(5000, 2))
+        normalizer = ShiftNormalizer(power_of_two=False).fit(features)
+        np.testing.assert_allclose(normalizer.scale, features.std(axis=0))
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            ShiftNormalizer().transform(np.zeros((3, 2)))
+
+    def test_state_dict_contents(self):
+        normalizer = ShiftNormalizer().fit(np.random.default_rng(4).normal(size=(50, 3)))
+        state = normalizer.state_dict()
+        assert set(state) == {"minimum", "scale", "shift_bits", "power_of_two"}
+        assert state["shift_bits"].shape == (3,)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            ShiftNormalizer().fit(np.zeros((1, 3)))
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            ShiftNormalizer().fit(np.zeros(10))
+
+
+class TestStudentFeatureExtractor:
+    def test_feature_dimension_with_mf(self, small_dataset):
+        view = small_dataset.qubit_view(0)
+        extractor = StudentFeatureExtractor(samples_per_interval=4)
+        features = extractor.fit_transform(view.train_traces, view.train_labels)
+        assert features.shape == (view.train_traces.shape[0], 2 * (40 // 4) + 1)
+        assert extractor.feature_dimension == 21
+
+    def test_feature_dimension_without_mf(self, small_dataset):
+        view = small_dataset.qubit_view(0)
+        extractor = StudentFeatureExtractor(samples_per_interval=4, include_matched_filter=False)
+        features = extractor.fit_transform(view.train_traces, view.train_labels)
+        assert features.shape[1] == 20
+
+    def test_transform_before_fit_raises(self, small_dataset):
+        extractor = StudentFeatureExtractor(samples_per_interval=4)
+        with pytest.raises(RuntimeError):
+            extractor.transform(small_dataset.qubit_view(0).test_traces)
+
+    def test_single_trace_transform(self, small_dataset):
+        view = small_dataset.qubit_view(0)
+        extractor = StudentFeatureExtractor(samples_per_interval=4)
+        extractor.fit(view.train_traces, view.train_labels)
+        features = extractor.transform(view.test_traces[0])
+        assert features.shape == (21,)
+
+    def test_duration_mismatch_rejected(self, small_dataset):
+        view = small_dataset.qubit_view(0)
+        extractor = StudentFeatureExtractor(samples_per_interval=4)
+        extractor.fit(view.train_traces, view.train_labels)
+        with pytest.raises(ValueError):
+            extractor.transform(view.test_traces[:, :20, :])
+
+    def test_mf_feature_is_last_column_and_informative(self, small_dataset):
+        view = small_dataset.qubit_view(0)
+        extractor = StudentFeatureExtractor(samples_per_interval=4)
+        features = extractor.fit_transform(view.train_traces, view.train_labels)
+        mf_column = features[:, -1]
+        excited = mf_column[view.train_labels == 1].mean()
+        ground = mf_column[view.train_labels == 0].mean()
+        assert excited - ground > 1.0  # separated by more than one (normalized) sigma
+
+    def test_features_are_finite_and_bounded(self, small_dataset):
+        view = small_dataset.qubit_view(0)
+        extractor = StudentFeatureExtractor(samples_per_interval=4)
+        features = extractor.fit_transform(view.train_traces, view.train_labels)
+        assert np.all(np.isfinite(features))
+        assert np.max(np.abs(features)) < 1000
+
+    def test_no_normalization_mode(self, small_dataset):
+        view = small_dataset.qubit_view(0)
+        extractor = StudentFeatureExtractor(samples_per_interval=4, normalize=False)
+        features = extractor.fit_transform(view.train_traces, view.train_labels)
+        raw_average = interval_average(view.train_traces, 4).reshape(features.shape[0], -1)
+        np.testing.assert_allclose(features[:, :-1], raw_average)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            StudentFeatureExtractor(samples_per_interval=0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_samples=st.integers(4, 200),
+    window=st.integers(1, 40),
+)
+def test_property_averaging_preserves_mean(n_samples, window):
+    """The mean of the averaged trace equals the mean of the used samples."""
+    if n_samples // window == 0:
+        return
+    rng = np.random.default_rng(n_samples * 100 + window)
+    trace = rng.normal(size=(n_samples, 2))
+    averaged = interval_average(trace, window)
+    used = (n_samples // window) * window
+    np.testing.assert_allclose(averaged.mean(axis=0), trace[:used].mean(axis=0), atol=1e-9)

@@ -1,0 +1,121 @@
+"""Unit tests for single-shot and multiplexed trace generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.readout.physics import ReadoutPhysics
+from repro.readout.trace_generator import MultiplexedTraceGenerator, TraceGenerator
+
+
+class TestTraceGenerator:
+    def test_shape(self, small_device: ReadoutPhysics):
+        generator = TraceGenerator(small_device, seed=0)
+        shots = generator.generate(0, 1, duration_ns=400.0, n_shots=7)
+        assert shots.shape == (7, 40, 2)
+
+    def test_states_separable_on_average(self, small_device: ReadoutPhysics):
+        generator = TraceGenerator(small_device, seed=1, include_relaxation=False)
+        ground = generator.generate(0, 0, 400.0, n_shots=200).mean(axis=0)
+        excited = generator.generate(0, 1, 400.0, n_shots=200).mean(axis=0)
+        separation = np.linalg.norm(excited - ground, axis=1)
+        noise_floor = small_device.qubits[0].noise_sigma / np.sqrt(200)
+        assert separation[-1] > 5 * noise_floor
+
+    def test_mean_matches_physics_trajectory(self, small_device: ReadoutPhysics):
+        generator = TraceGenerator(small_device, seed=2, include_relaxation=False)
+        shots = generator.generate(1, 0, 400.0, n_shots=500)
+        expected = small_device.mean_trajectories(1, 400.0)[0]
+        np.testing.assert_allclose(
+            shots.mean(axis=0), expected, atol=5 * small_device.qubits[1].noise_sigma / np.sqrt(500)
+        )
+
+    def test_invalid_state(self, small_device: ReadoutPhysics):
+        with pytest.raises(ValueError):
+            TraceGenerator(small_device).generate(0, 2, 400.0)
+
+    def test_invalid_shots(self, small_device: ReadoutPhysics):
+        with pytest.raises(ValueError):
+            TraceGenerator(small_device).generate(0, 0, 400.0, n_shots=0)
+
+    def test_deterministic_given_seed(self, small_device: ReadoutPhysics):
+        a = TraceGenerator(small_device, seed=5).generate(0, 1, 400.0, n_shots=3)
+        b = TraceGenerator(small_device, seed=5).generate(0, 1, 400.0, n_shots=3)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestMultiplexedTraceGenerator:
+    def test_single_shot_shape(self, small_device: ReadoutPhysics):
+        generator = MultiplexedTraceGenerator(small_device, seed=0)
+        shot = generator.generate_shot(np.array([0, 1]), 400.0)
+        assert shot.shape == (2, 40, 2)
+
+    def test_batch_shape(self, small_device: ReadoutPhysics):
+        generator = MultiplexedTraceGenerator(small_device, seed=0)
+        shots = generator.generate_shots(np.array([1, 0]), 400.0, n_shots=9)
+        assert shots.shape == (9, 2, 40, 2)
+
+    def test_wrong_state_length(self, small_device: ReadoutPhysics):
+        generator = MultiplexedTraceGenerator(small_device, seed=0)
+        with pytest.raises(ValueError):
+            generator.generate_shot(np.array([0, 1, 1]), 400.0)
+
+    def test_non_binary_state_rejected(self, small_device: ReadoutPhysics):
+        generator = MultiplexedTraceGenerator(small_device, seed=0)
+        with pytest.raises(ValueError):
+            generator.generate_shot(np.array([0, 2]), 400.0)
+
+    def test_batch_statistics_match_single_shot_path(self, small_device: ReadoutPhysics):
+        """The vectorized batch generator agrees with the per-shot path in distribution."""
+        state = np.array([1, 1])
+        batch_gen = MultiplexedTraceGenerator(small_device, seed=11)
+        loop_gen = MultiplexedTraceGenerator(small_device, seed=23)
+        batch = batch_gen.generate_shots(state, 400.0, n_shots=300)
+        looped = np.stack(
+            [loop_gen.generate_shot(state, 400.0) for _ in range(300)], axis=0
+        )
+        np.testing.assert_allclose(
+            batch.mean(axis=0), looped.mean(axis=0),
+            atol=6 * max(q.noise_sigma for q in small_device.qubits) / np.sqrt(300),
+        )
+
+    def test_crosstalk_toggle_changes_traces(self, small_device: ReadoutPhysics):
+        state = np.array([0, 1])
+        with_ct = MultiplexedTraceGenerator(
+            small_device, seed=3, include_crosstalk=True, include_relaxation=False
+        ).generate_shots(state, 400.0, 50)
+        without_ct = MultiplexedTraceGenerator(
+            small_device, seed=3, include_crosstalk=False, include_relaxation=False
+        ).generate_shots(state, 400.0, 50)
+        assert not np.allclose(with_ct, without_ct)
+
+    def test_relaxation_reduces_late_excited_signal(self, small_device: ReadoutPhysics):
+        """With a short T1, the late part of excited traces drifts towards ground."""
+        from dataclasses import replace
+
+        short_t1 = ReadoutPhysics(
+            [replace(q, t1=200.0, noise_sigma=0.0, crosstalk_coupling=0.0) for q in small_device.qubits],
+            sample_period_ns=small_device.sample_period_ns,
+        )
+        long_t1 = ReadoutPhysics(
+            [replace(q, t1=1e9, noise_sigma=0.0, crosstalk_coupling=0.0) for q in small_device.qubits],
+            sample_period_ns=small_device.sample_period_ns,
+        )
+        state = np.array([1, 1])
+        decayed = MultiplexedTraceGenerator(short_t1, seed=5).generate_shots(state, 400.0, 200)
+        clean = MultiplexedTraceGenerator(long_t1, seed=5).generate_shots(state, 400.0, 200)
+        ground_traj = small_device.mean_trajectories(0, 400.0)[0]
+        d_decayed = np.linalg.norm(decayed[:, 0].mean(axis=0) - ground_traj, axis=-1)[-1]
+        d_clean = np.linalg.norm(clean[:, 0].mean(axis=0) - ground_traj, axis=-1)[-1]
+        assert d_decayed < d_clean
+
+    def test_trajectory_cache_reused(self, small_device: ReadoutPhysics):
+        generator = MultiplexedTraceGenerator(small_device, seed=0)
+        generator.generate_shot(np.array([0, 0]), 400.0)
+        generator.generate_shot(np.array([1, 1]), 400.0)
+        assert len(generator._trajectory_cache) == 1
+
+    def test_invalid_shot_count(self, small_device: ReadoutPhysics):
+        with pytest.raises(ValueError):
+            MultiplexedTraceGenerator(small_device).generate_shots(np.array([0, 0]), 400.0, 0)

@@ -1,0 +1,476 @@
+"""Throughput benchmark: vectorized fixed-point engine vs. the seed path.
+
+Measures shots/second through
+
+* the **emulated Q16.16 datapath** (everything after the ADC: average layer,
+  shift normalization, matched-filter MAC, dense layers) -- once through the
+  current vectorized engine and once through a frozen replica of the seed
+  implementation (``object``-array multiplies for wide formats, per-neuron
+  MAC loops with per-call overflow probes), with a bit-exactness assertion
+  between the two, and
+* the **trace synthesizer** -- the batched ``generate_shots`` path the
+  dataset builder uses versus a replica of the seed's per-shot Python loop,
+  plus the end-to-end dataset builder itself.
+
+Results (including derived speedups) are persisted to
+``BENCH_throughput.json`` at the repo root via :mod:`repro.perf`.  Run from
+the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py [--quick]
+
+``--baseline PATH`` compares against a previously saved report and (with
+``--fail-on-regression``) exits non-zero when throughput dropped, which is
+how CI keeps this harness honest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import platform
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.fpga.emulator import FpgaStudentEmulator
+from repro.fpga.fixed_point import FixedPointFormat, Q16_16
+from repro.fpga.quantize import QuantizedStudentParameters
+from repro.perf import (
+    ThroughputReport,
+    compare_to_baseline,
+    measure_paired,
+    measure_throughput,
+)
+from repro.readout.dataset import generate_dataset
+from repro.readout.noise import CrosstalkModel, NoiseModel, RelaxationModel
+from repro.readout.physics import QubitReadoutParams, ReadoutPhysics
+from repro.readout.trace_generator import MultiplexedTraceGenerator
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_throughput.json"
+
+
+# --------------------------------------------------------------------------
+# Frozen replica of the seed (PR-1) fixed-point path, kept verbatim so the
+# speedup reported here always refers to the same baseline algorithm:
+# object-array multiplies whenever 2 * word_length > 62 and per-neuron MACs
+# that re-probe max(|inputs|) / max(|weights|) on every call.
+# --------------------------------------------------------------------------
+
+
+def _seed_multiply(fmt: FixedPointFormat, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    if 2 * fmt.word_length <= 62:
+        result = (a * b) >> fmt.fractional_bits
+        return np.clip(result, fmt.min_raw, fmt.max_raw)
+    product = a.astype(object) * b.astype(object)
+    shifted = product // (1 << fmt.fractional_bits)
+    result = np.asarray(shifted, dtype=np.float64)
+    return np.clip(result, fmt.min_raw, fmt.max_raw).astype(np.int64)
+
+
+def _seed_mac(
+    fmt: FixedPointFormat, inputs: np.ndarray, weights: np.ndarray, bias: int = 0
+) -> np.ndarray:
+    inputs = np.asarray(inputs, dtype=np.int64)
+    weights = np.asarray(weights, dtype=np.int64)
+    n = weights.shape[0]
+    max_abs_input = int(np.max(np.abs(inputs))) if inputs.size else 0
+    max_abs_weight = int(np.max(np.abs(weights))) if weights.size else 0
+    worst_case = max_abs_input * max_abs_weight * max(n, 1)
+    if worst_case < (1 << 62):
+        accumulator = (inputs * weights[None, :]).sum(axis=1)
+        accumulator = np.floor_divide(accumulator, 1 << fmt.fractional_bits) + int(bias)
+        return np.clip(accumulator, fmt.min_raw, fmt.max_raw)
+    accumulator = (inputs.astype(object) * weights.astype(object)).sum(axis=1)
+    accumulator = [int(v) // (1 << fmt.fractional_bits) + int(bias) for v in accumulator]
+    return np.array(
+        [min(max(v, fmt.min_raw), fmt.max_raw) for v in accumulator], dtype=np.int64
+    )
+
+
+class SeedDatapath:
+    """The seed emulator datapath, reconstructed from the same parameters."""
+
+    def __init__(self, parameters: QuantizedStudentParameters) -> None:
+        self.parameters = parameters
+        self.fmt = parameters.fmt
+
+    def _seed_normalize(self, features_raw: np.ndarray) -> np.ndarray:
+        p, fmt = self.parameters, self.fmt
+        centered = features_raw - p.norm_minimum[None, :]
+        result = np.empty_like(centered)
+        right = p.norm_shift_bits >= 0
+        if np.any(right):
+            result[:, right] = centered[:, right] >> p.norm_shift_bits[right]
+        if np.any(~right):
+            shifted = centered[:, ~right].astype(np.int64) << (-p.norm_shift_bits[~right])
+            result[:, ~right] = np.clip(shifted, fmt.min_raw, fmt.max_raw)
+        return result
+
+    def predict_logits_from_raw(self, trace_raw: np.ndarray) -> np.ndarray:
+        fmt = self.fmt
+        p = self.parameters
+        n_shots = trace_raw.shape[0]
+        n_intervals = trace_raw.shape[1] // p.samples_per_interval
+        usable = n_intervals * p.samples_per_interval
+        groups = trace_raw[:, :usable, :].reshape(
+            n_shots, n_intervals, p.samples_per_interval, 2
+        )
+        sums = groups.sum(axis=2)
+        averaged = _seed_multiply(fmt, sums, np.int64(p.average_reciprocal_raw))
+        normalized = self._seed_normalize(averaged.reshape(n_shots, -1))
+        blocks = [normalized]
+        if p.include_matched_filter:
+            window = trace_raw[:, : p.mf_envelope.shape[0], :].reshape(n_shots, -1)
+            scores = _seed_mac(fmt, window, p.mf_envelope.reshape(-1))
+            centered = scores - p.mf_threshold_raw
+            mf = _seed_multiply(fmt, centered, np.int64(p.mf_scale_reciprocal_raw))
+            blocks.append(mf.reshape(-1, 1))
+        activations = np.concatenate(blocks, axis=1)
+        n_layers = len(p.layer_weights)
+        for index, (weights, biases) in enumerate(zip(p.layer_weights, p.layer_biases)):
+            outputs = np.empty((activations.shape[0], weights.shape[1]), dtype=np.int64)
+            for neuron in range(weights.shape[1]):
+                outputs[:, neuron] = _seed_mac(
+                    fmt, activations, weights[:, neuron], bias=int(biases[neuron])
+                )
+            if index < n_layers - 1:
+                outputs = np.where(outputs < 0, 0, outputs)
+            activations = outputs
+        return activations.reshape(-1)
+
+
+def _seed_generate_shot(
+    generator: MultiplexedTraceGenerator, joint_state: np.ndarray, duration_ns: float
+) -> np.ndarray:
+    """Replica of the seed's per-shot loop body (one Python-level shot)."""
+    physics = generator.physics
+    rng = generator.rng
+    noise = NoiseModel(rng)
+    relaxation = RelaxationModel(rng)
+    crosstalk = CrosstalkModel()
+    times = physics.sample_times(duration_ns)
+    trajectories = generator._mean_trajectories(duration_ns)
+    n_qubits = physics.n_qubits
+    shot = np.empty((n_qubits, times.shape[0], 2), dtype=np.float64)
+    for q in range(n_qubits):
+        params = physics.qubits[q]
+        state = int(joint_state[q])
+        if state == 1 and generator.include_relaxation:
+            mean, _ = relaxation.apply(trajectories[q, 1], trajectories[q, 0], times, params.t1)
+        else:
+            mean = trajectories[q, state]
+        shot[q] = mean
+    if generator.include_crosstalk:
+        shot = crosstalk.apply(shot, physics.qubits, trajectories, joint_state)
+    for q in range(n_qubits):
+        shot[q] = noise.apply(shot[q], physics.qubits[q].noise_sigma)
+    return shot
+
+
+# --------------------------------------------------------------------------
+# Workload construction (paper-scale datapath, no training required)
+# --------------------------------------------------------------------------
+
+
+def build_parameters(
+    fmt: FixedPointFormat, n_samples: int, samples_per_interval: int, seed: int = 2025
+) -> QuantizedStudentParameters:
+    """A synthetic quantized student at the paper's FNN-A scale."""
+    rng = np.random.default_rng(seed)
+    n_features = 2 * (n_samples // samples_per_interval) + 1
+    widths = [n_features, 16, 8, 1]
+    return QuantizedStudentParameters(
+        fmt=fmt,
+        samples_per_interval=samples_per_interval,
+        n_samples=n_samples,
+        include_matched_filter=True,
+        mf_envelope=fmt.to_raw(rng.uniform(-0.5, 0.5, size=(n_samples, 2))),
+        mf_threshold_raw=int(fmt.to_raw(1.25)),
+        mf_scale_reciprocal_raw=int(fmt.to_raw(0.4)),
+        average_reciprocal_raw=int(fmt.to_raw(1.0 / samples_per_interval)),
+        norm_minimum=fmt.to_raw(rng.uniform(-4.0, 0.0, size=n_features - 1)),
+        norm_shift_bits=rng.integers(-2, 4, size=n_features - 1),
+        layer_weights=[
+            fmt.to_raw(rng.uniform(-1.0, 1.0, size=(widths[i], widths[i + 1])))
+            for i in range(len(widths) - 1)
+        ],
+        layer_biases=[
+            fmt.to_raw(rng.uniform(-0.5, 0.5, size=widths[i + 1]))
+            for i in range(len(widths) - 1)
+        ],
+    )
+
+
+def _bench_device(n_qubits: int = 2) -> ReadoutPhysics:
+    qubits = [
+        QubitReadoutParams(
+            label=f"Q{i}",
+            chi=0.012 - 0.002 * i,
+            kappa=0.03,
+            probe_amplitude=1.0 - 0.15 * i,
+            noise_sigma=2.0,
+            t1=50_000.0 - 15_000.0 * i,
+            crosstalk_coupling=0.02,
+        )
+        for i in range(n_qubits)
+    ]
+    return ReadoutPhysics(qubits, sample_period_ns=10.0)
+
+
+# --------------------------------------------------------------------------
+# Benchmark sections
+# --------------------------------------------------------------------------
+
+
+#: The paper's two student datapath configurations on 1 us traces at 2 ns
+#: sampling: FNN-A averages 32 samples per interval (31 features), FNN-B
+#: averages 5 (201 features).  Both include the matched-filter feature.
+EMULATOR_WORKLOADS = {"fnn_a": 32, "fnn_b": 5}
+
+
+#: Shots per datapath call in the streaming regime -- the latency-critical
+#: small batches a real-time readout loop hands the discriminator, where the
+#: seed path's per-neuron Python loops and per-call probes dominate.
+STREAM_BATCH = 32
+
+
+def bench_emulator(report: ThroughputReport, n_shots: int, repeats: int, seed: int) -> None:
+    """Q16.16 batch inference: vectorized engine vs. seed path, bit-asserted.
+
+    Each paper workload (FNN-A/FNN-B) is measured in two regimes: ``batch``
+    (all shots in one datapath call, the offline-analysis shape) and
+    ``stream`` (consecutive :data:`STREAM_BATCH`-shot calls, the real-time
+    readout shape).  The headline ``emulator_datapath_speedup`` is the
+    geometric mean over the two batch workloads -- the "batch inference"
+    number; the stream regime is reported alongside (its small calls are
+    bounded by fixed per-call NumPy overhead on both sides, so it understates
+    the engine's gain) together with the all-combination geometric mean, so
+    nothing hides in the headline.
+    """
+    n_samples = 500  # 1 us trace at 2 ns sampling
+    rng = np.random.default_rng(seed + 1)
+    trace_raw = Q16_16.to_raw(rng.uniform(-3.0, 3.0, size=(n_shots, n_samples, 2)))
+    stream_shots = (n_shots // STREAM_BATCH) * STREAM_BATCH
+    stream_batches = [
+        trace_raw[start : start + STREAM_BATCH]
+        for start in range(0, stream_shots, STREAM_BATCH)
+    ]
+    speedups = []
+    for label, samples_per_interval in EMULATOR_WORKLOADS.items():
+        parameters = build_parameters(Q16_16, n_samples, samples_per_interval, seed=seed)
+        emulator = FpgaStudentEmulator(parameters)
+        seed_path = SeedDatapath(parameters)
+
+        vectorized = emulator.predict_logits_from_raw(trace_raw)
+        legacy = seed_path.predict_logits_from_raw(trace_raw)
+        if not np.array_equal(vectorized, legacy):
+            raise AssertionError(
+                f"{label}: vectorized datapath is not bit-identical to the seed "
+                f"path (max |delta| = {np.abs(vectorized - legacy).max()})"
+            )
+        print(f"  {label}: bit-exactness vectorized == seed path on {n_shots} shots OK")
+
+        regimes = {
+            "batch": (
+                lambda dp: dp.predict_logits_from_raw(trace_raw),
+                n_shots,
+            ),
+            "stream": (
+                lambda dp: [dp.predict_logits_from_raw(chunk) for chunk in stream_batches],
+                stream_shots,
+            ),
+        }
+        for regime, (run, items) in regimes.items():
+            # Paired (interleaved) timing keeps machine-load drift from
+            # landing on only one side of the speedup ratio.
+            measured = measure_paired(
+                {
+                    f"emulator_datapath_vectorized_{label}_{regime}": (
+                        lambda: run(emulator),
+                        items,
+                    ),
+                    f"emulator_datapath_seed_{label}_{regime}": (
+                        lambda: run(seed_path),
+                        items,
+                    ),
+                },
+                repeats=repeats,
+            )
+            for measurement in measured.values():
+                report.add(measurement)
+            speedup = report.record_speedup(
+                f"emulator_datapath_speedup_{label}_{regime}",
+                f"emulator_datapath_vectorized_{label}_{regime}",
+                f"emulator_datapath_seed_{label}_{regime}",
+            )
+            speedups.append(speedup)
+            print(f"  {label}/{regime}: datapath speedup vs seed path: {speedup:.1f}x")
+
+    report.derived["emulator_datapath_speedup_geomean"] = float(
+        np.exp(np.mean(np.log(speedups)))
+    )
+    batch_speedups = [
+        report.derived[f"emulator_datapath_speedup_{label}_batch"]
+        for label in EMULATOR_WORKLOADS
+    ]
+    report.derived["emulator_datapath_speedup"] = float(
+        np.exp(np.mean(np.log(batch_speedups)))
+    )
+    print(
+        "  headline emulator_datapath_speedup (batch geomean): "
+        f"{report.derived['emulator_datapath_speedup']:.1f}x "
+        f"(all workloads/regimes: "
+        f"{report.derived['emulator_datapath_speedup_geomean']:.1f}x)"
+    )
+    traces = rng.uniform(-3.0, 3.0, size=(n_shots, n_samples, 2))
+    emulator = FpgaStudentEmulator(
+        build_parameters(Q16_16, n_samples, EMULATOR_WORKLOADS["fnn_a"], seed=seed)
+    )
+    report.add(
+        measure_throughput(
+            lambda: emulator.predict_logits_raw(traces),
+            n_items=n_shots,
+            name="emulator_adc_plus_datapath",
+            repeats=repeats,
+        )
+    )
+
+
+def bench_synthesis(report: ThroughputReport, n_shots: int, repeats: int, seed: int) -> None:
+    """Trace synthesis: the batched generator vs. the seed per-shot loop."""
+    physics = _bench_device()
+    state = np.array([1, 0])
+    duration_ns = 400.0
+
+    batched = MultiplexedTraceGenerator(physics, seed=seed)
+    loop_shots = max(200, n_shots // 10)
+    looped = MultiplexedTraceGenerator(physics, seed=seed)
+    measured = measure_paired(
+        {
+            "trace_synthesis_batched": (
+                lambda: batched.generate_shots(state, duration_ns, n_shots),
+                n_shots,
+            ),
+            "trace_synthesis_seed_loop": (
+                lambda: [
+                    _seed_generate_shot(looped, state, duration_ns)
+                    for _ in range(loop_shots)
+                ],
+                loop_shots,
+            ),
+        },
+        repeats=repeats,
+    )
+    for measurement in measured.values():
+        report.add(measurement)
+    speedup = report.record_speedup(
+        "trace_synthesis_speedup", "trace_synthesis_batched", "trace_synthesis_seed_loop"
+    )
+    print(f"  synthesis speedup vs seed per-shot loop: {speedup:.1f}x")
+
+    shots_per_state = max(25, n_shots // 50)
+    total_shots = 2 * shots_per_state * 2**physics.n_qubits  # train+test, all states
+    report.add(
+        measure_throughput(
+            lambda: generate_dataset(
+                physics,
+                shots_per_state_train=shots_per_state,
+                shots_per_state_test=shots_per_state,
+                duration_ns=duration_ns,
+                seed=seed,
+            ),
+            n_items=total_shots,
+            name="dataset_builder",
+            repeats=max(2, repeats - 2),
+        )
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller workload for CI smoke runs"
+    )
+    parser.add_argument(
+        "--shots", type=int, default=None, help="shots per workload (default 6000, quick 1500)"
+    )
+    parser.add_argument("--repeats", type=int, default=None, help="timed repeats per workload")
+    parser.add_argument("--seed", type=int, default=2025, help="workload RNG seed")
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT, help="where to write the JSON report"
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None, help="previous report to compare against"
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25, help="allowed fractional slowdown vs baseline"
+    )
+    parser.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit non-zero if any measurement regressed beyond the tolerance",
+    )
+    args = parser.parse_args(argv)
+
+    n_shots = args.shots if args.shots is not None else (1500 if args.quick else 6000)
+    if n_shots < 1000:
+        raise SystemExit("--shots must be >= 1000 for a meaningful throughput estimate")
+    repeats = args.repeats if args.repeats is not None else (3 if args.quick else 9)
+
+    report = ThroughputReport(
+        metadata={
+            "quick": bool(args.quick),
+            "n_shots": n_shots,
+            "seed": args.seed,
+            "format": str(Q16_16),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        }
+    )
+    print(f"Emulator datapath ({n_shots} shots, Q16.16, 500-sample traces):")
+    bench_emulator(report, n_shots, repeats, args.seed)
+    print(f"Trace synthesis ({n_shots} shots, 2-qubit device):")
+    bench_synthesis(report, n_shots, repeats, args.seed)
+
+    for name, measurement in sorted(report.measurements.items()):
+        print(f"  {name}: {measurement.items_per_second:,.0f} shots/s")
+
+    exit_code = 0
+    if args.baseline is not None and not args.baseline.exists():
+        if args.fail_on_regression:
+            # A typo'd baseline path must not silently disable the CI gate.
+            raise SystemExit(
+                f"--fail-on-regression requires an existing baseline; "
+                f"{args.baseline} not found"
+            )
+        print(f"  note: baseline {args.baseline} not found; skipping comparison")
+    if args.baseline is not None and args.baseline.exists():
+        baseline = ThroughputReport.load_json(args.baseline)
+        for key in ("quick", "n_shots"):
+            if baseline.metadata.get(key) != report.metadata.get(key):
+                print(
+                    f"  note: baseline {key}={baseline.metadata.get(key)!r} differs from "
+                    f"this run ({report.metadata.get(key)!r}); ratios are not like-for-like"
+                )
+        checks = compare_to_baseline(report, baseline, tolerance=args.tolerance)
+        for check in checks:
+            marker = "REGRESSED" if check.regressed else "ok"
+            print(
+                f"  vs baseline {check.name}: {check.ratio:.2f}x ({marker})"
+            )
+        if args.fail_on_regression and any(c.regressed for c in checks):
+            exit_code = 1
+
+    path = report.save_json(args.output)
+    print(f"Wrote {path}")
+    return exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.fpga.fixed_point import FixedPointFormat
+from repro.fpga.fixed_point import _INT64_SAFE_BITS, FixedPointFormat
 
 __all__ = [
     "AverageModule",
@@ -63,6 +63,18 @@ class AverageModule:
         self.fmt = fmt
         self.samples_per_interval = int(samples_per_interval)
         self.reciprocal_raw = int(reciprocal_raw)
+        # Adder-tree sums exceed the representable range by up to
+        # log2(samples_per_interval) bits; the fast multiply is only exact
+        # within its static operand headroom, so decide once here whether the
+        # scaling multiply may use it or must take the big-integer reference.
+        self._scale_exactly = self.samples_per_interval <= (1 << fmt.multiply_guard_bits)
+        # Summing matrix for the many-intervals regime: one int64 matmul over
+        # (shots, intervals, window*2) views beats reduceat when the number of
+        # reduceat segments (and hence its per-segment overhead) is large.
+        self._sum_matrix = np.zeros((2 * self.samples_per_interval, 2), dtype=np.int64)
+        self._sum_matrix[0::2, 0] = 1
+        self._sum_matrix[1::2, 1] = 1
+        self._boundary_cache: dict[int, np.ndarray] = {}
 
     def forward(self, trace_raw: np.ndarray) -> np.ndarray:
         """Average a batch of raw traces ``(n_shots, n_samples, 2)``.
@@ -84,14 +96,26 @@ class AverageModule:
                 f"{n_samples}-sample trace cannot fill a {self.samples_per_interval}-sample window"
             )
         usable = n_intervals * self.samples_per_interval
-        groups = trace_raw[:, :usable, :].reshape(
-            trace_raw.shape[0], n_intervals, self.samples_per_interval, 2
-        )
-        sums = groups.sum(axis=2)  # adder tree per group
+        # Adder tree per group, in one contiguous pass (both variants are far
+        # faster than reshaping to (shots, intervals, window, 2) and reducing
+        # the strided window axis).  ``reduceat`` has per-segment overhead, so
+        # with many intervals a matmul against the 0/1 summing matrix wins.
+        if n_intervals > 64:
+            n_shots = trace_raw.shape[0]
+            windows = trace_raw[:, :usable, :].reshape(n_shots * n_intervals, -1)
+            sums = (windows @ self._sum_matrix).reshape(n_shots, n_intervals, 2)
+        else:
+            boundaries = self._boundary_cache.get(usable)
+            if boundaries is None:
+                boundaries = np.arange(0, usable, self.samples_per_interval)
+                self._boundary_cache[usable] = boundaries
+            sums = np.add.reduceat(trace_raw[:, :usable, :], boundaries, axis=1)
         if self.samples_per_interval == 1:
             averaged = sums
-        else:
+        elif self._scale_exactly:
             averaged = self.fmt.multiply(sums, np.int64(self.reciprocal_raw))
+        else:
+            averaged = self.fmt.multiply_exact_reference(sums, np.int64(self.reciprocal_raw))
         flat = averaged.reshape(averaged.shape[0], -1)
         return flat[0] if single else flat
 
@@ -113,19 +137,25 @@ class NormalizeModule:
         self.fmt = fmt
         self.minimum_raw = minimum_raw
         self.shift_bits = shift_bits
+        # Split the per-feature shifts once: right shifts apply in one
+        # broadcast pass over the whole batch; the (usually few) left-shift
+        # columns are patched in afterwards with saturation.
+        self._right_shift = np.maximum(shift_bits, 0)
+        self._left_columns = np.flatnonzero(shift_bits < 0)
+        self._left_shift = -shift_bits[self._left_columns]
 
     def forward(self, features_raw: np.ndarray) -> np.ndarray:
         """Normalize a batch of raw feature vectors ``(n_shots, n_features)``."""
         features_raw = _as_raw_batch(features_raw, self.minimum_raw.shape[0])
         centered = features_raw - self.minimum_raw[None, :]
-        result = np.empty_like(centered)
-        right = self.shift_bits >= 0
-        if np.any(right):
-            result[:, right] = centered[:, right] >> self.shift_bits[right]
-        if np.any(~right):
-            shifted = centered[:, ~right].astype(np.int64) << (-self.shift_bits[~right])
-            result[:, ~right] = np.clip(shifted, self.fmt.min_raw, self.fmt.max_raw)
-        return result
+        left = self._left_columns
+        if left.size:
+            shifted = centered[:, left] << self._left_shift[None, :]
+            patched = np.clip(shifted, self.fmt.min_raw, self.fmt.max_raw)
+        centered >>= self._right_shift[None, :]
+        if left.size:
+            centered[:, left] = patched
+        return centered
 
 
 class MatchedFilterModule:
@@ -150,6 +180,9 @@ class MatchedFilterModule:
         self.envelope_raw = envelope_raw
         self.threshold_raw = int(threshold_raw)
         self.scale_reciprocal_raw = int(scale_reciprocal_raw)
+        # The envelope is fixed, so the worst-case accumulator magnitude over
+        # all in-range traces is known now; forward() never re-probes inputs.
+        self._mac_bound = fmt.mac_static_bound(envelope_raw.reshape(-1))
 
     def forward(self, trace_raw: np.ndarray) -> np.ndarray:
         """MF scalar (raw) for a batch of raw traces ``(n_shots, n_samples, 2)``."""
@@ -164,9 +197,11 @@ class MatchedFilterModule:
             )
         window = trace_raw[:, :n_envelope, :].reshape(trace_raw.shape[0], -1)
         flat_envelope = self.envelope_raw.reshape(-1)
-        scores = self.fmt.multiply_accumulate(window, flat_envelope)
-        centered = scores - self.threshold_raw
-        scaled = self.fmt.multiply(centered, np.int64(self.scale_reciprocal_raw))
+        scores = self.fmt.multiply_accumulate(
+            window, flat_envelope, static_bound=self._mac_bound
+        )
+        scores -= self.threshold_raw
+        scaled = self.fmt.multiply(scores, np.int64(self.scale_reciprocal_raw))
         return scaled[0] if single else scaled
 
 
@@ -176,6 +211,13 @@ class DenseLayerModule:
     Every neuron performs a MAC over the layer input plus its bias; the ReLU
     is a sign-bit check (negative accumulators become zero) and overflow is
     handled by saturation, as described in Sec. IV.
+
+    The weights are fixed at construction, so the worst-case accumulator
+    magnitude over all in-range inputs is computed once here.  When it fits
+    the int64 safety margin (it always does for the paper's Q16.16 networks),
+    :meth:`forward` is a single batched int64 matmul with a guaranteed-exact
+    wide accumulator; otherwise the whole layer (not individual neurons)
+    falls back to the exact big-integer MAC.
     """
 
     def __init__(
@@ -197,6 +239,12 @@ class DenseLayerModule:
         self.weights_raw = weights_raw
         self.biases_raw = biases_raw
         self.relu = bool(relu)
+        per_neuron_bounds = [
+            fmt.mac_static_bound(weights_raw[:, neuron])
+            for neuron in range(weights_raw.shape[1])
+        ]
+        self._mac_bound = max(per_neuron_bounds) if per_neuron_bounds else 0
+        self._vectorized = self._mac_bound < (1 << _INT64_SAFE_BITS)
 
     @property
     def n_inputs(self) -> int:
@@ -211,13 +259,22 @@ class DenseLayerModule:
     def forward(self, inputs_raw: np.ndarray) -> np.ndarray:
         """Layer output (raw) for a batch of raw inputs ``(n_shots, n_inputs)``."""
         inputs_raw = _as_raw_batch(inputs_raw, self.n_inputs)
-        outputs = np.empty((inputs_raw.shape[0], self.n_neurons), dtype=np.int64)
-        for neuron in range(self.n_neurons):
-            outputs[:, neuron] = self.fmt.multiply_accumulate(
-                inputs_raw, self.weights_raw[:, neuron], bias=int(self.biases_raw[neuron])
-            )
+        if self._vectorized:
+            # Exact: every partial sum of the int64 matmul is bounded by the
+            # static per-neuron accumulator bound, which fits well below 2**62.
+            # All post-processing happens in place on the accumulator buffer.
+            outputs = inputs_raw @ self.weights_raw
+            outputs >>= self.fmt.fractional_bits
+            outputs += self.biases_raw[None, :]
+            np.clip(outputs, self.fmt.min_raw, self.fmt.max_raw, out=outputs)
+        else:
+            outputs = np.empty((inputs_raw.shape[0], self.n_neurons), dtype=np.int64)
+            for neuron in range(self.n_neurons):
+                outputs[:, neuron] = self.fmt.multiply_accumulate_exact_reference(
+                    inputs_raw, self.weights_raw[:, neuron], bias=int(self.biases_raw[neuron])
+                )
         if self.relu:
-            outputs = np.where(outputs < 0, 0, outputs)
+            np.maximum(outputs, 0, out=outputs)
         return outputs
 
 

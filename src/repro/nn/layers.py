@@ -83,9 +83,13 @@ class Layer(ABC):
         return int(sum(p.size for p in self.params.values()))
 
     def zero_grad(self) -> None:
-        """Reset all gradient buffers to zero."""
-        for key, value in self.grads.items():
-            self.grads[key] = np.zeros_like(value)
+        """Reset all gradient buffers to zero, in place.
+
+        The buffers are reused across steps (optimizers may hold references
+        to them), so zeroing must not reallocate.
+        """
+        for value in self.grads.values():
+            value.fill(0.0)
 
     def get_config(self) -> dict:
         """Return a JSON-serializable description of the layer (for save/load)."""
@@ -155,9 +159,11 @@ class Dense(Layer):
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._x is None:
             raise RuntimeError("backward() called before a training-mode forward() pass")
-        self.grads["W"] = self._x.T @ grad_output
+        # Write into the existing gradient buffers (allocated in build) so
+        # they are stable across steps -- the invariant zero_grad relies on.
+        np.matmul(self._x.T, grad_output, out=self.grads["W"])
         if self.use_bias:
-            self.grads["b"] = grad_output.sum(axis=0)
+            np.sum(grad_output, axis=0, out=self.grads["b"])
         return grad_output @ self.params["W"].T
 
     def output_dim(self, input_dim: int) -> int:
@@ -225,12 +231,11 @@ class Sigmoid(Layer):
         self._y: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        # Numerically stable piecewise evaluation.
-        y = np.empty_like(x, dtype=np.float64)
-        pos = x >= 0
-        y[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
-        exp_x = np.exp(x[~pos])
-        y[~pos] = exp_x / (1.0 + exp_x)
+        # Numerically stable evaluation in a single pass: exp(-|x|) never
+        # overflows, and one np.where selects the right closed form per sign
+        # (no boolean fancy indexing, hence no intermediate sub-array copies).
+        z = np.exp(-np.abs(x))
+        y = np.where(x >= 0, 1.0 / (1.0 + z), z / (1.0 + z))
         self._y = y if training else None
         return y
 
@@ -368,8 +373,8 @@ class BatchNorm(Layer):
             raise RuntimeError("backward() called before a training-mode forward() pass")
         x_hat, std = self._cache
         gamma = self.params["gamma"]
-        self.grads["gamma"] = (grad_output * x_hat).sum(axis=0)
-        self.grads["beta"] = grad_output.sum(axis=0)
+        np.sum(grad_output * x_hat, axis=0, out=self.grads["gamma"])
+        np.sum(grad_output, axis=0, out=self.grads["beta"])
         dx_hat = grad_output * gamma
         return (dx_hat - dx_hat.mean(axis=0) - x_hat * (dx_hat * x_hat).mean(axis=0)) / std
 

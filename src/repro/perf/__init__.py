@@ -1,0 +1,31 @@
+"""Performance measurement: wall-clock timing, throughput reports, baselines.
+
+This package is the repo's lightweight performance harness:
+
+* :mod:`repro.perf.timer` -- :class:`WallClockTimer` and
+  :func:`measure_throughput`, the best-of-N items/second primitive,
+* :mod:`repro.perf.report` -- :class:`ThroughputReport` (JSON persistence of
+  named measurements and derived speedups) and
+  :func:`compare_to_baseline` for CI regression checks.
+
+``benchmarks/bench_throughput.py`` builds on these to measure the fixed-point
+inference engine and the trace synthesizer, writing ``BENCH_throughput.json``.
+"""
+
+from repro.perf.timer import (
+    WallClockTimer,
+    ThroughputMeasurement,
+    measure_throughput,
+    measure_paired,
+)
+from repro.perf.report import ThroughputReport, RegressionCheck, compare_to_baseline
+
+__all__ = [
+    "WallClockTimer",
+    "ThroughputMeasurement",
+    "measure_throughput",
+    "measure_paired",
+    "ThroughputReport",
+    "RegressionCheck",
+    "compare_to_baseline",
+]

@@ -1,0 +1,127 @@
+"""Throughput reports with JSON persistence and regression baselines.
+
+A :class:`ThroughputReport` aggregates named
+:class:`~repro.perf.timer.ThroughputMeasurement` entries plus derived
+quantities (speedup ratios), serializes to/from JSON (``BENCH_throughput.json``
+at the repo root is the canonical artefact), and can be compared against a
+previously saved baseline so CI can flag throughput regressions.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.perf.timer import ThroughputMeasurement
+
+__all__ = ["ThroughputReport", "RegressionCheck", "compare_to_baseline"]
+
+#: Schema tag written into every report so future readers can migrate.
+_SCHEMA_VERSION = 1
+
+
+@dataclass
+class ThroughputReport:
+    """A named collection of throughput measurements plus derived ratios."""
+
+    metadata: dict = field(default_factory=dict)
+    measurements: dict[str, ThroughputMeasurement] = field(default_factory=dict)
+    derived: dict[str, float] = field(default_factory=dict)
+
+    def add(self, measurement: ThroughputMeasurement) -> ThroughputMeasurement:
+        """Record a measurement under its own name (replacing any previous one)."""
+        self.measurements[measurement.name] = measurement
+        return measurement
+
+    def record_speedup(self, name: str, fast: str, slow: str) -> float:
+        """Derive and store ``throughput(fast) / throughput(slow)``."""
+        for key in (fast, slow):
+            if key not in self.measurements:
+                raise KeyError(f"No measurement named {key!r} in this report")
+        ratio = (
+            self.measurements[fast].items_per_second
+            / self.measurements[slow].items_per_second
+        )
+        self.derived[name] = float(ratio)
+        return float(ratio)
+
+    # ------------------------------------------------------------------- JSON
+    def as_dict(self) -> dict:
+        """Plain-dict view (the JSON document layout)."""
+        return {
+            "schema_version": _SCHEMA_VERSION,
+            "metadata": dict(self.metadata),
+            "measurements": {k: m.as_dict() for k, m in self.measurements.items()},
+            "derived": dict(self.derived),
+        }
+
+    def save_json(self, path: str | Path) -> Path:
+        """Write the report to ``path`` (creating parent directories)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.as_dict(), indent=1, sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def load_json(cls, path: str | Path) -> "ThroughputReport":
+        """Read a report previously written by :meth:`save_json`."""
+        data = json.loads(Path(path).read_text())
+        version = data.get("schema_version")
+        if version != _SCHEMA_VERSION:
+            raise ValueError(f"Unsupported throughput report schema {version!r}")
+        return cls(
+            metadata=dict(data.get("metadata", {})),
+            measurements={
+                k: ThroughputMeasurement.from_dict(m)
+                for k, m in data.get("measurements", {}).items()
+            },
+            derived={k: float(v) for k, v in data.get("derived", {}).items()},
+        )
+
+
+@dataclass(frozen=True)
+class RegressionCheck:
+    """Outcome of comparing one measurement against its baseline."""
+
+    name: str
+    current_items_per_second: float
+    baseline_items_per_second: float
+    regressed: bool
+
+    @property
+    def ratio(self) -> float:
+        """Current throughput relative to the baseline (1.0 = unchanged)."""
+        if self.baseline_items_per_second <= 0.0:  # pragma: no cover - defensive
+            return float("inf")
+        return self.current_items_per_second / self.baseline_items_per_second
+
+
+def compare_to_baseline(
+    current: ThroughputReport,
+    baseline: ThroughputReport,
+    tolerance: float = 0.25,
+) -> list[RegressionCheck]:
+    """Compare shared measurements; flag those slower than ``1 - tolerance``.
+
+    Only measurements present in *both* reports are compared (new benchmarks
+    never count as regressions).  A generous default tolerance absorbs normal
+    machine-to-machine variance; tighten it on dedicated benchmark hosts.
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
+    checks = []
+    for name, measurement in sorted(current.measurements.items()):
+        base = baseline.measurements.get(name)
+        if base is None:
+            continue
+        checks.append(
+            RegressionCheck(
+                name=name,
+                current_items_per_second=measurement.items_per_second,
+                baseline_items_per_second=base.items_per_second,
+                regressed=measurement.items_per_second
+                < (1.0 - tolerance) * base.items_per_second,
+            )
+        )
+    return checks

@@ -1,0 +1,87 @@
+"""Regenerate the golden ``predict_logits_raw`` snapshot.
+
+The snapshot pins the bit-exact behaviour of the FPGA datapath: it was first
+produced by the *seed* (pre-vectorization) implementation, and every later
+optimization of the fixed-point engine must reproduce it raw-integer for
+raw-integer.  Run from the repo root::
+
+    PYTHONPATH=src python tests/fpga/make_golden.py
+
+Only regenerate it when the datapath semantics change *on purpose*.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.fpga.emulator import FpgaStudentEmulator
+from repro.fpga.fixed_point import FixedPointFormat, Q16_16
+from repro.fpga.quantize import QuantizedStudentParameters
+
+GOLDEN_PATH = Path(__file__).with_name("golden_logits.json")
+
+#: Deterministic synthetic datapath configurations (no training involved, so
+#: the snapshot depends only on the fixed-point arithmetic itself).
+CASES = {
+    "q16_16": FixedPointFormat(integer_bits=16, fractional_bits=16),
+    "q8_8": FixedPointFormat(integer_bits=8, fractional_bits=8),
+}
+
+
+def build_parameters(fmt: FixedPointFormat, seed: int = 2025) -> QuantizedStudentParameters:
+    """A synthetic quantized student with realistic shapes (40-sample traces)."""
+    rng = np.random.default_rng(seed)
+    n_samples = 40
+    samples_per_interval = 4
+    n_features = 2 * (n_samples // samples_per_interval) + 1  # averaged I/Q + MF
+    widths = [n_features, 16, 8, 1]
+    weights = [
+        fmt.to_raw(rng.uniform(-1.0, 1.0, size=(widths[i], widths[i + 1])))
+        for i in range(len(widths) - 1)
+    ]
+    biases = [
+        fmt.to_raw(rng.uniform(-0.5, 0.5, size=widths[i + 1])) for i in range(len(widths) - 1)
+    ]
+    return QuantizedStudentParameters(
+        fmt=fmt,
+        samples_per_interval=samples_per_interval,
+        n_samples=n_samples,
+        include_matched_filter=True,
+        mf_envelope=fmt.to_raw(rng.uniform(-0.5, 0.5, size=(n_samples, 2))),
+        mf_threshold_raw=int(fmt.to_raw(1.25)),
+        mf_scale_reciprocal_raw=int(fmt.to_raw(0.4)),
+        average_reciprocal_raw=int(fmt.to_raw(1.0 / samples_per_interval)),
+        norm_minimum=fmt.to_raw(rng.uniform(-4.0, 0.0, size=n_features - 1)),
+        norm_shift_bits=rng.integers(-2, 4, size=n_features - 1),
+        layer_weights=weights,
+        layer_biases=biases,
+    )
+
+
+def build_traces(seed: int = 2025) -> np.ndarray:
+    """A fixed-seed evaluation trace set, including near-saturation shots."""
+    rng = np.random.default_rng(seed + 1)
+    traces = rng.uniform(-3.0, 3.0, size=(64, 40, 2))
+    # A few extreme shots to exercise the saturation edges of the datapath.
+    traces[0] = Q16_16.max_value
+    traces[1] = Q16_16.min_value
+    traces[2, :, 0] = 120.0
+    traces[2, :, 1] = -120.0
+    return traces
+
+
+def main() -> None:
+    traces = build_traces()
+    golden: dict[str, list[int]] = {}
+    for name, fmt in CASES.items():
+        emulator = FpgaStudentEmulator(build_parameters(fmt))
+        golden[name] = [int(v) for v in emulator.predict_logits_raw(traces)]
+    GOLDEN_PATH.write_text(json.dumps(golden, indent=1) + "\n")
+    print(f"Wrote {GOLDEN_PATH} ({ {k: len(v) for k, v in golden.items()} })")
+
+
+if __name__ == "__main__":
+    main()

@@ -152,3 +152,158 @@ def test_property_multiplication_error_bounded(a, b):
     raw = Q16_16.multiply(Q16_16.to_raw(a), Q16_16.to_raw(b))
     exact = Q16_16.quantize(a) * Q16_16.quantize(b)
     assert abs(Q16_16.from_raw(raw) - exact) <= (abs(a) + abs(b) + 2) * Q16_16.resolution
+
+
+#: Formats covering every multiply strategy: direct (narrow words), limb
+#: (the paper's Q16.16 and friends), reference (too wide for int64 limbs).
+EQUIVALENCE_FORMATS = [
+    FixedPointFormat(integer_bits=8, fractional_bits=8),
+    FixedPointFormat(integer_bits=4, fractional_bits=12),
+    FixedPointFormat(integer_bits=16, fractional_bits=16),
+    FixedPointFormat(integer_bits=12, fractional_bits=20),
+    FixedPointFormat(integer_bits=30, fractional_bits=30),
+]
+
+
+def _edge_raws(fmt: FixedPointFormat) -> list[int]:
+    """Saturation-edge raw operands for a format."""
+    return [fmt.min_raw, fmt.min_raw + 1, -1, 0, 1, fmt.max_raw - 1, fmt.max_raw]
+
+
+class TestMultiplyStrategySelection:
+    def test_q16_16_uses_limb_with_headroom(self):
+        assert Q16_16.multiply_mode == "limb"
+        assert Q16_16.multiply_guard_bits >= 8
+
+    def test_narrow_format_uses_direct(self):
+        assert FixedPointFormat(integer_bits=8, fractional_bits=8).multiply_mode == "direct"
+
+    def test_wide_format_falls_back_to_reference(self):
+        assert FixedPointFormat(integer_bits=30, fractional_bits=30).multiply_mode == "reference"
+
+    def test_every_mode_has_documented_headroom(self):
+        for fmt in EQUIVALENCE_FORMATS:
+            if fmt.multiply_mode != "reference":
+                assert fmt.multiply_guard_bits >= 1
+
+
+class TestVectorizedMultiplyEquivalence:
+    """The fast multiply paths are bit-identical to the big-integer reference."""
+
+    @pytest.mark.parametrize("fmt", EQUIVALENCE_FORMATS, ids=str)
+    def test_randomized_in_range_operands(self, fmt):
+        rng = np.random.default_rng(99)
+        a = rng.integers(fmt.min_raw, fmt.max_raw + 1, size=2000)
+        b = rng.integers(fmt.min_raw, fmt.max_raw + 1, size=2000)
+        np.testing.assert_array_equal(
+            fmt.multiply(a, b), fmt.multiply_exact_reference(a, b)
+        )
+
+    @pytest.mark.parametrize("fmt", EQUIVALENCE_FORMATS, ids=str)
+    def test_saturation_edge_grid(self, fmt):
+        edges = _edge_raws(fmt)
+        a, b = np.meshgrid(np.array(edges), np.array(edges))
+        np.testing.assert_array_equal(
+            fmt.multiply(a.ravel(), b.ravel()),
+            fmt.multiply_exact_reference(a.ravel(), b.ravel()),
+        )
+
+    @pytest.mark.parametrize("fmt", EQUIVALENCE_FORMATS, ids=str)
+    def test_guard_band_operands(self, fmt):
+        """Exactness extends to the documented operand headroom (adder-tree sums)."""
+        if fmt.multiply_mode == "reference":
+            pytest.skip("reference mode is the oracle itself")
+        guard = fmt.multiply_guard_bits
+        limit = 1 << (fmt.word_length - 1 + guard)
+        rng = np.random.default_rng(7)
+        a = rng.integers(-limit, limit, size=2000)
+        b = rng.integers(-limit, limit, size=2000)
+        np.testing.assert_array_equal(
+            fmt.multiply(a, b), fmt.multiply_exact_reference(a, b)
+        )
+        extremes = np.array([-limit, -limit + 1, limit - 1])
+        for edge in extremes:
+            np.testing.assert_array_equal(
+                fmt.multiply(extremes, np.full_like(extremes, edge)),
+                fmt.multiply_exact_reference(extremes, np.full_like(extremes, edge)),
+            )
+
+    def test_scalar_operand_split(self):
+        """The scalar fast path (reciprocal multiplies) matches the reference."""
+        rng = np.random.default_rng(5)
+        sums = rng.integers(Q16_16.min_raw * 32, Q16_16.max_raw * 32, size=(50, 10, 2))
+        for scalar in (0, 1, -1, 2048, -2048, Q16_16.max_raw, Q16_16.min_raw):
+            np.testing.assert_array_equal(
+                Q16_16.multiply(sums, np.int64(scalar)),
+                Q16_16.multiply_exact_reference(sums, np.int64(scalar)),
+            )
+
+    def test_strict_overflow_raises_on_fast_path(self):
+        big = np.array([Q16_16.max_raw])
+        with pytest.raises(FixedPointOverflowError):
+            Q16_16.multiply(big, big, strict=True)
+        with pytest.raises(FixedPointOverflowError):
+            Q16_16.multiply_exact_reference(big, big, strict=True)
+
+
+class TestMacEquivalence:
+    """multiply_accumulate (probe and static-bound paths) matches the reference."""
+
+    def test_randomized_batches_match_reference(self):
+        rng = np.random.default_rng(11)
+        inputs = rng.integers(Q16_16.min_raw, Q16_16.max_raw + 1, size=(16, 40))
+        weights = rng.integers(-(1 << 18), 1 << 18, size=40)
+        bias = int(rng.integers(-(1 << 20), 1 << 20))
+        np.testing.assert_array_equal(
+            Q16_16.multiply_accumulate(inputs, weights, bias=bias),
+            Q16_16.multiply_accumulate_exact_reference(inputs, weights, bias=bias),
+        )
+
+    def test_static_bound_path_matches_probe_path(self):
+        rng = np.random.default_rng(12)
+        inputs = rng.integers(Q16_16.min_raw, Q16_16.max_raw + 1, size=(8, 25))
+        weights = rng.integers(-(1 << 17), 1 << 17, size=25)
+        bound = Q16_16.mac_static_bound(weights)
+        np.testing.assert_array_equal(
+            Q16_16.multiply_accumulate(inputs, weights, static_bound=bound),
+            Q16_16.multiply_accumulate(inputs, weights),
+        )
+
+    def test_saturating_inputs_match_reference(self):
+        inputs = np.array([[Q16_16.max_raw] * 30, [Q16_16.min_raw] * 30])
+        weights = np.full(30, Q16_16.max_raw, dtype=np.int64)
+        np.testing.assert_array_equal(
+            Q16_16.multiply_accumulate(inputs, weights),
+            Q16_16.multiply_accumulate_exact_reference(inputs, weights),
+        )
+
+    def test_oversized_static_bound_falls_back_exactly(self):
+        """A bound past the int64 margin must route to the exact big-int path."""
+        rng = np.random.default_rng(13)
+        inputs = rng.integers(Q16_16.min_raw, Q16_16.max_raw + 1, size=(4, 6))
+        weights = rng.integers(-(1 << 16), 1 << 16, size=6)
+        np.testing.assert_array_equal(
+            Q16_16.multiply_accumulate(inputs, weights, static_bound=1 << 63),
+            Q16_16.multiply_accumulate_exact_reference(inputs, weights),
+        )
+
+    def test_mac_static_bound_dominates_probe(self):
+        """The static bound is a true upper bound for any in-range inputs."""
+        rng = np.random.default_rng(14)
+        weights = rng.integers(-(1 << 20), 1 << 20, size=33)
+        bound = Q16_16.mac_static_bound(weights)
+        inputs = rng.integers(Q16_16.min_raw, Q16_16.max_raw + 1, size=(64, 33))
+        observed = np.abs(inputs.astype(object) * weights.astype(object)).sum(axis=1).max()
+        assert int(observed) <= bound
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    a=st.integers(Q16_16.min_raw, Q16_16.max_raw),
+    b=st.integers(Q16_16.min_raw, Q16_16.max_raw),
+)
+def test_property_limb_multiply_bit_exact(a, b):
+    """Property: the Q16.16 limb multiply equals the big-integer reference."""
+    fast = Q16_16.multiply(np.array([a]), np.array([b]))
+    exact = Q16_16.multiply_exact_reference(np.array([a]), np.array([b]))
+    np.testing.assert_array_equal(fast, exact)

@@ -169,3 +169,123 @@ class TestThresholdModule:
         np.testing.assert_array_equal(
             module.forward(np.array([-5, 0, 7], dtype=np.int64)), [0, 1, 1]
         )
+
+
+def _dense_reference(module: DenseLayerModule, inputs_raw: np.ndarray) -> np.ndarray:
+    """Per-neuron big-integer reference for a dense layer (the seed semantics)."""
+    fmt = module.fmt
+    outputs = np.empty((inputs_raw.shape[0], module.n_neurons), dtype=np.int64)
+    for neuron in range(module.n_neurons):
+        outputs[:, neuron] = fmt.multiply_accumulate_exact_reference(
+            inputs_raw, module.weights_raw[:, neuron], bias=int(module.biases_raw[neuron])
+        )
+    if module.relu:
+        outputs = np.where(outputs < 0, 0, outputs)
+    return outputs
+
+
+class TestVectorizedDenseEquivalence:
+    """The batched matmul path is bit-identical to the per-neuron reference."""
+
+    def test_random_in_range_inputs(self):
+        rng = np.random.default_rng(21)
+        weights = rng.integers(-(1 << 18), 1 << 18, size=(31, 16))
+        biases = rng.integers(-(1 << 20), 1 << 20, size=16)
+        module = DenseLayerModule(Q16_16, weights, biases, relu=True)
+        assert module._vectorized
+        inputs = rng.integers(Q16_16.min_raw, Q16_16.max_raw + 1, size=(40, 31))
+        np.testing.assert_array_equal(
+            module.forward(inputs), _dense_reference(module, inputs)
+        )
+
+    def test_saturation_edge_inputs(self):
+        rng = np.random.default_rng(22)
+        weights = rng.integers(-(1 << 18), 1 << 18, size=(12, 6))
+        biases = rng.integers(-(1 << 16), 1 << 16, size=6)
+        module = DenseLayerModule(Q16_16, weights, biases, relu=False)
+        edges = np.array([Q16_16.min_raw, Q16_16.max_raw, 0, -1, 1])
+        inputs = edges[rng.integers(0, edges.size, size=(30, 12))]
+        np.testing.assert_array_equal(
+            module.forward(inputs), _dense_reference(module, inputs)
+        )
+
+    def test_overflowing_static_bound_uses_layer_fallback(self):
+        """Weights too large for the int64 margin switch the whole layer to the
+        exact path, and the results still match the reference bit for bit."""
+        weights = np.full((4, 2), Q16_16.max_raw, dtype=np.int64)
+        biases = np.zeros(2, dtype=np.int64)
+        module = DenseLayerModule(Q16_16, weights, biases, relu=True)
+        assert not module._vectorized
+        rng = np.random.default_rng(23)
+        inputs = rng.integers(Q16_16.min_raw, Q16_16.max_raw + 1, size=(9, 4))
+        np.testing.assert_array_equal(
+            module.forward(inputs), _dense_reference(module, inputs)
+        )
+
+    def test_static_bound_covers_all_neurons(self):
+        rng = np.random.default_rng(24)
+        weights = rng.integers(-(1 << 17), 1 << 17, size=(10, 5))
+        module = DenseLayerModule(Q16_16, weights, np.zeros(5, dtype=np.int64))
+        per_neuron = [Q16_16.mac_static_bound(weights[:, n]) for n in range(5)]
+        assert module._mac_bound == max(per_neuron)
+
+
+class TestVectorizedAverageEquivalence:
+    def test_adder_tree_matches_manual_group_sums(self):
+        rng = np.random.default_rng(25)
+        traces = rng.integers(Q16_16.min_raw, Q16_16.max_raw + 1, size=(6, 37, 2))
+        module = AverageModule(Q16_16, 8, int(Q16_16.to_raw(1.0 / 8)))
+        out = module.forward(traces)
+        groups = traces[:, :32, :].reshape(6, 4, 8, 2)
+        expected = Q16_16.multiply_exact_reference(
+            groups.sum(axis=2), np.int64(int(Q16_16.to_raw(1.0 / 8)))
+        ).reshape(6, -1)
+        np.testing.assert_array_equal(out, expected)
+
+    def test_many_interval_matmul_branch_matches_reference(self):
+        """spi=5 over 500 samples takes the summing-matrix branch (>64 intervals)."""
+        rng = np.random.default_rng(26)
+        traces = rng.integers(Q16_16.min_raw, Q16_16.max_raw + 1, size=(4, 500, 2))
+        recip = int(Q16_16.to_raw(1.0 / 5))
+        module = AverageModule(Q16_16, 5, recip)
+        out = module.forward(traces)
+        groups = traces.reshape(4, 100, 5, 2)
+        expected = Q16_16.multiply_exact_reference(
+            groups.sum(axis=2), np.int64(recip)
+        ).reshape(4, -1)
+        np.testing.assert_array_equal(out, expected)
+
+    def test_huge_window_beyond_guard_uses_reference_branch(self):
+        """Windows wider than the multiply headroom stay exact via big integers."""
+        guard = Q16_16.multiply_guard_bits
+        spi = (1 << guard) * 2
+        module = AverageModule(Q16_16, spi, int(Q16_16.to_raw(1.0 / spi)))
+        assert not module._scale_exactly
+        traces = np.full((2, spi, 2), Q16_16.max_raw, dtype=np.int64)
+        out = module.forward(traces)
+        sums = traces.reshape(2, 1, spi, 2).sum(axis=2)
+        expected = Q16_16.multiply_exact_reference(
+            sums, np.int64(int(Q16_16.to_raw(1.0 / spi)))
+        ).reshape(2, -1)
+        np.testing.assert_array_equal(out, expected)
+
+
+class TestMatchedFilterStaticBound:
+    def test_forward_matches_probe_free_reference(self):
+        rng = np.random.default_rng(27)
+        envelope = rng.integers(-(1 << 16), 1 << 16, size=(25, 2))
+        module = MatchedFilterModule(Q16_16, envelope, 321, int(Q16_16.to_raw(0.4)))
+        traces = rng.integers(Q16_16.min_raw, Q16_16.max_raw + 1, size=(12, 25, 2))
+        out = module.forward(traces)
+        scores = Q16_16.multiply_accumulate_exact_reference(
+            traces.reshape(12, -1), envelope.reshape(-1)
+        )
+        expected = Q16_16.multiply_exact_reference(
+            scores - 321, np.int64(int(Q16_16.to_raw(0.4)))
+        )
+        np.testing.assert_array_equal(out, expected)
+
+    def test_static_bound_is_precomputed_from_envelope(self):
+        envelope = np.full((10, 2), 1 << 15, dtype=np.int64)
+        module = MatchedFilterModule(Q16_16, envelope, 0, 1)
+        assert module._mac_bound == Q16_16.mac_static_bound(envelope.reshape(-1))

@@ -251,3 +251,54 @@ def test_property_softmax_is_probability_distribution(x):
     y = Softmax().forward(x)
     assert np.all(y >= 0)
     np.testing.assert_allclose(y.sum(axis=-1), 1.0, atol=1e-9)
+
+
+class TestZeroGradInPlace:
+    def test_zero_grad_reuses_buffers(self):
+        """zero_grad must zero the existing arrays, not reallocate them
+        (optimizers may hold references to the gradient buffers)."""
+        rng = np.random.default_rng(0)
+        layer = Dense(4)
+        layer.build(3, rng)
+        layer.forward(rng.normal(size=(5, 3)), training=True)
+        layer.backward(rng.normal(size=(5, 4)))
+        before = {name: grad for name, grad in layer.grads.items()}
+        assert any(np.any(g != 0) for g in before.values())
+        layer.zero_grad()
+        for name, grad in layer.grads.items():
+            assert grad is before[name]
+            np.testing.assert_array_equal(grad, 0.0)
+
+    def test_backward_writes_into_existing_buffers(self):
+        """backward must fill the buffers allocated in build(), not replace
+        them, so references held across steps stay valid."""
+        rng = np.random.default_rng(3)
+        layer = Dense(4)
+        layer.build(3, rng)
+        held = {name: grad for name, grad in layer.grads.items()}
+        for _ in range(3):
+            layer.forward(rng.normal(size=(5, 3)), training=True)
+            layer.backward(rng.normal(size=(5, 4)))
+            for name, grad in layer.grads.items():
+                assert grad is held[name]
+
+
+class TestSigmoidSinglePass:
+    def test_matches_piecewise_reference(self):
+        """The np.where evaluation equals the old fancy-indexed piecewise one."""
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-40, 40, size=(16, 9))
+        x[0, 0], x[0, 1] = 750.0, -750.0  # exp overflow territory
+        y = Sigmoid().forward(x)
+        reference = np.empty_like(x)
+        pos = x >= 0
+        reference[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        exp_x = np.exp(x[~pos])
+        reference[~pos] = exp_x / (1.0 + exp_x)
+        np.testing.assert_array_equal(y, reference)
+
+    def test_no_overflow_warnings(self):
+        x = np.array([[-1e6, 1e6, 0.0]])
+        with np.errstate(over="raise", invalid="raise"):
+            y = Sigmoid().forward(x)
+        np.testing.assert_allclose(y, [[0.0, 1.0, 0.5]], atol=1e-12)

@@ -1,0 +1,87 @@
+"""Unit tests for throughput reports and regression baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf import (
+    ThroughputMeasurement,
+    ThroughputReport,
+    compare_to_baseline,
+)
+
+
+def _measurement(name: str, items_per_second: float) -> ThroughputMeasurement:
+    return ThroughputMeasurement(
+        name=name,
+        n_items=1000,
+        repeats=3,
+        best_seconds=1000.0 / items_per_second,
+        mean_seconds=1000.0 / items_per_second,
+        std_seconds=0.0,
+    )
+
+
+class TestThroughputReport:
+    def test_add_and_speedup(self):
+        report = ThroughputReport(metadata={"host": "test"})
+        report.add(_measurement("fast", 500.0))
+        report.add(_measurement("slow", 50.0))
+        ratio = report.record_speedup("speedup", "fast", "slow")
+        assert ratio == pytest.approx(10.0)
+        assert report.derived["speedup"] == pytest.approx(10.0)
+
+    def test_speedup_unknown_name_raises(self):
+        report = ThroughputReport()
+        report.add(_measurement("fast", 1.0))
+        with pytest.raises(KeyError):
+            report.record_speedup("s", "fast", "missing")
+
+    def test_json_roundtrip(self, tmp_path):
+        report = ThroughputReport(metadata={"quick": True})
+        report.add(_measurement("engine", 1234.0))
+        report.record_speedup("self", "engine", "engine")
+        path = report.save_json(tmp_path / "nested" / "report.json")
+        restored = ThroughputReport.load_json(path)
+        assert restored.metadata == {"quick": True}
+        assert restored.derived["self"] == pytest.approx(1.0)
+        assert restored.measurements["engine"].items_per_second == pytest.approx(
+            report.measurements["engine"].items_per_second
+        )
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema_version": 999}')
+        with pytest.raises(ValueError):
+            ThroughputReport.load_json(path)
+
+
+class TestCompareToBaseline:
+    def test_flags_regressions_beyond_tolerance(self):
+        current = ThroughputReport()
+        current.add(_measurement("stable", 100.0))
+        current.add(_measurement("regressed", 50.0))
+        current.add(_measurement("new_benchmark", 10.0))
+        baseline = ThroughputReport()
+        baseline.add(_measurement("stable", 101.0))
+        baseline.add(_measurement("regressed", 100.0))
+        checks = compare_to_baseline(current, baseline, tolerance=0.25)
+        by_name = {c.name: c for c in checks}
+        assert set(by_name) == {"stable", "regressed"}  # new benchmarks skipped
+        assert not by_name["stable"].regressed
+        assert by_name["regressed"].regressed
+        assert by_name["regressed"].ratio == pytest.approx(0.5)
+
+    def test_tolerance_validation(self):
+        report = ThroughputReport()
+        with pytest.raises(ValueError):
+            compare_to_baseline(report, report, tolerance=1.5)
+
+    def test_improvements_never_flagged(self):
+        current = ThroughputReport()
+        current.add(_measurement("faster", 300.0))
+        baseline = ThroughputReport()
+        baseline.add(_measurement("faster", 100.0))
+        checks = compare_to_baseline(current, baseline)
+        assert len(checks) == 1 and not checks[0].regressed
+        assert checks[0].ratio == pytest.approx(3.0)

@@ -119,3 +119,29 @@ class TestMultiplexedTraceGenerator:
     def test_invalid_shot_count(self, small_device: ReadoutPhysics):
         with pytest.raises(ValueError):
             MultiplexedTraceGenerator(small_device).generate_shots(np.array([0, 0]), 400.0, 0)
+
+    def test_generate_shot_is_batch_of_one(self, small_device: ReadoutPhysics):
+        """generate_shot delegates to the vectorized path: same seed, same bits."""
+        state = np.array([1, 1])
+        single = MultiplexedTraceGenerator(small_device, seed=42).generate_shot(state, 400.0)
+        batched = MultiplexedTraceGenerator(small_device, seed=42).generate_shots(
+            state, 400.0, n_shots=1
+        )
+        np.testing.assert_array_equal(single, batched[0])
+
+    def test_single_qubit_device_supported(self):
+        from repro.readout.physics import QubitReadoutParams
+
+        physics = ReadoutPhysics(
+            [
+                QubitReadoutParams(
+                    label="Q0", chi=0.012, kappa=0.03, probe_amplitude=1.0,
+                    noise_sigma=1.0, t1=50_000.0, crosstalk_coupling=0.0,
+                )
+            ],
+            sample_period_ns=10.0,
+        )
+        shots = MultiplexedTraceGenerator(physics, seed=1).generate_shots(
+            np.array([1]), 400.0, 5
+        )
+        assert shots.shape == (5, 1, 40, 2)

@@ -19,8 +19,11 @@ the repo root::
     PYTHONPATH=src python benchmarks/bench_throughput.py [--quick]
 
 ``--baseline PATH`` compares against a previously saved report and (with
-``--fail-on-regression``) exits non-zero when throughput dropped, which is
-how CI keeps this harness honest.
+``--fail-on-regression``) exits with code 3 when throughput dropped beyond
+the tolerance, which is how CI keeps this harness honest.  The distinct exit
+code lets CI treat "slower than the committed baseline" (expected jitter on
+shared runners; reported, non-blocking) differently from a bit-exactness
+failure or crash (always blocking).
 """
 
 from __future__ import annotations
@@ -34,6 +37,7 @@ import numpy as np
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
+from repro.engine import FixedPointBackend, ReadoutEngine
 from repro.fpga.emulator import FpgaStudentEmulator
 from repro.fpga.fixed_point import FixedPointFormat, Q16_16
 from repro.fpga.quantize import QuantizedStudentParameters
@@ -341,6 +345,74 @@ def bench_emulator(report: ThroughputReport, n_shots: int, repeats: int, seed: i
     )
 
 
+#: Per-qubit averaging windows of the paper's five-qubit assignment
+#: (FNN-A for Q1/Q4/Q5, FNN-B for Q2/Q3) at 500-sample traces.
+ENGINE_ASSIGNMENT = (32, 5, 5, 32, 32)
+
+
+def bench_engine(report: ThroughputReport, n_shots: int, repeats: int, seed: int) -> None:
+    """Multi-qubit serving: ReadoutEngine parallel vs. sequential fan-out.
+
+    Builds the paper's five-qubit deployment (one fixed-point backend per
+    qubit, FNN-A/FNN-B assignment) and measures ``discriminate_all`` with the
+    per-qubit thread pool against the sequential fallback, asserting the two
+    are bit-identical first.  On a single-core container the ratio hovers
+    around 1x (the threads just take turns); the measurement exists so
+    multi-core hosts show the fan-out gain and CI pins both paths.
+    """
+    n_samples = 500
+    n_qubits = len(ENGINE_ASSIGNMENT)
+    # The multiplexed float batch is n_qubits times the per-qubit workload;
+    # scale shots down so the benchmark's working set stays container-sized.
+    engine_shots = max(600, n_shots // 5)
+    rng = np.random.default_rng(seed + 2)
+    traces = rng.uniform(-3.0, 3.0, size=(engine_shots, n_qubits, n_samples, 2))
+    engine = ReadoutEngine(
+        [
+            FixedPointBackend(
+                build_parameters(Q16_16, n_samples, window, seed=seed + qubit)
+            )
+            for qubit, window in enumerate(ENGINE_ASSIGNMENT)
+        ],
+        max_workers=n_qubits,
+    )
+    sequential = engine.discriminate_all(traces, parallel=False)
+    parallel = engine.discriminate_all(traces, parallel=True)
+    if not np.array_equal(sequential, parallel):
+        raise AssertionError(
+            "ReadoutEngine parallel fan-out is not bit-identical to the "
+            "sequential path"
+        )
+    print(
+        f"  parallel == sequential on {engine_shots} shots x {n_qubits} qubits OK"
+    )
+    measured = measure_paired(
+        {
+            "engine_discriminate_all_parallel": (
+                lambda: engine.discriminate_all(traces, parallel=True),
+                engine_shots * n_qubits,
+            ),
+            "engine_discriminate_all_sequential": (
+                lambda: engine.discriminate_all(traces, parallel=False),
+                engine_shots * n_qubits,
+            ),
+        },
+        repeats=repeats,
+    )
+    for measurement in measured.values():
+        report.add(measurement)
+    speedup = report.record_speedup(
+        "engine_parallel_speedup",
+        "engine_discriminate_all_parallel",
+        "engine_discriminate_all_sequential",
+    )
+    report.derived["engine_workers"] = float(engine.worker_count)
+    print(
+        f"  engine parallel vs sequential: {speedup:.2f}x "
+        f"({engine.worker_count} worker(s) on this host)"
+    )
+
+
 def bench_synthesis(report: ThroughputReport, n_shots: int, repeats: int, seed: int) -> None:
     """Trace synthesis: the batched generator vs. the seed per-shot loop."""
     physics = _bench_device()
@@ -435,6 +507,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     print(f"Emulator datapath ({n_shots} shots, Q16.16, 500-sample traces):")
     bench_emulator(report, n_shots, repeats, args.seed)
+    print("Engine serving (5-qubit ReadoutEngine, parallel vs sequential):")
+    bench_engine(report, n_shots, repeats, args.seed)
     print(f"Trace synthesis ({n_shots} shots, 2-qubit device):")
     bench_synthesis(report, n_shots, repeats, args.seed)
 
@@ -465,7 +539,9 @@ def main(argv: list[str] | None = None) -> int:
                 f"  vs baseline {check.name}: {check.ratio:.2f}x ({marker})"
             )
         if args.fail_on_regression and any(c.regressed for c in checks):
-            exit_code = 1
+            # Exit code 3 = "regressed vs baseline", distinct from assertion
+            # failures so CI can keep the gate informative but non-blocking.
+            exit_code = 3
 
     path = report.save_json(args.output)
     print(f"Wrote {path}")

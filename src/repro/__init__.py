@@ -16,6 +16,11 @@ Python library:
   HERQULES-style matched-filter network, classical discriminators).
 * :mod:`repro.fpga` -- a bit-accurate Q16.16 fixed-point emulator of the
   FPGA datapath plus latency and resource models.
+* :mod:`repro.engine` -- the unified serving layer: the
+  :class:`~repro.engine.ReadoutBackend` protocol (float and fixed-point
+  datapaths behind one interface), the deployable multi-qubit
+  :class:`~repro.engine.ReadoutEngine` with per-qubit parallel serving, and
+  persisted artifact bundles.
 * :mod:`repro.analysis` -- experiment drivers and table formatting used by
   the benchmark harness.
 
@@ -32,4 +37,4 @@ Quickstart
 
 __version__ = "1.0.0"
 
-__all__ = ["nn", "readout", "core", "baselines", "fpga", "analysis", "__version__"]
+__all__ = ["nn", "readout", "core", "baselines", "fpga", "engine", "analysis", "__version__"]

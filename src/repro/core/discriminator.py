@@ -6,9 +6,18 @@ device.  Because each qubit has its own compact network operating only on its
 own trace, any subset of qubits can be read out at any time -- the mid-circuit
 measurement capability the paper emphasizes -- and the readout of one qubit
 never waits on the others.
+
+Inference is served through :class:`repro.engine.ReadoutEngine`:
+:meth:`KlinqReadout.discriminate` and :meth:`KlinqReadout.discriminate_all`
+delegate to an internally cached float engine (same call signatures as
+always), and :meth:`KlinqReadout.to_engine` hands back a standalone engine on
+either datapath (``backend="float"`` or ``"fpga"``) for deployment --
+including :meth:`~repro.engine.ReadoutEngine.save` into an artifact bundle.
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING
 
 from dataclasses import dataclass, field
 
@@ -16,8 +25,13 @@ import numpy as np
 
 from repro.core.config import ExperimentConfig, scaled_experiment_config
 from repro.core.pipeline import PipelineResult, QubitReadoutPipeline
+from repro.core.student import StudentModel
 from repro.nn.metrics import geometric_mean_fidelity
 from repro.readout.dataset import ReadoutDataset
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.engine.engine import ReadoutEngine
+    from repro.fpga.fixed_point import FixedPointFormat
 
 __all__ = ["KlinqReadout", "ReadoutReport"]
 
@@ -122,6 +136,8 @@ class KlinqReadout:
             for index, architecture in enumerate(self.config.students)
         ]
         self.report: ReadoutReport | None = None
+        self._serving_engine: "ReadoutEngine | None" = None
+        self._serving_students: list[StudentModel] | None = None
 
     @property
     def n_qubits(self) -> int:
@@ -158,6 +174,55 @@ class KlinqReadout:
         return self.report
 
     # ----------------------------------------------------------------- inference
+    def _engine(self) -> "ReadoutEngine":
+        """The cached float serving engine, rebuilt whenever students change.
+
+        Retraining -- via :meth:`fit` or directly through the per-qubit
+        pipelines -- replaces ``pipeline.student`` objects; the cache is
+        validated by identity against the students it was built from, so a
+        stale engine can never serve a replaced model's predictions.
+        """
+        students = [pipeline.student for pipeline in self.pipelines]
+        if self._serving_engine is None or self._serving_students != students:
+            self._serving_engine = self.to_engine(backend="float")
+            self._serving_students = students
+        return self._serving_engine
+
+    def to_engine(
+        self,
+        backend: str = "float",
+        fmt: "FixedPointFormat | None" = None,
+        max_workers: int | None = None,
+    ) -> "ReadoutEngine":
+        """Package the trained students as a deployable :class:`ReadoutEngine`.
+
+        Parameters
+        ----------
+        backend:
+            Datapath selector: ``"float"`` serves the float64 students,
+            ``"fpga"`` quantizes each student and serves the bit-exact
+            integer datapath.
+        fmt:
+            Fixed-point format for the ``"fpga"`` backend (default Q16.16).
+        max_workers:
+            Worker-thread cap for the engine's parallel multi-qubit path.
+
+        The returned engine is self-contained: it can be
+        :meth:`~repro.engine.ReadoutEngine.save`\\ d as an artifact bundle and
+        reloaded without this object (or any training state) existing.
+        """
+        # Imported here: repro.engine depends on repro.core, so a module-level
+        # import would be circular.
+        from repro.engine.engine import ReadoutEngine
+        from repro.fpga.fixed_point import Q16_16
+
+        return ReadoutEngine.from_students(
+            self.students(),
+            backend=backend,
+            fmt=fmt if fmt is not None else Q16_16,
+            max_workers=max_workers,
+        )
+
     def discriminate(self, traces: np.ndarray, qubit_index: int) -> np.ndarray:
         """Independent (mid-circuit capable) readout of a single qubit.
 
@@ -171,33 +236,42 @@ class KlinqReadout:
         """
         if not 0 <= qubit_index < self.n_qubits:
             raise IndexError(f"qubit_index {qubit_index} out of range")
-        pipeline = self.pipelines[qubit_index]
-        traces = np.asarray(traces, dtype=np.float64)
-        single = traces.ndim == 2
-        if single:
-            traces = traces[None, ...]
-        states = pipeline.predict_states(traces)
-        return states[0] if single else states
+        if self.is_trained:
+            return self._engine().discriminate(traces, qubit_index)
+        # Partially trained system: single-qubit readout only needs this
+        # qubit's student (the mid-circuit independence property), so don't
+        # demand a full engine.  Results are identical to the engine path --
+        # FloatStudentBackend.predict_states is student.predict_states.
+        from repro.engine.engine import serve_traces
+
+        return serve_traces(self.pipelines[qubit_index].predict_states, traces)
 
     def discriminate_all(self, traces: np.ndarray) -> np.ndarray:
         """Read out every qubit of a batch of multiplexed shots.
 
         ``traces`` has shape ``(n_shots, n_qubits, n_samples, 2)``; the result
         is ``(n_shots, n_qubits)`` of assigned states.  Each qubit is
-        discriminated independently by its own student network.
+        discriminated independently by its own student network (fanned out
+        across worker threads by the serving engine on multi-core hosts; the
+        result is bit-identical to the sequential path either way).
         """
         traces = np.asarray(traces, dtype=np.float64)
         if traces.ndim != 4 or traces.shape[1] != self.n_qubits:
             raise ValueError(
                 f"traces must have shape (shots, {self.n_qubits}, samples, 2), got {traces.shape}"
             )
-        states = np.empty((traces.shape[0], self.n_qubits), dtype=np.int64)
-        for qubit_index in range(self.n_qubits):
-            states[:, qubit_index] = self.discriminate(traces[:, qubit_index], qubit_index)
-        return states
+        return self._engine().discriminate_all(traces)
 
-    def students(self) -> list:
-        """The trained per-qubit student models (for FPGA deployment)."""
-        if not self.is_trained:
-            raise RuntimeError("KlinqReadout has not been trained yet")
-        return [pipeline.student for pipeline in self.pipelines]
+    def students(self) -> list[StudentModel]:
+        """The trained per-qubit student models (for engine/FPGA deployment)."""
+        untrained = [
+            pipeline.qubit_index
+            for pipeline in self.pipelines
+            if pipeline.student is None
+        ]
+        if untrained:
+            raise RuntimeError(
+                f"KlinqReadout has untrained qubits {untrained}; "
+                f"call fit() (or the per-qubit pipelines) before requesting students"
+            )
+        return [pipeline.require_student() for pipeline in self.pipelines]

@@ -136,12 +136,18 @@ class QubitReadoutPipeline:
             self.train_student_from_scratch(view)
         return self.evaluate(view)
 
+    def require_student(self) -> StudentModel:
+        """The trained student, or a :class:`RuntimeError` naming the qubit."""
+        if self.student is None:
+            raise RuntimeError(
+                f"Qubit {self.qubit_index}: no student has been trained yet"
+            )
+        return self.student
+
     # --------------------------------------------------------------- evaluation
     def evaluate(self, view: QubitDatasetView) -> PipelineResult:
         """Evaluate the trained student (and teacher) on the view's test split."""
-        if self.student is None:
-            raise RuntimeError("No student has been trained yet")
-        student_logits = self.student.predict_logits(view.test_traces)
+        student_logits = self.require_student().predict_logits(view.test_traces)
         student_fidelity = assignment_fidelity(student_logits, view.test_labels, threshold=0.0)
         errors = readout_error_rates(student_logits, view.test_labels, threshold=0.0)
         if self.teacher is not None and self.teacher.is_trained:
@@ -162,6 +168,8 @@ class QubitReadoutPipeline:
 
     def predict_states(self, traces: np.ndarray) -> np.ndarray:
         """Mid-circuit-style independent readout of this qubit only."""
-        if self.student is None:
-            raise RuntimeError("No student has been trained yet")
-        return self.student.predict_states(traces)
+        return self.require_student().predict_states(traces)
+
+    def predict_logits(self, traces: np.ndarray) -> np.ndarray:
+        """The trained student's float logits for this qubit's traces."""
+        return self.require_student().predict_logits(traces)

@@ -22,6 +22,7 @@ from repro.core.config import StudentArchitecture, TrainingConfig
 from repro.nn.layers import Dense, ReLU
 from repro.nn.metrics import assignment_fidelity
 from repro.nn.network import Sequential
+from repro.nn.serialization import model_from_state, model_state
 from repro.nn.trainer import EarlyStopping, Trainer, TrainingHistory, train_validation_split
 from repro.readout.preprocessing import StudentFeatureExtractor
 
@@ -159,3 +160,72 @@ class StudentModel:
     def fidelity(self, traces: np.ndarray, labels: np.ndarray) -> float:
         """Assignment fidelity of the student on a labelled set."""
         return assignment_fidelity(self.predict_logits(traces), labels, threshold=0.0)
+
+    # --------------------------------------------------------------- persistence
+    def get_state(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """Split the trained student into ``(config, arrays)``.
+
+        ``config`` is JSON-serializable (architecture, seed, extractor
+        scalars, network layout); ``arrays`` holds every float64/int64 array
+        (network weights, matched-filter envelope, normalization statistics).
+        :meth:`from_state` reconstructs a student whose ``predict_logits`` is
+        bit-identical to this one's -- the contract the engine bundles of
+        :mod:`repro.engine.bundle` rely on.
+        """
+        if not self.is_fitted:
+            raise RuntimeError("Cannot serialize a student before fit; train it first")
+        extractor_state = self.feature_extractor.state_dict()
+        network_config, network_params = model_state(self.network)
+        arrays: dict[str, np.ndarray] = {
+            f"network.{key}": value for key, value in network_params.items()
+        }
+        extractor_config: dict = {}
+        for key, value in extractor_state.items():
+            if isinstance(value, np.ndarray):
+                arrays[f"extractor.{key}"] = value
+            else:
+                extractor_config[key] = value
+        config = {
+            "architecture": {
+                "name": self.architecture.name,
+                "samples_per_interval": self.architecture.samples_per_interval,
+                "hidden_layers": list(self.architecture.hidden_layers),
+                "include_matched_filter": self.architecture.include_matched_filter,
+                "averaging_interval_ns": self.architecture.averaging_interval_ns,
+            },
+            "n_samples": self.n_samples,
+            "seed": self.seed,
+            "extractor": extractor_config,
+            "network": network_config,
+        }
+        return config, arrays
+
+    @classmethod
+    def from_state(cls, config: dict, arrays: dict[str, np.ndarray]) -> "StudentModel":
+        """Rebuild a trained student from :meth:`get_state` output."""
+        arch_config = config["architecture"]
+        architecture = StudentArchitecture(
+            name=str(arch_config["name"]),
+            samples_per_interval=int(arch_config["samples_per_interval"]),
+            hidden_layers=tuple(int(h) for h in arch_config["hidden_layers"]),
+            include_matched_filter=bool(arch_config["include_matched_filter"]),
+            averaging_interval_ns=arch_config.get("averaging_interval_ns"),
+        )
+        extractor_state = dict(config["extractor"])
+        for key, value in arrays.items():
+            if key.startswith("extractor."):
+                extractor_state[key[len("extractor."):]] = value
+        student = cls(
+            architecture,
+            n_samples=int(config["n_samples"]),
+            seed=int(config["seed"]),
+            normalize=bool(extractor_state["normalize"]),
+        )
+        student.feature_extractor = StudentFeatureExtractor.from_state_dict(extractor_state)
+        network_params = {
+            key[len("network."):]: value
+            for key, value in arrays.items()
+            if key.startswith("network.")
+        }
+        student.network = model_from_state(config["network"], network_params)
+        return student

@@ -1,0 +1,56 @@
+"""The unified readout serving layer.
+
+This package is the single inference surface of the reproduction -- the API
+everything downstream of training talks to:
+
+* :mod:`repro.engine.backends` -- the :class:`ReadoutBackend` protocol and
+  its two first-class implementations, :class:`FloatStudentBackend` (the
+  float64 student network) and :class:`FixedPointBackend` (the bit-exact
+  Q16.16 integer datapath), selected everywhere by the strings ``"float"`` /
+  ``"fpga"``.
+* :mod:`repro.engine.engine` -- :class:`ReadoutEngine`, one backend per
+  qubit with batched multi-qubit serving (per-qubit thread fan-out with a
+  bit-identical sequential fallback) and single-qubit mid-circuit readout.
+* :mod:`repro.engine.bundle` -- persisted artifact bundles
+  (``manifest.json`` + per-qubit student and quantized-parameter files with
+  SHA-256 checksums) so a trained system deploys as a directory.
+
+The typical flow::
+
+    readout = KlinqReadout(config)
+    readout.fit(dataset)
+    engine = readout.to_engine(backend="fpga")   # or "float"
+    engine.save("artifacts/readout-v1")
+    ...
+    engine = ReadoutEngine.load("artifacts/readout-v1")
+    states = engine.discriminate_all(traces)     # (shots, qubits)
+"""
+
+from repro.engine.backends import (
+    BACKEND_KINDS,
+    FixedPointBackend,
+    FloatStudentBackend,
+    ReadoutBackend,
+    make_backend,
+)
+from repro.engine.engine import ReadoutEngine, serve_traces
+from repro.engine.bundle import (
+    BUNDLE_FORMAT_VERSION,
+    MANIFEST_NAME,
+    load_engine,
+    save_engine,
+)
+
+__all__ = [
+    "ReadoutBackend",
+    "FloatStudentBackend",
+    "FixedPointBackend",
+    "BACKEND_KINDS",
+    "make_backend",
+    "ReadoutEngine",
+    "serve_traces",
+    "BUNDLE_FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "save_engine",
+    "load_engine",
+]

@@ -1,0 +1,183 @@
+"""Readout inference backends: one protocol, two datapaths.
+
+The paper's deployment has two faces of the same trained student: the
+floating-point network used offline and the Q16.16 integer datapath running
+on the FPGA.  :class:`ReadoutBackend` is the protocol both faces satisfy, so
+every serving surface (the :class:`~repro.engine.engine.ReadoutEngine`,
+examples, benchmarks, tests) selects the datapath with a single string:
+
+* ``"float"`` -- :class:`FloatStudentBackend`, wrapping a trained
+  :class:`repro.core.student.StudentModel` (float64 feature extraction and
+  dense network),
+* ``"fpga"`` -- :class:`FixedPointBackend`, wrapping the bit-exact
+  :class:`repro.fpga.emulator.FpgaStudentEmulator` and exposing its integer
+  raw-trace entry points (int32/int64 carriers) alongside the float-trace
+  convenience surface.
+
+Both backends threshold logits at zero, so their hard assignments agree
+whenever their logits have the same sign -- the agreement the paper's
+hardware section demonstrates empirically.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.student import StudentModel
+from repro.fpga.emulator import FpgaStudentEmulator
+from repro.fpga.fixed_point import FixedPointFormat, Q16_16
+from repro.fpga.quantize import QuantizedStudentParameters, quantize_student
+
+__all__ = [
+    "ReadoutBackend",
+    "FloatStudentBackend",
+    "FixedPointBackend",
+    "BACKEND_KINDS",
+    "make_backend",
+]
+
+#: Backend selector strings accepted everywhere a datapath is chosen.
+BACKEND_KINDS = ("float", "fpga")
+
+
+@runtime_checkable
+class ReadoutBackend(Protocol):
+    """What every per-qubit inference datapath must provide.
+
+    ``traces`` are float I/Q arrays of shape ``(n_shots, n_samples, 2)`` (a
+    single ``(n_samples, 2)`` trace is accepted too); ``predict_logits``
+    returns one float logit per shot and ``predict_states`` the corresponding
+    hard 0/1 assignments (logit thresholded at zero).
+    """
+
+    @property
+    def name(self) -> str:
+        """Selector string identifying the datapath (``"float"``/``"fpga"``)."""
+        ...
+
+    @property
+    def is_bit_exact(self) -> bool:
+        """Whether inference is integer-exact (reproducible raw-for-raw)."""
+        ...
+
+    def predict_logits(self, traces: np.ndarray) -> np.ndarray:
+        """Float logits for a batch of traces, shape ``(n_shots,)``."""
+        ...
+
+    def predict_states(self, traces: np.ndarray) -> np.ndarray:
+        """Hard 0/1 assignments for a batch of traces, shape ``(n_shots,)``."""
+        ...
+
+
+class FloatStudentBackend:
+    """The float64 datapath: a trained student served as-is.
+
+    Parameters
+    ----------
+    student:
+        A trained (fitted) :class:`repro.core.student.StudentModel`.
+    """
+
+    name = "float"
+    is_bit_exact = False
+
+    def __init__(self, student: StudentModel) -> None:
+        if not student.is_fitted:
+            raise ValueError(
+                "FloatStudentBackend requires a trained student "
+                "(its feature extractor has not been fitted)"
+            )
+        self.student = student
+
+    def predict_logits(self, traces: np.ndarray) -> np.ndarray:
+        """Float logits straight from the student network."""
+        return self.student.predict_logits(traces)
+
+    def predict_states(self, traces: np.ndarray) -> np.ndarray:
+        """Hard 0/1 assignments (logit thresholded at zero)."""
+        return self.student.predict_states(traces)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FloatStudentBackend({self.student.architecture.name})"
+
+
+class FixedPointBackend:
+    """The bit-exact integer datapath: the emulated FPGA student.
+
+    Wraps :class:`repro.fpga.emulator.FpgaStudentEmulator` and exposes its
+    integer raw-trace entry points, so callers holding already-digitized
+    int32/int64 carriers never round-trip through float.
+
+    Parameters
+    ----------
+    parameters:
+        Quantized constants (:func:`repro.fpga.quantize.quantize_student`
+        output or a deserialized bundle).
+    student:
+        Optional reference to the float student the constants were quantized
+        from; kept so engine bundles can persist both representations.
+    """
+
+    name = "fpga"
+    is_bit_exact = True
+
+    def __init__(
+        self,
+        parameters: QuantizedStudentParameters,
+        student: StudentModel | None = None,
+    ) -> None:
+        self.parameters = parameters
+        self.student = student
+        self.emulator = FpgaStudentEmulator(parameters)
+
+    @classmethod
+    def from_student(
+        cls, student: StudentModel, fmt: FixedPointFormat = Q16_16
+    ) -> "FixedPointBackend":
+        """Quantize a trained student and build its fixed-point backend."""
+        return cls(quantize_student(student, fmt), student=student)
+
+    @property
+    def fmt(self) -> FixedPointFormat:
+        """Fixed-point format of the datapath."""
+        return self.parameters.fmt
+
+    # -------------------------------------------------------------- float traces
+    def predict_logits(self, traces: np.ndarray) -> np.ndarray:
+        """Float logits (raw logits converted back to real values)."""
+        return self.emulator.predict_logits(traces)
+
+    def predict_states(self, traces: np.ndarray) -> np.ndarray:
+        """Hard 0/1 assignments from the integer datapath."""
+        return self.emulator.predict_states(traces)
+
+    # ---------------------------------------------------------------- raw traces
+    def predict_logits_raw(self, traces: np.ndarray) -> np.ndarray:
+        """Raw integer logits for float traces (ADC conversion included)."""
+        return self.emulator.predict_logits_raw(traces)
+
+    def predict_logits_from_raw(self, trace_raw: np.ndarray) -> np.ndarray:
+        """Raw integer logits from already-digitized raw traces (int32/int64)."""
+        return self.emulator.predict_logits_from_raw(trace_raw)
+
+    def predict_states_from_raw(self, trace_raw: np.ndarray) -> np.ndarray:
+        """Hard 0/1 assignments from already-digitized raw traces."""
+        return self.emulator.threshold.forward(
+            self.emulator.predict_logits_from_raw(trace_raw)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FixedPointBackend({self.parameters.fmt}, {self.parameters.n_layers} layers)"
+
+
+def make_backend(
+    student: StudentModel, kind: str = "float", fmt: FixedPointFormat = Q16_16
+):
+    """Build the backend ``kind`` (``"float"`` or ``"fpga"``) for a student."""
+    if kind == "float":
+        return FloatStudentBackend(student)
+    if kind == "fpga":
+        return FixedPointBackend.from_student(student, fmt)
+    raise ValueError(f"Unknown backend kind {kind!r}; expected one of {BACKEND_KINDS}")

@@ -1,0 +1,188 @@
+"""Deployable artifact bundles for :class:`~repro.engine.engine.ReadoutEngine`.
+
+A trained readout system becomes a directory instead of a live Python
+object -- the form a deployment pipeline can version, checksum, ship to the
+control hardware, and reload bit-exactly:
+
+.. code-block:: text
+
+    bundle/
+      manifest.json           format version, backend kind, qubit->architecture
+                              map, per-file SHA-256 checksums
+      qubit0/
+        student.json          student config (architecture, extractor scalars,
+        student.npz           network layout) + float64 arrays
+        quantized.json        Q16.16 constants: scalars + raw integer arrays
+        quantized.npz         (fpga backends, or any backend quantized from one)
+      qubit1/
+        ...
+
+Per-qubit student files are written whenever the backend holds its float
+student, and quantized parameter files whenever it holds fixed-point
+constants; the ``"fpga"`` backend built by ``to_engine(backend="fpga")``
+carries both, so one bundle can later serve either datapath.  Loading
+verifies the format version and every checksum before touching any payload,
+so a tampered or truncated bundle fails loudly instead of silently serving
+wrong states.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.core.student import StudentModel
+from repro.engine.backends import FixedPointBackend, FloatStudentBackend, ReadoutBackend
+from repro.engine.engine import ReadoutEngine
+from repro.fpga.quantize import load_quantized_parameters, save_quantized_parameters
+from repro.nn.serialization import load_state_pair, save_state_pair
+
+__all__ = ["BUNDLE_FORMAT_VERSION", "MANIFEST_NAME", "save_engine", "load_engine"]
+
+#: On-disk format version; bump on any incompatible layout change.
+BUNDLE_FORMAT_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+
+
+def _sha256(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def _write_student(student: StudentModel, stem: Path) -> list[Path]:
+    config, arrays = student.get_state()
+    return list(save_state_pair(stem, config, arrays))
+
+
+def _read_student(stem: Path) -> StudentModel:
+    config, arrays = load_state_pair(stem, description="student")
+    return StudentModel.from_state(config, arrays)
+
+
+def save_engine(engine: ReadoutEngine, directory: str | Path) -> Path:
+    """Write ``engine`` as an artifact bundle under ``directory``.
+
+    Creates the directory (and parents) if needed; returns the manifest path.
+    """
+    directory = Path(directory)
+    payloads: list[tuple] = []
+    # Validate every backend before any file is written so a rejected engine
+    # never leaves a partial, manifest-less bundle behind.
+    for qubit_index, backend in enumerate(engine.backends):
+        student = getattr(backend, "student", None)
+        parameters = getattr(backend, "parameters", None)
+        if student is None and parameters is None:
+            raise ValueError(
+                f"Backend for qubit {qubit_index} holds neither a student nor "
+                f"quantized parameters; nothing to persist"
+            )
+        if backend.name == "fpga" and parameters is None:
+            raise ValueError(
+                f"fpga backend for qubit {qubit_index} has no quantized parameters"
+            )
+        payloads.append((qubit_index, backend, student, parameters))
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    qubits: list[dict] = []
+    for qubit_index, backend, student, parameters in payloads:
+        qubit_dir = directory / f"qubit{qubit_index}"
+        qubit_dir.mkdir(exist_ok=True)
+        if student is not None:
+            written.extend(_write_student(student, qubit_dir / "student"))
+        if parameters is not None:
+            written.extend(save_quantized_parameters(parameters, qubit_dir / "quantized"))
+        qubits.append(
+            {
+                "backend": backend.name,
+                "architecture": None if student is None else student.architecture.name,
+                "student": student is not None,
+                "quantized": parameters is not None,
+            }
+        )
+    manifest = {
+        "format_version": BUNDLE_FORMAT_VERSION,
+        "backend": engine.backend_kind,
+        "n_qubits": engine.n_qubits,
+        "qubits": qubits,
+        # POSIX-style keys keep bundles portable across platforms (a bundle
+        # saved on Windows must load on the Linux control host).
+        "files": {
+            path.relative_to(directory).as_posix(): _sha256(path)
+            for path in sorted(written)
+        },
+    }
+    manifest_path = directory / MANIFEST_NAME
+    manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return manifest_path
+
+
+def _verify_files(directory: Path, manifest: dict) -> None:
+    for relative, expected in sorted(manifest.get("files", {}).items()):
+        path = directory / relative
+        if not path.exists():
+            raise FileNotFoundError(f"Engine bundle is missing {relative!r}")
+        actual = _sha256(path)
+        if actual != expected:
+            raise ValueError(
+                f"Checksum mismatch for {relative!r} (expected {expected[:12]}…, "
+                f"got {actual[:12]}…); the bundle is corrupted or was tampered with"
+            )
+
+
+def load_engine(directory: str | Path, max_workers: int | None = None) -> ReadoutEngine:
+    """Reconstruct a :class:`ReadoutEngine` from a bundle written by :func:`save_engine`.
+
+    Raises
+    ------
+    FileNotFoundError
+        If the manifest or any file it lists is missing.
+    ValueError
+        If the format version is unsupported or any checksum does not match.
+    """
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"No engine bundle manifest at {manifest_path}")
+    manifest = json.loads(manifest_path.read_text())
+    version = manifest.get("format_version")
+    if version != BUNDLE_FORMAT_VERSION:
+        raise ValueError(
+            f"Unsupported engine bundle format version {version!r} "
+            f"(this build reads version {BUNDLE_FORMAT_VERSION})"
+        )
+    _verify_files(directory, manifest)
+    backends: list[ReadoutBackend] = []
+    for qubit_index, entry in enumerate(manifest.get("qubits", [])):
+        qubit_dir = directory / f"qubit{qubit_index}"
+        student = _read_student(qubit_dir / "student") if entry.get("student") else None
+        kind = entry.get("backend")
+        if kind == "float":
+            if student is None:
+                raise ValueError(
+                    f"Bundle entry for qubit {qubit_index} declares a float backend "
+                    f"but carries no student files"
+                )
+            backends.append(FloatStudentBackend(student))
+        elif kind == "fpga":
+            if not entry.get("quantized"):
+                raise ValueError(
+                    f"Bundle entry for qubit {qubit_index} declares an fpga backend "
+                    f"but carries no quantized parameters"
+                )
+            parameters = load_quantized_parameters(qubit_dir / "quantized")
+            backends.append(FixedPointBackend(parameters, student=student))
+        else:
+            raise ValueError(
+                f"Bundle entry for qubit {qubit_index} names unknown backend {kind!r}"
+            )
+    if len(backends) != int(manifest.get("n_qubits", len(backends))):
+        raise ValueError(
+            f"Manifest declares {manifest.get('n_qubits')} qubits but lists "
+            f"{len(backends)} backend entries"
+        )
+    return ReadoutEngine(backends, max_workers=max_workers)

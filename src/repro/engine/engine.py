@@ -1,0 +1,297 @@
+"""The deployable multi-qubit readout engine.
+
+A :class:`ReadoutEngine` is the serving form of a trained KLiNQ system: one
+:class:`~repro.engine.backends.ReadoutBackend` per qubit, fed by a shared
+capture path.  It is what the paper actually deploys -- five independent
+distilled students running concurrently on hardware -- reduced to a Python
+object with three jobs:
+
+* **independent readout** -- :meth:`discriminate` reads any single qubit at
+  any time (the mid-circuit capability), never touching the other backends;
+* **batched multi-qubit serving** -- :meth:`discriminate_all` fans the qubits
+  of a multiplexed batch out across a thread pool.  The fixed-point kernels
+  are int64 NumPy operations that release the GIL, and the datapath is
+  already chunked (:data:`repro.fpga.emulator._BATCH_CHUNK`), so per-qubit
+  threads genuinely overlap on multi-core hosts.  Qubits are independent, so
+  the parallel and sequential paths are bit-identical; a sequential fallback
+  is always available (``parallel=False``, or automatically on single-core
+  hosts);
+* **persistence** -- :meth:`save` / :meth:`load` turn the engine into a
+  deployable artifact directory (see :mod:`repro.engine.bundle`) instead of a
+  live Python object.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections.abc import Sequence
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.engine.backends import ReadoutBackend, make_backend
+from repro.fpga.fixed_point import FixedPointFormat, Q16_16
+
+__all__ = ["ReadoutEngine", "serve_traces"]
+
+
+def serve_traces(
+    fn: Callable[[np.ndarray], np.ndarray], traces: np.ndarray
+) -> np.ndarray:
+    """Apply ``fn`` to a trace batch, accepting a single bare trace too.
+
+    ``traces`` is ``(n_shots, n_samples, 2)`` or a single ``(n_samples, 2)``
+    trace; a single trace is wrapped into a one-shot batch for ``fn`` and the
+    scalar result unwrapped again.  This is the one definition of the
+    single-trace convention every readout serving surface shares.
+    """
+    traces = np.asarray(traces, dtype=np.float64)
+    single = traces.ndim == 2
+    if single:
+        traces = traces[None, ...]
+    result = fn(traces)
+    return result[0] if single else result
+
+
+class ReadoutEngine:
+    """Serves multi-qubit readout through one backend per qubit.
+
+    Parameters
+    ----------
+    backends:
+        One :class:`~repro.engine.backends.ReadoutBackend` per qubit, in
+        qubit order.
+    max_workers:
+        Upper bound on the per-qubit worker threads used by the parallel
+        path.  ``None`` (default) uses ``min(n_qubits, os.cpu_count())``.
+    """
+
+    def __init__(
+        self, backends: Sequence[ReadoutBackend], max_workers: int | None = None
+    ) -> None:
+        backends = list(backends)
+        if not backends:
+            raise ValueError("ReadoutEngine requires at least one backend")
+        for index, backend in enumerate(backends):
+            if not isinstance(backend, ReadoutBackend):
+                raise TypeError(
+                    f"Backend for qubit {index} ({type(backend).__name__}) does not "
+                    f"satisfy the ReadoutBackend protocol"
+                )
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError(f"max_workers must be positive, got {max_workers}")
+        self.backends: list[ReadoutBackend] = backends
+        self.max_workers = max_workers
+        # The worker pool is created lazily on the first parallel call and
+        # reused afterwards: in a low-latency serving loop the per-call
+        # spawn/join cost of a fresh pool would dominate small batches.  The
+        # lock keeps concurrent first calls from racing to create (and
+        # orphan) duplicate pools.
+        self._executor: ThreadPoolExecutor | None = None
+        self._executor_lock = threading.Lock()
+        self._closed = False
+
+    # ---------------------------------------------------------------- metadata
+    @property
+    def n_qubits(self) -> int:
+        """Number of independently-served qubits."""
+        return len(self.backends)
+
+    @property
+    def backend_kind(self) -> str:
+        """The shared backend selector, or ``"mixed"`` for heterogeneous engines."""
+        kinds = {backend.name for backend in self.backends}
+        return kinds.pop() if len(kinds) == 1 else "mixed"
+
+    @property
+    def is_bit_exact(self) -> bool:
+        """Whether every per-qubit datapath is integer-exact."""
+        return all(backend.is_bit_exact for backend in self.backends)
+
+    @property
+    def worker_count(self) -> int:
+        """Worker threads the parallel path uses on this host.
+
+        ``min(n_qubits, max_workers or os.cpu_count())``; 1 means the engine
+        always serves sequentially.
+        """
+        limit = self.max_workers if self.max_workers is not None else (os.cpu_count() or 1)
+        return max(1, min(self.n_qubits, limit))
+
+    # ------------------------------------------------------------ construction
+    @classmethod
+    def from_students(
+        cls,
+        students: Sequence,
+        backend: str = "float",
+        fmt: FixedPointFormat = Q16_16,
+        max_workers: int | None = None,
+    ) -> "ReadoutEngine":
+        """Build an engine from trained students, one datapath kind for all.
+
+        ``backend`` selects the datapath (``"float"`` or ``"fpga"``) for every
+        qubit; ``fmt`` is the fixed-point format used when quantizing for the
+        ``"fpga"`` kind.
+        """
+        return cls(
+            [make_backend(student, kind=backend, fmt=fmt) for student in students],
+            max_workers=max_workers,
+        )
+
+    # ---------------------------------------------------------------- inference
+    def discriminate(self, traces: np.ndarray, qubit_index: int) -> np.ndarray:
+        """Independent (mid-circuit capable) readout of a single qubit.
+
+        ``traces`` is this qubit's batch ``(n_shots, n_samples, 2)`` or a
+        single ``(n_samples, 2)`` trace; only that qubit's backend runs.
+        """
+        return serve_traces(self._backend(qubit_index).predict_states, traces)
+
+    def predict_logits(self, traces: np.ndarray, qubit_index: int) -> np.ndarray:
+        """Float logits of a single qubit's backend for its trace batch."""
+        return serve_traces(self._backend(qubit_index).predict_logits, traces)
+
+    def discriminate_all(
+        self, traces: np.ndarray, parallel: bool | None = None
+    ) -> np.ndarray:
+        """Read out every qubit of a batch of multiplexed shots.
+
+        ``traces`` has shape ``(n_shots, n_qubits, n_samples, 2)``; the result
+        is ``(n_shots, n_qubits)`` of assigned states.  ``parallel`` selects
+        per-qubit thread fan-out (``None`` = automatic: parallel whenever more
+        than one worker is available); both paths are bit-identical because
+        qubits are independent.
+        """
+        traces = self._validate_multiplexed(traces)
+        states = np.empty((traces.shape[0], self.n_qubits), dtype=np.int64)
+        self._run_per_qubit(
+            lambda backend, qubit_traces: backend.predict_states(qubit_traces),
+            traces,
+            states,
+            parallel,
+        )
+        return states
+
+    def predict_logits_all(
+        self, traces: np.ndarray, parallel: bool | None = None
+    ) -> np.ndarray:
+        """Float logits of every qubit for a multiplexed batch.
+
+        Same fan-out semantics as :meth:`discriminate_all`; the result is
+        ``(n_shots, n_qubits)`` of float logits.
+        """
+        traces = self._validate_multiplexed(traces)
+        logits = np.empty((traces.shape[0], self.n_qubits), dtype=np.float64)
+        self._run_per_qubit(
+            lambda backend, qubit_traces: backend.predict_logits(qubit_traces),
+            traces,
+            logits,
+            parallel,
+        )
+        return logits
+
+    # ----------------------------------------------------------------- helpers
+    def _backend(self, qubit_index: int) -> ReadoutBackend:
+        if not 0 <= qubit_index < self.n_qubits:
+            raise IndexError(f"qubit_index {qubit_index} out of range")
+        return self.backends[qubit_index]
+
+    def _validate_multiplexed(self, traces: np.ndarray) -> np.ndarray:
+        traces = np.asarray(traces, dtype=np.float64)
+        if traces.ndim != 4 or traces.shape[1] != self.n_qubits:
+            raise ValueError(
+                f"traces must have shape (shots, {self.n_qubits}, samples, 2), "
+                f"got {traces.shape}"
+            )
+        return traces
+
+    def _run_per_qubit(
+        self,
+        fn: Callable[[ReadoutBackend, np.ndarray], np.ndarray],
+        traces: np.ndarray,
+        out: np.ndarray,
+        parallel: bool | None,
+    ) -> None:
+        """Apply ``fn`` per qubit, writing each column of ``out`` in place.
+
+        Each worker owns exactly one output column, so the parallel path has
+        no shared mutable state beyond disjoint slices; results are therefore
+        bit-identical to the sequential loop regardless of scheduling.
+        """
+        workers = self.worker_count
+        if parallel is None:
+            parallel = workers > 1
+        executor = self._get_executor(workers) if parallel and workers > 1 else None
+        if executor is not None:
+            def run_qubit(qubit_index: int) -> None:
+                out[:, qubit_index] = fn(
+                    self.backends[qubit_index], traces[:, qubit_index]
+                )
+
+            # list() propagates the first worker exception, if any.
+            list(executor.map(run_qubit, range(self.n_qubits)))
+        else:
+            for qubit_index in range(self.n_qubits):
+                out[:, qubit_index] = fn(
+                    self.backends[qubit_index], traces[:, qubit_index]
+                )
+
+    def _get_executor(self, workers: int) -> ThreadPoolExecutor | None:
+        """The engine's persistent worker pool (``None`` once closed)."""
+        with self._executor_lock:
+            if self._closed:
+                return None
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="readout-engine"
+                )
+            return self._executor
+
+    def close(self) -> None:
+        """Shut the worker pool down; later calls serve sequentially.
+
+        Idempotent.  The engine stays usable -- only the thread fan-out is
+        gone, and the sequential path is bit-identical anyway.
+        """
+        with self._executor_lock:
+            self._closed = True
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "ReadoutEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- persistence
+    def save(self, directory: str | Path) -> Path:
+        """Persist this engine as a deployable artifact bundle.
+
+        Writes ``manifest.json`` (backend kind, qubit→architecture map,
+        format version, per-file checksums) plus per-qubit student
+        config/weights and quantized parameters under ``directory``; see
+        :mod:`repro.engine.bundle` for the layout.  Returns the manifest path.
+        """
+        from repro.engine.bundle import save_engine
+
+        return save_engine(self, directory)
+
+    @classmethod
+    def load(cls, directory: str | Path, max_workers: int | None = None) -> "ReadoutEngine":
+        """Reconstruct an engine from a bundle written by :meth:`save`.
+
+        The loaded engine's logits are bit-identical to the saved engine's
+        (raw-integer exact for the fpga backend, float64 exact for the float
+        backend).
+        """
+        from repro.engine.bundle import load_engine
+
+        return load_engine(directory, max_workers=max_workers)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ReadoutEngine(n_qubits={self.n_qubits}, backend={self.backend_kind!r})"

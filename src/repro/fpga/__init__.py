@@ -23,7 +23,12 @@ levels, from most to least exact:
 """
 
 from repro.fpga.fixed_point import FixedPointFormat, Q16_16, FixedPointOverflowError
-from repro.fpga.quantize import QuantizedStudentParameters, quantize_student
+from repro.fpga.quantize import (
+    QuantizedStudentParameters,
+    quantize_student,
+    save_quantized_parameters,
+    load_quantized_parameters,
+)
 from repro.fpga.modules import (
     AverageModule,
     NormalizeModule,
@@ -42,6 +47,8 @@ __all__ = [
     "FixedPointOverflowError",
     "QuantizedStudentParameters",
     "quantize_student",
+    "save_quantized_parameters",
+    "load_quantized_parameters",
     "AverageModule",
     "NormalizeModule",
     "MatchedFilterModule",

@@ -73,6 +73,17 @@ class FpgaStudentEmulator:
         self.parameters = parameters
         fmt = parameters.fmt
         self.fmt = fmt
+        # Raw traces are *stored* in the narrowest dtype that holds the word
+        # length (int32 for Q16.16), halving the memory traffic of the two
+        # bandwidth-bound passes (adder tree + MF MAC); each datapath module
+        # widens its chunk to int64 before any arithmetic, so results are
+        # bit-identical to an all-int64 carrier.
+        self.carrier_dtype = fmt.raw_carrier_dtype
+        # An int32 carrier of a 32-bit word cannot hold an out-of-range value,
+        # so saturation of already-int32 inputs is a no-op we can skip.
+        self._carrier_is_exact = (
+            self.carrier_dtype == np.dtype(np.int32) and fmt.word_length == 32
+        )
         self.average = AverageModule(
             fmt, parameters.samples_per_interval, parameters.average_reciprocal_raw
         )
@@ -110,10 +121,17 @@ class FpgaStudentEmulator:
         guarantees -- and the hardware being modelled -- assume in-range raw
         samples, so without this absurd int64 inputs could wrap instead of
         saturating.  Internal paths whose values come from ``to_raw`` (which
-        already saturates) skip it.
+        already saturates) skip it.  The result is returned in the compact
+        carrier dtype (int32 for word lengths up to 32 bits); int32 inputs to
+        a 32-bit datapath are in range by construction and pass through
+        untouched.
         """
+        trace_raw = np.asarray(trace_raw)
+        if trace_raw.dtype == np.dtype(np.int32) and self._carrier_is_exact:
+            return trace_raw
         trace_raw = np.asarray(trace_raw, dtype=np.int64)
-        return np.clip(trace_raw, self.fmt.min_raw, self.fmt.max_raw)
+        clipped = np.clip(trace_raw, self.fmt.min_raw, self.fmt.max_raw)
+        return clipped.astype(self.carrier_dtype, copy=False)
 
     def features_from_raw(self, trace_raw: np.ndarray) -> np.ndarray:
         """Raw student input vectors from already-digitized raw traces.
@@ -137,10 +155,14 @@ class FpgaStudentEmulator:
         features = np.concatenate(blocks, axis=1)
         return features[0] if single else features
 
+    def _digitize(self, traces: np.ndarray) -> np.ndarray:
+        """ADC conversion into the compact raw carrier (already saturated)."""
+        return self.fmt.to_raw(traces).astype(self.carrier_dtype, copy=False)
+
     def features_raw(self, traces: np.ndarray) -> np.ndarray:
         """Raw fixed-point student input vectors (averaged+normalized I/Q, MF)."""
         traces = np.asarray(traces, dtype=np.float64)
-        return self._features_trusted(self.fmt.to_raw(traces))
+        return self._features_trusted(self._digitize(traces))
 
     def _predict_chunk_trusted(self, trace_raw: np.ndarray) -> np.ndarray:
         features = self._features_trusted(trace_raw)
@@ -173,10 +195,15 @@ class FpgaStudentEmulator:
     def predict_logits_from_raw(self, trace_raw: np.ndarray) -> np.ndarray:
         """Raw output logits from already-digitized raw traces (integer-only).
 
+        Accepts int32 or int64 carriers (int32 is the recommended storage for
+        Q16.16: raw samples fit it exactly and it halves the memory traffic of
+        the adder-tree and MF-MAC passes); both produce bit-identical logits.
         Batches larger than the internal block size are processed chunk by
         chunk; the result is bit-identical either way.
         """
-        trace_raw = np.asarray(trace_raw, dtype=np.int64)
+        trace_raw = np.asarray(trace_raw)
+        if trace_raw.dtype.kind != "i":
+            trace_raw = trace_raw.astype(np.int64)
         return self._predict_chunked(trace_raw, self._saturate_input)
 
     def predict_logits_raw(self, traces: np.ndarray) -> np.ndarray:
@@ -186,7 +213,7 @@ class FpgaStudentEmulator:
         so large batches never materialize a full-size temporary.
         """
         traces = np.asarray(traces, dtype=np.float64)
-        return self._predict_chunked(traces, self.fmt.to_raw)
+        return self._predict_chunked(traces, self._digitize)
 
     def predict_logits(self, traces: np.ndarray) -> np.ndarray:
         """Output logits converted back to real values (for comparison plots)."""

@@ -158,6 +158,17 @@ class FixedPointFormat:
         return 1.0 / self.scale
 
     @property
+    def raw_carrier_dtype(self) -> np.dtype:
+        """Narrowest NumPy integer dtype that holds any in-range raw value.
+
+        Raw Q16.16 samples fit int32 exactly (the word length is 32), so bulk
+        trace *storage* can use int32 and halve the memory traffic of the
+        bandwidth-bound datapath passes; the arithmetic itself always widens
+        to int64 first.  Formats wider than 32 bits fall back to int64.
+        """
+        return np.dtype(np.int32) if self.word_length <= 32 else np.dtype(np.int64)
+
+    @property
     def multiply_mode(self) -> str:
         """Which multiply strategy this format uses (``direct``/``limb``/``reference``)."""
         return self._multiply_mode

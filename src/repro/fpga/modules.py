@@ -82,6 +82,10 @@ class AverageModule:
         Returns raw averaged features flattened per shot as
         ``[I_0, Q_0, I_1, Q_1, ...]`` of length ``2 * n_intervals`` --
         the same ordering the float pipeline produces.
+
+        ``trace_raw`` may arrive in a compact carrier dtype (int32 for
+        32-bit formats); it is widened to int64 here, once per chunk, before
+        the adder tree so the accumulation arithmetic is unchanged.
         """
         trace_raw = np.asarray(trace_raw, dtype=np.int64)
         single = trace_raw.ndim == 2
@@ -185,7 +189,11 @@ class MatchedFilterModule:
         self._mac_bound = fmt.mac_static_bound(envelope_raw.reshape(-1))
 
     def forward(self, trace_raw: np.ndarray) -> np.ndarray:
-        """MF scalar (raw) for a batch of raw traces ``(n_shots, n_samples, 2)``."""
+        """MF scalar (raw) for a batch of raw traces ``(n_shots, n_samples, 2)``.
+
+        Like the average layer, accepts a compact int32 carrier and widens it
+        to int64 here (once per chunk) before the MAC.
+        """
         trace_raw = np.asarray(trace_raw, dtype=np.int64)
         single = trace_raw.ndim == 2
         if single:

@@ -14,19 +14,33 @@ fixed-point form:
 :class:`repro.core.student.StudentModel` and returns a
 :class:`QuantizedStudentParameters` bundle the emulator (and, in a real
 deployment, the weight-loading firmware) consumes.
+
+For deployment artifacts, :meth:`QuantizedStudentParameters.get_state` /
+:meth:`QuantizedStudentParameters.from_state` split the bundle into a
+JSON-serializable config plus raw integer arrays, and
+:func:`save_quantized_parameters` / :func:`load_quantized_parameters` persist
+that pair as a ``<stem>.json`` + ``<stem>.npz`` file pair -- the on-disk form
+consumed by :mod:`repro.engine.bundle`.  The round trip is raw-integer exact.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
 from repro.core.student import StudentModel
 from repro.fpga.fixed_point import FixedPointFormat, Q16_16
 from repro.nn.layers import Dense
+from repro.nn.serialization import load_state_pair, save_state_pair
 
-__all__ = ["QuantizedStudentParameters", "quantize_student"]
+__all__ = [
+    "QuantizedStudentParameters",
+    "quantize_student",
+    "save_quantized_parameters",
+    "load_quantized_parameters",
+]
 
 
 @dataclass
@@ -62,6 +76,78 @@ class QuantizedStudentParameters:
         if not self.layer_weights:
             raise ValueError("No layers have been quantized")
         return int(self.layer_weights[0].shape[0])
+
+    # -------------------------------------------------------------- persistence
+    def get_state(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """Split the bundle into ``(config, arrays)`` for persistence.
+
+        ``config`` carries the scalars (format, window sizes, raw thresholds)
+        and is JSON-serializable; ``arrays`` carries every raw integer array
+        keyed ``mf_envelope`` / ``norm_minimum`` / ``norm_shift_bits`` /
+        ``layer{i}.weights`` / ``layer{i}.biases``.  :meth:`from_state`
+        reconstructs the bundle raw-integer for raw-integer.
+        """
+        config = {
+            "integer_bits": self.fmt.integer_bits,
+            "fractional_bits": self.fmt.fractional_bits,
+            "samples_per_interval": self.samples_per_interval,
+            "n_samples": self.n_samples,
+            "include_matched_filter": self.include_matched_filter,
+            "mf_threshold_raw": int(self.mf_threshold_raw),
+            "mf_scale_reciprocal_raw": int(self.mf_scale_reciprocal_raw),
+            "average_reciprocal_raw": int(self.average_reciprocal_raw),
+            "n_layers": self.n_layers,
+        }
+        arrays: dict[str, np.ndarray] = {
+            "norm_minimum": self.norm_minimum,
+            "norm_shift_bits": self.norm_shift_bits,
+        }
+        if self.mf_envelope is not None:
+            arrays["mf_envelope"] = self.mf_envelope
+        for index, (weights, biases) in enumerate(zip(self.layer_weights, self.layer_biases)):
+            arrays[f"layer{index}.weights"] = weights
+            arrays[f"layer{index}.biases"] = biases
+        return config, arrays
+
+    @classmethod
+    def from_state(
+        cls, config: dict, arrays: dict[str, np.ndarray]
+    ) -> "QuantizedStudentParameters":
+        """Rebuild a bundle from :meth:`get_state` output."""
+        fmt = FixedPointFormat(
+            integer_bits=int(config["integer_bits"]),
+            fractional_bits=int(config["fractional_bits"]),
+        )
+        n_layers = int(config["n_layers"])
+        missing = [
+            key
+            for index in range(n_layers)
+            for key in (f"layer{index}.weights", f"layer{index}.biases")
+            if key not in arrays
+        ]
+        if missing:
+            raise KeyError(f"Quantized parameter arrays are incomplete: missing {missing}")
+        envelope = arrays.get("mf_envelope")
+        return cls(
+            fmt=fmt,
+            samples_per_interval=int(config["samples_per_interval"]),
+            n_samples=int(config["n_samples"]),
+            include_matched_filter=bool(config["include_matched_filter"]),
+            mf_envelope=None if envelope is None else np.asarray(envelope, dtype=np.int64),
+            mf_threshold_raw=int(config["mf_threshold_raw"]),
+            mf_scale_reciprocal_raw=int(config["mf_scale_reciprocal_raw"]),
+            average_reciprocal_raw=int(config["average_reciprocal_raw"]),
+            norm_minimum=np.asarray(arrays["norm_minimum"], dtype=np.int64),
+            norm_shift_bits=np.asarray(arrays["norm_shift_bits"], dtype=np.int64),
+            layer_weights=[
+                np.asarray(arrays[f"layer{index}.weights"], dtype=np.int64)
+                for index in range(n_layers)
+            ],
+            layer_biases=[
+                np.asarray(arrays[f"layer{index}.biases"], dtype=np.int64)
+                for index in range(n_layers)
+            ],
+        )
 
     def memory_footprint_bits(self) -> int:
         """Total storage needed for all constants, in bits.
@@ -175,3 +261,21 @@ def quantize_student(
         layer_weights=weights,
         layer_biases=biases,
     )
+
+
+def save_quantized_parameters(
+    parameters: QuantizedStudentParameters, path: str | Path
+) -> tuple[Path, Path]:
+    """Persist quantized constants to ``<path>.json`` + ``<path>.npz``.
+
+    ``path`` may include or omit a suffix; any suffix is stripped and
+    replaced.  Returns the two paths written.
+    """
+    config, arrays = parameters.get_state()
+    return save_state_pair(path, config, arrays)
+
+
+def load_quantized_parameters(path: str | Path) -> QuantizedStudentParameters:
+    """Load a bundle previously written by :func:`save_quantized_parameters`."""
+    config, arrays = load_state_pair(path, description="quantized parameter")
+    return QuantizedStudentParameters.from_state(config, arrays)

@@ -10,6 +10,20 @@ Models are saved as a pair of files sharing a stem:
 This mirrors how the FPGA flow consumes the trained students: the JSON config
 determines the datapath configuration (layer widths) and the ``.npz`` weights
 are quantized into the Q16.16 block RAM images by :mod:`repro.fpga.quantize`.
+
+The file layout is a thin wrapper around :func:`model_state` /
+:func:`model_from_state`, which split a model into a JSON-serializable config
+and a dict of float64 parameter arrays.  Higher-level persistence -- notably
+the deployable engine bundles of :mod:`repro.engine.bundle`, which embed a
+trained network inside a larger artifact -- reuses the state pair directly
+instead of going through intermediate files.
+
+The ``<stem>.json`` + ``<stem>.npz`` file-pair convention itself is exposed
+as :func:`save_state_pair` / :func:`load_state_pair`, shared by every state
+serializer in the repo (models here, quantized FPGA constants in
+:mod:`repro.fpga.quantize`, per-qubit student files in
+:mod:`repro.engine.bundle`), so the on-disk convention is defined exactly
+once.
 """
 
 from __future__ import annotations
@@ -21,7 +35,78 @@ import numpy as np
 
 from repro.nn.network import Sequential
 
-__all__ = ["save_model", "load_model"]
+__all__ = [
+    "save_state_pair",
+    "load_state_pair",
+    "model_state",
+    "model_from_state",
+    "save_model",
+    "load_model",
+]
+
+
+def save_state_pair(
+    path: str | Path, config: dict, arrays: dict[str, np.ndarray]
+) -> tuple[Path, Path]:
+    """Write a ``(config, arrays)`` state to ``<path>.json`` + ``<path>.npz``.
+
+    ``path`` may include or omit a suffix; any suffix is stripped and
+    replaced.  Parent directories are created.  Returns the two paths written.
+    """
+    stem = Path(path)
+    if stem.suffix:
+        stem = stem.with_suffix("")
+    stem.parent.mkdir(parents=True, exist_ok=True)
+    config_path = stem.with_suffix(".json")
+    arrays_path = stem.with_suffix(".npz")
+    config_path.write_text(json.dumps(config, indent=2, sort_keys=True) + "\n")
+    np.savez(arrays_path, **arrays)
+    return config_path, arrays_path
+
+
+def load_state_pair(
+    path: str | Path, description: str = "state"
+) -> tuple[dict, dict[str, np.ndarray]]:
+    """Read a ``(config, arrays)`` pair written by :func:`save_state_pair`.
+
+    ``description`` labels the ``FileNotFoundError`` raised when either file
+    of the pair is missing.
+    """
+    stem = Path(path)
+    if stem.suffix:
+        stem = stem.with_suffix("")
+    config_path = stem.with_suffix(".json")
+    arrays_path = stem.with_suffix(".npz")
+    if not config_path.exists():
+        raise FileNotFoundError(f"Missing {description} config: {config_path}")
+    if not arrays_path.exists():
+        raise FileNotFoundError(f"Missing {description} arrays: {arrays_path}")
+    config = json.loads(config_path.read_text())
+    with np.load(arrays_path) as archive:
+        arrays = {key: archive[key] for key in archive.files}
+    return config, arrays
+
+
+def model_state(model: Sequential) -> tuple[dict, dict[str, np.ndarray]]:
+    """Split ``model`` into ``(config, parameters)``.
+
+    ``config`` is JSON-serializable (the :meth:`Sequential.get_config`
+    payload); ``parameters`` maps ``"layer{i}.{name}"`` keys to float64
+    arrays.  Together they reconstruct the model bit-exactly via
+    :func:`model_from_state`.
+    """
+    if not model.is_built:
+        raise ValueError("Cannot serialize an unbuilt model; call build() or fit() first")
+    return model.get_config(), model.parameters()
+
+
+def model_from_state(config: dict, parameters: dict[str, np.ndarray]) -> Sequential:
+    """Inverse of :func:`model_state`: rebuild the model and load its weights."""
+    model = Sequential.from_config(config)
+    if not model.is_built:
+        raise ValueError("Model config lacks input_dim; cannot restore parameters")
+    model.set_parameters(dict(parameters))
+    return model
 
 
 def save_model(model: Sequential, path: str | Path) -> tuple[Path, Path]:
@@ -30,19 +115,8 @@ def save_model(model: Sequential, path: str | Path) -> tuple[Path, Path]:
     ``path`` may include or omit a suffix; any suffix is stripped and replaced.
     Returns the two paths written.
     """
-    if not model.is_built:
-        raise ValueError("Cannot save an unbuilt model; call build() or fit() first")
-    stem = Path(path)
-    if stem.suffix:
-        stem = stem.with_suffix("")
-    stem.parent.mkdir(parents=True, exist_ok=True)
-    config_path = stem.with_suffix(".json")
-    weights_path = stem.with_suffix(".npz")
-
-    with open(config_path, "w", encoding="utf-8") as handle:
-        json.dump(model.get_config(), handle, indent=2, sort_keys=True)
-    np.savez(weights_path, **model.parameters())
-    return config_path, weights_path
+    config, parameters = model_state(model)
+    return save_state_pair(path, config, parameters)
 
 
 def load_model(path: str | Path) -> Sequential:
@@ -53,20 +127,5 @@ def load_model(path: str | Path) -> Sequential:
     FileNotFoundError
         If either the config or the weights file is missing.
     """
-    stem = Path(path)
-    if stem.suffix:
-        stem = stem.with_suffix("")
-    config_path = stem.with_suffix(".json")
-    weights_path = stem.with_suffix(".npz")
-    if not config_path.exists():
-        raise FileNotFoundError(f"Missing model config: {config_path}")
-    if not weights_path.exists():
-        raise FileNotFoundError(f"Missing model weights: {weights_path}")
-
-    with open(config_path, encoding="utf-8") as handle:
-        config = json.load(handle)
-    model = Sequential.from_config(config)
-    with np.load(weights_path) as archive:
-        params = {key: archive[key] for key in archive.files}
-    model.set_parameters(params)
-    return model
+    config, params = load_state_pair(path, description="model")
+    return model_from_state(config, params)

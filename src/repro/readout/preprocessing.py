@@ -265,3 +265,62 @@ class StudentFeatureExtractor:
             raise RuntimeError("feature_dimension is only defined after fit()")
         base = averaged_feature_dimension(self._n_samples, self.samples_per_interval)
         return base + (1 if self.include_matched_filter else 0)
+
+    # -------------------------------------------------------------- persistence
+    def state_dict(self) -> dict:
+        """Everything needed to rebuild this fitted extractor bit-exactly.
+
+        Arrays are returned as-is (float64/int64); scalars are plain Python
+        values, so the whole dict survives a JSON+``.npz`` round trip without
+        loss (see :mod:`repro.engine.bundle`).
+        """
+        if not self.is_fitted:
+            raise RuntimeError("StudentFeatureExtractor.state_dict() called before fit()")
+        state: dict = {
+            "samples_per_interval": self.samples_per_interval,
+            "include_matched_filter": self.include_matched_filter,
+            "normalize": self.normalize,
+            "power_of_two_norm": self.power_of_two_norm,
+            "n_samples": int(self._n_samples),
+        }
+        if self.normalize and self.normalizer is not None:
+            norm = self.normalizer.state_dict()
+            state["norm_minimum"] = norm["minimum"]
+            state["norm_scale"] = norm["scale"]
+            state["norm_shift_bits"] = norm["shift_bits"]
+        if self.include_matched_filter:
+            state["mf_envelope"] = self.matched_filter.envelope.copy()
+            state["mf_threshold"] = float(self.matched_filter.threshold)
+            state["mf_sample_period_ns"] = self.matched_filter.sample_period_ns
+            state["mf_scale"] = float(self.mf_scale)
+            state["mf_offset"] = float(self.mf_offset)
+        return state
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "StudentFeatureExtractor":
+        """Rebuild a fitted extractor from :meth:`state_dict` output."""
+        extractor = cls(
+            samples_per_interval=int(state["samples_per_interval"]),
+            include_matched_filter=bool(state["include_matched_filter"]),
+            normalize=bool(state["normalize"]),
+            power_of_two_norm=bool(state["power_of_two_norm"]),
+        )
+        extractor._n_samples = int(state["n_samples"])
+        if extractor.normalize:
+            normalizer = ShiftNormalizer(power_of_two=extractor.power_of_two_norm)
+            normalizer.minimum = np.asarray(state["norm_minimum"], dtype=np.float64)
+            normalizer.scale = np.asarray(state["norm_scale"], dtype=np.float64)
+            shift_bits = state.get("norm_shift_bits")
+            normalizer.shift_bits = (
+                None if shift_bits is None else np.asarray(shift_bits, dtype=np.int64)
+            )
+            extractor.normalizer = normalizer
+        if extractor.include_matched_filter:
+            extractor.matched_filter = MatchedFilter(
+                np.asarray(state["mf_envelope"], dtype=np.float64),
+                threshold=float(state["mf_threshold"]),
+                sample_period_ns=state.get("mf_sample_period_ns"),
+            )
+            extractor.mf_scale = float(state["mf_scale"])
+            extractor.mf_offset = float(state["mf_offset"])
+        return extractor

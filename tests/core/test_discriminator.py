@@ -70,13 +70,16 @@ class TestKlinqReadout:
         assert not KlinqReadout(small_experiment_config).is_trained
 
     def test_students_accessor(self, trained_readout):
+        from repro.core.student import StudentModel
+
         readout, _ = trained_readout
         students = readout.students()
         assert len(students) == 2
+        assert all(isinstance(s, StudentModel) for s in students)
         assert all(s.is_fitted for s in students)
 
     def test_students_accessor_before_training_raises(self, small_experiment_config):
-        with pytest.raises(RuntimeError):
+        with pytest.raises(RuntimeError, match=r"untrained qubits \[0, 1\]"):
             KlinqReadout(small_experiment_config).students()
 
     def test_qubit_count_mismatch_rejected(self, five_qubit_dataset, small_experiment_config):
@@ -120,3 +123,90 @@ class TestKlinqReadout:
         joint = readout.discriminate_all(shots)
         solo = readout.discriminate(shots[:, 1], qubit_index=1)
         np.testing.assert_array_equal(joint[:, 1], solo)
+
+
+class TestServingCache:
+    def test_partially_trained_single_qubit_readout_works(
+        self, small_dataset, small_experiment_config
+    ):
+        """Mid-circuit independence survives partial training: reading a
+        trained qubit must not require the other qubits' students."""
+        readout = KlinqReadout(small_experiment_config)
+        readout.pipelines[0].run(small_dataset.qubit_view(0))
+        view = small_dataset.qubit_view(0)
+        states = readout.discriminate(view.test_traces[:20], qubit_index=0)
+        assert states.shape == (20,)
+        np.testing.assert_array_equal(
+            states, readout.pipelines[0].predict_states(view.test_traces[:20])
+        )
+        # The untrained qubit still raises, naming itself.
+        with pytest.raises(RuntimeError, match="Qubit 1"):
+            readout.discriminate(view.test_traces[:5], qubit_index=1)
+        # And the joint readout still demands the full system.
+        with pytest.raises(RuntimeError, match="untrained qubits"):
+            readout.discriminate_all(small_dataset.test_traces[:5])
+
+    def test_pipeline_level_retraining_invalidates_cached_engine(
+        self, trained_readout, small_dataset, trained_student
+    ):
+        """Replacing a pipeline's student must take effect on the next call."""
+        readout, _ = trained_readout
+        shots = small_dataset.test_traces[:30]
+        readout.discriminate_all(shots)  # populate the serving cache
+        original = readout.pipelines[0].student
+        try:
+            readout.pipelines[0].student = trained_student
+            refreshed = readout.discriminate_all(shots)
+            np.testing.assert_array_equal(
+                refreshed[:, 0], trained_student.predict_states(shots[:, 0])
+            )
+        finally:
+            readout.pipelines[0].student = original
+
+
+class TestToEngine:
+    def test_float_engine_matches_readout_exactly(self, trained_readout, small_dataset):
+        readout, _ = trained_readout
+        engine = readout.to_engine(backend="float")
+        assert engine.n_qubits == readout.n_qubits
+        assert engine.backend_kind == "float"
+        shots = small_dataset.test_traces[:60]
+        np.testing.assert_array_equal(
+            engine.discriminate_all(shots), readout.discriminate_all(shots)
+        )
+
+    def test_fpga_engine_agrees_with_float(self, trained_readout, small_dataset):
+        readout, _ = trained_readout
+        fpga = readout.to_engine(backend="fpga")
+        assert fpga.backend_kind == "fpga" and fpga.is_bit_exact
+        shots = small_dataset.test_traces[:200]
+        agreement = np.mean(
+            fpga.discriminate_all(shots) == readout.discriminate_all(shots)
+        )
+        assert agreement >= 0.99
+
+    def test_unknown_backend_rejected(self, trained_readout):
+        readout, _ = trained_readout
+        with pytest.raises(ValueError, match="backend kind"):
+            readout.to_engine(backend="asic")
+
+    def test_untrained_readout_cannot_build_engine(self, small_experiment_config):
+        with pytest.raises(RuntimeError, match="untrained qubits"):
+            KlinqReadout(small_experiment_config).to_engine()
+
+    def test_engine_save_load_serves_identically(
+        self, trained_readout, small_dataset, tmp_path
+    ):
+        """Train → to_engine → save → load → serve, the deployment flow."""
+        readout, _ = trained_readout
+        from repro.engine import ReadoutEngine
+
+        engine = readout.to_engine(backend="fpga")
+        shots = small_dataset.test_traces[:60]
+        reference_logits = engine.predict_logits_all(shots)
+        engine.save(tmp_path / "deployed")
+        loaded = ReadoutEngine.load(tmp_path / "deployed")
+        np.testing.assert_array_equal(loaded.predict_logits_all(shots), reference_logits)
+        np.testing.assert_array_equal(
+            loaded.discriminate_all(shots), engine.discriminate_all(shots)
+        )

@@ -104,3 +104,33 @@ class TestPaperArchitectures:
         assert student_b.input_dim == 201
         assert student_a.parameter_count == 657
         assert student_b.parameter_count == 3377
+
+
+class TestStudentState:
+    """get_state()/from_state() must reproduce the trained student bit-exactly
+    (the contract the engine bundles rely on)."""
+
+    def test_round_trip_logits_bit_identical(self, trained_student, small_dataset):
+        traces = small_dataset.qubit_view(0).test_traces[:60]
+        config, arrays = trained_student.get_state()
+        restored = StudentModel.from_state(config, arrays)
+        np.testing.assert_array_equal(
+            restored.predict_logits(traces), trained_student.predict_logits(traces)
+        )
+        np.testing.assert_array_equal(
+            restored.features(traces), trained_student.features(traces)
+        )
+        assert restored.architecture == trained_student.architecture
+        assert restored.n_samples == trained_student.n_samples
+
+    def test_config_is_json_serializable(self, trained_student):
+        import json
+
+        config, arrays = trained_student.get_state()
+        rehydrated = json.loads(json.dumps(config))
+        restored = StudentModel.from_state(rehydrated, arrays)
+        assert restored.parameter_count == trained_student.parameter_count
+
+    def test_unfitted_student_rejected(self, student_architecture):
+        with pytest.raises(RuntimeError, match="before fit"):
+            StudentModel(student_architecture, n_samples=40).get_state()

@@ -1,0 +1,37 @@
+"""Fixtures for the engine tests.
+
+``tests/fpga`` is added to ``sys.path`` so the golden-snapshot helpers
+(``make_golden.py``) are importable here exactly as the fpga tests import
+them; the engine-level tests pin the :class:`FixedPointBackend` against the
+same ``golden_logits.json`` raw-integer snapshot.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "fpga"))
+
+from make_golden import CASES, build_parameters, build_traces  # noqa: E402
+
+from repro.engine import FixedPointBackend, ReadoutEngine  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def synthetic_fpga_engine() -> ReadoutEngine:
+    """A three-qubit fixed-point engine from deterministic synthetic students."""
+    backends = [
+        FixedPointBackend(build_parameters(CASES["q16_16"], seed=2025 + qubit))
+        for qubit in range(3)
+    ]
+    return ReadoutEngine(backends)
+
+
+@pytest.fixture(scope="module")
+def synthetic_traces() -> np.ndarray:
+    """Multiplexed traces matching ``synthetic_fpga_engine`` (3 qubits)."""
+    return np.stack([build_traces(seed=qubit) for qubit in range(3)], axis=1)

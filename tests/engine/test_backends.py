@@ -1,0 +1,114 @@
+"""Tests for the ReadoutBackend protocol and its two implementations."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from make_golden import CASES, GOLDEN_PATH, build_parameters, build_traces
+
+from repro.core.student import StudentModel
+from repro.engine import (
+    BACKEND_KINDS,
+    FixedPointBackend,
+    FloatStudentBackend,
+    ReadoutBackend,
+    make_backend,
+)
+from repro.fpga.fixed_point import Q16_16
+
+
+class TestProtocol:
+    def test_both_backends_satisfy_protocol(self, trained_student):
+        assert isinstance(FloatStudentBackend(trained_student), ReadoutBackend)
+        assert isinstance(
+            FixedPointBackend.from_student(trained_student), ReadoutBackend
+        )
+
+    def test_unrelated_object_does_not_satisfy_protocol(self):
+        assert not isinstance(object(), ReadoutBackend)
+
+    def test_names_and_exactness_flags(self, trained_student):
+        float_backend = FloatStudentBackend(trained_student)
+        fixed_backend = FixedPointBackend.from_student(trained_student)
+        assert float_backend.name == "float" and not float_backend.is_bit_exact
+        assert fixed_backend.name == "fpga" and fixed_backend.is_bit_exact
+        assert set(BACKEND_KINDS) == {"float", "fpga"}
+
+    def test_make_backend_dispatch(self, trained_student):
+        assert isinstance(make_backend(trained_student, "float"), FloatStudentBackend)
+        assert isinstance(make_backend(trained_student, "fpga"), FixedPointBackend)
+        with pytest.raises(ValueError, match="Unknown backend kind"):
+            make_backend(trained_student, "verilog")
+
+
+class TestFloatStudentBackend:
+    def test_matches_student_exactly(self, trained_student, small_dataset):
+        traces = small_dataset.qubit_view(0).test_traces[:40]
+        backend = FloatStudentBackend(trained_student)
+        np.testing.assert_array_equal(
+            backend.predict_logits(traces), trained_student.predict_logits(traces)
+        )
+        np.testing.assert_array_equal(
+            backend.predict_states(traces), trained_student.predict_states(traces)
+        )
+
+    def test_rejects_unfitted_student(self, student_architecture):
+        fresh = StudentModel(student_architecture, n_samples=40, seed=0)
+        with pytest.raises(ValueError, match="trained student"):
+            FloatStudentBackend(fresh)
+
+
+class TestFixedPointBackend:
+    @pytest.fixture(scope="class")
+    def backend(self) -> FixedPointBackend:
+        return FixedPointBackend(build_parameters(CASES["q16_16"]))
+
+    def test_pinned_against_golden_snapshot(self, backend):
+        """The backend serves the exact raw logits the seed datapath produced."""
+        golden = json.loads(GOLDEN_PATH.read_text())
+        np.testing.assert_array_equal(
+            backend.predict_logits_raw(build_traces()),
+            np.array(golden["q16_16"], dtype=np.int64),
+        )
+
+    def test_raw_entry_point_accepts_int32_and_int64(self, backend):
+        raw64 = Q16_16.to_raw(build_traces())
+        raw32 = raw64.astype(np.int32)
+        np.testing.assert_array_equal(
+            backend.predict_logits_from_raw(raw64),
+            backend.predict_logits_from_raw(raw32),
+        )
+
+    def test_states_from_raw_match_float_trace_states(self, backend):
+        traces = build_traces()
+        np.testing.assert_array_equal(
+            backend.predict_states_from_raw(Q16_16.to_raw(traces)),
+            backend.predict_states(traces),
+        )
+
+    def test_predict_logits_is_from_raw_converted(self, backend):
+        traces = build_traces()
+        np.testing.assert_array_equal(
+            backend.predict_logits(traces),
+            Q16_16.from_raw(backend.predict_logits_raw(traces)),
+        )
+
+
+class TestBackendAgreement:
+    """The paper's hardware claim at the backend surface: Q16.16 decisions
+    track the float student's on realistic readout data."""
+
+    def test_fixed_vs_float_agreement(self, trained_student, small_dataset):
+        traces = small_dataset.qubit_view(0).test_traces[:200]
+        float_backend = make_backend(trained_student, "float")
+        fixed_backend = make_backend(trained_student, "fpga")
+        float_states = float_backend.predict_states(traces)
+        fixed_states = fixed_backend.predict_states(traces)
+        assert np.mean(float_states == fixed_states) >= 0.99
+        logit_gap = np.abs(
+            float_backend.predict_logits(traces) - fixed_backend.predict_logits(traces)
+        )
+        assert np.max(logit_gap) < 0.05

@@ -1,0 +1,132 @@
+"""Tests for engine artifact bundles: round trips, tampering, versioning."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from make_golden import CASES, GOLDEN_PATH, build_parameters, build_traces
+
+from repro.engine import (
+    BUNDLE_FORMAT_VERSION,
+    FixedPointBackend,
+    MANIFEST_NAME,
+    ReadoutEngine,
+    load_engine,
+    save_engine,
+)
+
+
+@pytest.fixture
+def fpga_bundle(synthetic_fpga_engine, tmp_path):
+    directory = tmp_path / "bundle"
+    save_engine(synthetic_fpga_engine, directory)
+    return directory
+
+
+class TestRoundTrip:
+    def test_fpga_engine_round_trip_bit_identical(
+        self, synthetic_fpga_engine, synthetic_traces, fpga_bundle
+    ):
+        loaded = load_engine(fpga_bundle)
+        assert loaded.n_qubits == synthetic_fpga_engine.n_qubits
+        assert loaded.backend_kind == "fpga"
+        np.testing.assert_array_equal(
+            loaded.predict_logits_all(synthetic_traces),
+            synthetic_fpga_engine.predict_logits_all(synthetic_traces),
+        )
+        np.testing.assert_array_equal(
+            loaded.discriminate_all(synthetic_traces),
+            synthetic_fpga_engine.discriminate_all(synthetic_traces),
+        )
+
+    def test_fpga_round_trip_still_pinned_to_golden(self, tmp_path):
+        """Save→load must land exactly on the seed datapath's raw logits."""
+        engine = ReadoutEngine([FixedPointBackend(build_parameters(CASES["q16_16"]))])
+        engine.save(tmp_path / "pinned")
+        loaded = ReadoutEngine.load(tmp_path / "pinned")
+        golden = json.loads(GOLDEN_PATH.read_text())["q16_16"]
+        np.testing.assert_array_equal(
+            loaded.backends[0].predict_logits_raw(build_traces()),
+            np.array(golden, dtype=np.int64),
+        )
+
+    def test_float_engine_round_trip_bit_identical(
+        self, trained_student, small_dataset, tmp_path
+    ):
+        engine = ReadoutEngine.from_students([trained_student] * 2, backend="float")
+        view = small_dataset.qubit_view(0)
+        traces = np.stack([view.test_traces[:80]] * 2, axis=1)
+        reference = engine.predict_logits_all(traces)
+        engine.save(tmp_path / "float-bundle")
+        loaded = ReadoutEngine.load(tmp_path / "float-bundle")
+        assert loaded.backend_kind == "float"
+        np.testing.assert_array_equal(loaded.predict_logits_all(traces), reference)
+        np.testing.assert_array_equal(
+            loaded.discriminate_all(traces), engine.discriminate_all(traces)
+        )
+
+    def test_fpga_bundle_from_student_carries_both_representations(
+        self, trained_student, tmp_path
+    ):
+        """``to_engine(backend="fpga")``-style bundles keep the float student."""
+        engine = ReadoutEngine.from_students([trained_student], backend="fpga")
+        save_engine(engine, tmp_path / "both")
+        manifest = json.loads((tmp_path / "both" / MANIFEST_NAME).read_text())
+        assert manifest["qubits"][0]["student"] is True
+        assert manifest["qubits"][0]["quantized"] is True
+        assert manifest["qubits"][0]["architecture"] == trained_student.architecture.name
+        loaded = load_engine(tmp_path / "both")
+        assert loaded.backends[0].student is not None
+        assert loaded.backends[0].student.is_fitted
+
+    def test_manifest_contents(self, fpga_bundle, synthetic_fpga_engine):
+        manifest = json.loads((fpga_bundle / MANIFEST_NAME).read_text())
+        assert manifest["format_version"] == BUNDLE_FORMAT_VERSION
+        assert manifest["backend"] == "fpga"
+        assert manifest["n_qubits"] == synthetic_fpga_engine.n_qubits
+        assert len(manifest["qubits"]) == synthetic_fpga_engine.n_qubits
+        # Every payload file is listed with a SHA-256 digest.
+        assert manifest["files"]
+        for relative, digest in manifest["files"].items():
+            assert (fpga_bundle / relative).exists()
+            assert len(digest) == 64
+
+
+class TestIntegrity:
+    def test_checksum_tampering_detected(self, fpga_bundle):
+        manifest = json.loads((fpga_bundle / MANIFEST_NAME).read_text())
+        victim = fpga_bundle / sorted(manifest["files"])[0]
+        payload = bytearray(victim.read_bytes())
+        payload[len(payload) // 2] ^= 0xFF
+        victim.write_bytes(bytes(payload))
+        with pytest.raises(ValueError, match="[Cc]hecksum"):
+            load_engine(fpga_bundle)
+
+    def test_missing_payload_file_detected(self, fpga_bundle):
+        manifest = json.loads((fpga_bundle / MANIFEST_NAME).read_text())
+        (fpga_bundle / sorted(manifest["files"])[0]).unlink()
+        with pytest.raises(FileNotFoundError, match="missing"):
+            load_engine(fpga_bundle)
+
+    def test_version_mismatch_rejected(self, fpga_bundle):
+        manifest_path = fpga_bundle / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format_version"] = BUNDLE_FORMAT_VERSION + 1
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="format version"):
+            load_engine(fpga_bundle)
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="manifest"):
+            load_engine(tmp_path / "nowhere")
+
+    def test_unknown_backend_kind_rejected(self, fpga_bundle):
+        manifest_path = fpga_bundle / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        manifest["qubits"][0]["backend"] = "asic"
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="unknown backend"):
+            load_engine(fpga_bundle)

@@ -1,0 +1,172 @@
+"""Tests for ReadoutEngine: per-qubit serving, parallel/sequential equality."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from make_golden import CASES, build_parameters
+
+from repro.engine import FixedPointBackend, FloatStudentBackend, ReadoutEngine
+
+
+class TestConstruction:
+    def test_requires_backends(self):
+        with pytest.raises(ValueError, match="at least one backend"):
+            ReadoutEngine([])
+
+    def test_rejects_non_protocol_objects(self):
+        with pytest.raises(TypeError, match="ReadoutBackend protocol"):
+            ReadoutEngine([object()])
+
+    def test_rejects_non_positive_workers(self, synthetic_fpga_engine):
+        with pytest.raises(ValueError, match="max_workers"):
+            ReadoutEngine(synthetic_fpga_engine.backends, max_workers=0)
+
+    def test_from_students(self, trained_student):
+        engine = ReadoutEngine.from_students([trained_student] * 2, backend="float")
+        assert engine.n_qubits == 2
+        assert engine.backend_kind == "float"
+        assert not engine.is_bit_exact
+
+    def test_backend_kind_mixed(self, trained_student):
+        engine = ReadoutEngine(
+            [
+                FloatStudentBackend(trained_student),
+                FixedPointBackend.from_student(trained_student),
+            ]
+        )
+        assert engine.backend_kind == "mixed"
+        assert not engine.is_bit_exact
+
+
+class TestServing:
+    def test_discriminate_all_shape(self, synthetic_fpga_engine, synthetic_traces):
+        states = synthetic_fpga_engine.discriminate_all(synthetic_traces)
+        assert states.shape == (synthetic_traces.shape[0], 3)
+        assert set(np.unique(states)).issubset({0, 1})
+
+    def test_parallel_and_sequential_bit_identical_fpga(
+        self, synthetic_fpga_engine, synthetic_traces
+    ):
+        sequential = synthetic_fpga_engine.discriminate_all(
+            synthetic_traces, parallel=False
+        )
+        parallel = synthetic_fpga_engine.discriminate_all(
+            synthetic_traces, parallel=True
+        )
+        np.testing.assert_array_equal(sequential, parallel)
+        np.testing.assert_array_equal(
+            synthetic_fpga_engine.predict_logits_all(synthetic_traces, parallel=False),
+            synthetic_fpga_engine.predict_logits_all(synthetic_traces, parallel=True),
+        )
+
+    def test_parallel_and_sequential_bit_identical_float(
+        self, trained_student, small_dataset
+    ):
+        engine = ReadoutEngine.from_students([trained_student] * 2, backend="float")
+        view = small_dataset.qubit_view(0)
+        traces = np.stack([view.test_traces[:60]] * 2, axis=1)
+        np.testing.assert_array_equal(
+            engine.discriminate_all(traces, parallel=False),
+            engine.discriminate_all(traces, parallel=True),
+        )
+
+    def test_single_qubit_matches_joint_column(
+        self, synthetic_fpga_engine, synthetic_traces
+    ):
+        joint = synthetic_fpga_engine.discriminate_all(synthetic_traces)
+        for qubit in range(synthetic_fpga_engine.n_qubits):
+            solo = synthetic_fpga_engine.discriminate(
+                synthetic_traces[:, qubit], qubit_index=qubit
+            )
+            np.testing.assert_array_equal(joint[:, qubit], solo)
+
+    def test_single_trace_discrimination(self, synthetic_fpga_engine, synthetic_traces):
+        state = synthetic_fpga_engine.discriminate(
+            synthetic_traces[0, 0], qubit_index=0
+        )
+        assert state in (0, 1)
+        logit = synthetic_fpga_engine.predict_logits(
+            synthetic_traces[0, 0], qubit_index=0
+        )
+        assert np.ndim(logit) == 0
+
+    def test_qubit_index_out_of_range(self, synthetic_fpga_engine, synthetic_traces):
+        with pytest.raises(IndexError):
+            synthetic_fpga_engine.discriminate(synthetic_traces[:, 0], qubit_index=3)
+
+    def test_wrong_multiplexed_shape_rejected(self, synthetic_fpga_engine, synthetic_traces):
+        with pytest.raises(ValueError, match="shape"):
+            synthetic_fpga_engine.discriminate_all(synthetic_traces[:, :2])
+
+    def test_max_workers_one_forces_sequential_path(
+        self, synthetic_fpga_engine, synthetic_traces
+    ):
+        capped = ReadoutEngine(synthetic_fpga_engine.backends, max_workers=1)
+        np.testing.assert_array_equal(
+            capped.discriminate_all(synthetic_traces),
+            synthetic_fpga_engine.discriminate_all(synthetic_traces, parallel=False),
+        )
+
+    def test_explicit_parallel_with_many_workers(
+        self, synthetic_fpga_engine, synthetic_traces
+    ):
+        """Force a real thread pool even on single-core hosts."""
+        pooled = ReadoutEngine(synthetic_fpga_engine.backends, max_workers=3)
+        np.testing.assert_array_equal(
+            pooled.discriminate_all(synthetic_traces, parallel=True),
+            synthetic_fpga_engine.discriminate_all(synthetic_traces, parallel=False),
+        )
+
+    def test_executor_is_reused_across_calls(self, synthetic_fpga_engine, synthetic_traces):
+        engine = ReadoutEngine(synthetic_fpga_engine.backends, max_workers=3)
+        engine.discriminate_all(synthetic_traces, parallel=True)
+        first = engine._executor
+        assert first is not None
+        engine.discriminate_all(synthetic_traces, parallel=True)
+        assert engine._executor is first
+        engine.close()
+
+    def test_closed_engine_serves_sequentially(
+        self, synthetic_fpga_engine, synthetic_traces
+    ):
+        reference = synthetic_fpga_engine.discriminate_all(
+            synthetic_traces, parallel=False
+        )
+        with ReadoutEngine(synthetic_fpga_engine.backends, max_workers=3) as engine:
+            np.testing.assert_array_equal(
+                engine.discriminate_all(synthetic_traces, parallel=True), reference
+            )
+        # Context exit closed the pool; the engine still serves (sequentially).
+        np.testing.assert_array_equal(
+            engine.discriminate_all(synthetic_traces, parallel=True), reference
+        )
+        engine.close()  # idempotent
+
+    def test_worker_exception_propagates(self, synthetic_fpga_engine):
+        bad = np.full((4, 3, 2, 2), 0.5)  # traces shorter than the MF envelope
+        with pytest.raises(ValueError):
+            ReadoutEngine(synthetic_fpga_engine.backends, max_workers=3).discriminate_all(
+                bad, parallel=True
+            )
+
+
+class TestGoldenThroughEngine:
+    def test_engine_column_reproduces_golden_snapshot(self):
+        """Engine-level pinning: serving must not perturb the datapath."""
+        import json
+
+        from make_golden import GOLDEN_PATH, build_traces
+
+        golden = np.array(
+            json.loads(GOLDEN_PATH.read_text())["q16_16"], dtype=np.int64
+        )
+        engine = ReadoutEngine(
+            [FixedPointBackend(build_parameters(CASES["q16_16"])) for _ in range(2)]
+        )
+        traces = np.stack([build_traces()] * 2, axis=1)
+        logits = engine.predict_logits_all(traces, parallel=True)
+        expected = golden.astype(np.float64) / CASES["q16_16"].scale
+        np.testing.assert_array_equal(logits[:, 0], expected)
+        np.testing.assert_array_equal(logits[:, 1], expected)

@@ -7,7 +7,12 @@ import pytest
 
 from repro.core.student import StudentModel
 from repro.fpga.fixed_point import FixedPointFormat, Q16_16
-from repro.fpga.quantize import quantize_student
+from repro.fpga.quantize import (
+    QuantizedStudentParameters,
+    load_quantized_parameters,
+    quantize_student,
+    save_quantized_parameters,
+)
 
 
 class TestQuantizeStudent:
@@ -79,3 +84,71 @@ class TestQuantizeStudent:
         params = quantize_student(student)
         assert params.mf_envelope is None
         assert not params.include_matched_filter
+
+
+def _assert_parameters_identical(
+    left: QuantizedStudentParameters, right: QuantizedStudentParameters
+) -> None:
+    assert left.fmt == right.fmt
+    assert left.samples_per_interval == right.samples_per_interval
+    assert left.n_samples == right.n_samples
+    assert left.include_matched_filter == right.include_matched_filter
+    assert left.mf_threshold_raw == right.mf_threshold_raw
+    assert left.mf_scale_reciprocal_raw == right.mf_scale_reciprocal_raw
+    assert left.average_reciprocal_raw == right.average_reciprocal_raw
+    if left.mf_envelope is None:
+        assert right.mf_envelope is None
+    else:
+        np.testing.assert_array_equal(left.mf_envelope, right.mf_envelope)
+    np.testing.assert_array_equal(left.norm_minimum, right.norm_minimum)
+    np.testing.assert_array_equal(left.norm_shift_bits, right.norm_shift_bits)
+    assert left.n_layers == right.n_layers
+    for lw, rw in zip(left.layer_weights, right.layer_weights):
+        np.testing.assert_array_equal(lw, rw)
+    for lb, rb in zip(left.layer_biases, right.layer_biases):
+        np.testing.assert_array_equal(lb, rb)
+
+
+class TestQuantizedPersistence:
+    def test_state_round_trip_raw_exact(self, trained_student):
+        params = quantize_student(trained_student)
+        config, arrays = params.get_state()
+        _assert_parameters_identical(
+            params, QuantizedStudentParameters.from_state(config, arrays)
+        )
+
+    def test_file_round_trip_raw_exact(self, trained_student, tmp_path):
+        params = quantize_student(trained_student)
+        config_path, arrays_path = save_quantized_parameters(
+            params, tmp_path / "qubit0" / "quantized"
+        )
+        assert config_path.exists() and arrays_path.exists()
+        _assert_parameters_identical(
+            params, load_quantized_parameters(tmp_path / "qubit0" / "quantized")
+        )
+
+    def test_missing_files_raise(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_quantized_parameters(tmp_path / "absent")
+
+    def test_incomplete_arrays_rejected(self, trained_student):
+        params = quantize_student(trained_student)
+        config, arrays = params.get_state()
+        del arrays["layer1.weights"]
+        with pytest.raises(KeyError, match="layer1.weights"):
+            QuantizedStudentParameters.from_state(config, arrays)
+
+    def test_round_trip_without_matched_filter(self, small_dataset, fast_training, tmp_path):
+        from repro.core.config import StudentArchitecture
+
+        view = small_dataset.qubit_view(0)
+        arch = StudentArchitecture(
+            name="no-mf", samples_per_interval=4, include_matched_filter=False
+        )
+        student = StudentModel(arch, n_samples=view.n_samples, seed=2)
+        student.fit_supervised(view.train_traces, view.train_labels, fast_training)
+        params = quantize_student(student)
+        save_quantized_parameters(params, tmp_path / "no-mf")
+        _assert_parameters_identical(
+            params, load_quantized_parameters(tmp_path / "no-mf")
+        )

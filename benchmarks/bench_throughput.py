@@ -8,6 +8,11 @@ Measures shots/second through
   implementation (``object``-array multiplies for wide formats, per-neuron
   MAC loops with per-call overflow probes), with a bit-exactness assertion
   between the two, and
+* the **raw-carrier serving path** -- the five-qubit ``ReadoutEngine``
+  serving int32 ADC carriers digitized once at capture
+  (``discriminate_all_raw``) versus the float-trace surface that re-digitizes
+  inside every backend, bit-identity asserted first
+  (``raw_vs_float_roundtrip``), and
 * the **trace synthesizer** -- the batched ``generate_shots`` path the
   dataset builder uses versus a replica of the seed's per-shot Python loop,
   plus the end-to-end dataset builder itself.
@@ -50,6 +55,7 @@ from repro.perf import (
 from repro.readout.dataset import generate_dataset
 from repro.readout.noise import CrosstalkModel, NoiseModel, RelaxationModel
 from repro.readout.physics import QubitReadoutParams, ReadoutPhysics
+from repro.readout.preprocessing import digitize_traces
 from repro.readout.trace_generator import MultiplexedTraceGenerator
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
@@ -350,6 +356,23 @@ def bench_emulator(report: ThroughputReport, n_shots: int, repeats: int, seed: i
 ENGINE_ASSIGNMENT = (32, 5, 5, 32, 32)
 
 
+def build_bench_engine(n_samples: int, seed: int) -> ReadoutEngine:
+    """The paper's five-qubit deployment: one fixed-point backend per qubit.
+
+    Shared by the engine-serving and raw-carrier sections so both measure the
+    same deployment.
+    """
+    return ReadoutEngine(
+        [
+            FixedPointBackend(
+                build_parameters(Q16_16, n_samples, window, seed=seed + qubit)
+            )
+            for qubit, window in enumerate(ENGINE_ASSIGNMENT)
+        ],
+        max_workers=len(ENGINE_ASSIGNMENT),
+    )
+
+
 def bench_engine(report: ThroughputReport, n_shots: int, repeats: int, seed: int) -> None:
     """Multi-qubit serving: ReadoutEngine parallel vs. sequential fan-out.
 
@@ -367,15 +390,7 @@ def bench_engine(report: ThroughputReport, n_shots: int, repeats: int, seed: int
     engine_shots = max(600, n_shots // 5)
     rng = np.random.default_rng(seed + 2)
     traces = rng.uniform(-3.0, 3.0, size=(engine_shots, n_qubits, n_samples, 2))
-    engine = ReadoutEngine(
-        [
-            FixedPointBackend(
-                build_parameters(Q16_16, n_samples, window, seed=seed + qubit)
-            )
-            for qubit, window in enumerate(ENGINE_ASSIGNMENT)
-        ],
-        max_workers=n_qubits,
-    )
+    engine = build_bench_engine(n_samples, seed)
     sequential = engine.discriminate_all(traces, parallel=False)
     parallel = engine.discriminate_all(traces, parallel=True)
     if not np.array_equal(sequential, parallel):
@@ -410,6 +425,77 @@ def bench_engine(report: ThroughputReport, n_shots: int, repeats: int, seed: int
     print(
         f"  engine parallel vs sequential: {speedup:.2f}x "
         f"({engine.worker_count} worker(s) on this host)"
+    )
+
+
+def bench_raw_serving(report: ThroughputReport, n_shots: int, repeats: int, seed: int) -> None:
+    """Raw-carrier serving vs. the float round-trip through the engine.
+
+    The deployed datapath is handed integer ADC samples; our float-trace
+    serving surface re-digitizes every request inside each backend.  This
+    section digitizes the multiplexed batch *once* (the capture-side ADC
+    step, :func:`digitize_traces`) and serves the int32 carriers through
+    ``discriminate_all_raw``, against the same engine serving the original
+    float traces through ``discriminate_all`` -- after asserting the two
+    paths are bit-identical.  The ``raw_vs_float_roundtrip_batch*`` speedups
+    are the measured cost of the skipped conversion per batch size, and the
+    headline ``raw_vs_float_roundtrip`` is their geometric mean over the
+    batch sizes >= 1024 (where the per-call overhead has amortized away).
+    """
+    n_samples = 500
+    n_qubits = len(ENGINE_ASSIGNMENT)
+    engine = build_bench_engine(n_samples, seed)
+    largest = max(1024, min(n_shots // 4, 2048))
+    batch_sizes = sorted({256, 1024, largest})
+    rng = np.random.default_rng(seed + 3)
+    traces = rng.uniform(-3.0, 3.0, size=(largest, n_qubits, n_samples, 2))
+    carriers = digitize_traces(traces)
+
+    float_logits = engine.predict_logits_all(traces, parallel=False)
+    raw_logits = engine.predict_logits_all_raw(carriers, parallel=False)
+    if not np.array_equal(float_logits, raw_logits):
+        raise AssertionError(
+            "raw-carrier serving is not bit-identical to the float-trace path "
+            f"(max |delta| = {np.abs(float_logits - raw_logits).max()})"
+        )
+    print(
+        f"  raw ({carriers.dtype}) == float path on {largest} shots x "
+        f"{n_qubits} qubits OK"
+    )
+
+    headline = []
+    for batch in batch_sizes:
+        batch_traces = traces[:batch]
+        batch_carriers = carriers[:batch]
+        raw_name = f"engine_serve_raw_batch{batch}"
+        float_name = f"engine_serve_float_roundtrip_batch{batch}"
+        measured = measure_paired(
+            {
+                raw_name: (
+                    lambda c=batch_carriers: engine.discriminate_all_raw(c),
+                    batch * n_qubits,
+                ),
+                float_name: (
+                    lambda t=batch_traces: engine.discriminate_all(t),
+                    batch * n_qubits,
+                ),
+            },
+            repeats=repeats,
+        )
+        for measurement in measured.values():
+            report.add(measurement)
+        speedup = report.record_speedup(
+            f"raw_vs_float_roundtrip_batch{batch}", raw_name, float_name
+        )
+        if batch >= 1024:
+            headline.append(speedup)
+        print(f"  batch {batch}: raw vs float round-trip speedup: {speedup:.2f}x")
+    report.derived["raw_vs_float_roundtrip"] = float(
+        np.exp(np.mean(np.log(headline)))
+    )
+    print(
+        "  headline raw_vs_float_roundtrip (batch >= 1024 geomean): "
+        f"{report.derived['raw_vs_float_roundtrip']:.2f}x"
     )
 
 
@@ -509,6 +595,8 @@ def main(argv: list[str] | None = None) -> int:
     bench_emulator(report, n_shots, repeats, args.seed)
     print("Engine serving (5-qubit ReadoutEngine, parallel vs sequential):")
     bench_engine(report, n_shots, repeats, args.seed)
+    print("Raw-carrier serving (digitize once vs per-call float round-trip):")
+    bench_raw_serving(report, n_shots, repeats, args.seed)
     print(f"Trace synthesis ({n_shots} shots, 2-qubit device):")
     bench_synthesis(report, n_shots, repeats, args.seed)
 

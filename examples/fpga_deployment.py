@@ -10,7 +10,10 @@ This example reproduces the paper's hardware story in software:
    bit-exact integer emulation -- and compare their decisions,
 4. package the trained system as a deployable ``ReadoutEngine`` artifact
    bundle (``manifest.json`` + per-qubit weights, checksummed), reload it,
-   and verify the reloaded engine serves bit-identical logits,
+   and serve it the way the hardware is served: digitize the capture once
+   into int32 raw carriers and feed them to the engine's raw entry points,
+   verifying they are bit-identical to the float-trace path and survive the
+   bundle round trip,
 5. print the latency (clock-cycle) and resource (LUT/FF/DSP) estimates for
    both student configurations, next to the values reported in Table III.
 
@@ -21,6 +24,7 @@ Run it with::
 
 from __future__ import annotations
 
+import json
 import tempfile
 from pathlib import Path
 
@@ -34,6 +38,7 @@ from repro.core.pipeline import QubitReadoutPipeline
 from repro.engine import FixedPointBackend, ReadoutEngine, make_backend
 from repro.fpga import LatencyModel, ResourceModel, quantize_student
 from repro.fpga.report import PAPER_TABLE3
+from repro.readout import digitize_traces
 
 
 def main() -> None:
@@ -76,29 +81,43 @@ def main() -> None:
         f"(bit-exact integer datapath: {fpga_backend.is_bit_exact})"
     )
 
-    # 4. Deployable artifact bundle ------------------------------------------
+    # 4. Deployable artifact bundle, served on the raw-carrier path ----------
+    # The deployed datapath never sees floats: the ADC hands the FPGA integer
+    # samples.  Digitize the capture once (the ADC step) and serve the int32
+    # carriers through the engine's raw entry points -- no per-call float
+    # round-trip -- checking bit-identity against the float-trace surface.
     engine = ReadoutEngine([fpga_backend])
     multiplexed = view.test_traces[:, None, :, :]  # (shots, 1 qubit, samples, 2)
+    carriers = digitize_traces(multiplexed)        # int32 raw ADC carriers
     reference_logits = engine.predict_logits_all(multiplexed)
+    raw_logits = engine.predict_logits_all_raw(carriers)
+    assert np.array_equal(reference_logits, raw_logits)
+    print(
+        f"\nRaw-carrier serving: {carriers.shape[0]} shots digitized once to "
+        f"{carriers.dtype}; raw path is bit-identical to the float round-trip "
+        f"(engine.supports_raw={engine.supports_raw})"
+    )
     with tempfile.TemporaryDirectory() as tmp:
         bundle_dir = Path(tmp) / "readout-v1"
         manifest_path = engine.save(bundle_dir)
         artifact_files = sorted(
             str(p.relative_to(bundle_dir)) for p in bundle_dir.rglob("*") if p.is_file()
         )
-        print(f"\nSaved engine bundle to {bundle_dir.name}/: {', '.join(artifact_files)}")
+        print(f"Saved engine bundle to {bundle_dir.name}/: {', '.join(artifact_files)}")
         loaded = ReadoutEngine.load(bundle_dir)
-        reloaded_logits = loaded.predict_logits_all(multiplexed)
+        reloaded_logits = loaded.predict_logits_all_raw(carriers)
         assert np.array_equal(reference_logits, reloaded_logits)
+        manifest = json.loads(manifest_path.read_text())
         print(
             f"Reloaded engine ({loaded.backend_kind} backend, "
-            f"{loaded.n_qubits} qubit) serves bit-identical logits: "
-            f"{manifest_path.name} checksums verified"
+            f"{loaded.n_qubits} qubit, carrier dtype "
+            f"{manifest['qubits'][0]['carrier_dtype']}) serves bit-identical "
+            f"raw-carrier logits: {manifest_path.name} checksums verified"
         )
-        sequential = loaded.discriminate_all(multiplexed, parallel=False)
-        parallel = loaded.discriminate_all(multiplexed, parallel=True)
+        sequential = loaded.discriminate_all_raw(carriers, parallel=False)
+        parallel = loaded.discriminate_all_raw(carriers, parallel=True)
         assert np.array_equal(sequential, parallel)
-        print("Parallel and sequential serving paths are bit-identical.")
+        print("Parallel and sequential raw serving paths are bit-identical.")
 
     # 5. Latency and resource estimates at paper scale ------------------------
     print("\nLatency / resource model at paper scale (500-sample traces, 100 MHz):")

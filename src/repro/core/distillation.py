@@ -125,8 +125,11 @@ class DistillationTrainer:
 
         for epoch in range(config.max_epochs):
             epoch_order = rng.permutation(x_train.shape[0])
-            epoch_total, epoch_ce, epoch_kd, batches = 0.0, 0.0, 0.0, 0
-            for start in range(0, x_train.shape[0], config.batch_size):
+            n_train = x_train.shape[0]
+            # Sample-weighted means: an equally-weighted mean of batch means
+            # over-weights the ragged last batch when n % batch_size != 0.
+            epoch_total, epoch_ce, epoch_kd = 0.0, 0.0, 0.0
+            for start in range(0, n_train, config.batch_size):
                 idx = epoch_order[start : start + config.batch_size]
                 logits = network.forward(x_train[idx], training=True)
                 total, ce, kd = self.loss.forward_components(
@@ -135,13 +138,12 @@ class DistillationTrainer:
                 grad = self.loss.backward()
                 network.backward(grad)
                 optimizer.step(network.parameters(), network.gradients())
-                epoch_total += total
-                epoch_ce += ce
-                epoch_kd += kd
-                batches += 1
-            result.total_loss.append(epoch_total / max(batches, 1))
-            result.ce_loss.append(epoch_ce / max(batches, 1))
-            result.kd_loss.append(epoch_kd / max(batches, 1))
+                epoch_total += float(total) * idx.shape[0]
+                epoch_ce += float(ce) * idx.shape[0]
+                epoch_kd += float(kd) * idx.shape[0]
+            result.total_loss.append(epoch_total / n_train)
+            result.ce_loss.append(epoch_ce / n_train)
+            result.kd_loss.append(epoch_kd / n_train)
 
             val_logits = network.predict(x_val, batch_size=8192)
             accuracy = binary_accuracy(val_logits, y_val, threshold=0.0)

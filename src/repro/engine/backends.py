@@ -17,6 +17,12 @@ examples, benchmarks, tests) selects the datapath with a single string:
 Both backends threshold logits at zero, so their hard assignments agree
 whenever their logits have the same sign -- the agreement the paper's
 hardware section demonstrates empirically.
+
+The protocol also declares a :attr:`~ReadoutBackend.supports_raw` capability:
+backends whose datapath consumes already-digitized integer carriers directly
+(``predict_logits_from_raw`` / ``predict_states_from_raw``) advertise it, so
+the engine's raw-carrier serving path can fail loudly on float backends
+instead of silently re-interpreting integers as floats.
 """
 
 from __future__ import annotations
@@ -62,6 +68,17 @@ class ReadoutBackend(Protocol):
         """Whether inference is integer-exact (reproducible raw-for-raw)."""
         ...
 
+    @property
+    def supports_raw(self) -> bool:
+        """Whether the datapath consumes already-digitized integer carriers.
+
+        Backends advertising this capability must also provide
+        ``predict_logits_from_raw`` / ``predict_states_from_raw`` accepting
+        int32/int64 raw traces, plus an ``fmt`` attribute naming the
+        fixed-point format those carriers are expressed in.
+        """
+        ...
+
     def predict_logits(self, traces: np.ndarray) -> np.ndarray:
         """Float logits for a batch of traces, shape ``(n_shots,)``."""
         ...
@@ -82,6 +99,7 @@ class FloatStudentBackend:
 
     name = "float"
     is_bit_exact = False
+    supports_raw = False
 
     def __init__(self, student: StudentModel) -> None:
         if not student.is_fitted:
@@ -122,6 +140,7 @@ class FixedPointBackend:
 
     name = "fpga"
     is_bit_exact = True
+    supports_raw = True
 
     def __init__(
         self,

@@ -8,7 +8,8 @@ control hardware, and reload bit-exactly:
 
     bundle/
       manifest.json           format version, backend kind, qubit->architecture
-                              map, per-file SHA-256 checksums
+                              map, per-qubit raw-carrier dtype, per-file
+                              SHA-256 checksums
       qubit0/
         student.json          student config (architecture, extractor scalars,
         student.npz           network layout) + float64 arrays
@@ -102,6 +103,15 @@ def save_engine(engine: ReadoutEngine, directory: str | Path) -> Path:
                 "architecture": None if student is None else student.architecture.name,
                 "student": student is not None,
                 "quantized": parameters is not None,
+                # The integer dtype raw ADC carriers use on the wire (None for
+                # float-only backends, which never see raw carriers): recorded
+                # so a capture pipeline can digitize into the right dtype
+                # without loading the quantized payload first.
+                "carrier_dtype": (
+                    None
+                    if parameters is None
+                    else str(parameters.fmt.raw_carrier_dtype)
+                ),
             }
         )
     manifest = {
@@ -175,6 +185,14 @@ def load_engine(directory: str | Path, max_workers: int | None = None) -> Readou
                     f"but carries no quantized parameters"
                 )
             parameters = load_quantized_parameters(qubit_dir / "quantized")
+            declared_dtype = entry.get("carrier_dtype")
+            actual_dtype = str(parameters.fmt.raw_carrier_dtype)
+            if declared_dtype is not None and declared_dtype != actual_dtype:
+                raise ValueError(
+                    f"Bundle entry for qubit {qubit_index} declares raw carrier "
+                    f"dtype {declared_dtype!r} but its quantized parameters use "
+                    f"{actual_dtype!r}; the manifest does not match the payload"
+                )
             backends.append(FixedPointBackend(parameters, student=student))
         else:
             raise ValueError(

@@ -15,7 +15,10 @@ object with three jobs:
   threads genuinely overlap on multi-core hosts.  Qubits are independent, so
   the parallel and sequential paths are bit-identical; a sequential fallback
   is always available (``parallel=False``, or automatically on single-core
-  hosts);
+  hosts).  The ``*_raw`` twins (:meth:`discriminate_all_raw`,
+  :meth:`predict_logits_all_raw`, :meth:`discriminate_raw`) serve
+  already-digitized int32/int64 carriers -- the form the ADC actually hands
+  the FPGA -- skipping the float round-trip on the hot path;
 * **persistence** -- :meth:`save` / :meth:`load` turn the engine into a
   deployable artifact directory (see :mod:`repro.engine.bundle`) instead of a
   live Python object.
@@ -47,13 +50,34 @@ def serve_traces(
     trace; a single trace is wrapped into a one-shot batch for ``fn`` and the
     scalar result unwrapped again.  This is the one definition of the
     single-trace convention every readout serving surface shares.
+
+    The input dtype is preserved: integer raw carriers (int32/int64 ADC
+    output) pass through untouched so the integer-only datapaths downstream
+    stay bit-exact, and each float backend applies its own float64 coercion
+    exactly as before.  (An unconditional ``float64`` round-trip here would
+    silently destroy int64 raw values above 2**53.)
     """
-    traces = np.asarray(traces, dtype=np.float64)
+    traces = np.asarray(traces)
     single = traces.ndim == 2
     if single:
         traces = traces[None, ...]
     result = fn(traces)
     return result[0] if single else result
+
+
+def _available_cpu_count() -> int:
+    """CPUs actually usable by this process.
+
+    ``os.sched_getaffinity`` reflects container/cgroup CPU restrictions where
+    available (Linux); ``os.cpu_count`` reports the physical host and would
+    overspawn worker threads in a CPU-restricted container.
+    """
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return len(os.sched_getaffinity(0)) or 1
+        except OSError:  # pragma: no cover - platform-specific failure
+            pass
+    return os.cpu_count() or 1
 
 
 class ReadoutEngine:
@@ -112,13 +136,26 @@ class ReadoutEngine:
         return all(backend.is_bit_exact for backend in self.backends)
 
     @property
+    def supports_raw(self) -> bool:
+        """Whether every per-qubit backend consumes raw integer carriers.
+
+        When False, the raw serving entry points refuse to serve unless the
+        caller explicitly opts into the ``dequantize`` float fallback.
+        """
+        return all(
+            getattr(backend, "supports_raw", False) for backend in self.backends
+        )
+
+    @property
     def worker_count(self) -> int:
         """Worker threads the parallel path uses on this host.
 
-        ``min(n_qubits, max_workers or os.cpu_count())``; 1 means the engine
-        always serves sequentially.
+        ``min(n_qubits, max_workers or available CPUs)``; 1 means the engine
+        always serves sequentially.  Available CPUs honour scheduler affinity
+        (``os.sched_getaffinity``) so a CPU-restricted container does not
+        overspawn threads.
         """
-        limit = self.max_workers if self.max_workers is not None else (os.cpu_count() or 1)
+        limit = self.max_workers if self.max_workers is not None else _available_cpu_count()
         return max(1, min(self.n_qubits, limit))
 
     # ------------------------------------------------------------ construction
@@ -168,7 +205,7 @@ class ReadoutEngine:
         traces = self._validate_multiplexed(traces)
         states = np.empty((traces.shape[0], self.n_qubits), dtype=np.int64)
         self._run_per_qubit(
-            lambda backend, qubit_traces: backend.predict_states(qubit_traces),
+            lambda backend, qubit_traces, _qubit: backend.predict_states(qubit_traces),
             traces,
             states,
             parallel,
@@ -186,8 +223,123 @@ class ReadoutEngine:
         traces = self._validate_multiplexed(traces)
         logits = np.empty((traces.shape[0], self.n_qubits), dtype=np.float64)
         self._run_per_qubit(
-            lambda backend, qubit_traces: backend.predict_logits(qubit_traces),
+            lambda backend, qubit_traces, _qubit: backend.predict_logits(qubit_traces),
             traces,
+            logits,
+            parallel,
+        )
+        return logits
+
+    # ------------------------------------------------------------- raw carriers
+    #
+    # The deployed datapath never sees floats: the ADC hands the FPGA integer
+    # samples and the Q16.16 pipeline runs integer-only.  The ``*_raw`` entry
+    # points mirror the float-trace surface for callers holding already-
+    # digitized int32/int64 carriers (see
+    # :func:`repro.readout.preprocessing.digitize_traces` for the capture-side
+    # ADC step), skipping the per-backend float-to-raw round-trip entirely.
+    # On fpga backends the results are bit-identical to the float-trace path
+    # fed the traces the carriers were digitized from.
+
+    def discriminate_raw(
+        self,
+        trace_raw: np.ndarray,
+        qubit_index: int,
+        dequantize: bool = False,
+        fmt: FixedPointFormat | None = None,
+    ) -> np.ndarray:
+        """Independent single-qubit readout from raw integer carriers.
+
+        ``trace_raw`` is this qubit's digitized batch ``(n_shots, n_samples,
+        2)`` or a single ``(n_samples, 2)`` trace of int32/int64 ADC samples.
+        Backends without raw support raise unless ``dequantize`` explicitly
+        opts into the float fallback (see :meth:`discriminate_all_raw`).
+        """
+        fn = self._raw_serving_fn(
+            self._backend(qubit_index), qubit_index, "states", dequantize, fmt
+        )
+        return serve_traces(fn, self._validate_raw(trace_raw))
+
+    def predict_logits_from_raw(
+        self,
+        trace_raw: np.ndarray,
+        qubit_index: int,
+        dequantize: bool = False,
+        fmt: FixedPointFormat | None = None,
+    ) -> np.ndarray:
+        """Float logits of a single qubit's backend from raw integer carriers.
+
+        Named ``*_from_raw`` to match the backend-level entry point it fans
+        into -- ``FixedPointBackend.predict_logits_raw`` is a *different*
+        operation (float traces in, raw integer logits out).
+        """
+        fn = self._raw_serving_fn(
+            self._backend(qubit_index), qubit_index, "logits", dequantize, fmt
+        )
+        return serve_traces(fn, self._validate_raw(trace_raw))
+
+    def discriminate_all_raw(
+        self,
+        traces_raw: np.ndarray,
+        parallel: bool | None = None,
+        dequantize: bool = False,
+        fmt: FixedPointFormat | None = None,
+    ) -> np.ndarray:
+        """Read out every qubit of a multiplexed batch of raw integer carriers.
+
+        ``traces_raw`` has shape ``(n_shots, n_qubits, n_samples, 2)`` with an
+        int32/int64 dtype (the ADC output); the result is ``(n_shots,
+        n_qubits)`` of assigned states, bit-identical to
+        :meth:`discriminate_all` on the float traces the carriers were
+        digitized from when every backend is raw-capable.
+
+        Backends without raw support (``supports_raw`` False, e.g. the float
+        student datapath) make the call fail loudly instead of silently
+        mis-serving integer samples as floats.  Passing ``dequantize=True``
+        opts those backends into an explicit float fallback that converts the
+        carriers back to real values through ``fmt`` first (when ``fmt`` is
+        omitted it defaults to the format the engine's raw-capable backends
+        consume, so a mixed engine dequantizes consistently with its fpga
+        columns; Q16.16 if there are none); raw-capable backends keep their
+        integer-only path either way.
+        """
+        traces_raw = self._validate_multiplexed_raw(traces_raw)
+        fns = [
+            self._raw_serving_fn(backend, qubit_index, "states", dequantize, fmt)
+            for qubit_index, backend in enumerate(self.backends)
+        ]
+        states = np.empty((traces_raw.shape[0], self.n_qubits), dtype=np.int64)
+        self._run_per_qubit(
+            lambda backend, qubit_traces, qubit_index: fns[qubit_index](qubit_traces),
+            traces_raw,
+            states,
+            parallel,
+        )
+        return states
+
+    def predict_logits_all_raw(
+        self,
+        traces_raw: np.ndarray,
+        parallel: bool | None = None,
+        dequantize: bool = False,
+        fmt: FixedPointFormat | None = None,
+    ) -> np.ndarray:
+        """Float logits of every qubit for a multiplexed raw-carrier batch.
+
+        Same fan-out and capability semantics as :meth:`discriminate_all_raw`;
+        the result is ``(n_shots, n_qubits)`` of float logits, bit-identical
+        to :meth:`predict_logits_all` on the originating float traces for
+        raw-capable (fpga) backends.
+        """
+        traces_raw = self._validate_multiplexed_raw(traces_raw)
+        fns = [
+            self._raw_serving_fn(backend, qubit_index, "logits", dequantize, fmt)
+            for qubit_index, backend in enumerate(self.backends)
+        ]
+        logits = np.empty((traces_raw.shape[0], self.n_qubits), dtype=np.float64)
+        self._run_per_qubit(
+            lambda backend, qubit_traces, qubit_index: fns[qubit_index](qubit_traces),
+            traces_raw,
             logits,
             parallel,
         )
@@ -208,9 +360,92 @@ class ReadoutEngine:
             )
         return traces
 
+    @staticmethod
+    def _validate_raw(trace_raw: np.ndarray) -> np.ndarray:
+        """Require integer carriers -- the raw path must never guess at floats."""
+        trace_raw = np.asarray(trace_raw)
+        if trace_raw.dtype.kind != "i":
+            raise TypeError(
+                f"raw traces must be a signed integer array (int32/int64 ADC "
+                f"samples), got dtype {trace_raw.dtype}; use the float-trace "
+                f"entry points for undigitized data"
+            )
+        return trace_raw
+
+    def _validate_multiplexed_raw(self, traces_raw: np.ndarray) -> np.ndarray:
+        traces_raw = self._validate_raw(traces_raw)
+        if traces_raw.ndim != 4 or traces_raw.shape[1] != self.n_qubits:
+            raise ValueError(
+                f"raw traces must have shape (shots, {self.n_qubits}, samples, 2), "
+                f"got {traces_raw.shape}"
+            )
+        return traces_raw
+
+    def _raw_serving_fn(
+        self,
+        backend: ReadoutBackend,
+        qubit_index: int,
+        output: str,
+        dequantize: bool,
+        fmt: FixedPointFormat | None,
+    ) -> Callable[[np.ndarray], np.ndarray]:
+        """Per-backend raw-carrier callable producing ``output`` (states/logits).
+
+        Raw-capable backends serve integer-only; others either fail loudly or
+        -- with ``dequantize=True`` -- fall back to converting the carriers to
+        real values through ``fmt`` and running their float path.
+        """
+        if getattr(backend, "supports_raw", False):
+            if fmt is not None and fmt != backend.fmt:
+                raise ValueError(
+                    f"Raw carriers declared as {fmt} but the backend for qubit "
+                    f"{qubit_index} consumes {backend.fmt}; re-digitize the "
+                    f"capture in the backend's format"
+                )
+            if output == "states":
+                return backend.predict_states_from_raw
+            return lambda t: backend.fmt.from_raw(backend.predict_logits_from_raw(t))
+        if dequantize:
+            dequant_fmt = self._resolve_dequantize_fmt(fmt)
+            if output == "states":
+                return lambda t: backend.predict_states(dequant_fmt.from_raw(t))
+            return lambda t: backend.predict_logits(dequant_fmt.from_raw(t))
+        raise TypeError(
+            f"Backend for qubit {qubit_index} ({backend.name!r}) does not "
+            f"support raw integer carriers; serve float traces instead, or "
+            f"pass dequantize=True to opt into an explicit float fallback"
+        )
+
+    def _resolve_dequantize_fmt(self, fmt: FixedPointFormat | None) -> FixedPointFormat:
+        """The format the dequantize fallback reads carriers in.
+
+        An explicit ``fmt`` wins; otherwise the carriers are assumed to be in
+        the format the engine's raw-capable backends consume (the only
+        sensible capture format for a mixed engine), falling back to Q16.16
+        when no backend is raw-capable.  Raw-capable backends in *multiple*
+        formats make the default ambiguous -- that is an error, not a guess.
+        """
+        if fmt is not None:
+            return fmt
+        fmts = {
+            backend.fmt
+            for backend in self.backends
+            if getattr(backend, "supports_raw", False)
+        }
+        if len(fmts) == 1:
+            return next(iter(fmts))
+        if len(fmts) > 1:
+            names = ", ".join(sorted(str(f) for f in fmts))
+            raise ValueError(
+                f"Cannot infer the carrier format for dequantization: the "
+                f"engine's raw-capable backends use multiple formats ({names}); "
+                f"pass fmt explicitly"
+            )
+        return Q16_16
+
     def _run_per_qubit(
         self,
-        fn: Callable[[ReadoutBackend, np.ndarray], np.ndarray],
+        fn: Callable[[ReadoutBackend, np.ndarray, int], np.ndarray],
         traces: np.ndarray,
         out: np.ndarray,
         parallel: bool | None,
@@ -228,7 +463,7 @@ class ReadoutEngine:
         if executor is not None:
             def run_qubit(qubit_index: int) -> None:
                 out[:, qubit_index] = fn(
-                    self.backends[qubit_index], traces[:, qubit_index]
+                    self.backends[qubit_index], traces[:, qubit_index], qubit_index
                 )
 
             # list() propagates the first worker exception, if any.
@@ -236,7 +471,7 @@ class ReadoutEngine:
         else:
             for qubit_index in range(self.n_qubits):
                 out[:, qubit_index] = fn(
-                    self.backends[qubit_index], traces[:, qubit_index]
+                    self.backends[qubit_index], traces[:, qubit_index], qubit_index
                 )
 
     def _get_executor(self, workers: int) -> ThreadPoolExecutor | None:

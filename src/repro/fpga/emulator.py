@@ -156,8 +156,15 @@ class FpgaStudentEmulator:
         return features[0] if single else features
 
     def _digitize(self, traces: np.ndarray) -> np.ndarray:
-        """ADC conversion into the compact raw carrier (already saturated)."""
-        return self.fmt.to_raw(traces).astype(self.carrier_dtype, copy=False)
+        """ADC conversion into the compact raw carrier (already saturated).
+
+        Delegates to the one shared definition of the ADC step so a capture
+        pipeline that digitizes once and serves raw carriers is bit-identical
+        to this emulator digitizing internally by construction.
+        """
+        from repro.readout.preprocessing import digitize_traces
+
+        return digitize_traces(traces, fmt=self.fmt)
 
     def features_raw(self, traces: np.ndarray) -> np.ndarray:
         """Raw fixed-point student input vectors (averaged+normalized I/Q, MF)."""

@@ -97,6 +97,18 @@ class EarlyStopping:
         self.best_params: dict[str, np.ndarray] | None = None
         self.stale_epochs = 0
 
+    def reset(self) -> None:
+        """Forget everything tracked during a previous fit.
+
+        :meth:`Trainer.fit` calls this at the start of every run; without it a
+        reused controller carries ``best_value``/``best_params``/
+        ``stale_epochs`` across fits and can stop a fresh fit at epoch 1 (or
+        restore stale parameters from the previous model).
+        """
+        self.best_value = None
+        self.best_params = None
+        self.stale_epochs = 0
+
     @property
     def maximize(self) -> bool:
         """Whether the monitored metric should be maximized."""
@@ -206,6 +218,8 @@ class Trainer:
         if not self.model.is_built:
             self.model.build(x_train.shape[1])
 
+        if self.early_stopping is not None:
+            self.early_stopping.reset()
         history = TrainingHistory()
         for epoch in range(self.max_epochs):
             if self.scheduler is not None:
@@ -252,8 +266,10 @@ class Trainer:
     def _run_epoch(self, x_train: np.ndarray, y_train: np.ndarray) -> float:
         n = x_train.shape[0]
         order = self._rng.permutation(n) if self.shuffle else np.arange(n)
+        # The epoch loss is the sample-weighted mean of the (mean-reduced)
+        # batch losses: weighting every batch equally would over-weight the
+        # ragged last batch whenever n % batch_size != 0.
         total_loss = 0.0
-        batches = 0
         for start in range(0, n, self.batch_size):
             idx = order[start : start + self.batch_size]
             xb, yb = x_train[idx], y_train[idx]
@@ -262,9 +278,8 @@ class Trainer:
             grad = self.loss.backward()
             self.model.backward(grad)
             self.optimizer.step(self.model.parameters(), self.model.gradients())
-            total_loss += batch_loss
-            batches += 1
-        return total_loss / max(batches, 1)
+            total_loss += float(batch_loss) * idx.shape[0]
+        return total_loss / n
 
     # -------------------------------------------------------------- evaluation
     def evaluate(self, x: np.ndarray, y: np.ndarray) -> dict[str, float]:

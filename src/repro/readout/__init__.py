@@ -47,6 +47,7 @@ from repro.readout.dataset import (
 )
 from repro.readout.matched_filter import MatchedFilter, train_matched_filter
 from repro.readout.preprocessing import (
+    digitize_traces,
     interval_average,
     averaged_feature_dimension,
     ShiftNormalizer,
@@ -70,6 +71,7 @@ __all__ = [
     "truncate_traces",
     "MatchedFilter",
     "train_matched_filter",
+    "digitize_traces",
     "interval_average",
     "averaged_feature_dimension",
     "ShiftNormalizer",

@@ -25,11 +25,37 @@ import numpy as np
 from repro.readout.matched_filter import MatchedFilter, train_matched_filter
 
 __all__ = [
+    "digitize_traces",
     "interval_average",
     "averaged_feature_dimension",
     "ShiftNormalizer",
     "StudentFeatureExtractor",
 ]
+
+
+def digitize_traces(traces: np.ndarray, fmt=None) -> np.ndarray:
+    """The capture-side ADC step: float I/Q traces to raw integer carriers.
+
+    Converts ``traces`` (any shape ending in I/Q samples) to the raw
+    fixed-point representation of ``fmt`` (default Q16.16) -- round to
+    nearest, saturate to the word length -- and returns them in the format's
+    compact carrier dtype (int32 for word lengths up to 32 bits).  This is
+    exactly the conversion the FPGA's capture register performs and exactly
+    what :class:`repro.fpga.emulator.FpgaStudentEmulator` applies internally
+    to float traces, so a pipeline that digitizes once here and serves the
+    carriers through the raw entry points
+    (:meth:`repro.engine.engine.ReadoutEngine.discriminate_all_raw`) is
+    bit-identical to one serving the original float traces -- minus the
+    per-call float round-trip.
+    """
+    if fmt is None:
+        # Imported lazily: repro.fpga depends on repro.core.student, which
+        # imports this module -- a module-level import would be circular.
+        from repro.fpga.fixed_point import Q16_16
+
+        fmt = Q16_16
+    traces = np.asarray(traces, dtype=np.float64)
+    return fmt.to_raw(traces).astype(fmt.raw_carrier_dtype, copy=False)
 
 
 def interval_average(traces: np.ndarray, samples_per_interval: int) -> np.ndarray:

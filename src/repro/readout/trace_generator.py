@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.readout.physics import ReadoutPhysics
+from repro.readout.preprocessing import digitize_traces
 
 __all__ = ["TraceGenerator", "MultiplexedTraceGenerator"]
 
@@ -67,6 +68,26 @@ class TraceGenerator:
         if params.noise_sigma > 0:
             shots = shots + self.rng.normal(0.0, params.noise_sigma, size=shots.shape)
         return shots
+
+    def generate_raw(
+        self,
+        qubit_index: int,
+        state: int,
+        duration_ns: float,
+        n_shots: int = 1,
+        fmt=None,
+    ) -> np.ndarray:
+        """Generate shots already digitized into raw integer ADC carriers.
+
+        Same physics as :meth:`generate`, followed by the capture-side ADC
+        step (:func:`repro.readout.preprocessing.digitize_traces`) in the
+        ``fmt`` fixed-point format (default Q16.16).  Returns ``(n_shots,
+        n_samples, 2)`` in the format's compact carrier dtype (int32 for
+        Q16.16) -- the form the raw serving entry points consume directly.
+        """
+        return digitize_traces(
+            self.generate(qubit_index, state, duration_ns, n_shots=n_shots), fmt=fmt
+        )
 
 
 class MultiplexedTraceGenerator:
@@ -185,3 +206,22 @@ class MultiplexedTraceGenerator:
             if sigma > 0:
                 shots[:, q] += self.rng.normal(0.0, sigma, size=(n_shots, n_samples, 2))
         return shots
+
+    def generate_shots_raw(
+        self,
+        joint_state: np.ndarray,
+        duration_ns: float,
+        n_shots: int,
+        fmt=None,
+    ) -> np.ndarray:
+        """Generate multiplexed shots already digitized into raw ADC carriers.
+
+        Same physics as :meth:`generate_shots`, followed by the capture-side
+        ADC step once for the whole batch (see
+        :func:`repro.readout.preprocessing.digitize_traces`).  Returns
+        ``(n_shots, n_qubits, n_samples, 2)`` integer carriers ready for
+        :meth:`repro.engine.engine.ReadoutEngine.discriminate_all_raw`.
+        """
+        return digitize_traces(
+            self.generate_shots(joint_state, duration_ns, n_shots), fmt=fmt
+        )

@@ -37,6 +37,16 @@ class TestProtocol:
         assert fixed_backend.name == "fpga" and fixed_backend.is_bit_exact
         assert set(BACKEND_KINDS) == {"float", "fpga"}
 
+    def test_supports_raw_capability(self, trained_student):
+        """Only the integer datapath consumes raw carriers directly."""
+        assert FloatStudentBackend(trained_student).supports_raw is False
+        fixed_backend = FixedPointBackend.from_student(trained_student)
+        assert fixed_backend.supports_raw is True
+        # The capability implies the raw entry points and the carrier format.
+        assert hasattr(fixed_backend, "predict_logits_from_raw")
+        assert hasattr(fixed_backend, "predict_states_from_raw")
+        assert fixed_backend.fmt is fixed_backend.parameters.fmt
+
     def test_make_backend_dispatch(self, trained_student):
         assert isinstance(make_backend(trained_student, "float"), FloatStudentBackend)
         assert isinstance(make_backend(trained_student, "fpga"), FixedPointBackend)

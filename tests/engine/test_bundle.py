@@ -94,6 +94,30 @@ class TestRoundTrip:
             assert (fpga_bundle / relative).exists()
             assert len(digest) == 64
 
+    def test_manifest_records_carrier_dtype(
+        self, fpga_bundle, trained_student, small_dataset, tmp_path
+    ):
+        """fpga entries carry the raw ADC carrier dtype; float entries None."""
+        manifest = json.loads((fpga_bundle / MANIFEST_NAME).read_text())
+        for entry in manifest["qubits"]:
+            assert entry["carrier_dtype"] == "int32"  # Q16.16 word fits int32
+        float_engine = ReadoutEngine.from_students([trained_student], backend="float")
+        save_engine(float_engine, tmp_path / "float-bundle")
+        manifest = json.loads((tmp_path / "float-bundle" / MANIFEST_NAME).read_text())
+        assert manifest["qubits"][0]["carrier_dtype"] is None
+
+    def test_raw_serving_survives_round_trip(
+        self, synthetic_fpga_engine, synthetic_traces, fpga_bundle
+    ):
+        from repro.readout.preprocessing import digitize_traces
+
+        carriers = digitize_traces(synthetic_traces)
+        loaded = load_engine(fpga_bundle)
+        np.testing.assert_array_equal(
+            loaded.predict_logits_all_raw(carriers),
+            synthetic_fpga_engine.predict_logits_all_raw(carriers),
+        )
+
 
 class TestIntegrity:
     def test_checksum_tampering_detected(self, fpga_bundle):
@@ -130,3 +154,22 @@ class TestIntegrity:
         manifest_path.write_text(json.dumps(manifest))
         with pytest.raises(ValueError, match="unknown backend"):
             load_engine(fpga_bundle)
+
+    def test_carrier_dtype_mismatch_rejected(self, fpga_bundle):
+        """A manifest whose declared carrier dtype contradicts the payload fails."""
+        manifest_path = fpga_bundle / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        manifest["qubits"][0]["carrier_dtype"] = "int64"
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="carrier"):
+            load_engine(fpga_bundle)
+
+    def test_legacy_manifest_without_carrier_dtype_loads(self, fpga_bundle):
+        """Bundles written before the dtype field must keep loading."""
+        manifest_path = fpga_bundle / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        for entry in manifest["qubits"]:
+            entry.pop("carrier_dtype")
+        manifest_path.write_text(json.dumps(manifest))
+        loaded = load_engine(fpga_bundle)
+        assert loaded.supports_raw

@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.nn.layers import Dense, ReLU
+from repro.nn.losses import Loss
 from repro.nn.network import Sequential
 from repro.nn.schedulers import StepDecay
 from repro.nn.trainer import EarlyStopping, Trainer, train_validation_split
@@ -78,6 +79,55 @@ class TestFit:
             Trainer(_small_model(), batch_size=0)
 
 
+class _MeanTargetLoss(Loss):
+    """Deterministic probe loss: forward = mean(target), zero gradient.
+
+    The zero gradient keeps the model (and hence later batches) unchanged, so
+    the per-batch loss values are known exactly and the epoch average can be
+    asserted to the digit.
+    """
+
+    def forward(self, prediction, target):
+        self._shape = np.asarray(prediction).shape
+        return float(np.mean(target))
+
+    def backward(self):
+        return np.zeros(self._shape)
+
+
+class TestEpochLossAveraging:
+    def test_ragged_last_batch_weighted_by_size(self):
+        x = np.zeros((5, 3))
+        y = np.array([0.0, 0.0, 0.0, 0.0, 1.0])
+        trainer = Trainer(
+            _small_model(dim=3),
+            loss=_MeanTargetLoss(),
+            max_epochs=1,
+            batch_size=4,
+            shuffle=False,
+            seed=0,
+        )
+        history = trainer.fit(x, y)
+        # Batches of 4 and 1 shots with batch-mean losses 0.0 and 1.0: the
+        # old equally-weighted average reported (0.0 + 1.0) / 2 = 0.5; the
+        # sample-weighted epoch loss is 1/5.
+        assert history.train_loss[0] == pytest.approx(0.2)
+
+    def test_exact_batches_unaffected(self):
+        x = np.zeros((4, 3))
+        y = np.array([0.0, 1.0, 0.0, 1.0])
+        trainer = Trainer(
+            _small_model(dim=3),
+            loss=_MeanTargetLoss(),
+            max_epochs=1,
+            batch_size=2,
+            shuffle=False,
+            seed=0,
+        )
+        history = trainer.fit(x, y)
+        assert history.train_loss[0] == pytest.approx(0.5)
+
+
 class TestEvaluate:
     def test_reports_loss_and_accuracy(self):
         x, y = _toy_classification(seed=5)
@@ -127,6 +177,40 @@ class TestEarlyStopping:
     def test_invalid_patience(self):
         with pytest.raises(ValueError):
             EarlyStopping(patience=0)
+
+    def test_reset_clears_tracking(self):
+        model = _small_model(seed=10)
+        stopper = EarlyStopping(patience=2, monitor="val_loss")
+        assert stopper.update(0.5, model) is False
+        assert stopper.update(0.6, model) is False  # stale
+        assert stopper.best_value == 0.5
+        assert stopper.best_params is not None
+        assert stopper.stale_epochs == 1
+        stopper.reset()
+        assert stopper.best_value is None
+        assert stopper.best_params is None
+        assert stopper.stale_epochs == 0
+
+    def test_reused_controller_does_not_stop_fresh_fit_at_epoch_one(self):
+        """Regression: state surviving a previous fit() stopped the next one."""
+        x, y = _toy_classification(n=60, seed=9)
+        stopper = EarlyStopping(patience=1, monitor="train_loss", restore_best=False)
+        trainer = Trainer(
+            _small_model(seed=9),
+            max_epochs=6,
+            batch_size=16,
+            early_stopping=stopper,
+            seed=9,
+        )
+        trainer.fit(x, y)
+        # Poison the controller the way a previous run would: a best value no
+        # fresh epoch can beat.  Without the reset inside fit(), epoch 1 of
+        # the next run counts as stale and training stops immediately.
+        stopper.best_value = -1e9
+        stopper.stale_epochs = 0
+        history = trainer.fit(x, y)
+        assert history.epochs_run >= 2  # epoch 1 improves on a fresh best
+        assert stopper.best_value != -1e9
 
 
 class TestHistory:

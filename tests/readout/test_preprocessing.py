@@ -187,3 +187,54 @@ def test_property_averaging_preserves_mean(n_samples, window):
     averaged = interval_average(trace, window)
     used = (n_samples // window) * window
     np.testing.assert_allclose(averaged.mean(axis=0), trace[:used].mean(axis=0), atol=1e-9)
+
+
+class TestDigitizeTraces:
+    """The capture-side ADC step shared with the fixed-point emulator."""
+
+    def test_matches_format_to_raw_in_carrier_dtype(self):
+        from repro.fpga.fixed_point import Q16_16
+        from repro.readout.preprocessing import digitize_traces
+
+        rng = np.random.default_rng(0)
+        traces = rng.uniform(-3.0, 3.0, size=(5, 12, 2))
+        raw = digitize_traces(traces)
+        assert raw.dtype == np.int32
+        np.testing.assert_array_equal(raw, Q16_16.to_raw(traces))
+
+    def test_bit_identical_to_emulator_adc(self):
+        """digitize-once + raw entry == the emulator digitizing internally."""
+        import sys
+        from pathlib import Path
+
+        sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "fpga"))
+        from make_golden import CASES, build_parameters, build_traces
+
+        from repro.fpga.emulator import FpgaStudentEmulator
+        from repro.readout.preprocessing import digitize_traces
+
+        emulator = FpgaStudentEmulator(build_parameters(CASES["q16_16"]))
+        traces = build_traces()
+        np.testing.assert_array_equal(
+            emulator.predict_logits_from_raw(digitize_traces(traces)),
+            emulator.predict_logits_raw(traces),
+        )
+
+    def test_saturates_out_of_range_values(self):
+        from repro.fpga.fixed_point import Q16_16
+        from repro.readout.preprocessing import digitize_traces
+
+        raw = digitize_traces(np.array([[1.0e9, -1.0e9]]))
+        assert int(raw[0, 0]) == Q16_16.max_raw
+        assert int(raw[0, 1]) == Q16_16.min_raw
+
+    def test_custom_format_carrier(self):
+        from repro.fpga.fixed_point import FixedPointFormat
+        from repro.readout.preprocessing import digitize_traces
+
+        q8_8 = FixedPointFormat(integer_bits=8, fractional_bits=8)
+        raw = digitize_traces(np.array([[1.5, -0.25]]), fmt=q8_8)
+        assert raw.dtype == np.int32
+        np.testing.assert_array_equal(raw, [[384, -64]])
+        wide = FixedPointFormat(integer_bits=40, fractional_bits=20)
+        assert digitize_traces(np.zeros((1, 2)), fmt=wide).dtype == np.int64

@@ -145,3 +145,38 @@ class TestMultiplexedTraceGenerator:
             np.array([1]), 400.0, 5
         )
         assert shots.shape == (5, 1, 40, 2)
+
+
+class TestRawGeneration:
+    """Capture-side digitize-once: generators emitting int32 ADC carriers."""
+
+    def test_generate_raw_matches_digitized_floats(self, small_device: ReadoutPhysics):
+        from repro.readout.preprocessing import digitize_traces
+
+        floats = TraceGenerator(small_device, seed=5).generate(0, 1, 400.0, n_shots=6)
+        raw = TraceGenerator(small_device, seed=5).generate_raw(0, 1, 400.0, n_shots=6)
+        assert raw.dtype == np.int32
+        np.testing.assert_array_equal(raw, digitize_traces(floats))
+
+    def test_generate_shots_raw_multiplexed(self, small_device: ReadoutPhysics):
+        from repro.readout.preprocessing import digitize_traces
+
+        state = np.array([1, 0])
+        floats = MultiplexedTraceGenerator(small_device, seed=6).generate_shots(
+            state, 400.0, n_shots=5
+        )
+        raw = MultiplexedTraceGenerator(small_device, seed=6).generate_shots_raw(
+            state, 400.0, n_shots=5
+        )
+        assert raw.dtype == np.int32
+        assert raw.shape == floats.shape
+        np.testing.assert_array_equal(raw, digitize_traces(floats))
+
+    def test_generate_raw_custom_format(self, small_device: ReadoutPhysics):
+        from repro.fpga.fixed_point import FixedPointFormat
+
+        wide = FixedPointFormat(integer_bits=40, fractional_bits=20)
+        raw = TraceGenerator(small_device, seed=7).generate_raw(
+            0, 0, 400.0, n_shots=2, fmt=wide
+        )
+        assert raw.dtype == np.int64  # words wider than 32 bits need int64

@@ -11,10 +11,15 @@ This example reproduces the paper's hardware story in software:
 4. package the trained system as a deployable ``ReadoutEngine`` artifact
    bundle (``manifest.json`` + per-qubit weights, checksummed), reload it,
    and serve it the way the hardware is served: digitize the capture once
-   into int32 raw carriers and feed them to the engine's raw entry points,
-   verifying they are bit-identical to the float-trace path and survive the
-   bundle round trip,
-5. print the latency (clock-cycle) and resource (LUT/FF/DSP) estimates for
+   into int32 raw carriers and hand ``serve()`` a raw-carrier
+   ``ReadoutRequest`` -- the one dispatch path behind every serving surface
+   -- verifying it is bit-identical to the float-trace request and survives
+   the bundle round trip,
+5. put a ``ReadoutService`` front-end over the reloaded engine and push many
+   small concurrent requests through it: the service coalesces them into
+   micro-batches (and can shard qubit groups across worker processes with
+   ``n_shards >= 2``), bit-identical to direct ``serve()`` calls,
+6. print the latency (clock-cycle) and resource (LUT/FF/DSP) estimates for
    both student configurations, next to the values reported in Table III.
 
 Run it with::
@@ -35,7 +40,8 @@ from repro.analysis.tables import format_table
 from repro.core import scaled_experiment_config
 from repro.core.config import FNN_A, FNN_B, default_student_assignment
 from repro.core.pipeline import QubitReadoutPipeline
-from repro.engine import FixedPointBackend, ReadoutEngine, make_backend
+from repro.engine import FixedPointBackend, ReadoutEngine, ReadoutRequest, make_backend
+from repro.service import ReadoutService
 from repro.fpga import LatencyModel, ResourceModel, quantize_student
 from repro.fpga.report import PAPER_TABLE3
 from repro.readout import digitize_traces
@@ -81,21 +87,24 @@ def main() -> None:
         f"(bit-exact integer datapath: {fpga_backend.is_bit_exact})"
     )
 
-    # 4. Deployable artifact bundle, served on the raw-carrier path ----------
+    # 4. Deployable artifact bundle, served through ReadoutRequest -> serve() -
     # The deployed datapath never sees floats: the ADC hands the FPGA integer
-    # samples.  Digitize the capture once (the ADC step) and serve the int32
-    # carriers through the engine's raw entry points -- no per-call float
-    # round-trip -- checking bit-identity against the float-trace surface.
+    # samples.  Digitize the capture once (the ADC step) and hand serve() a
+    # raw-carrier request -- no per-call float round-trip -- checking
+    # bit-identity against the float-trace request.  serve() is the one
+    # dispatch path; states/logits/both, qubit subsets, float or raw are all
+    # the same call.
     engine = ReadoutEngine([fpga_backend])
     multiplexed = view.test_traces[:, None, :, :]  # (shots, 1 qubit, samples, 2)
     carriers = digitize_traces(multiplexed)        # int32 raw ADC carriers
-    reference_logits = engine.predict_logits_all(multiplexed)
-    raw_logits = engine.predict_logits_all_raw(carriers)
-    assert np.array_equal(reference_logits, raw_logits)
+    reference = engine.serve(ReadoutRequest(traces=multiplexed, output="logits"))
+    raw_result = engine.serve(ReadoutRequest(raw=carriers, output="both"))
+    assert np.array_equal(reference.logits, raw_result.logits)
     print(
         f"\nRaw-carrier serving: {carriers.shape[0]} shots digitized once to "
-        f"{carriers.dtype}; raw path is bit-identical to the float round-trip "
-        f"(engine.supports_raw={engine.supports_raw})"
+        f"{carriers.dtype}; the raw request is bit-identical to the float "
+        f"round-trip (engine.supports_raw={engine.supports_raw}, "
+        f"served in {raw_result.elapsed_s * 1e3:.1f} ms)"
     )
     with tempfile.TemporaryDirectory() as tmp:
         bundle_dir = Path(tmp) / "readout-v1"
@@ -105,21 +114,46 @@ def main() -> None:
         )
         print(f"Saved engine bundle to {bundle_dir.name}/: {', '.join(artifact_files)}")
         loaded = ReadoutEngine.load(bundle_dir)
-        reloaded_logits = loaded.predict_logits_all_raw(carriers)
-        assert np.array_equal(reference_logits, reloaded_logits)
+        reloaded = loaded.serve(ReadoutRequest(raw=carriers, output="logits"))
+        assert np.array_equal(reference.logits, reloaded.logits)
         manifest = json.loads(manifest_path.read_text())
         print(
             f"Reloaded engine ({loaded.backend_kind} backend, "
             f"{loaded.n_qubits} qubit, carrier dtype "
-            f"{manifest['qubits'][0]['carrier_dtype']}) serves bit-identical "
-            f"raw-carrier logits: {manifest_path.name} checksums verified"
+            f"{manifest['qubits'][0]['carrier_dtype']}, shard hints for "
+            f"{manifest['shard_layout']['max_shards']} shard(s)) serves "
+            f"bit-identical raw-carrier logits: {manifest_path.name} "
+            f"checksums verified"
         )
-        sequential = loaded.discriminate_all_raw(carriers, parallel=False)
-        parallel = loaded.discriminate_all_raw(carriers, parallel=True)
-        assert np.array_equal(sequential, parallel)
+        sequential = loaded.serve(ReadoutRequest(raw=carriers), parallel=False)
+        parallel = loaded.serve(ReadoutRequest(raw=carriers), parallel=True)
+        assert np.array_equal(sequential.states, parallel.states)
         print("Parallel and sequential raw serving paths are bit-identical.")
 
-    # 5. Latency and resource estimates at paper scale ------------------------
+        # 5. A micro-batching service front-end over the same deployment -----
+        # Heavy traffic is many small concurrent requests, not one offline
+        # batch.  ReadoutService coalesces them on a bounded queue and
+        # dispatches micro-batches through the same serve() path (with
+        # n_shards >= 2 it would shard qubit groups across worker processes,
+        # each loading the bundle saved above).
+        chunk = 16
+        requests = [
+            ReadoutRequest(raw=carriers[start : start + chunk])
+            for start in range(0, carriers.shape[0], chunk)
+        ]
+        with ReadoutService(engine=loaded, max_batch=16, max_wait_ms=5.0) as service:
+            futures = [service.submit(request) for request in requests]
+            served = np.concatenate([future.result().states for future in futures])
+        assert np.array_equal(served, sequential.states)
+        stats = service.stats
+        print(
+            f"ReadoutService answered {stats.requests_served} concurrent "
+            f"requests in {stats.batches} micro-batch dispatch(es) "
+            f"(largest {stats.largest_batch_shots} shots), bit-identical to "
+            f"direct serve()."
+        )
+
+    # 6. Latency and resource estimates at paper scale ------------------------
     print("\nLatency / resource model at paper scale (500-sample traces, 100 MHz):")
     rows = []
     for architecture in (FNN_A, FNN_B):

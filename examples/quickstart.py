@@ -9,8 +9,9 @@ configuration:
    FNN-A / FNN-B students,
 3. report per-qubit assignment fidelities and the geometric means (the
    quantities of Table I),
-4. use the trained system for independent (mid-circuit-style) readout of a
-   single qubit.
+4. package the trained system as a serving engine and use the unified
+   request API (``ReadoutRequest`` -> ``engine.serve()``) for independent
+   (mid-circuit-style) readout of a single qubit.
 
 Run it with::
 
@@ -24,6 +25,7 @@ from __future__ import annotations
 from repro.analysis import prepare_dataset, run_klinq
 from repro.analysis.tables import format_fidelity_table
 from repro.core import scaled_experiment_config
+from repro.engine import ReadoutRequest
 
 
 def main() -> None:
@@ -55,13 +57,23 @@ def main() -> None:
     print(f"Total teacher parameters : {report.total_teacher_parameters}")
 
     # 4. Independent, mid-circuit-style readout of one qubit ------------------
+    # The serving form of the trained system is an engine; every question is
+    # a ReadoutRequest (float traces or raw carriers, any qubit subset,
+    # states/logits/both) answered by the one serve() dispatch path.
     qubit_index = 2
     view = artifacts.dataset.qubit_view(qubit_index)
-    single_shot = view.test_traces[0]
-    state = readout.discriminate(single_shot, qubit_index=qubit_index)
+    engine = readout.to_engine(backend="float")
+    request = ReadoutRequest(
+        traces=view.test_traces[:1, None],  # one shot, this qubit only
+        qubits=(qubit_index,),
+        output="both",
+    )
+    result = engine.serve(request)
     print(
         f"\nMid-circuit readout of qubit {qubit_index + 1} on one shot: "
-        f"assigned |{state}>, prepared |{view.test_labels[0]}>"
+        f"assigned |{int(result.states[0, 0])}>, prepared "
+        f"|{view.test_labels[0]}> (logit {result.logits[0, 0]:+.3f}, "
+        f"served in {result.elapsed_s * 1e3:.2f} ms)"
     )
 
 

@@ -118,6 +118,11 @@ class DistillationTrainer:
 
         optimizer = Adam(learning_rate=config.learning_rate)
         network = self.student.network
+        # Parameter/gradient dicts are views onto buffers that are stable for
+        # a built network (layers write gradients in place), so build them
+        # once per fit -- the same per-step discipline as Trainer._run_epoch.
+        params = network.parameters()
+        grads = network.gradients()
         result = DistillationResult()
         best_accuracy = -np.inf
         best_params: dict[str, np.ndarray] | None = None
@@ -137,7 +142,7 @@ class DistillationTrainer:
                 )
                 grad = self.loss.backward()
                 network.backward(grad)
-                optimizer.step(network.parameters(), network.gradients())
+                optimizer.step(params, grads)
                 epoch_total += float(total) * idx.shape[0]
                 epoch_ce += float(ce) * idx.shape[0]
                 epoch_kd += float(kd) * idx.shape[0]

@@ -3,17 +3,30 @@
 This package is the single inference surface of the reproduction -- the API
 everything downstream of training talks to:
 
+* :mod:`repro.engine.request` -- :class:`ReadoutRequest` (float ``traces``
+  or integer ``raw`` carrier, qubit subset, states/logits/both) and
+  :class:`ReadoutResult` (per-qubit arrays + timing metadata): the request
+  objects every serving surface speaks.
 * :mod:`repro.engine.backends` -- the :class:`ReadoutBackend` protocol and
   its two first-class implementations, :class:`FloatStudentBackend` (the
   float64 student network) and :class:`FixedPointBackend` (the bit-exact
   Q16.16 integer datapath), selected everywhere by the strings ``"float"`` /
   ``"fpga"``.
 * :mod:`repro.engine.engine` -- :class:`ReadoutEngine`, one backend per
-  qubit with batched multi-qubit serving (per-qubit thread fan-out with a
-  bit-identical sequential fallback) and single-qubit mid-circuit readout.
+  qubit with :meth:`~ReadoutEngine.serve` as the single dispatch path
+  (validate once, route float vs. raw, fan selected qubits out across a
+  thread pool with a bit-identical sequential fallback).  The legacy
+  ``discriminate*``/``predict_logits*`` methods survive as deprecated shims
+  over ``serve()``.
 * :mod:`repro.engine.bundle` -- persisted artifact bundles
   (``manifest.json`` + per-qubit student and quantized-parameter files with
-  SHA-256 checksums) so a trained system deploys as a directory.
+  SHA-256 checksums and shard-layout hints) so a trained system deploys as
+  a directory.
+
+For traffic-level concerns -- micro-batching many small concurrent requests
+and sharding qubit groups across worker processes -- see
+:class:`repro.service.ReadoutService`, which consumes the same request
+objects.
 
 The typical flow::
 
@@ -23,7 +36,8 @@ The typical flow::
     engine.save("artifacts/readout-v1")
     ...
     engine = ReadoutEngine.load("artifacts/readout-v1")
-    states = engine.discriminate_all(traces)     # (shots, qubits)
+    result = engine.serve(ReadoutRequest(traces=traces, output="both"))
+    result.states                                # (shots, qubits)
 """
 
 from repro.engine.backends import (
@@ -32,7 +46,9 @@ from repro.engine.backends import (
     FloatStudentBackend,
     ReadoutBackend,
     make_backend,
+    states_from_logits,
 )
+from repro.engine.request import OUTPUT_KINDS, ReadoutRequest, ReadoutResult
 from repro.engine.engine import ReadoutEngine, serve_traces
 from repro.engine.bundle import (
     BUNDLE_FORMAT_VERSION,
@@ -47,6 +63,10 @@ __all__ = [
     "FixedPointBackend",
     "BACKEND_KINDS",
     "make_backend",
+    "states_from_logits",
+    "OUTPUT_KINDS",
+    "ReadoutRequest",
+    "ReadoutResult",
     "ReadoutEngine",
     "serve_traces",
     "BUNDLE_FORMAT_VERSION",

@@ -42,7 +42,23 @@ __all__ = [
     "FixedPointBackend",
     "BACKEND_KINDS",
     "make_backend",
+    "states_from_logits",
 ]
+
+
+def states_from_logits(logits: np.ndarray) -> np.ndarray:
+    """Hard 0/1 assignments from float logits -- the shared zero-threshold rule.
+
+    Both datapaths threshold at zero: the float student computes
+    ``predict_logits(...) >= 0`` and the FPGA datapath's
+    :class:`~repro.fpga.modules.ThresholdModule` computes ``raw_logit >= 0``.
+    The raw-to-float conversion divides by a positive power-of-two scale, so
+    it preserves sign (and zero) exactly -- thresholding the float logits is
+    therefore bit-identical to asking either backend for states directly.
+    The engine's ``output="both"`` serving path relies on this to answer both
+    questions from a single inference pass.
+    """
+    return (np.asarray(logits) >= 0.0).astype(np.int64)
 
 #: Backend selector strings accepted everywhere a datapath is chosen.
 BACKEND_KINDS = ("float", "fpga")

@@ -8,8 +8,8 @@ control hardware, and reload bit-exactly:
 
     bundle/
       manifest.json           format version, backend kind, qubit->architecture
-                              map, per-qubit raw-carrier dtype, per-file
-                              SHA-256 checksums
+                              map, per-qubit raw-carrier dtype, shard-layout
+                              hints, per-file SHA-256 checksums
       qubit0/
         student.json          student config (architecture, extractor scalars,
         student.npz           network layout) + float64 arrays
@@ -119,6 +119,17 @@ def save_engine(engine: ReadoutEngine, directory: str | Path) -> Path:
         "backend": engine.backend_kind,
         "n_qubits": engine.n_qubits,
         "qubits": qubits,
+        # Hints for process-sharded serving (repro.service.ReadoutService):
+        # the atomic qubit groups a shard boundary must not split, plus the
+        # finest useful shard count.  Per-qubit backends are independent, so
+        # the default granularity is one group per qubit; an engine whose
+        # backends shared state across qubits would declare coarser groups
+        # here.  Purely advisory -- readers that predate (or ignore) the key
+        # load the bundle unchanged, and pre-hint manifests still load.
+        "shard_layout": {
+            "qubit_groups": [[qubit] for qubit in range(engine.n_qubits)],
+            "max_shards": engine.n_qubits,
+        },
         # POSIX-style keys keep bundles portable across platforms (a bundle
         # saved on Windows must load on the Linux control host).
         "files": {

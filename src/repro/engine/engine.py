@@ -6,28 +6,34 @@ capture path.  It is what the paper actually deploys -- five independent
 distilled students running concurrently on hardware -- reduced to a Python
 object with three jobs:
 
-* **independent readout** -- :meth:`discriminate` reads any single qubit at
-  any time (the mid-circuit capability), never touching the other backends;
-* **batched multi-qubit serving** -- :meth:`discriminate_all` fans the qubits
-  of a multiplexed batch out across a thread pool.  The fixed-point kernels
-  are int64 NumPy operations that release the GIL, and the datapath is
-  already chunked (:data:`repro.fpga.emulator._BATCH_CHUNK`), so per-qubit
-  threads genuinely overlap on multi-core hosts.  Qubits are independent, so
-  the parallel and sequential paths are bit-identical; a sequential fallback
-  is always available (``parallel=False``, or automatically on single-core
-  hosts).  The ``*_raw`` twins (:meth:`discriminate_all_raw`,
-  :meth:`predict_logits_all_raw`, :meth:`discriminate_raw`) serve
-  already-digitized int32/int64 carriers -- the form the ADC actually hands
-  the FPGA -- skipping the float round-trip on the hot path;
+* **one dispatch path** -- :meth:`serve` consumes a
+  :class:`~repro.engine.request.ReadoutRequest` (float ``traces`` or integer
+  ``raw`` carrier, any qubit subset, states/logits/both), validates it once,
+  routes float vs. raw, and fans the selected qubits out across a thread
+  pool.  The fixed-point kernels are int64 NumPy operations that release the
+  GIL, and the datapath is already chunked
+  (:data:`repro.fpga.emulator._BATCH_CHUNK`), so per-qubit threads genuinely
+  overlap on multi-core hosts.  Qubits are independent, so the parallel and
+  sequential paths are bit-identical; a sequential fallback is always
+  available (``parallel=False``, or automatically on single-core hosts).
+  The legacy entry points (``discriminate``/``predict_logits`` x single/all
+  x float/raw) are kept as thin shims that build the equivalent request --
+  new code should speak :meth:`serve` directly;
+* **independent readout** -- a request with ``qubits=(q,)`` (or the
+  :meth:`discriminate` shim) reads any single qubit at any time (the
+  mid-circuit capability), never touching the other backends;
 * **persistence** -- :meth:`save` / :meth:`load` turn the engine into a
-  deployable artifact directory (see :mod:`repro.engine.bundle`) instead of a
-  live Python object.
+  deployable artifact directory (see :mod:`repro.engine.bundle`) instead of
+  a live Python object.  :class:`repro.service.ReadoutService` builds on the
+  same request objects to micro-batch and shard traffic across processes
+  that each load such a bundle.
 """
 
 from __future__ import annotations
 
 import os
 import threading
+import time
 from collections.abc import Sequence
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
@@ -35,7 +41,13 @@ from typing import Callable
 
 import numpy as np
 
-from repro.engine.backends import ReadoutBackend, make_backend
+from repro.engine.backends import ReadoutBackend, make_backend, states_from_logits
+from repro.engine.request import (
+    ReadoutRequest,
+    ReadoutResult,
+    single_trace_shape_error,
+    validate_multiplexed_payload,
+)
 from repro.fpga.fixed_point import FixedPointFormat, Q16_16
 
 __all__ = ["ReadoutEngine", "serve_traces"]
@@ -49,7 +61,10 @@ def serve_traces(
     ``traces`` is ``(n_shots, n_samples, 2)`` or a single ``(n_samples, 2)``
     trace; a single trace is wrapped into a one-shot batch for ``fn`` and the
     scalar result unwrapped again.  This is the one definition of the
-    single-trace convention every readout serving surface shares.
+    single-trace convention every readout serving surface shares, and it
+    raises shape errors through the same formatter as the multiplexed
+    request validation (:mod:`repro.engine.request`), so single-qubit and
+    multiplexed callers see consistent expected-vs-actual messages.
 
     The input dtype is preserved: integer raw carriers (int32/int64 ADC
     output) pass through untouched so the integer-only datapaths downstream
@@ -58,6 +73,8 @@ def serve_traces(
     silently destroy int64 raw values above 2**53.)
     """
     traces = np.asarray(traces)
+    if traces.ndim not in (2, 3) or traces.shape[-1] != 2:
+        raise single_trace_shape_error(traces.shape, raw=traces.dtype.kind == "i")
     single = traces.ndim == 2
     if single:
         traces = traces[None, ...]
@@ -139,8 +156,8 @@ class ReadoutEngine:
     def supports_raw(self) -> bool:
         """Whether every per-qubit backend consumes raw integer carriers.
 
-        When False, the raw serving entry points refuse to serve unless the
-        caller explicitly opts into the ``dequantize`` float fallback.
+        When False, raw requests refuse to serve unless the caller explicitly
+        opts into the ``dequantize`` float fallback.
         """
         return all(
             getattr(backend, "supports_raw", False) for backend in self.backends
@@ -178,18 +195,116 @@ class ReadoutEngine:
             max_workers=max_workers,
         )
 
-    # ---------------------------------------------------------------- inference
+    # -------------------------------------------------------- the dispatch path
+    def serve(
+        self, request: ReadoutRequest, parallel: bool | None = None
+    ) -> ReadoutResult:
+        """Serve one :class:`~repro.engine.request.ReadoutRequest`.
+
+        The single dispatch path behind every serving surface: validates the
+        request once against this engine (qubit selection, carrier shape,
+        raw-capability opt-ins), routes float vs. raw, and fans the selected
+        qubits out per qubit -- across the worker pool when ``parallel`` is
+        true (``None`` = automatic: parallel whenever more than one worker is
+        available), else sequentially; both paths are bit-identical because
+        qubits are independent.
+
+        ``output="both"`` runs the logits pass once and derives the states by
+        the shared zero-threshold rule
+        (:func:`repro.engine.backends.states_from_logits`), which is
+        bit-identical to asking each backend for states directly.
+
+        Returns a :class:`~repro.engine.request.ReadoutResult` whose
+        ``states``/``logits`` columns follow the request's qubit order and
+        whose ``elapsed_s`` measures this call.
+        """
+        start = time.perf_counter()
+        if not isinstance(request, ReadoutRequest):
+            raise TypeError(
+                f"serve() takes a ReadoutRequest, got {type(request).__name__}; "
+                f"build one with ReadoutRequest(traces=...) or ReadoutRequest(raw=...)"
+            )
+        selected = self._resolve_qubits(request.qubits)
+        want_logits = request.output in ("logits", "both")
+        mode = "logits" if want_logits else "states"
+        if request.is_raw:
+            payload = request.raw
+            validate_multiplexed_payload(payload, len(selected), raw=True)
+            fns = [
+                self._raw_serving_fn(
+                    self.backends[qubit], qubit, mode, request.dequantize, request.fmt
+                )
+                for qubit in selected
+            ]
+        else:
+            payload = np.asarray(request.traces, dtype=np.float64)
+            validate_multiplexed_payload(payload, len(selected), raw=False)
+            fns = [
+                (self.backends[qubit].predict_logits if want_logits
+                 else self.backends[qubit].predict_states)
+                for qubit in selected
+            ]
+        out = np.empty(
+            (payload.shape[0], len(selected)),
+            dtype=np.float64 if want_logits else np.int64,
+        )
+        self._run_columns(fns, payload, out, parallel)
+        if request.output == "both":
+            logits, states = out, states_from_logits(out)
+        elif request.output == "logits":
+            logits, states = out, None
+        else:
+            logits, states = None, out
+        return ReadoutResult(
+            qubits=tuple(selected),
+            output=request.output,
+            states=states,
+            logits=logits,
+            n_shots=int(payload.shape[0]),
+            elapsed_s=time.perf_counter() - start,
+        )
+
+    # --------------------------------------------------------------- legacy API
+    #
+    # The eight original entry points -- discriminate/predict_logits x
+    # single/all x float/raw -- are kept as thin shims over serve().  They are
+    # **deprecated in favour of serve()**: they add no behaviour, exist so
+    # trained deployments keep working verbatim, and are pinned bit-identical
+    # to the request path by tests/engine/test_serve_api.py.
+
     def discriminate(self, traces: np.ndarray, qubit_index: int) -> np.ndarray:
         """Independent (mid-circuit capable) readout of a single qubit.
 
         ``traces`` is this qubit's batch ``(n_shots, n_samples, 2)`` or a
         single ``(n_samples, 2)`` trace; only that qubit's backend runs.
+
+        .. deprecated:: use ``serve(ReadoutRequest(traces=batch[:, None],
+           qubits=(qubit_index,)))`` -- this shim only adapts the single-qubit
+           trace convention onto the request path.
         """
-        return serve_traces(self._backend(qubit_index).predict_states, traces)
+        return serve_traces(
+            lambda batch: self.serve(
+                ReadoutRequest(
+                    traces=batch[:, None], qubits=(qubit_index,), output="states"
+                )
+            ).states[:, 0],
+            traces,
+        )
 
     def predict_logits(self, traces: np.ndarray, qubit_index: int) -> np.ndarray:
-        """Float logits of a single qubit's backend for its trace batch."""
-        return serve_traces(self._backend(qubit_index).predict_logits, traces)
+        """Float logits of a single qubit's backend for its trace batch.
+
+        .. deprecated:: use :meth:`serve` with ``qubits=(qubit_index,)`` and
+           ``output="logits"``.
+        """
+        return serve_traces(
+            lambda batch: self.serve(
+                ReadoutRequest(
+                    traces=batch[:, None], qubits=(qubit_index,), output="logits"
+                )
+            ).logits[:, 0],
+            traces,
+        )
 
     def discriminate_all(
         self, traces: np.ndarray, parallel: bool | None = None
@@ -197,49 +312,25 @@ class ReadoutEngine:
         """Read out every qubit of a batch of multiplexed shots.
 
         ``traces`` has shape ``(n_shots, n_qubits, n_samples, 2)``; the result
-        is ``(n_shots, n_qubits)`` of assigned states.  ``parallel`` selects
-        per-qubit thread fan-out (``None`` = automatic: parallel whenever more
-        than one worker is available); both paths are bit-identical because
-        qubits are independent.
+        is ``(n_shots, n_qubits)`` of assigned states.
+
+        .. deprecated:: use ``serve(ReadoutRequest(traces=traces)).states``.
         """
-        traces = self._validate_multiplexed(traces)
-        states = np.empty((traces.shape[0], self.n_qubits), dtype=np.int64)
-        self._run_per_qubit(
-            lambda backend, qubit_traces, _qubit: backend.predict_states(qubit_traces),
-            traces,
-            states,
-            parallel,
-        )
-        return states
+        return self.serve(
+            ReadoutRequest(traces=traces, output="states"), parallel=parallel
+        ).states
 
     def predict_logits_all(
         self, traces: np.ndarray, parallel: bool | None = None
     ) -> np.ndarray:
         """Float logits of every qubit for a multiplexed batch.
 
-        Same fan-out semantics as :meth:`discriminate_all`; the result is
-        ``(n_shots, n_qubits)`` of float logits.
+        .. deprecated:: use ``serve(ReadoutRequest(traces=traces,
+           output="logits")).logits``.
         """
-        traces = self._validate_multiplexed(traces)
-        logits = np.empty((traces.shape[0], self.n_qubits), dtype=np.float64)
-        self._run_per_qubit(
-            lambda backend, qubit_traces, _qubit: backend.predict_logits(qubit_traces),
-            traces,
-            logits,
-            parallel,
-        )
-        return logits
-
-    # ------------------------------------------------------------- raw carriers
-    #
-    # The deployed datapath never sees floats: the ADC hands the FPGA integer
-    # samples and the Q16.16 pipeline runs integer-only.  The ``*_raw`` entry
-    # points mirror the float-trace surface for callers holding already-
-    # digitized int32/int64 carriers (see
-    # :func:`repro.readout.preprocessing.digitize_traces` for the capture-side
-    # ADC step), skipping the per-backend float-to-raw round-trip entirely.
-    # On fpga backends the results are bit-identical to the float-trace path
-    # fed the traces the carriers were digitized from.
+        return self.serve(
+            ReadoutRequest(traces=traces, output="logits"), parallel=parallel
+        ).logits
 
     def discriminate_raw(
         self,
@@ -253,12 +344,23 @@ class ReadoutEngine:
         ``trace_raw`` is this qubit's digitized batch ``(n_shots, n_samples,
         2)`` or a single ``(n_samples, 2)`` trace of int32/int64 ADC samples.
         Backends without raw support raise unless ``dequantize`` explicitly
-        opts into the float fallback (see :meth:`discriminate_all_raw`).
+        opts into the float fallback (see :meth:`serve`).
+
+        .. deprecated:: use :meth:`serve` with ``raw=`` and
+           ``qubits=(qubit_index,)``.
         """
-        fn = self._raw_serving_fn(
-            self._backend(qubit_index), qubit_index, "states", dequantize, fmt
+        return serve_traces(
+            lambda batch: self.serve(
+                ReadoutRequest(
+                    raw=batch[:, None],
+                    qubits=(qubit_index,),
+                    output="states",
+                    dequantize=dequantize,
+                    fmt=fmt,
+                )
+            ).states[:, 0],
+            trace_raw,
         )
-        return serve_traces(fn, self._validate_raw(trace_raw))
 
     def predict_logits_from_raw(
         self,
@@ -272,11 +374,22 @@ class ReadoutEngine:
         Named ``*_from_raw`` to match the backend-level entry point it fans
         into -- ``FixedPointBackend.predict_logits_raw`` is a *different*
         operation (float traces in, raw integer logits out).
+
+        .. deprecated:: use :meth:`serve` with ``raw=``,
+           ``qubits=(qubit_index,)`` and ``output="logits"``.
         """
-        fn = self._raw_serving_fn(
-            self._backend(qubit_index), qubit_index, "logits", dequantize, fmt
+        return serve_traces(
+            lambda batch: self.serve(
+                ReadoutRequest(
+                    raw=batch[:, None],
+                    qubits=(qubit_index,),
+                    output="logits",
+                    dequantize=dequantize,
+                    fmt=fmt,
+                )
+            ).logits[:, 0],
+            trace_raw,
         )
-        return serve_traces(fn, self._validate_raw(trace_raw))
 
     def discriminate_all_raw(
         self,
@@ -302,20 +415,16 @@ class ReadoutEngine:
         consume, so a mixed engine dequantizes consistently with its fpga
         columns; Q16.16 if there are none); raw-capable backends keep their
         integer-only path either way.
+
+        .. deprecated:: use ``serve(ReadoutRequest(raw=traces_raw,
+           dequantize=..., fmt=...)).states``.
         """
-        traces_raw = self._validate_multiplexed_raw(traces_raw)
-        fns = [
-            self._raw_serving_fn(backend, qubit_index, "states", dequantize, fmt)
-            for qubit_index, backend in enumerate(self.backends)
-        ]
-        states = np.empty((traces_raw.shape[0], self.n_qubits), dtype=np.int64)
-        self._run_per_qubit(
-            lambda backend, qubit_traces, qubit_index: fns[qubit_index](qubit_traces),
-            traces_raw,
-            states,
-            parallel,
-        )
-        return states
+        return self.serve(
+            ReadoutRequest(
+                raw=traces_raw, output="states", dequantize=dequantize, fmt=fmt
+            ),
+            parallel=parallel,
+        ).states
 
     def predict_logits_all_raw(
         self,
@@ -326,60 +435,30 @@ class ReadoutEngine:
     ) -> np.ndarray:
         """Float logits of every qubit for a multiplexed raw-carrier batch.
 
-        Same fan-out and capability semantics as :meth:`discriminate_all_raw`;
-        the result is ``(n_shots, n_qubits)`` of float logits, bit-identical
-        to :meth:`predict_logits_all` on the originating float traces for
+        Same capability semantics as :meth:`discriminate_all_raw`; the result
+        is ``(n_shots, n_qubits)`` of float logits, bit-identical to
+        :meth:`predict_logits_all` on the originating float traces for
         raw-capable (fpga) backends.
+
+        .. deprecated:: use ``serve(ReadoutRequest(raw=traces_raw,
+           output="logits", dequantize=..., fmt=...)).logits``.
         """
-        traces_raw = self._validate_multiplexed_raw(traces_raw)
-        fns = [
-            self._raw_serving_fn(backend, qubit_index, "logits", dequantize, fmt)
-            for qubit_index, backend in enumerate(self.backends)
-        ]
-        logits = np.empty((traces_raw.shape[0], self.n_qubits), dtype=np.float64)
-        self._run_per_qubit(
-            lambda backend, qubit_traces, qubit_index: fns[qubit_index](qubit_traces),
-            traces_raw,
-            logits,
-            parallel,
-        )
-        return logits
+        return self.serve(
+            ReadoutRequest(
+                raw=traces_raw, output="logits", dequantize=dequantize, fmt=fmt
+            ),
+            parallel=parallel,
+        ).logits
 
     # ----------------------------------------------------------------- helpers
-    def _backend(self, qubit_index: int) -> ReadoutBackend:
-        if not 0 <= qubit_index < self.n_qubits:
-            raise IndexError(f"qubit_index {qubit_index} out of range")
-        return self.backends[qubit_index]
-
-    def _validate_multiplexed(self, traces: np.ndarray) -> np.ndarray:
-        traces = np.asarray(traces, dtype=np.float64)
-        if traces.ndim != 4 or traces.shape[1] != self.n_qubits:
-            raise ValueError(
-                f"traces must have shape (shots, {self.n_qubits}, samples, 2), "
-                f"got {traces.shape}"
-            )
-        return traces
-
-    @staticmethod
-    def _validate_raw(trace_raw: np.ndarray) -> np.ndarray:
-        """Require integer carriers -- the raw path must never guess at floats."""
-        trace_raw = np.asarray(trace_raw)
-        if trace_raw.dtype.kind != "i":
-            raise TypeError(
-                f"raw traces must be a signed integer array (int32/int64 ADC "
-                f"samples), got dtype {trace_raw.dtype}; use the float-trace "
-                f"entry points for undigitized data"
-            )
-        return trace_raw
-
-    def _validate_multiplexed_raw(self, traces_raw: np.ndarray) -> np.ndarray:
-        traces_raw = self._validate_raw(traces_raw)
-        if traces_raw.ndim != 4 or traces_raw.shape[1] != self.n_qubits:
-            raise ValueError(
-                f"raw traces must have shape (shots, {self.n_qubits}, samples, 2), "
-                f"got {traces_raw.shape}"
-            )
-        return traces_raw
+    def _resolve_qubits(self, qubits: tuple[int, ...] | None) -> list[int]:
+        """The served qubit indices, validated against this engine."""
+        if qubits is None:
+            return list(range(self.n_qubits))
+        for qubit in qubits:
+            if not 0 <= qubit < self.n_qubits:
+                raise IndexError(f"qubit_index {qubit} out of range")
+        return list(qubits)
 
     def _raw_serving_fn(
         self,
@@ -443,14 +522,14 @@ class ReadoutEngine:
             )
         return Q16_16
 
-    def _run_per_qubit(
+    def _run_columns(
         self,
-        fn: Callable[[ReadoutBackend, np.ndarray, int], np.ndarray],
-        traces: np.ndarray,
+        fns: Sequence[Callable[[np.ndarray], np.ndarray]],
+        payload: np.ndarray,
         out: np.ndarray,
         parallel: bool | None,
     ) -> None:
-        """Apply ``fn`` per qubit, writing each column of ``out`` in place.
+        """Apply ``fns[i]`` to payload column ``i``, writing ``out`` columns in place.
 
         Each worker owns exactly one output column, so the parallel path has
         no shared mutable state beyond disjoint slices; results are therefore
@@ -459,20 +538,20 @@ class ReadoutEngine:
         workers = self.worker_count
         if parallel is None:
             parallel = workers > 1
-        executor = self._get_executor(workers) if parallel and workers > 1 else None
+        # A single column gains nothing from the pool and the mid-circuit
+        # single-qubit path is latency-critical: skip the executor round trip
+        # (bit-identical either way -- the pool runs the same fns).
+        use_pool = parallel and workers > 1 and len(fns) > 1
+        executor = self._get_executor(workers) if use_pool else None
         if executor is not None:
-            def run_qubit(qubit_index: int) -> None:
-                out[:, qubit_index] = fn(
-                    self.backends[qubit_index], traces[:, qubit_index], qubit_index
-                )
+            def run_column(column: int) -> None:
+                out[:, column] = fns[column](payload[:, column])
 
             # list() propagates the first worker exception, if any.
-            list(executor.map(run_qubit, range(self.n_qubits)))
+            list(executor.map(run_column, range(len(fns))))
         else:
-            for qubit_index in range(self.n_qubits):
-                out[:, qubit_index] = fn(
-                    self.backends[qubit_index], traces[:, qubit_index], qubit_index
-                )
+            for column in range(len(fns)):
+                out[:, column] = fns[column](payload[:, column])
 
     def _get_executor(self, workers: int) -> ThreadPoolExecutor | None:
         """The engine's persistent worker pool (``None`` once closed)."""
@@ -508,9 +587,10 @@ class ReadoutEngine:
         """Persist this engine as a deployable artifact bundle.
 
         Writes ``manifest.json`` (backend kind, qubit→architecture map,
-        format version, per-file checksums) plus per-qubit student
-        config/weights and quantized parameters under ``directory``; see
-        :mod:`repro.engine.bundle` for the layout.  Returns the manifest path.
+        format version, shard-layout hints, per-file checksums) plus
+        per-qubit student config/weights and quantized parameters under
+        ``directory``; see :mod:`repro.engine.bundle` for the layout.
+        Returns the manifest path.
         """
         from repro.engine.bundle import save_engine
 

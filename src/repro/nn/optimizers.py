@@ -21,6 +21,13 @@ class Optimizer(ABC):
     Subclasses implement :meth:`update_param`, which receives a stable string
     key identifying the parameter (layer index + parameter name), the
     parameter array and its gradient, and must modify the parameter in place.
+
+    All built-in optimizers keep their per-parameter state (momentum/moment
+    buffers) *and* their arithmetic scratch space in preallocated arrays that
+    are reused across steps: a training step performs no parameter-shaped
+    allocations after the first step touches each parameter.  The shared
+    scratch buffers live here (:meth:`_scratch`) so every subclass gets the
+    same discipline; tests pin the buffer identity across steps.
     """
 
     def __init__(self, learning_rate: float = 1e-3) -> None:
@@ -28,6 +35,15 @@ class Optimizer(ABC):
             raise ValueError(f"learning_rate must be positive, got {learning_rate}")
         self.learning_rate = float(learning_rate)
         self.iterations = 0
+        self._scratch_buffers: dict[str, list[np.ndarray]] = {}
+
+    def _scratch(self, key: str, param: np.ndarray, count: int) -> list[np.ndarray]:
+        """``count`` param-shaped scratch arrays for ``key``, allocated once."""
+        buffers = self._scratch_buffers.get(key)
+        if buffers is None or len(buffers) < count or buffers[0].shape != param.shape:
+            buffers = [np.empty_like(param) for _ in range(count)]
+            self._scratch_buffers[key] = buffers
+        return buffers
 
     def step(self, params: dict[str, np.ndarray], grads: dict[str, np.ndarray]) -> None:
         """Apply one update to every parameter in ``params``.
@@ -93,18 +109,28 @@ class SGD(Optimizer):
         self._velocity: dict[str, np.ndarray] = {}
 
     def update_param(self, key: str, param: np.ndarray, grad: np.ndarray) -> None:
+        # Everything below writes into per-parameter buffers allocated once
+        # (velocity + scratch), so steady-state steps allocate nothing.
+        g_eff, work = self._scratch(key, param, 2)
         if self.weight_decay:
-            grad = grad + self.weight_decay * param
+            np.multiply(param, self.weight_decay, out=g_eff)
+            g_eff += grad
+            grad = g_eff
         if self.momentum == 0.0:
-            param -= self.learning_rate * grad
+            np.multiply(grad, self.learning_rate, out=work)
+            param -= work
             return
         velocity = self._velocity.get(key)
         if velocity is None:
             velocity = np.zeros_like(param)
-        velocity = self.momentum * velocity - self.learning_rate * grad
-        self._velocity[key] = velocity
+            self._velocity[key] = velocity
+        velocity *= self.momentum
+        np.multiply(grad, self.learning_rate, out=work)
+        velocity -= work
         if self.nesterov:
-            param += self.momentum * velocity - self.learning_rate * grad
+            param -= work  # work still holds learning_rate * grad
+            np.multiply(velocity, self.momentum, out=work)
+            param += work
         else:
             param += velocity
 
@@ -136,20 +162,35 @@ class Adam(Optimizer):
         self._steps: dict[str, int] = {}
 
     def update_param(self, key: str, param: np.ndarray, grad: np.ndarray) -> None:
+        # Moment buffers are updated in place and all temporaries land in
+        # preallocated scratch, so steady-state steps allocate nothing.
+        g_eff, work, denom = self._scratch(key, param, 3)
         if self.weight_decay:
-            grad = grad + self.weight_decay * param
+            np.multiply(param, self.weight_decay, out=g_eff)
+            g_eff += grad
+            grad = g_eff
         m = self._m.get(key)
         v = self._v.get(key)
         if m is None:
             m = np.zeros_like(param)
             v = np.zeros_like(param)
+            self._m[key], self._v[key] = m, v
         t = self._steps.get(key, 0) + 1
-        m = self.beta1 * m + (1.0 - self.beta1) * grad
-        v = self.beta2 * v + (1.0 - self.beta2) * grad * grad
-        self._m[key], self._v[key], self._steps[key] = m, v, t
-        m_hat = m / (1.0 - self.beta1**t)
-        v_hat = v / (1.0 - self.beta2**t)
-        param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+        self._steps[key] = t
+        m *= self.beta1
+        np.multiply(grad, 1.0 - self.beta1, out=work)
+        m += work
+        v *= self.beta2
+        np.multiply(grad, grad, out=work)
+        work *= 1.0 - self.beta2
+        v += work
+        np.divide(v, 1.0 - self.beta2**t, out=denom)   # v_hat
+        np.sqrt(denom, out=denom)
+        denom += self.epsilon
+        np.divide(m, 1.0 - self.beta1**t, out=work)    # m_hat
+        work /= denom
+        work *= self.learning_rate
+        param -= work
 
 
 class AdamW(Adam):
@@ -168,7 +209,9 @@ class AdamW(Adam):
         finally:
             self.weight_decay = decay
         if decay:
-            param -= self.learning_rate * decay * param
+            work = self._scratch(key, param, 3)[1]  # Adam's scratch, already sized
+            np.multiply(param, self.learning_rate * decay, out=work)
+            param -= work
 
 
 _REGISTRY: dict[str, type[Optimizer]] = {

@@ -220,13 +220,21 @@ class Trainer:
 
         if self.early_stopping is not None:
             self.early_stopping.reset()
+        # The flattened parameter/gradient dictionaries are views onto buffers
+        # that are stable for the lifetime of the built model (layers write
+        # gradients in place, set_parameters assigns in place), so they are
+        # built once per fit instead of once per step; together with the
+        # optimizers' preallocated state/scratch buffers a steady-state
+        # training step performs no parameter-shaped allocations.
+        params = self.model.parameters()
+        grads = self.model.gradients()
         history = TrainingHistory()
         for epoch in range(self.max_epochs):
             if self.scheduler is not None:
                 self.optimizer.learning_rate = self.scheduler(epoch)
             history.learning_rates.append(self.optimizer.learning_rate)
 
-            epoch_loss = self._run_epoch(x_train, y_train)
+            epoch_loss = self._run_epoch(x_train, y_train, params, grads)
             train_pred = self.model.predict(x_train, batch_size=4096)
             history.train_loss.append(epoch_loss)
             history.train_accuracy.append(self.metric(train_pred, y_train))
@@ -263,7 +271,13 @@ class Trainer:
         series = getattr(history, monitor)
         return series[-1]
 
-    def _run_epoch(self, x_train: np.ndarray, y_train: np.ndarray) -> float:
+    def _run_epoch(
+        self,
+        x_train: np.ndarray,
+        y_train: np.ndarray,
+        params: dict[str, np.ndarray],
+        grads: dict[str, np.ndarray],
+    ) -> float:
         n = x_train.shape[0]
         order = self._rng.permutation(n) if self.shuffle else np.arange(n)
         # The epoch loss is the sample-weighted mean of the (mean-reduced)
@@ -277,7 +291,7 @@ class Trainer:
             batch_loss = self.loss.forward(logits, yb)
             grad = self.loss.backward()
             self.model.backward(grad)
-            self.optimizer.step(self.model.parameters(), self.model.gradients())
+            self.optimizer.step(params, grads)
             total_loss += float(batch_loss) * idx.shape[0]
         return total_loss / n
 

@@ -1,0 +1,27 @@
+"""Traffic-level serving: micro-batching and process-sharded readout.
+
+Where :mod:`repro.engine` answers one request at a time,
+:class:`ReadoutService` is the front-end heavy traffic talks to: it accepts
+many small concurrent :class:`~repro.engine.request.ReadoutRequest`\\ s,
+coalesces compatible ones into micro-batches on a bounded queue, and either
+serves them in-process (bit-identical to ``engine.serve()``) or shards
+qubit groups across worker processes that each load the same artifact
+bundle::
+
+    from repro.engine import ReadoutRequest
+    from repro.service import ReadoutService
+
+    with ReadoutService(bundle_dir="artifacts/readout-v1", n_shards=2) as service:
+        futures = [service.submit(ReadoutRequest(raw=chunk)) for chunk in chunks]
+        states = [future.result().states for future in futures]
+
+    # asyncio front-ends:  result = await service.aserve(request)
+
+See :mod:`repro.service.service` for the batching/dispatch mechanics and
+:mod:`repro.service.sharding` for the worker-process protocol.
+"""
+
+from repro.service.service import ReadoutService, ServiceStats
+from repro.service.sharding import partition_qubits
+
+__all__ = ["ReadoutService", "ServiceStats", "partition_qubits"]

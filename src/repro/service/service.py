@@ -1,0 +1,538 @@
+"""The micro-batching, shardable front-end over :class:`ReadoutEngine`.
+
+A :class:`ReadoutService` is what heavy traffic talks to.  Where the engine
+answers one :class:`~repro.engine.request.ReadoutRequest` at a time, the
+service accepts many small concurrent requests, coalesces compatible ones
+into micro-batches on a bounded queue (``max_batch`` requests, ``max_wait_ms``
+linger), and dispatches each batch either
+
+* **in-process** -- straight through ``engine.serve()``, the fallback that
+  is bit-identical to calling the engine directly (it *is* the engine,
+  served one coalesced batch at a time), or
+* **sharded** -- split by qubit columns across worker processes
+  (``n_shards >= 2``) that each load the same artifact bundle and serve
+  their qubit group through the same ``serve()`` path
+  (:mod:`repro.service.sharding`).  Columns reassemble on the way out, so
+  sharded results are bit-identical to in-process results too.
+
+Micro-batching is exact, not approximate: shots are independent through the
+whole datapath (the emulator chunks internally; every per-shot result is
+computed from that shot alone), so serving a concatenation and slicing the
+rows back apart reproduces per-request serving bit-for-bit.  Tests pin both
+equalities against the golden fixed-point snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine.bundle import MANIFEST_NAME
+from repro.engine.engine import ReadoutEngine
+from repro.engine.request import (
+    ReadoutRequest,
+    ReadoutResult,
+    validate_multiplexed_payload,
+)
+from repro.service.sharding import ShardHandle, partition_qubits, spawn_shards
+
+__all__ = ["ReadoutService", "ServiceStats"]
+
+#: Queue sentinel asking the batcher thread to exit.
+_SHUTDOWN = object()
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Counters describing how the service has been serving.
+
+    ``batches`` counts dispatches; ``coalesced_requests`` counts requests
+    that shared a dispatch with at least one other request, so
+    ``requests_served > batches`` (or a non-zero ``coalesced_requests``)
+    is direct evidence micro-batching engaged.
+    """
+
+    requests_served: int = 0
+    batches: int = 0
+    coalesced_requests: int = 0
+    largest_batch_requests: int = 0
+    largest_batch_shots: int = 0
+
+
+@dataclass
+class _Entry:
+    request: ReadoutRequest
+    future: Future
+
+
+class ReadoutService:
+    """Serve many concurrent :class:`ReadoutRequest`\\ s through one deployment.
+
+    Parameters
+    ----------
+    engine:
+        A live :class:`ReadoutEngine` to serve in-process.  Mutually
+        exclusive with sharded mode (worker processes cannot inherit a live
+        engine; they load the bundle).
+    bundle_dir:
+        An artifact bundle directory (:meth:`ReadoutEngine.save`).  Required
+        for ``n_shards >= 2``; with ``n_shards <= 1`` the service loads the
+        bundle into an in-process engine itself.
+    n_shards:
+        ``<= 1`` serves in-process (the bit-identical fallback).
+        ``>= 2`` spawns that many worker processes, each loading
+        ``bundle_dir`` and owning a contiguous qubit group.
+    shard_groups:
+        Explicit qubit groups (one list per shard) overriding the balanced
+        partition derived from the manifest's shard-layout hints.
+    max_batch:
+        Most requests coalesced into one dispatch.
+    max_wait_ms:
+        How long the batcher lingers for more requests once it holds one.
+        ``0`` dispatches every request immediately (still through the one
+        queue, preserving ordering).
+    max_pending:
+        Bound of the ingress queue; :meth:`submit` blocks (backpressure)
+        when the queue is full.
+    parallel:
+        ``parallel`` flag forwarded to in-process ``engine.serve`` calls
+        (``None`` = the engine's automatic choice).
+    worker_parallel:
+        Whether shard workers use their engine's thread fan-out on top of
+        process parallelism (off by default: one busy core per shard).
+    start_method:
+        :mod:`multiprocessing` start method for shard workers (``None`` =
+        platform default).
+    autostart:
+        Start the batcher (and shards) on the first :meth:`submit`.  Pass
+        False to queue requests first and :meth:`start` later -- then the
+        backlog is drained in maximal micro-batches, which tests use to make
+        coalescing deterministic.
+    """
+
+    def __init__(
+        self,
+        engine: ReadoutEngine | None = None,
+        bundle_dir: str | Path | None = None,
+        *,
+        n_shards: int = 1,
+        shard_groups: list[list[int]] | None = None,
+        max_batch: int = 32,
+        max_wait_ms: float = 2.0,
+        max_pending: int = 1024,
+        parallel: bool | None = None,
+        worker_parallel: bool = False,
+        start_method: str | None = None,
+        autostart: bool = True,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if engine is None and bundle_dir is None:
+            raise ValueError("ReadoutService needs an engine or a bundle_dir")
+        self.n_shards = max(1, int(n_shards))
+        self.max_batch = int(max_batch)
+        self.max_wait_s = float(max_wait_ms) / 1000.0
+        self._parallel = parallel
+        self._worker_parallel = bool(worker_parallel)
+        self._start_method = start_method
+        self._autostart = bool(autostart)
+        self._bundle_dir = None if bundle_dir is None else Path(bundle_dir)
+
+        self._engine: ReadoutEngine | None = None
+        self._owns_engine = False
+        if self.n_shards < 2:
+            shard_groups = None  # grouping is meaningless without workers
+        if self.n_shards >= 2:
+            if engine is not None:
+                raise ValueError(
+                    "Sharded serving loads the artifact bundle in every worker "
+                    "process; pass bundle_dir=... instead of a live engine"
+                )
+            if self._bundle_dir is None:
+                raise ValueError("n_shards >= 2 requires bundle_dir")
+            manifest = json.loads((self._bundle_dir / MANIFEST_NAME).read_text())
+            self._n_qubits = int(manifest["n_qubits"])
+            if shard_groups is None:
+                shard_groups = partition_qubits(
+                    self._n_qubits,
+                    self.n_shards,
+                    atomic_groups=manifest.get("shard_layout", {}).get("qubit_groups"),
+                )
+            else:
+                flat = sorted(q for group in shard_groups for q in group)
+                if flat != list(range(self._n_qubits)):
+                    raise ValueError(
+                        f"shard_groups must cover every qubit exactly once, "
+                        f"got {shard_groups} for {self._n_qubits} qubits"
+                    )
+            if len(shard_groups) < 2:
+                # Partitioning collapsed to one shard (fewer atomic groups
+                # than requested shards): a lone worker process buys nothing,
+                # so fall through to the bit-identical in-process mode.
+                shard_groups = None
+        if shard_groups is None:
+            self.n_shards = 1
+            if engine is not None:
+                self._engine = engine
+                self._n_qubits = engine.n_qubits
+            else:
+                self._engine = ReadoutEngine.load(self._bundle_dir)
+                self._owns_engine = True
+                self._n_qubits = self._engine.n_qubits
+        else:
+            self.n_shards = len(shard_groups)
+        self.shard_groups = shard_groups
+        self._shards: list[ShardHandle] = []
+
+        self._queue: queue.Queue = queue.Queue(maxsize=max_pending)
+        self._batcher: threading.Thread | None = None
+        self._lifecycle_lock = threading.Lock()
+        self._started = False
+        self._closed = False
+        self._next_job_id = 0
+        self._stats = ServiceStats()
+
+    # ------------------------------------------------------------------ intro
+    @property
+    def n_qubits(self) -> int:
+        """Qubits of the served deployment."""
+        return self._n_qubits
+
+    @property
+    def sharded(self) -> bool:
+        """Whether requests are split across worker processes."""
+        return self.n_shards >= 2
+
+    @property
+    def stats(self) -> ServiceStats:
+        """A snapshot of the serving counters (updated by the batcher thread)."""
+        return self._stats
+
+    # -------------------------------------------------------------- lifecycle
+    def start(self) -> "ReadoutService":
+        """Spawn the shard workers (if any) and the batcher thread.
+
+        Idempotent; called automatically on the first :meth:`submit` unless
+        ``autostart=False``.
+        """
+        with self._lifecycle_lock:
+            if self._closed:
+                raise RuntimeError("ReadoutService is closed")
+            if self._started:
+                return self
+            if self.sharded:
+                self._shards = spawn_shards(
+                    self._bundle_dir,
+                    self.shard_groups,
+                    worker_parallel=self._worker_parallel,
+                    start_method=self._start_method,
+                )
+            self._batcher = threading.Thread(
+                target=self._batch_loop, name="readout-service-batcher", daemon=True
+            )
+            self._batcher.start()
+            self._started = True
+        return self
+
+    def close(self) -> None:
+        """Stop serving: drain nothing further, fail pending requests, reap workers.
+
+        Idempotent.  A user-supplied engine is left open (the caller owns
+        it); a bundle-loaded engine and all shard processes are shut down.
+        """
+        with self._lifecycle_lock:
+            if self._closed:
+                return
+            self._closed = True
+            started = self._started
+        if started:
+            self._queue.put(_SHUTDOWN)
+            self._batcher.join()
+        self._fail_pending(RuntimeError("ReadoutService was closed"))
+        for shard in self._shards:
+            shard.close()
+        self._shards = []
+        if self._owns_engine and self._engine is not None:
+            self._engine.close()
+
+    def __enter__(self) -> "ReadoutService":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ---------------------------------------------------------------- serving
+    def submit(self, request: ReadoutRequest) -> Future:
+        """Queue one request; returns a future resolving to its :class:`ReadoutResult`.
+
+        Blocks (backpressure) while the ingress queue holds ``max_pending``
+        requests.  Shape/selection errors that need no backend are raised
+        here synchronously, so a malformed request cannot poison the
+        micro-batch it would have joined.
+        """
+        if self._closed:
+            raise RuntimeError("ReadoutService is closed")
+        if not isinstance(request, ReadoutRequest):
+            raise TypeError(
+                f"submit() takes a ReadoutRequest, got {type(request).__name__}"
+            )
+        self._validate(request)
+        if self._autostart and not self._started:
+            self.start()
+        future: Future = Future()
+        self._queue.put(_Entry(request=request, future=future))
+        if self._closed:
+            # Raced with close(): the batcher (and its drain) may already be
+            # gone, so make sure this entry cannot sit unresolved forever.
+            self._fail_pending(RuntimeError("ReadoutService was closed"))
+        return future
+
+    def serve(self, request: ReadoutRequest) -> ReadoutResult:
+        """Submit one request and block for its result."""
+        return self.submit(request).result()
+
+    async def aserve(self, request: ReadoutRequest) -> ReadoutResult:
+        """Async form of :meth:`serve` for asyncio front-ends.
+
+        Submission happens on the calling thread (it can block briefly under
+        backpressure); completion is awaited without blocking the loop.
+        """
+        import asyncio
+
+        return await asyncio.wrap_future(self.submit(request))
+
+    def _validate(self, request: ReadoutRequest) -> None:
+        """Engine-independent request validation (the shared error path)."""
+        selected = (
+            range(self._n_qubits) if request.qubits is None else request.qubits
+        )
+        for qubit in selected:
+            if not 0 <= qubit < self._n_qubits:
+                raise IndexError(f"qubit_index {qubit} out of range")
+        validate_multiplexed_payload(
+            request.payload, len(tuple(selected)), raw=request.is_raw
+        )
+
+    # ----------------------------------------------------------- batcher loop
+    def _batch_loop(self) -> None:
+        while True:
+            entry = self._queue.get()
+            if entry is _SHUTDOWN:
+                return
+            entries = [entry]
+            deadline = time.monotonic() + self.max_wait_s
+            shutdown = False
+            while len(entries) < self.max_batch:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    # One last non-blocking sweep: a backlog that is already
+                    # queued should coalesce even when the linger budget is 0.
+                    remaining = None
+                try:
+                    nxt = (
+                        self._queue.get_nowait()
+                        if remaining is None
+                        else self._queue.get(timeout=remaining)
+                    )
+                except queue.Empty:
+                    break
+                if nxt is _SHUTDOWN:
+                    shutdown = True
+                    break
+                entries.append(nxt)
+            self._serve_entries(entries)
+            if shutdown:
+                return
+
+    def _serve_entries(self, entries: list[_Entry]) -> None:
+        groups: dict[tuple, list[_Entry]] = {}
+        for entry in entries:
+            groups.setdefault(self._compat_key(entry.request), []).append(entry)
+        for group in groups.values():
+            try:
+                self._serve_group(group)
+            except Exception as exc:  # noqa: BLE001 - failure belongs to the futures
+                for entry in group:
+                    if not entry.future.done():
+                        entry.future.set_exception(exc)
+
+    @staticmethod
+    def _compat_key(request: ReadoutRequest) -> tuple:
+        """Requests with equal keys can share one dispatch (concat along shots)."""
+        payload = request.payload
+        return (
+            request.is_raw,
+            request.output,
+            request.qubits,
+            payload.shape[1:],
+            payload.dtype.str,
+            request.dequantize,
+            request.fmt,
+        )
+
+    def _serve_group(self, group: list[_Entry]) -> None:
+        stats = self._stats
+        if len(group) == 1:
+            request = group[0].request
+            result = self._dispatch(request)
+            group[0].future.set_result(result)
+            batch_shots = result.n_shots
+        else:
+            batch = np.concatenate([entry.request.payload for entry in group], axis=0)
+            batch_request = group[0].request.with_payload(batch)
+            batch_result = self._dispatch(batch_request)
+            offset = 0
+            for entry in group:
+                shots = entry.request.payload.shape[0]
+                rows = slice(offset, offset + shots)
+                offset += shots
+                entry.future.set_result(
+                    replace(
+                        batch_result,
+                        states=None if batch_result.states is None
+                        else batch_result.states[rows],
+                        logits=None if batch_result.logits is None
+                        else batch_result.logits[rows],
+                        n_shots=shots,
+                        meta={
+                            **batch_result.meta,
+                            "microbatch_requests": len(group),
+                            "microbatch_shots": int(batch.shape[0]),
+                        },
+                    )
+                )
+            batch_shots = int(batch.shape[0])
+        self._stats = replace(
+            stats,
+            requests_served=stats.requests_served + len(group),
+            batches=stats.batches + 1,
+            coalesced_requests=stats.coalesced_requests
+            + (len(group) if len(group) > 1 else 0),
+            largest_batch_requests=max(stats.largest_batch_requests, len(group)),
+            largest_batch_shots=max(stats.largest_batch_shots, batch_shots),
+        )
+
+    # --------------------------------------------------------------- dispatch
+    def _dispatch(self, request: ReadoutRequest) -> ReadoutResult:
+        if not self.sharded:
+            result = self._engine.serve(request, parallel=self._parallel)
+            return replace(result, meta={**result.meta, "shards": 0})
+        return self._dispatch_sharded(request)
+
+    def _dispatch_sharded(self, request: ReadoutRequest) -> ReadoutResult:
+        """Split a request by qubit columns, serve per shard, reassemble.
+
+        Each shard receives only its columns of the payload (sliced, hence
+        copied -- exactly the bytes that cross the process boundary) with the
+        matching explicit ``qubits`` selection, so the worker engine computes
+        the same per-qubit results the in-process path would.
+        """
+        start = time.perf_counter()
+        selected = (
+            list(range(self._n_qubits))
+            if request.qubits is None
+            else list(request.qubits)
+        )
+        payload = request.payload
+        plan: list[tuple[ShardHandle, list[int]]] = []
+        for shard in self._shards:
+            columns = [
+                column for column, qubit in enumerate(selected)
+                if qubit in shard.qubit_set
+            ]
+            if columns:
+                plan.append((shard, columns))
+        self._next_job_id += 1
+        job_id = self._next_job_id
+        submitted: list[ShardHandle] = []
+        try:
+            for shard, columns in plan:
+                sub_request = request.with_payload(
+                    payload[:, columns],
+                    qubits=tuple(selected[column] for column in columns),
+                )
+                shard.submit(job_id, sub_request)
+                submitted.append(shard)
+        except Exception:
+            # A partial submit (e.g. /dev/shm exhausted mid-plan) must not
+            # leave answered-but-uncollected jobs behind: reap them so the
+            # per-shard FIFO protocol stays in sync for the next request.
+            for shard in submitted:
+                try:
+                    shard.collect(job_id)
+                except Exception:  # noqa: BLE001 - already failing the request
+                    pass
+            raise
+        want_states = request.output in ("states", "both")
+        want_logits = request.output in ("logits", "both")
+        n_shots = int(payload.shape[0])
+        states = (
+            np.empty((n_shots, len(selected)), dtype=np.int64) if want_states else None
+        )
+        logits = (
+            np.empty((n_shots, len(selected)), dtype=np.float64)
+            if want_logits
+            else None
+        )
+        # Collect from *every* shard in the plan even after a failure: an
+        # uncollected response would desynchronize the FIFO protocol for the
+        # next request served by that shard.
+        error: Exception | None = None
+        for shard, columns in plan:
+            try:
+                shard_states, shard_logits, _elapsed = shard.collect(job_id)
+            except Exception as exc:  # noqa: BLE001 - re-raised below
+                if error is None:
+                    error = exc
+                continue
+            if want_states:
+                states[:, columns] = shard_states
+            if want_logits:
+                logits[:, columns] = shard_logits
+        if error is not None:
+            raise error
+        return ReadoutResult(
+            qubits=tuple(selected),
+            output=request.output,
+            states=states,
+            logits=logits,
+            n_shots=n_shots,
+            elapsed_s=time.perf_counter() - start,
+            meta={"shards": len(plan)},
+        )
+
+    # ----------------------------------------------------------------- misc
+    def _fail_pending(self, exc: Exception) -> None:
+        # A drain racing with close() can pop the _SHUTDOWN sentinel that the
+        # batcher has not consumed yet; it must go back on the queue or
+        # close() would join a batcher that never learns to exit.
+        saw_shutdown = False
+        while True:
+            try:
+                entry = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if entry is _SHUTDOWN:
+                saw_shutdown = True
+            elif not entry.future.done():
+                entry.future.set_exception(exc)
+        if saw_shutdown:
+            self._queue.put(_SHUTDOWN)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        mode = f"{self.n_shards} shards" if self.sharded else "in-process"
+        return (
+            f"ReadoutService(n_qubits={self._n_qubits}, {mode}, "
+            f"max_batch={self.max_batch})"
+        )

@@ -173,3 +173,63 @@ class TestIntegrity:
         manifest_path.write_text(json.dumps(manifest))
         loaded = load_engine(fpga_bundle)
         assert loaded.supports_raw
+
+
+class TestShardLayout:
+    """Manifest shard-layout hints + legacy (pre-hint) manifest compatibility."""
+
+    def test_manifest_records_shard_layout_hints(
+        self, fpga_bundle, synthetic_fpga_engine
+    ):
+        manifest = json.loads((fpga_bundle / MANIFEST_NAME).read_text())
+        layout = manifest["shard_layout"]
+        assert layout["max_shards"] == synthetic_fpga_engine.n_qubits
+        assert layout["qubit_groups"] == [
+            [qubit] for qubit in range(synthetic_fpga_engine.n_qubits)
+        ]
+
+    @staticmethod
+    def _strip_shard_layout(bundle) -> None:
+        manifest_path = bundle / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        manifest.pop("shard_layout")
+        manifest_path.write_text(json.dumps(manifest))
+
+    def test_legacy_manifest_loads_into_engine_without_warnings(
+        self, fpga_bundle, synthetic_traces
+    ):
+        """Pre-shard-hint bundles load warning-free (warnings-as-errors)."""
+        import warnings
+
+        self._strip_shard_layout(fpga_bundle)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            loaded = load_engine(fpga_bundle)
+            states = loaded.discriminate_all(synthetic_traces)
+        assert states.shape == (synthetic_traces.shape[0], loaded.n_qubits)
+
+    def test_legacy_manifest_loads_into_service_without_warnings(
+        self, fpga_bundle, synthetic_fpga_engine, synthetic_traces
+    ):
+        """ReadoutService (in-process and sharded) falls back to per-qubit
+        groups when the manifest predates shard hints -- warning-free."""
+        import warnings
+
+        from repro.engine import ReadoutRequest
+        from repro.service import ReadoutService
+
+        self._strip_shard_layout(fpga_bundle)
+        reference = synthetic_fpga_engine.serve(
+            ReadoutRequest(traces=synthetic_traces, output="states")
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with ReadoutService(bundle_dir=fpga_bundle) as in_process:
+                served = in_process.serve(ReadoutRequest(traces=synthetic_traces))
+            with ReadoutService(bundle_dir=fpga_bundle, n_shards=2) as sharded:
+                assert sharded.shard_groups == [[0, 1], [2]]
+                sharded_result = sharded.serve(
+                    ReadoutRequest(traces=synthetic_traces)
+                )
+        np.testing.assert_array_equal(served.states, reference.states)
+        np.testing.assert_array_equal(sharded_result.states, reference.states)

@@ -113,6 +113,78 @@ class TestAdamW:
         assert np.linalg.norm(params["w"] - target) < 0.1
 
 
+class TestBufferReuse:
+    """Optimizer state and scratch buffers must be allocated once, not per step.
+
+    The identity checks below are the contract the trainer relies on: after
+    the first step touches a parameter, every later step reuses exactly the
+    same state/scratch arrays (no parameter-shaped allocations in steady
+    state).
+    """
+
+    @staticmethod
+    def _buffer_ids(optimizer) -> dict[str, int]:
+        ids = {}
+        for name in ("_m", "_v", "_velocity"):
+            for key, arr in getattr(optimizer, name, {}).items():
+                ids[f"{name}.{key}"] = id(arr)
+        for key, buffers in optimizer._scratch_buffers.items():
+            for index, arr in enumerate(buffers):
+                ids[f"scratch.{key}.{index}"] = id(arr)
+        return ids
+
+    @pytest.mark.parametrize(
+        "optimizer",
+        [
+            SGD(learning_rate=0.05, momentum=0.9, nesterov=True, weight_decay=1e-3),
+            Adam(learning_rate=0.05, weight_decay=1e-3),
+            AdamW(learning_rate=0.05, weight_decay=1e-3),
+        ],
+        ids=["sgd", "adam", "adamw"],
+    )
+    def test_state_and_scratch_buffers_stable_across_steps(self, optimizer):
+        params, gradient, _ = _quadratic_problem(dim=7, seed=4)
+        optimizer.step(params, gradient())
+        first = self._buffer_ids(optimizer)
+        assert first, "first step should have allocated state/scratch buffers"
+        for _ in range(10):
+            optimizer.step(params, gradient())
+        assert self._buffer_ids(optimizer) == first
+
+    def test_in_place_adam_matches_reference_formula(self):
+        """The buffer-reusing update computes the same values as the textbook
+        out-of-place Adam recursion."""
+        rng = np.random.default_rng(8)
+        param = rng.normal(size=6)
+        params = {"w": param.copy()}
+        optimizer = Adam(learning_rate=0.01)
+        m = np.zeros(6)
+        v = np.zeros(6)
+        reference = param.copy()
+        for t in range(1, 6):
+            grad = rng.normal(size=6)
+            optimizer.step(params, {"w": grad.copy()})
+            m = 0.9 * m + 0.1 * grad
+            v = 0.999 * v + 0.001 * grad * grad
+            m_hat = m / (1.0 - 0.9**t)
+            v_hat = v / (1.0 - 0.999**t)
+            reference = reference - 0.01 * m_hat / (np.sqrt(v_hat) + 1e-8)
+            np.testing.assert_allclose(params["w"], reference, rtol=1e-12, atol=1e-15)
+
+    def test_momentum_sgd_matches_reference_formula(self):
+        rng = np.random.default_rng(9)
+        params = {"w": rng.normal(size=5)}
+        reference = params["w"].copy()
+        optimizer = SGD(learning_rate=0.1, momentum=0.9)
+        velocity = np.zeros(5)
+        for _ in range(5):
+            grad = rng.normal(size=5)
+            optimizer.step(params, {"w": grad.copy()})
+            velocity = 0.9 * velocity - 0.1 * grad
+            reference = reference + velocity
+            np.testing.assert_allclose(params["w"], reference, rtol=1e-12, atol=1e-15)
+
+
 class TestRegistry:
     def test_lookup(self):
         assert isinstance(get_optimizer("sgd"), SGD)

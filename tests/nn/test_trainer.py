@@ -274,3 +274,60 @@ class TestTrainValidationSplit:
             train_validation_split(x, y, 0.0)
         with pytest.raises(ValueError):
             train_validation_split(x, y, 1.0)
+
+
+class TestBufferReuse:
+    """A steady-state training step must not allocate parameter-shaped arrays.
+
+    Asserted via buffer identity: the layers' gradient buffers and the
+    optimizer's state/scratch buffers captured after the first epoch are the
+    exact same array objects after further epochs (layers write gradients in
+    place, optimizers update their moments in place, and the trainer reuses
+    one parameter/gradient dictionary per fit).
+    """
+
+    @staticmethod
+    def _param_shaped_buffer_ids(model, optimizer) -> dict[str, int]:
+        ids = {}
+        for index, layer in enumerate(model.layers):
+            for name, grad in layer.grads.items():
+                ids[f"grads.layer{index}.{name}"] = id(grad)
+            for name, param in layer.params.items():
+                ids[f"params.layer{index}.{name}"] = id(param)
+        for store in ("_m", "_v", "_velocity"):
+            for key, arr in getattr(optimizer, store, {}).items():
+                ids[f"{store}.{key}"] = id(arr)
+        for key, buffers in optimizer._scratch_buffers.items():
+            for slot, arr in enumerate(buffers):
+                ids[f"scratch.{key}.{slot}"] = id(arr)
+        return ids
+
+    def test_no_per_step_parameter_shaped_allocations(self):
+        x, y = _toy_classification(n=96, seed=11)
+        model = _small_model(seed=11)
+        trainer = Trainer(model, batch_size=16, max_epochs=1, seed=11)
+        trainer.fit(x, y)
+        before = self._param_shaped_buffer_ids(model, trainer.optimizer)
+        assert any(key.startswith("grads.") for key in before)
+        assert any(key.startswith("_m.") for key in before)
+        trainer.max_epochs = 3
+        trainer.fit(x, y)
+        after = self._param_shaped_buffer_ids(model, trainer.optimizer)
+        assert after == before
+
+    def test_early_stopping_restore_keeps_parameter_buffers(self):
+        """restore() writes best weights into the existing parameter arrays."""
+        x, y = _toy_classification(n=96, seed=12)
+        model = _small_model(seed=12)
+        trainer = Trainer(
+            model,
+            batch_size=16,
+            max_epochs=6,
+            seed=12,
+            early_stopping=EarlyStopping(patience=2, monitor="train_loss"),
+        )
+        trainer.fit(x, y)
+        before = {key: id(value) for key, value in model.parameters().items()}
+        trainer.fit(x, y)
+        after = {key: id(value) for key, value in model.parameters().items()}
+        assert after == before

@@ -1,0 +1,53 @@
+"""Fixtures for the service tests.
+
+``tests/fpga`` is added to ``sys.path`` so the golden-snapshot helpers
+(``make_golden.py``) are importable exactly as the engine tests import them:
+the service-level tests pin micro-batched and sharded serving against the
+same deterministic synthetic fixed-point deployment.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "fpga"))
+
+from make_golden import CASES, build_parameters, build_traces  # noqa: E402
+
+from repro.engine import FixedPointBackend, ReadoutEngine  # noqa: E402
+from repro.readout.preprocessing import digitize_traces  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def service_engine() -> ReadoutEngine:
+    """A three-qubit fixed-point engine from deterministic synthetic students."""
+    return ReadoutEngine(
+        [
+            FixedPointBackend(build_parameters(CASES["q16_16"], seed=2025 + qubit))
+            for qubit in range(3)
+        ]
+    )
+
+
+@pytest.fixture(scope="module")
+def service_traces() -> np.ndarray:
+    """Multiplexed traces matching ``service_engine`` (3 qubits)."""
+    return np.stack([build_traces(seed=qubit) for qubit in range(3)], axis=1)
+
+
+@pytest.fixture(scope="module")
+def service_carriers(service_traces) -> np.ndarray:
+    """The same batch digitized once into int32 raw ADC carriers."""
+    return digitize_traces(service_traces)
+
+
+@pytest.fixture(scope="module")
+def service_bundle(service_engine, tmp_path_factory) -> Path:
+    """The engine saved as an artifact bundle (what shard workers load)."""
+    directory = tmp_path_factory.mktemp("service-bundle") / "readout-v1"
+    service_engine.save(directory)
+    return directory

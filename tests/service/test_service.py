@@ -1,0 +1,337 @@
+"""Tests for ReadoutService: micro-batching, sharding, bit-identity.
+
+The two load-bearing guarantees:
+
+* the **in-process fallback** (and micro-batch coalescing) is bit-identical
+  to calling ``engine.serve()`` directly, and
+* **process-sharded** serving (workers each loading the same artifact
+  bundle) reassembles exactly the same arrays, pinned against the golden
+  fixed-point snapshot.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from make_golden import CASES, GOLDEN_PATH, build_parameters, build_traces
+
+from repro.engine import FixedPointBackend, ReadoutEngine, ReadoutRequest
+from repro.readout.preprocessing import digitize_traces
+from repro.service import ReadoutService, partition_qubits
+
+
+class TestPartitioning:
+    def test_balanced_contiguous_split(self):
+        assert partition_qubits(5, 2) == [[0, 1, 2], [3, 4]]
+        assert partition_qubits(5, 5) == [[0], [1], [2], [3], [4]]
+        assert partition_qubits(3, 8) == [[0], [1], [2]]  # clipped, never empty
+
+    def test_atomic_groups_are_not_split(self):
+        groups = partition_qubits(4, 2, atomic_groups=[[0, 1], [2], [3]])
+        assert groups == [[0, 1], [2, 3]]
+
+    def test_rejects_non_covering_hint(self):
+        with pytest.raises(ValueError, match="exactly once"):
+            partition_qubits(3, 2, atomic_groups=[[0], [1]])
+
+    def test_rejects_non_positive_counts(self):
+        with pytest.raises(ValueError):
+            partition_qubits(0, 1)
+        with pytest.raises(ValueError):
+            partition_qubits(3, 0)
+
+
+class TestConstruction:
+    def test_needs_engine_or_bundle(self):
+        with pytest.raises(ValueError, match="engine or a bundle_dir"):
+            ReadoutService()
+
+    def test_sharded_mode_requires_bundle(self, service_engine):
+        with pytest.raises(ValueError, match="bundle_dir"):
+            ReadoutService(engine=service_engine, n_shards=2)
+
+    def test_shard_groups_must_cover_qubits(self, service_bundle):
+        with pytest.raises(ValueError, match="every qubit"):
+            ReadoutService(bundle_dir=service_bundle, n_shards=2, shard_groups=[[0], [1]])
+
+    def test_invalid_batching_parameters(self, service_engine):
+        with pytest.raises(ValueError, match="max_batch"):
+            ReadoutService(engine=service_engine, max_batch=0)
+        with pytest.raises(ValueError, match="max_wait_ms"):
+            ReadoutService(engine=service_engine, max_wait_ms=-1)
+        with pytest.raises(ValueError, match="max_pending"):
+            ReadoutService(engine=service_engine, max_pending=0)
+
+    def test_shard_groups_derived_from_manifest_hints(self, service_bundle):
+        service = ReadoutService(bundle_dir=service_bundle, n_shards=2, autostart=False)
+        assert service.shard_groups == [[0, 1], [2]]
+        assert service.sharded
+        service.close()
+
+
+class TestInProcessServing:
+    def test_bit_identical_to_direct_serve(
+        self, service_engine, service_traces, service_carriers
+    ):
+        direct_float = service_engine.serve(
+            ReadoutRequest(traces=service_traces, output="both")
+        )
+        direct_raw = service_engine.serve(
+            ReadoutRequest(raw=service_carriers, output="both")
+        )
+        with ReadoutService(engine=service_engine) as service:
+            served_float = service.serve(
+                ReadoutRequest(traces=service_traces, output="both")
+            )
+            served_raw = service.serve(
+                ReadoutRequest(raw=service_carriers, output="both")
+            )
+        np.testing.assert_array_equal(served_float.states, direct_float.states)
+        np.testing.assert_array_equal(served_float.logits, direct_float.logits)
+        np.testing.assert_array_equal(served_raw.states, direct_raw.states)
+        np.testing.assert_array_equal(served_raw.logits, direct_raw.logits)
+
+    def test_microbatch_coalescing_is_exact(self, service_engine, service_carriers):
+        """Queue a backlog first, then start: the batcher drains it in one
+        coalesced dispatch whose sliced results must equal per-request serving."""
+        direct = service_engine.serve(
+            ReadoutRequest(raw=service_carriers, output="both")
+        )
+        chunk = 8
+        service = ReadoutService(
+            engine=service_engine, max_batch=64, max_wait_ms=50.0, autostart=False
+        )
+        futures = [
+            service.submit(
+                ReadoutRequest(raw=service_carriers[start : start + chunk], output="both")
+            )
+            for start in range(0, service_carriers.shape[0], chunk)
+        ]
+        service.start()
+        results = [future.result(timeout=30) for future in futures]
+        service.close()
+        np.testing.assert_array_equal(
+            np.concatenate([result.states for result in results]), direct.states
+        )
+        np.testing.assert_array_equal(
+            np.concatenate([result.logits for result in results]), direct.logits
+        )
+        stats = service.stats
+        assert stats.requests_served == len(futures)
+        assert stats.batches < len(futures)
+        assert stats.coalesced_requests > 0
+        assert results[0].meta["microbatch_requests"] > 1
+
+    def test_incompatible_requests_group_separately(
+        self, service_engine, service_traces, service_carriers
+    ):
+        """A mixed backlog (float vs raw, different outputs) must coalesce only
+        within compatibility groups and still serve every request exactly."""
+        service = ReadoutService(
+            engine=service_engine, max_batch=64, max_wait_ms=50.0, autostart=False
+        )
+        float_req = ReadoutRequest(traces=service_traces[:6], output="logits")
+        raw_req = ReadoutRequest(raw=service_carriers[:6], output="states")
+        sub_req = ReadoutRequest(
+            raw=service_carriers[6:12, [1]], qubits=(1,), output="states"
+        )
+        futures = [service.submit(r) for r in (float_req, raw_req, sub_req)]
+        service.start()
+        results = [future.result(timeout=30) for future in futures]
+        service.close()
+        np.testing.assert_array_equal(
+            results[0].logits, service_engine.serve(float_req).logits
+        )
+        np.testing.assert_array_equal(
+            results[1].states, service_engine.serve(raw_req).states
+        )
+        np.testing.assert_array_equal(
+            results[2].states, service_engine.serve(sub_req).states
+        )
+
+    def test_bad_request_fails_fast_and_service_survives(
+        self, service_engine, service_carriers
+    ):
+        with ReadoutService(engine=service_engine) as service:
+            with pytest.raises(ValueError, match="must have shape"):
+                service.submit(ReadoutRequest(raw=service_carriers[:, :2]))
+            with pytest.raises(IndexError, match="out of range"):
+                service.submit(
+                    ReadoutRequest(raw=service_carriers[:, [0]], qubits=(5,))
+                )
+            with pytest.raises(TypeError, match="ReadoutRequest"):
+                service.submit(service_carriers)
+            # The service still serves after rejected submissions.
+            result = service.serve(ReadoutRequest(raw=service_carriers[:4]))
+            np.testing.assert_array_equal(
+                result.states,
+                service_engine.serve(ReadoutRequest(raw=service_carriers[:4])).states,
+            )
+
+    def test_submit_after_close_raises(self, service_engine, service_carriers):
+        service = ReadoutService(engine=service_engine)
+        service.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            service.submit(ReadoutRequest(raw=service_carriers[:2]))
+
+    def test_bundle_loaded_in_process_fallback(self, service_bundle, service_carriers):
+        """n_shards=1 + bundle_dir loads the engine in-process (no workers)."""
+        with ReadoutService(bundle_dir=service_bundle) as service:
+            assert not service.sharded
+            reference = ReadoutEngine.load(service_bundle)
+            np.testing.assert_array_equal(
+                service.serve(ReadoutRequest(raw=service_carriers)).states,
+                reference.serve(ReadoutRequest(raw=service_carriers)).states,
+            )
+            reference.close()
+
+    def test_aserve_in_asyncio_loop(self, service_engine, service_carriers):
+        async def run(service):
+            return await service.aserve(ReadoutRequest(raw=service_carriers[:8]))
+
+        with ReadoutService(engine=service_engine) as service:
+            result = asyncio.run(run(service))
+        np.testing.assert_array_equal(
+            result.states,
+            service_engine.serve(ReadoutRequest(raw=service_carriers[:8])).states,
+        )
+
+
+class TestShardedServing:
+    def test_sharded_bit_identical_to_direct_serve(
+        self, service_bundle, service_engine, service_traces, service_carriers
+    ):
+        direct = service_engine.serve(
+            ReadoutRequest(raw=service_carriers, output="both")
+        )
+        with ReadoutService(bundle_dir=service_bundle, n_shards=2) as service:
+            assert service.n_shards == 2
+            served = service.serve(ReadoutRequest(raw=service_carriers, output="both"))
+            float_served = service.serve(
+                ReadoutRequest(traces=service_traces, output="both")
+            )
+            # A subset that spans the shard boundary, in non-natural order.
+            subset = service.serve(
+                ReadoutRequest(
+                    raw=service_carriers[:, [2, 0]], qubits=(2, 0), output="logits"
+                )
+            )
+        np.testing.assert_array_equal(served.states, direct.states)
+        np.testing.assert_array_equal(served.logits, direct.logits)
+        np.testing.assert_array_equal(float_served.states, direct.states)
+        np.testing.assert_array_equal(float_served.logits, direct.logits)
+        np.testing.assert_array_equal(subset.logits[:, 0], direct.logits[:, 2])
+        np.testing.assert_array_equal(subset.logits[:, 1], direct.logits[:, 0])
+        assert served.meta["shards"] == 2
+        assert subset.meta["shards"] == 2
+
+    def test_single_shard_subset_touches_one_worker(
+        self, service_bundle, service_engine, service_carriers
+    ):
+        with ReadoutService(bundle_dir=service_bundle, n_shards=2) as service:
+            result = service.serve(
+                ReadoutRequest(raw=service_carriers[:, [2]], qubits=(2,))
+            )
+        np.testing.assert_array_equal(
+            result.states[:, 0],
+            service_engine.serve(
+                ReadoutRequest(raw=service_carriers, output="states")
+            ).states[:, 2],
+        )
+        assert result.meta["shards"] == 1
+
+    def test_sharded_microbatching_is_exact(self, service_bundle, service_engine, service_carriers):
+        direct = service_engine.serve(ReadoutRequest(raw=service_carriers))
+        service = ReadoutService(
+            bundle_dir=service_bundle,
+            n_shards=2,
+            max_batch=16,
+            max_wait_ms=50.0,
+            autostart=False,
+        )
+        chunk = 16
+        futures = [
+            service.submit(ReadoutRequest(raw=service_carriers[start : start + chunk]))
+            for start in range(0, service_carriers.shape[0], chunk)
+        ]
+        service.start()
+        results = [future.result(timeout=60) for future in futures]
+        service.close()
+        np.testing.assert_array_equal(
+            np.concatenate([result.states for result in results]), direct.states
+        )
+        assert service.stats.batches < len(futures)
+
+    def test_worker_error_propagates_and_service_survives(
+        self, service_bundle, service_carriers
+    ):
+        with ReadoutService(bundle_dir=service_bundle, n_shards=2) as service:
+            # Traces shorter than the matched-filter envelope fail inside the
+            # worker's datapath; the error must surface on this side.
+            bad = np.zeros((4, 3, 2, 2), dtype=np.int32)
+            with pytest.raises(ValueError):
+                service.serve(ReadoutRequest(raw=bad))
+            result = service.serve(ReadoutRequest(raw=service_carriers[:4]))
+            assert result.states.shape == (4, 3)
+
+
+class TestGoldenThroughService:
+    def test_sharded_service_reproduces_golden_snapshot(self, tmp_path):
+        """End-to-end pinning: bundle -> 2 worker processes -> micro-batched
+        raw serving must land exactly on the golden raw-integer snapshot."""
+        golden = np.array(
+            json.loads(GOLDEN_PATH.read_text())["q16_16"], dtype=np.int64
+        )
+        expected = golden.astype(np.float64) / CASES["q16_16"].scale
+        engine = ReadoutEngine(
+            [FixedPointBackend(build_parameters(CASES["q16_16"])) for _ in range(2)]
+        )
+        bundle = tmp_path / "golden-bundle"
+        engine.save(bundle)
+        carriers = digitize_traces(np.stack([build_traces()] * 2, axis=1))
+        with ReadoutService(bundle_dir=bundle, n_shards=2) as service:
+            result = service.serve(ReadoutRequest(raw=carriers, output="logits"))
+        np.testing.assert_array_equal(result.logits[:, 0], expected)
+        np.testing.assert_array_equal(result.logits[:, 1], expected)
+        engine.close()
+
+
+class TestResilience:
+    def test_shard_count_clipped_to_one_falls_back_in_process(
+        self, tmp_path, service_carriers
+    ):
+        """More shards than qubit groups must serve in-process, not crash."""
+        engine = ReadoutEngine(
+            [FixedPointBackend(build_parameters(CASES["q16_16"]))]
+        )
+        bundle = tmp_path / "one-qubit"
+        engine.save(bundle)
+        carriers = service_carriers[:, [0]]
+        with ReadoutService(bundle_dir=bundle, n_shards=4) as service:
+            assert not service.sharded
+            assert service.n_shards == 1
+            result = service.serve(ReadoutRequest(raw=carriers))
+            np.testing.assert_array_equal(
+                result.states, engine.serve(ReadoutRequest(raw=carriers)).states
+            )
+        engine.close()
+
+    def test_dead_worker_raises_instead_of_hanging(self, tmp_path, service_bundle):
+        """A shard whose bundle cannot load must fail the request, not park
+        the batcher (and close()) forever."""
+        import shutil
+
+        broken = tmp_path / "broken-bundle"
+        shutil.copytree(service_bundle, broken)
+        victim = next(broken.glob("qubit0/*.npz"))
+        victim.write_bytes(b"not a real payload")
+        with ReadoutService(bundle_dir=broken, n_shards=2) as service:
+            future = service.submit(
+                ReadoutRequest(raw=np.zeros((2, 3, 40, 2), dtype=np.int32))
+            )
+            with pytest.raises(RuntimeError, match="worker died"):
+                future.result(timeout=60)

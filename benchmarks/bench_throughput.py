@@ -17,7 +17,11 @@ Measures shots/second through
   ``ReadoutRequest``\\ s through ``ReadoutService`` micro-batching
   (``service_microbatch``) and 2-process qubit sharding (``shard_scaling``),
   versus serial per-request ``engine.serve()`` dispatch, bit-identity
-  asserted first, and
+  asserted first,
+* the **network tier** -- the same request stream through a loopback
+  ``ReadoutServer``/``RemoteEngineClient`` round trip and a
+  ``TcpShardTransport``-backed service (``remote_serving`` section:
+  ``remote_tcp_vs_direct`` and friends), bit-identity asserted first, and
 * the **trace synthesizer** -- the batched ``generate_shots`` path the
   dataset builder uses versus a replica of the seed's per-shot Python loop,
   plus the end-to-end dataset builder itself.
@@ -396,8 +400,9 @@ def bench_engine(report: ThroughputReport, n_shots: int, repeats: int, seed: int
     rng = np.random.default_rng(seed + 2)
     traces = rng.uniform(-3.0, 3.0, size=(engine_shots, n_qubits, n_samples, 2))
     engine = build_bench_engine(n_samples, seed)
-    sequential = engine.discriminate_all(traces, parallel=False)
-    parallel = engine.discriminate_all(traces, parallel=True)
+    request = ReadoutRequest(traces=traces, output="states")
+    sequential = engine.serve(request, parallel=False).states
+    parallel = engine.serve(request, parallel=True).states
     if not np.array_equal(sequential, parallel):
         raise AssertionError(
             "ReadoutEngine parallel fan-out is not bit-identical to the "
@@ -409,11 +414,11 @@ def bench_engine(report: ThroughputReport, n_shots: int, repeats: int, seed: int
     measured = measure_paired(
         {
             "engine_discriminate_all_parallel": (
-                lambda: engine.discriminate_all(traces, parallel=True),
+                lambda: engine.serve(request, parallel=True).states,
                 engine_shots * n_qubits,
             ),
             "engine_discriminate_all_sequential": (
-                lambda: engine.discriminate_all(traces, parallel=False),
+                lambda: engine.serve(request, parallel=False).states,
                 engine_shots * n_qubits,
             ),
         },
@@ -456,8 +461,12 @@ def bench_raw_serving(report: ThroughputReport, n_shots: int, repeats: int, seed
     traces = rng.uniform(-3.0, 3.0, size=(largest, n_qubits, n_samples, 2))
     carriers = digitize_traces(traces)
 
-    float_logits = engine.predict_logits_all(traces, parallel=False)
-    raw_logits = engine.predict_logits_all_raw(carriers, parallel=False)
+    float_logits = engine.serve(
+        ReadoutRequest(traces=traces, output="logits"), parallel=False
+    ).logits
+    raw_logits = engine.serve(
+        ReadoutRequest(raw=carriers, output="logits"), parallel=False
+    ).logits
     if not np.array_equal(float_logits, raw_logits):
         raise AssertionError(
             "raw-carrier serving is not bit-identical to the float-trace path "
@@ -477,11 +486,15 @@ def bench_raw_serving(report: ThroughputReport, n_shots: int, repeats: int, seed
         measured = measure_paired(
             {
                 raw_name: (
-                    lambda c=batch_carriers: engine.discriminate_all_raw(c),
+                    lambda c=batch_carriers: engine.serve(
+                        ReadoutRequest(raw=c)
+                    ).states,
                     batch * n_qubits,
                 ),
                 float_name: (
-                    lambda t=batch_traces: engine.discriminate_all(t),
+                    lambda t=batch_traces: engine.serve(
+                        ReadoutRequest(traces=t)
+                    ).states,
                     batch * n_qubits,
                 ),
             },
@@ -620,6 +633,129 @@ def bench_service(report: ThroughputReport, n_shots: int, repeats: int, seed: in
     )
 
 
+def bench_remote_serving(
+    report: ThroughputReport, n_shots: int, repeats: int, seed: int
+) -> None:
+    """Loopback TCP serving vs. direct ``serve()`` vs. local shard dispatch.
+
+    The transport-abstraction question: what does putting the wire codec and
+    a socket between the caller and the engine cost?  The same request
+    stream is answered four ways -- direct in-process ``engine.serve()``
+    per request (the baseline), a ``RemoteEngineClient`` round-tripping each
+    request through one loopback ``ReadoutServer`` process, the PR-4-style
+    2-process local-shard service, and a ``TcpShardTransport``-backed
+    service placing the same 2 qubit groups on two loopback server
+    processes -- after asserting all four produce bit-identical states.
+
+    On the single-core CI container the remote numbers are dominated by
+    framing + socket copies + process hand-offs and land **below** direct
+    dispatch; they are reported honestly (like ``shard_scaling``) -- the
+    measurement exists so multi-host deployments know the per-request wire
+    cost and CI pins the whole TCP tier end to end.
+    """
+    import tempfile
+
+    from repro.service import ReadoutService, RemoteEngineClient, spawn_server
+
+    n_samples = 500
+    n_qubits = len(ENGINE_ASSIGNMENT)
+    n_requests = 64
+    request_shots = 8
+    engine = build_bench_engine(n_samples, seed)
+    rng = np.random.default_rng(seed + 5)
+    traces = rng.uniform(
+        -3.0, 3.0, size=(n_requests * request_shots, n_qubits, n_samples, 2)
+    )
+    carriers = digitize_traces(traces)
+    requests = [
+        ReadoutRequest(raw=carriers[start : start + request_shots], output="states")
+        for start in range(0, carriers.shape[0], request_shots)
+    ]
+    items = n_requests * request_shots * n_qubits
+
+    def direct_dispatch() -> np.ndarray:
+        return np.concatenate([engine.serve(request).states for request in requests])
+
+    def service_gather(service: ReadoutService) -> np.ndarray:
+        futures = [service.submit(request) for request in requests]
+        return np.concatenate([future.result().states for future in futures])
+
+    reference = direct_dispatch()
+    with tempfile.TemporaryDirectory() as tmp:
+        bundle_dir = Path(tmp) / "bench-bundle"
+        engine.save(bundle_dir)
+        servers = [spawn_server(bundle_dir) for _ in range(2)]
+        try:
+            hosts = [f"{host}:{port}" for host, port in (s.address for s in servers)]
+            client = RemoteEngineClient(hosts[0], timeout=300.0)
+
+            def tcp_dispatch() -> np.ndarray:
+                return np.concatenate(
+                    [client.serve(request).states for request in requests]
+                )
+
+            with ReadoutService(
+                bundle_dir=bundle_dir, n_shards=2, max_batch=64, max_wait_ms=10.0
+            ) as local_shards, ReadoutService(
+                shard_hosts=hosts,
+                max_batch=64,
+                max_wait_ms=10.0,
+                remote_timeout=300.0,
+            ) as tcp_shards:
+                for label, produced in (
+                    ("loopback TCP client", tcp_dispatch()),
+                    ("local-shard service", service_gather(local_shards)),
+                    ("TCP-shard service", service_gather(tcp_shards)),
+                ):
+                    if not np.array_equal(produced, reference):
+                        raise AssertionError(
+                            f"{label} serving is not bit-identical to direct "
+                            f"engine.serve() dispatch"
+                        )
+                print(
+                    f"  TCP client == TCP shards == local shards == direct on "
+                    f"{n_requests} requests x {request_shots} shots x "
+                    f"{n_qubits} qubits OK (groups: {tcp_shards.shard_groups})"
+                )
+                measured = measure_paired(
+                    {
+                        "remote_direct_serve": (direct_dispatch, items),
+                        "remote_tcp_loopback": (tcp_dispatch, items),
+                        "remote_local_shards": (
+                            lambda: service_gather(local_shards),
+                            items,
+                        ),
+                        "remote_tcp_shards": (
+                            lambda: service_gather(tcp_shards),
+                            items,
+                        ),
+                    },
+                    repeats=repeats,
+                )
+            client.close()
+        finally:
+            for handle in servers:
+                handle.close()
+    for measurement in measured.values():
+        report.add(measurement)
+    tcp_vs_direct = report.record_speedup(
+        "remote_tcp_vs_direct", "remote_tcp_loopback", "remote_direct_serve"
+    )
+    tcp_shards_vs_direct = report.record_speedup(
+        "remote_tcp_shards_vs_direct", "remote_tcp_shards", "remote_direct_serve"
+    )
+    tcp_shards_vs_local = report.record_speedup(
+        "remote_tcp_shards_vs_local_shards",
+        "remote_tcp_shards",
+        "remote_local_shards",
+    )
+    print(
+        f"  loopback TCP vs direct: {tcp_vs_direct:.2f}x; 2 TCP shards vs "
+        f"direct: {tcp_shards_vs_direct:.2f}x (vs 2 local shards: "
+        f"{tcp_shards_vs_local:.2f}x)"
+    )
+
+
 def bench_synthesis(report: ThroughputReport, n_shots: int, repeats: int, seed: int) -> None:
     """Trace synthesis: the batched generator vs. the seed per-shot loop."""
     physics = _bench_device()
@@ -720,6 +856,8 @@ def main(argv: list[str] | None = None) -> int:
     bench_raw_serving(report, n_shots, repeats, args.seed)
     print("Service micro-batching + shard scaling (many small concurrent requests):")
     bench_service(report, n_shots, repeats, args.seed)
+    print("Remote serving (loopback TCP vs direct serve vs local shards):")
+    bench_remote_serving(report, n_shots, repeats, args.seed)
     print(f"Trace synthesis ({n_shots} shots, 2-qubit device):")
     bench_synthesis(report, n_shots, repeats, args.seed)
 

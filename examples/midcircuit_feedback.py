@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.analysis import prepare_dataset, run_klinq
 from repro.core import scaled_experiment_config
+from repro.engine import ReadoutRequest
 from repro.fpga import LatencyModel
 from repro.nn.metrics import assignment_fidelity
 
@@ -56,7 +57,11 @@ def main() -> None:
 
     print(f"\nMeasuring qubit {ANCILLA + 1} (ancilla) independently on "
           f"{ancilla_traces.shape[0]} shots ...")
-    outcomes = engine.discriminate(ancilla_traces, qubit_index=ANCILLA)
+    # Mid-circuit readout is a qubit subset on the request path: only the
+    # ancilla's backend runs, the other qubits are never touched.
+    outcomes = engine.serve(
+        ReadoutRequest(traces=ancilla_traces[:, None], qubits=(ANCILLA,))
+    ).states[:, 0]
     fidelity = assignment_fidelity(outcomes, ancilla_truth, threshold=0.5)
     float_outcomes = readout.discriminate(ancilla_traces, qubit_index=ANCILLA)
     print(f"Ancilla assignment fidelity: {fidelity:.3f} "
@@ -73,15 +78,17 @@ def main() -> None:
 
     # --- Independence from the rest of the device ---------------------------
     # Corrupt every *other* qubit's trace and check the ancilla outcome is
-    # unchanged.  discriminate_all fans the qubits out across the engine's
-    # worker threads; per-qubit independence means the parallel, sequential,
-    # and single-qubit paths are all bit-identical.
+    # unchanged.  A full-device request fans the qubits out across the
+    # engine's worker threads; per-qubit independence means the parallel,
+    # sequential, and single-qubit paths are all bit-identical.
     tampered = dataset.test_traces.copy()
     rng = np.random.default_rng(0)
     for qubit in range(dataset.n_qubits):
         if qubit != ANCILLA:
             tampered[:, qubit] = rng.normal(size=tampered[:, qubit].shape)
-    outcomes_tampered = engine.discriminate_all(tampered)[:, ANCILLA]
+    outcomes_tampered = engine.serve(
+        ReadoutRequest(traces=tampered)
+    ).states[:, ANCILLA]
     assert np.array_equal(outcomes, outcomes_tampered)
     print("\nIndependence check passed: the ancilla readout is bit-identical even when "
           "every other qubit's trace is replaced with noise.")

@@ -1,0 +1,147 @@
+"""Network serving: the same readout bundle served across a host boundary.
+
+The deployment story of the serving stack, end to end on loopback TCP:
+
+1. build a synthetic five-qubit fixed-point deployment (no training needed --
+   the point here is the serving path, not fidelity) and save it as an
+   artifact bundle,
+2. start two ``ReadoutServer`` processes on 127.0.0.1, each loading that
+   bundle -- exactly what ``python -m repro.service.net <bundle>`` does on a
+   real remote host,
+3. serve requests three ways and verify all are **bit-identical**:
+   direct in-process ``engine.serve()``, a ``RemoteEngineClient`` round trip
+   through one server, and a ``ReadoutService(shard_hosts=[...])`` that
+   splits qubit columns across both servers with micro-batching on top.
+
+CI runs this as its loopback network-serving smoke (exit code 5 on failure,
+downgraded to a warning like the other non-blocking gates).  Run it with::
+
+    PYTHONPATH=src python examples/network_serving.py
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine import FixedPointBackend, ReadoutEngine, ReadoutRequest
+from repro.fpga.fixed_point import Q16_16
+from repro.fpga.quantize import QuantizedStudentParameters
+from repro.readout.preprocessing import digitize_traces
+from repro.service import ReadoutService, RemoteEngineClient, spawn_server
+
+#: Distinct exit code for the CI smoke gate ("network serving broke"),
+#: mirroring the examples gate (4) and the bench regression gate (3).
+SMOKE_FAILURE_EXIT_CODE = 5
+
+
+def synthetic_parameters(seed: int, n_samples: int = 120) -> QuantizedStudentParameters:
+    """A deterministic quantized student (FNN-A-like shape, small and fast)."""
+    rng = np.random.default_rng(seed)
+    samples_per_interval = 8
+    n_features = 2 * (n_samples // samples_per_interval) + 1
+    widths = [n_features, 12, 6, 1]
+    fmt = Q16_16
+    return QuantizedStudentParameters(
+        fmt=fmt,
+        samples_per_interval=samples_per_interval,
+        n_samples=n_samples,
+        include_matched_filter=True,
+        mf_envelope=fmt.to_raw(rng.uniform(-0.5, 0.5, size=(n_samples, 2))),
+        mf_threshold_raw=int(fmt.to_raw(1.25)),
+        mf_scale_reciprocal_raw=int(fmt.to_raw(0.4)),
+        average_reciprocal_raw=int(fmt.to_raw(1.0 / samples_per_interval)),
+        norm_minimum=fmt.to_raw(rng.uniform(-4.0, 0.0, size=n_features - 1)),
+        norm_shift_bits=rng.integers(-2, 4, size=n_features - 1),
+        layer_weights=[
+            fmt.to_raw(rng.uniform(-1.0, 1.0, size=(widths[i], widths[i + 1])))
+            for i in range(len(widths) - 1)
+        ],
+        layer_biases=[
+            fmt.to_raw(rng.uniform(-0.5, 0.5, size=widths[i + 1]))
+            for i in range(len(widths) - 1)
+        ],
+    )
+
+
+def run() -> None:
+    n_qubits, n_shots = 5, 96
+    engine = ReadoutEngine(
+        [FixedPointBackend(synthetic_parameters(seed=2025 + q)) for q in range(n_qubits)]
+    )
+    rng = np.random.default_rng(7)
+    traces = rng.uniform(-3.0, 3.0, size=(n_shots, n_qubits, 120, 2))
+    carriers = digitize_traces(traces)  # the ADC step, once at capture
+    request = ReadoutRequest(raw=carriers, output="both")
+    direct = engine.serve(request)
+    print(f"Direct in-process serve: {n_shots} shots x {n_qubits} qubits "
+          f"(backend {direct.meta['backend']!r})")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        bundle = Path(tmp) / "readout-v1"
+        engine.save(bundle)
+        print(f"Saved the deployment bundle to {bundle.name}/")
+
+        print("Starting two ReadoutServer processes on 127.0.0.1 ...")
+        servers = [spawn_server(bundle) for _ in range(2)]
+        try:
+            hosts = [f"{host}:{port}" for host, port in (s.address for s in servers)]
+            print(f"Servers up at {hosts[0]} and {hosts[1]}")
+
+            # --- One client, one server: the remote twin of engine.serve() --
+            with RemoteEngineClient(hosts[0], timeout=60.0) as client:
+                info = client.info()
+                print(f"Server deployment info: {info['n_qubits']} qubits, "
+                      f"backend {info['backend']!r}")
+                remote = client.serve(request)
+            assert np.array_equal(remote.states, direct.states), "remote states diverged"
+            assert np.array_equal(remote.logits, direct.logits), "remote logits diverged"
+            print("RemoteEngineClient round trip: bit-identical to direct serve()")
+
+            # --- Qubit shards across both servers, micro-batching on top ----
+            with ReadoutService(
+                shard_hosts=hosts, max_batch=16, max_wait_ms=5.0, remote_timeout=60.0
+            ) as service:
+                print(f"ReadoutService placed qubit groups {service.shard_groups} "
+                      f"on {service.n_shards} hosts over "
+                      f"{service.transport_name!r}")
+                chunk = 8
+                futures = [
+                    service.submit(
+                        ReadoutRequest(raw=carriers[i : i + chunk], output="both")
+                    )
+                    for i in range(0, n_shots, chunk)
+                ]
+                results = [future.result(timeout=120) for future in futures]
+                stats = service.stats
+            states = np.concatenate([r.states for r in results])
+            logits = np.concatenate([r.logits for r in results])
+            assert np.array_equal(states, direct.states), "sharded states diverged"
+            assert np.array_equal(logits, direct.logits), "sharded logits diverged"
+            print(f"TCP-sharded service: bit-identical across {stats.requests_served} "
+                  f"requests in {stats.batches} dispatches "
+                  f"(transport={stats.transport!r}, placements={stats.placements}, "
+                  f"backend={stats.backend!r})")
+        finally:
+            for handle in servers:
+                handle.close()
+    engine.close()
+    print("\nAll three serving paths are bit-identical. Network serving OK.")
+
+
+def main() -> int:
+    try:
+        run()
+    except Exception:  # noqa: BLE001 - the smoke gate wants one exit code
+        import traceback
+
+        traceback.print_exc()
+        return SMOKE_FAILURE_EXIT_CODE
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -237,7 +237,9 @@ class KlinqReadout:
         if not 0 <= qubit_index < self.n_qubits:
             raise IndexError(f"qubit_index {qubit_index} out of range")
         if self.is_trained:
-            return self._engine().discriminate(traces, qubit_index)
+            # The request path's single-qubit adapter (not the deprecated
+            # discriminate shim, which only adds a DeprecationWarning).
+            return self._engine()._serve_single_qubit(traces, qubit_index)
         # Partially trained system: single-qubit readout only needs this
         # qubit's student (the mid-circuit independence property), so don't
         # demand a full engine.  Results are identical to the engine path --
@@ -260,7 +262,9 @@ class KlinqReadout:
             raise ValueError(
                 f"traces must have shape (shots, {self.n_qubits}, samples, 2), got {traces.shape}"
             )
-        return self._engine().discriminate_all(traces)
+        from repro.engine.request import ReadoutRequest
+
+        return self._engine().serve(ReadoutRequest(traces=traces)).states
 
     def students(self) -> list[StudentModel]:
         """The trained per-qubit student models (for engine/FPGA deployment)."""

@@ -22,6 +22,10 @@ everything downstream of training talks to:
   (``manifest.json`` + per-qubit student and quantized-parameter files with
   SHA-256 checksums and shard-layout hints) so a trained system deploys as
   a directory.
+* :mod:`repro.engine.wire` -- the versioned, length-prefixed binary codec
+  every serving boundary speaks: requests/results round-trip bit-exactly
+  and remote errors re-raise with local types, whether the bytes cross a
+  worker pipe or a TCP socket (:mod:`repro.service`).
 
 For traffic-level concerns -- micro-batching many small concurrent requests
 and sharding qubit groups across worker processes -- see
@@ -54,8 +58,10 @@ from repro.engine.bundle import (
     BUNDLE_FORMAT_VERSION,
     MANIFEST_NAME,
     load_engine,
+    load_manifest,
     save_engine,
 )
+from repro.engine import wire
 
 __all__ = [
     "ReadoutBackend",
@@ -73,4 +79,6 @@ __all__ = [
     "MANIFEST_NAME",
     "save_engine",
     "load_engine",
+    "load_manifest",
+    "wire",
 ]

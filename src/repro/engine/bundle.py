@@ -39,7 +39,13 @@ from repro.engine.engine import ReadoutEngine
 from repro.fpga.quantize import load_quantized_parameters, save_quantized_parameters
 from repro.nn.serialization import load_state_pair, save_state_pair
 
-__all__ = ["BUNDLE_FORMAT_VERSION", "MANIFEST_NAME", "save_engine", "load_engine"]
+__all__ = [
+    "BUNDLE_FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "save_engine",
+    "load_engine",
+    "load_manifest",
+]
 
 #: On-disk format version; bump on any incompatible layout change.
 BUNDLE_FORMAT_VERSION = 1
@@ -155,15 +161,13 @@ def _verify_files(directory: Path, manifest: dict) -> None:
             )
 
 
-def load_engine(directory: str | Path, max_workers: int | None = None) -> ReadoutEngine:
-    """Reconstruct a :class:`ReadoutEngine` from a bundle written by :func:`save_engine`.
+def load_manifest(directory: str | Path) -> dict:
+    """Read and version-check a bundle's ``manifest.json`` without payloads.
 
-    Raises
-    ------
-    FileNotFoundError
-        If the manifest or any file it lists is missing.
-    ValueError
-        If the format version is unsupported or any checksum does not match.
+    The lightweight entry point every bundle *consumer* shares --
+    :func:`load_engine`, the sharded service's partition planning, and the
+    network server's deployment-info replies -- so the existence and
+    format-version checks cannot drift apart between them.
     """
     directory = Path(directory)
     manifest_path = directory / MANIFEST_NAME
@@ -176,6 +180,21 @@ def load_engine(directory: str | Path, max_workers: int | None = None) -> Readou
             f"Unsupported engine bundle format version {version!r} "
             f"(this build reads version {BUNDLE_FORMAT_VERSION})"
         )
+    return manifest
+
+
+def load_engine(directory: str | Path, max_workers: int | None = None) -> ReadoutEngine:
+    """Reconstruct a :class:`ReadoutEngine` from a bundle written by :func:`save_engine`.
+
+    Raises
+    ------
+    FileNotFoundError
+        If the manifest or any file it lists is missing.
+    ValueError
+        If the format version is unsupported or any checksum does not match.
+    """
+    directory = Path(directory)
+    manifest = load_manifest(directory)
     _verify_files(directory, manifest)
     backends: list[ReadoutBackend] = []
     for qubit_index, entry in enumerate(manifest.get("qubits", [])):

@@ -34,6 +34,7 @@ from __future__ import annotations
 import os
 import threading
 import time
+import warnings
 from collections.abc import Sequence
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
@@ -262,6 +263,10 @@ class ReadoutEngine:
             logits=logits,
             n_shots=int(payload.shape[0]),
             elapsed_s=time.perf_counter() - start,
+            # Observability: every dispatch path records what served it; the
+            # service/transport layers extend this with shard counts and
+            # transport names.
+            meta={"backend": self.backend_kind},
         )
 
     # --------------------------------------------------------------- legacy API
@@ -270,7 +275,47 @@ class ReadoutEngine:
     # single/all x float/raw -- are kept as thin shims over serve().  They are
     # **deprecated in favour of serve()**: they add no behaviour, exist so
     # trained deployments keep working verbatim, and are pinned bit-identical
-    # to the request path by tests/engine/test_serve_api.py.
+    # to the request path by tests/engine/test_serve_api.py.  Each emits a
+    # DeprecationWarning; the test suite turns those into errors outside the
+    # legacy-shim tests so no new code path sneaks back onto the old API.
+
+    @staticmethod
+    def _warn_deprecated(method: str, replacement: str) -> None:
+        warnings.warn(
+            f"ReadoutEngine.{method}() is deprecated; {replacement}",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def _serve_single_qubit(
+        self,
+        traces: np.ndarray,
+        qubit_index: int,
+        output: str = "states",
+        raw: bool = False,
+        dequantize: bool = False,
+        fmt: FixedPointFormat | None = None,
+    ) -> np.ndarray:
+        """Single-qubit serving with the bare-trace convention.
+
+        The one adapter from the "this qubit's batch (or single trace)"
+        signature onto the request path, shared by the deprecated shims and
+        by :meth:`KlinqReadout.discriminate` (which is not deprecated and
+        must not route through a warning shim).
+        """
+        def run(batch: np.ndarray) -> np.ndarray:
+            kwargs = dict(qubits=(qubit_index,), output=output)
+            if raw:
+                request = ReadoutRequest(
+                    raw=batch[:, None], dequantize=dequantize, fmt=fmt, **kwargs
+                )
+            else:
+                request = ReadoutRequest(traces=batch[:, None], **kwargs)
+            result = self.serve(request)
+            columns = result.logits if output == "logits" else result.states
+            return columns[:, 0]
+
+        return serve_traces(run, traces)
 
     def discriminate(self, traces: np.ndarray, qubit_index: int) -> np.ndarray:
         """Independent (mid-circuit capable) readout of a single qubit.
@@ -282,14 +327,11 @@ class ReadoutEngine:
            qubits=(qubit_index,)))`` -- this shim only adapts the single-qubit
            trace convention onto the request path.
         """
-        return serve_traces(
-            lambda batch: self.serve(
-                ReadoutRequest(
-                    traces=batch[:, None], qubits=(qubit_index,), output="states"
-                )
-            ).states[:, 0],
-            traces,
+        self._warn_deprecated(
+            "discriminate",
+            "serve a ReadoutRequest(traces=batch[:, None], qubits=(q,)) instead",
         )
+        return self._serve_single_qubit(traces, qubit_index, output="states")
 
     def predict_logits(self, traces: np.ndarray, qubit_index: int) -> np.ndarray:
         """Float logits of a single qubit's backend for its trace batch.
@@ -297,14 +339,12 @@ class ReadoutEngine:
         .. deprecated:: use :meth:`serve` with ``qubits=(qubit_index,)`` and
            ``output="logits"``.
         """
-        return serve_traces(
-            lambda batch: self.serve(
-                ReadoutRequest(
-                    traces=batch[:, None], qubits=(qubit_index,), output="logits"
-                )
-            ).logits[:, 0],
-            traces,
+        self._warn_deprecated(
+            "predict_logits",
+            "serve a ReadoutRequest(traces=batch[:, None], qubits=(q,), "
+            "output='logits') instead",
         )
+        return self._serve_single_qubit(traces, qubit_index, output="logits")
 
     def discriminate_all(
         self, traces: np.ndarray, parallel: bool | None = None
@@ -316,6 +356,9 @@ class ReadoutEngine:
 
         .. deprecated:: use ``serve(ReadoutRequest(traces=traces)).states``.
         """
+        self._warn_deprecated(
+            "discriminate_all", "use serve(ReadoutRequest(traces=traces)).states"
+        )
         return self.serve(
             ReadoutRequest(traces=traces, output="states"), parallel=parallel
         ).states
@@ -328,6 +371,10 @@ class ReadoutEngine:
         .. deprecated:: use ``serve(ReadoutRequest(traces=traces,
            output="logits")).logits``.
         """
+        self._warn_deprecated(
+            "predict_logits_all",
+            "use serve(ReadoutRequest(traces=traces, output='logits')).logits",
+        )
         return self.serve(
             ReadoutRequest(traces=traces, output="logits"), parallel=parallel
         ).logits
@@ -349,17 +396,17 @@ class ReadoutEngine:
         .. deprecated:: use :meth:`serve` with ``raw=`` and
            ``qubits=(qubit_index,)``.
         """
-        return serve_traces(
-            lambda batch: self.serve(
-                ReadoutRequest(
-                    raw=batch[:, None],
-                    qubits=(qubit_index,),
-                    output="states",
-                    dequantize=dequantize,
-                    fmt=fmt,
-                )
-            ).states[:, 0],
+        self._warn_deprecated(
+            "discriminate_raw",
+            "serve a ReadoutRequest(raw=batch[:, None], qubits=(q,)) instead",
+        )
+        return self._serve_single_qubit(
             trace_raw,
+            qubit_index,
+            output="states",
+            raw=True,
+            dequantize=dequantize,
+            fmt=fmt,
         )
 
     def predict_logits_from_raw(
@@ -378,17 +425,18 @@ class ReadoutEngine:
         .. deprecated:: use :meth:`serve` with ``raw=``,
            ``qubits=(qubit_index,)`` and ``output="logits"``.
         """
-        return serve_traces(
-            lambda batch: self.serve(
-                ReadoutRequest(
-                    raw=batch[:, None],
-                    qubits=(qubit_index,),
-                    output="logits",
-                    dequantize=dequantize,
-                    fmt=fmt,
-                )
-            ).logits[:, 0],
+        self._warn_deprecated(
+            "predict_logits_from_raw",
+            "serve a ReadoutRequest(raw=batch[:, None], qubits=(q,), "
+            "output='logits') instead",
+        )
+        return self._serve_single_qubit(
             trace_raw,
+            qubit_index,
+            output="logits",
+            raw=True,
+            dequantize=dequantize,
+            fmt=fmt,
         )
 
     def discriminate_all_raw(
@@ -419,6 +467,10 @@ class ReadoutEngine:
         .. deprecated:: use ``serve(ReadoutRequest(raw=traces_raw,
            dequantize=..., fmt=...)).states``.
         """
+        self._warn_deprecated(
+            "discriminate_all_raw",
+            "use serve(ReadoutRequest(raw=traces_raw, ...)).states",
+        )
         return self.serve(
             ReadoutRequest(
                 raw=traces_raw, output="states", dequantize=dequantize, fmt=fmt
@@ -443,6 +495,11 @@ class ReadoutEngine:
         .. deprecated:: use ``serve(ReadoutRequest(raw=traces_raw,
            output="logits", dequantize=..., fmt=...)).logits``.
         """
+        self._warn_deprecated(
+            "predict_logits_all_raw",
+            "use serve(ReadoutRequest(raw=traces_raw, output='logits', "
+            "...)).logits",
+        )
         return self.serve(
             ReadoutRequest(
                 raw=traces_raw, output="logits", dequantize=dequantize, fmt=fmt

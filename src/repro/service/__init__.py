@@ -1,12 +1,13 @@
-"""Traffic-level serving: micro-batching and process-sharded readout.
+"""Traffic-level serving: micro-batching, local sharding, network serving.
 
 Where :mod:`repro.engine` answers one request at a time,
 :class:`ReadoutService` is the front-end heavy traffic talks to: it accepts
 many small concurrent :class:`~repro.engine.request.ReadoutRequest`\\ s,
-coalesces compatible ones into micro-batches on a bounded queue, and either
-serves them in-process (bit-identical to ``engine.serve()``) or shards
-qubit groups across worker processes that each load the same artifact
-bundle::
+coalesces compatible ones into micro-batches on a bounded queue, and
+dispatches to one of three placements -- in-process (bit-identical to
+``engine.serve()``), qubit shards on local worker processes, or qubit
+shards on remote :class:`~repro.service.net.ReadoutServer`\\ s over TCP --
+all speaking the one wire codec (:mod:`repro.engine.wire`)::
 
     from repro.engine import ReadoutRequest
     from repro.service import ReadoutService
@@ -15,13 +16,45 @@ bundle::
         futures = [service.submit(ReadoutRequest(raw=chunk)) for chunk in chunks]
         states = [future.result().states for future in futures]
 
+    # across hosts (each running `python -m repro.service.net <bundle>`):
+    #   ReadoutService(shard_hosts=["10.0.0.5:7777", "10.0.0.6:7777"])
     # asyncio front-ends:  result = await service.aserve(request)
 
-See :mod:`repro.service.service` for the batching/dispatch mechanics and
-:mod:`repro.service.sharding` for the worker-process protocol.
+See :mod:`repro.service.service` for the batching/dispatch mechanics,
+:mod:`repro.service.transport` for the shard-transport protocol and the
+local worker-process implementation, and :mod:`repro.service.net` for the
+TCP server/client tier.
 """
 
 from repro.service.service import ReadoutService, ServiceStats
 from repro.service.sharding import partition_qubits
+from repro.service.transport import (
+    LocalProcessTransport,
+    ShardTransport,
+    spawn_local_shards,
+)
+from repro.service.net import (
+    ReadoutServer,
+    RemoteEngineClient,
+    TcpShardTransport,
+    TransportConnectError,
+    TransportError,
+    TransportTimeoutError,
+    spawn_server,
+)
 
-__all__ = ["ReadoutService", "ServiceStats", "partition_qubits"]
+__all__ = [
+    "ReadoutService",
+    "ServiceStats",
+    "partition_qubits",
+    "ShardTransport",
+    "LocalProcessTransport",
+    "spawn_local_shards",
+    "ReadoutServer",
+    "RemoteEngineClient",
+    "TcpShardTransport",
+    "TransportError",
+    "TransportConnectError",
+    "TransportTimeoutError",
+    "spawn_server",
+]

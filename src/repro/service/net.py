@@ -1,0 +1,715 @@
+"""Cross-host serving: the TCP tier of the readout service.
+
+The wire codec (:mod:`repro.engine.wire`) already makes every request and
+result a self-contained binary frame; this module puts those frames on a
+socket:
+
+* :class:`ReadoutServer` -- loads an artifact bundle once and serves decoded
+  requests through :meth:`~repro.engine.engine.ReadoutEngine.serve` on a
+  threaded accept loop, one connection per client, graceful drain on
+  shutdown.  Also answers INFO frames with the deployment description
+  (qubit count, backend kind, shard-layout hints) so a remote front-end can
+  plan shard placement without a local bundle copy.
+* :class:`RemoteEngineClient` -- the caller's side: one reused connection,
+  configurable connect/request timeouts, typed transport errors
+  (:class:`TransportError` and friends) for network failures, while *remote
+  serving* failures re-raise with the same exception types and messages as
+  local serving (the codec ships them as structured error frames).
+* :class:`TcpShardTransport` -- a :class:`~repro.service.transport.ShardTransport`
+  over one such connection, so ``ReadoutService(shard_hosts=[...])`` places
+  its qubit shards on remote :class:`ReadoutServer`\\ s with micro-batching,
+  backpressure, and stats working unchanged.
+
+Run a server from the command line (the bundle is the one
+:meth:`ReadoutEngine.save` writes)::
+
+    PYTHONPATH=src python -m repro.service.net artifacts/readout-v1 \\
+        --host 0.0.0.0 --port 7777
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import select
+import socket
+import threading
+from pathlib import Path
+
+from repro.engine import wire
+from repro.engine.bundle import load_manifest
+from repro.engine.engine import ReadoutEngine
+from repro.engine.request import ReadoutRequest, ReadoutResult
+
+__all__ = [
+    "TransportError",
+    "TransportConnectError",
+    "TransportTimeoutError",
+    "ReadoutServer",
+    "RemoteEngineClient",
+    "TcpShardTransport",
+    "ServerProcessHandle",
+    "spawn_server",
+    "main",
+]
+
+#: How often (seconds) an idle server connection re-checks the drain flag.
+_POLL_INTERVAL_S = 0.25
+
+
+class TransportError(RuntimeError):
+    """A network-level serving failure (connection lost, peer gone).
+
+    Distinct from *remote serving* failures, which re-raise with their
+    original exception types; a ``TransportError`` means the question may
+    never have reached the engine at all.
+    """
+
+
+class TransportConnectError(TransportError):
+    """The server could not be reached (refused, unresolved, unreachable)."""
+
+
+class TransportTimeoutError(TransportError):
+    """The server did not answer within the configured timeout."""
+
+
+def _parse_address(address, port: int | None = None) -> tuple[str, int]:
+    """Normalize ``("host", port)`` / ``"host:port"`` / host+port args."""
+    if port is not None:
+        return str(address), int(port)
+    if isinstance(address, (tuple, list)) and len(address) == 2:
+        return str(address[0]), int(address[1])
+    if isinstance(address, str) and ":" in address:
+        host, _, port_text = address.rpartition(":")
+        return host, int(port_text)
+    raise ValueError(
+        f"Expected a (host, port) pair or 'host:port' string, got {address!r}"
+    )
+
+
+# --------------------------------------------------------------------------
+# Server
+# --------------------------------------------------------------------------
+
+
+class ReadoutServer:
+    """Serve an artifact bundle's engine to the network.
+
+    Parameters
+    ----------
+    bundle_dir:
+        Artifact bundle directory (:meth:`ReadoutEngine.save`); loaded once
+        at :meth:`start`.
+    host / port:
+        Bind address.  ``port=0`` picks a free port (read it back from
+        :attr:`address` -- the loopback tests and benchmarks do).
+    parallel:
+        ``parallel`` flag forwarded to ``engine.serve`` (``None`` = the
+        engine's automatic choice).
+    max_workers:
+        Worker-thread cap for the loaded engine's per-qubit fan-out.
+    backlog:
+        Listen backlog for the accept loop.
+    drain_timeout:
+        How long :meth:`close` waits for each in-flight connection to finish
+        its current request before force-closing the socket.
+    """
+
+    def __init__(
+        self,
+        bundle_dir: str | Path,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        parallel: bool | None = None,
+        max_workers: int | None = None,
+        backlog: int = 16,
+        drain_timeout: float = 10.0,
+    ) -> None:
+        self.bundle_dir = Path(bundle_dir)
+        self._requested = (host, int(port))
+        self._parallel = parallel
+        self._max_workers = max_workers
+        self._backlog = int(backlog)
+        self._drain_timeout = float(drain_timeout)
+        self._engine: ReadoutEngine | None = None
+        self._info: dict = {}
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._conn_lock = threading.Lock()
+        self._connections: dict[socket.socket, threading.Thread] = {}
+        self._closing = threading.Event()
+        self._closed = threading.Event()
+        self._started = False
+        self._requests_served = 0
+        # Connection handlers run on their own threads; the counter needs a
+        # lock or concurrent clients under-count it.
+        self._served_lock = threading.Lock()
+
+    # ---------------------------------------------------------------- state
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (only meaningful after :meth:`start`)."""
+        if self._listener is None:
+            raise RuntimeError("ReadoutServer is not started")
+        return self._listener.getsockname()[:2]
+
+    @property
+    def requests_served(self) -> int:
+        """REQUEST frames answered since start (result or error replies)."""
+        return self._requests_served
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> "ReadoutServer":
+        """Load the bundle and start accepting connections.  Idempotent."""
+        if self._started:
+            return self
+        if self._closing.is_set():
+            raise RuntimeError("ReadoutServer is closed")
+        manifest = load_manifest(self.bundle_dir)
+        self._engine = ReadoutEngine.load(self.bundle_dir, max_workers=self._max_workers)
+        self._info = {
+            "n_qubits": self._engine.n_qubits,
+            "backend": self._engine.backend_kind,
+            "supports_raw": self._engine.supports_raw,
+            "shard_layout": manifest.get("shard_layout"),
+        }
+        self._requests_served = 0
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(self._requested)
+        listener.listen(self._backlog)
+        # A timed accept keeps the loop responsive to close(): a blocked
+        # accept() is NOT reliably woken by closing the listener from
+        # another thread, and shutdown must not eat the drain timeout.
+        listener.settimeout(_POLL_INTERVAL_S)
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="readout-server-accept", daemon=True
+        )
+        self._accept_thread.start()
+        self._started = True
+        return self
+
+    def serve_forever(self) -> None:
+        """Start (if needed) and block until :meth:`close` is called."""
+        self.start()
+        try:
+            self._closed.wait()
+        except KeyboardInterrupt:  # pragma: no cover - interactive use
+            self.close()
+
+    def close(self) -> None:
+        """Graceful drain: stop accepting, let in-flight requests finish, reap.
+
+        Connections finish the request they are currently serving (replies
+        are flushed) and are then closed; a connection that stays mid-frame
+        past ``drain_timeout`` is force-closed.  Idempotent.
+        """
+        if self._closing.is_set():
+            self._closed.wait()
+            return
+        self._closing.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(self._drain_timeout)
+        with self._conn_lock:
+            pending = list(self._connections.items())
+        for conn, thread in pending:
+            thread.join(self._drain_timeout)
+            if thread.is_alive():  # pragma: no cover - stuck mid-frame
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+                thread.join(self._drain_timeout)
+        if self._engine is not None:
+            self._engine.close()
+        self._closed.set()
+
+    def __enter__(self) -> "ReadoutServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ----------------------------------------------------------- accept loop
+    def _accept_loop(self) -> None:
+        while not self._closing.is_set():
+            try:
+                conn, _peer = self._listener.accept()
+            except socket.timeout:
+                continue  # poll the drain flag
+            except OSError:
+                return  # listener closed: drain is underway
+            conn.settimeout(None)
+            if self._closing.is_set():
+                conn.close()
+                return
+            thread = threading.Thread(
+                target=self._connection_loop,
+                args=(conn,),
+                name="readout-server-conn",
+                daemon=True,
+            )
+            with self._conn_lock:
+                self._connections[conn] = thread
+            thread.start()
+
+    def _connection_loop(self, conn: socket.socket) -> None:
+        """Serve one client connection: frames in, frames out, strictly FIFO."""
+        try:
+            # Unbuffered streams keep select() truthful: bytes are either in
+            # the kernel buffer (readable) or consumed into a frame, never
+            # parked invisibly in a user-space BufferedReader.
+            rfile = conn.makefile("rb", buffering=0)
+            wfile = conn.makefile("wb", buffering=0)
+            while True:
+                readable, _, _ = select.select([conn], [], [], _POLL_INTERVAL_S)
+                if not readable:
+                    if self._closing.is_set():
+                        return  # idle connection during drain
+                    continue
+                frame = wire.read_frame(rfile)
+                if frame is None:
+                    return  # client hung up cleanly
+                wire.write_frame(wfile, self._reply_for(frame))
+        except (OSError, ValueError):
+            # Connection torn down mid-frame, or unframeable garbage we
+            # cannot resync from: drop the connection (the client sees a
+            # TransportError and may reconnect).
+            return
+        finally:
+            with self._conn_lock:
+                self._connections.pop(conn, None)
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+    def _reply_for(self, frame: bytes) -> bytes:
+        try:
+            kind = wire.frame_kind(frame)
+            if kind == wire.INFO_REQUEST:
+                return wire.encode_info(self._info)
+            if kind != wire.REQUEST:
+                raise wire.WireFormatError(
+                    f"ReadoutServer answers REQUEST and INFO_REQUEST frames, "
+                    f"got kind {kind}"
+                )
+            request = wire.decode_request(frame)
+            result = self._engine.serve(request, parallel=self._parallel)
+            with self._served_lock:
+                self._requests_served += 1
+            return wire.encode_result(
+                ReadoutResult(
+                    qubits=result.qubits,
+                    output=result.output,
+                    states=result.states,
+                    logits=result.logits,
+                    n_shots=result.n_shots,
+                    elapsed_s=result.elapsed_s,
+                    meta={**result.meta, "transport": "tcp"},
+                )
+            )
+        except Exception as exc:  # noqa: BLE001 - relayed to the caller
+            with self._served_lock:
+                self._requests_served += 1
+            return wire.encode_error(exc)
+
+
+# --------------------------------------------------------------------------
+# Client
+# --------------------------------------------------------------------------
+
+
+class _FramedConnection:
+    """One reusable framed socket towards a :class:`ReadoutServer`.
+
+    Owns the connect/timeout/error-typing policy shared by
+    :class:`RemoteEngineClient` and :class:`TcpShardTransport`: network
+    failures surface as typed :class:`TransportError`\\ s and drop the
+    connection (the next call reconnects); serving failures decoded from
+    error frames re-raise as their original types and keep the connection.
+    """
+
+    def __init__(
+        self, host: str, port: int, timeout: float, connect_timeout: float
+    ) -> None:
+        self.host, self.port = host, port
+        self.timeout = float(timeout)
+        self.connect_timeout = float(connect_timeout)
+        self._sock: socket.socket | None = None
+        self._rfile = None
+        self._wfile = None
+        self._lock = threading.Lock()
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    @property
+    def connected(self) -> bool:
+        return self._sock is not None
+
+    def _ensure(self) -> None:
+        if self._sock is not None:
+            return
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout
+            )
+        except (ConnectionError, socket.gaierror, socket.timeout, OSError) as exc:
+            raise TransportConnectError(
+                f"Cannot connect to readout server at {self.address}: {exc}"
+            ) from exc
+        sock.settimeout(self.timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        self._rfile = sock.makefile("rb", buffering=0)
+        self._wfile = sock.makefile("wb", buffering=0)
+
+    def _send(self, frame: bytes) -> None:
+        self._ensure()
+        try:
+            wire.write_frame(self._wfile, frame)
+        except socket.timeout as exc:
+            self.drop()
+            raise TransportTimeoutError(
+                f"Timed out sending to readout server at {self.address}"
+            ) from exc
+        except (ConnectionError, OSError) as exc:
+            self.drop()
+            raise TransportError(
+                f"Connection to readout server at {self.address} failed "
+                f"mid-send: {exc}"
+            ) from exc
+
+    def _receive(self) -> bytes:
+        if self._sock is None:
+            raise TransportError(
+                f"No open connection to readout server at {self.address}"
+            )
+        try:
+            reply = wire.read_frame(self._rfile)
+        except socket.timeout as exc:
+            self.drop()
+            raise TransportTimeoutError(
+                f"Readout server at {self.address} did not answer within "
+                f"{self.timeout:g}s"
+            ) from exc
+        except (ConnectionError, OSError) as exc:
+            self.drop()
+            raise TransportError(
+                f"Connection to readout server at {self.address} failed "
+                f"mid-receive: {exc}"
+            ) from exc
+        except wire.WireFormatError:
+            self.drop()
+            raise
+        if reply is None:
+            self.drop()
+            raise TransportError(
+                f"Readout server at {self.address} closed the connection "
+                f"before answering"
+            )
+        return reply
+
+    def send(self, frame: bytes) -> None:
+        with self._lock:
+            self._send(frame)
+
+    def receive(self) -> bytes:
+        with self._lock:
+            return self._receive()
+
+    def roundtrip(self, frame: bytes) -> bytes:
+        # One lock across the send/receive pair: the reply stream is FIFO
+        # and carries no job ids on this path, so two threads sharing a
+        # client must not be able to interleave and swap each other's
+        # answers.
+        with self._lock:
+            self._send(frame)
+            return self._receive()
+
+    def drop(self) -> None:
+        """Forget the socket so the next call reconnects."""
+        sock, self._sock = self._sock, None
+        self._rfile = self._wfile = None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+
+class RemoteEngineClient:
+    """Speak :meth:`ReadoutEngine.serve` to a remote :class:`ReadoutServer`.
+
+    The client-side twin of ``engine.serve()``: one reused connection,
+    configurable timeouts, typed :class:`TransportError`\\ s for network
+    failures -- while remote *serving* errors (shape, selection, capability)
+    re-raise with exactly the types and messages local serving produces.
+
+    Parameters
+    ----------
+    host / port:
+        Server address; also accepts ``RemoteEngineClient("host:port")``.
+    timeout:
+        Per-request answer deadline (seconds).  Bulk batches on slow links
+        may need more than the default 30 s.
+    connect_timeout:
+        Deadline for establishing the TCP connection.
+    """
+
+    def __init__(
+        self,
+        host,
+        port: int | None = None,
+        *,
+        timeout: float = 30.0,
+        connect_timeout: float = 5.0,
+    ) -> None:
+        parsed_host, parsed_port = _parse_address(host, port)
+        self._conn = _FramedConnection(parsed_host, parsed_port, timeout, connect_timeout)
+        self._closed = False
+
+    @property
+    def address(self) -> str:
+        """The server's ``host:port``."""
+        return self._conn.address
+
+    def serve(self, request: ReadoutRequest) -> ReadoutResult:
+        """Serve one request remotely; bit-identical to the server's engine."""
+        if self._closed:
+            raise RuntimeError("RemoteEngineClient is closed")
+        if not isinstance(request, ReadoutRequest):
+            raise TypeError(
+                f"serve() takes a ReadoutRequest, got {type(request).__name__}"
+            )
+        reply = self._conn.roundtrip(wire.encode_request(request))
+        return wire.decode_reply(reply)
+
+    def info(self) -> dict:
+        """The server's deployment description (qubits, backend, shard hints)."""
+        if self._closed:
+            raise RuntimeError("RemoteEngineClient is closed")
+        return wire.decode_info(self._conn.roundtrip(wire.encode_info_request()))
+
+    def close(self) -> None:
+        """Drop the connection.  Idempotent; later calls raise."""
+        self._closed = True
+        self._conn.drop()
+
+    def __enter__(self) -> "RemoteEngineClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RemoteEngineClient({self.address!r})"
+
+
+# --------------------------------------------------------------------------
+# The TCP shard transport
+# --------------------------------------------------------------------------
+
+
+class TcpShardTransport:
+    """A :class:`~repro.service.transport.ShardTransport` over one TCP connection.
+
+    Each shard placement is one connection to one :class:`ReadoutServer`;
+    the server answers frames strictly in order, so the per-shard FIFO
+    protocol the front-end relies on holds across the network exactly as it
+    does across a pipe.  Job ids are tracked locally (the wire does not
+    carry them) and checked on collect so a protocol bug fails loudly.
+    """
+
+    name = "tcp"
+
+    def __init__(
+        self,
+        shard_index: int,
+        qubits: list[int],
+        address,
+        *,
+        timeout: float = 30.0,
+        connect_timeout: float = 5.0,
+    ) -> None:
+        self.shard_index = shard_index
+        self.qubits = list(qubits)
+        self.qubit_set = frozenset(self.qubits)
+        host, port = _parse_address(address)
+        self._conn = _FramedConnection(host, port, timeout, connect_timeout)
+        self._pending: collections.deque[int] = collections.deque()
+        self._closed = False
+        # Fail at placement time, not first dispatch: a typo'd host list
+        # should abort service start-up.
+        self._conn._ensure()
+
+    @property
+    def address(self) -> str:
+        """The placed server's ``host:port``."""
+        return self._conn.address
+
+    def submit(self, job_id: int, request: ReadoutRequest) -> None:
+        """Send one sub-request (columns already restricted to this shard)."""
+        if self._closed:
+            raise RuntimeError(
+                f"Shard {self.shard_index} transport is closed; submit() after "
+                f"close() is a protocol violation"
+            )
+        self._conn.send(wire.encode_request(request))
+        self._pending.append(job_id)
+
+    def collect(self, job_id: int) -> ReadoutResult:
+        """Block for the response to ``job_id`` and decode it."""
+        if not self._pending:
+            raise RuntimeError(
+                f"Shard {self.shard_index} has no job in flight while job "
+                f"{job_id} was expected; the shard protocol is out of sync"
+            )
+        expected = self._pending.popleft()
+        if expected != job_id:
+            raise RuntimeError(
+                f"Shard {self.shard_index} would answer job {expected} while "
+                f"job {job_id} was expected; the shard protocol is out of sync"
+            )
+        try:
+            reply = self._conn.receive()
+        except TransportError as exc:
+            raise TransportError(
+                f"Shard {self.shard_index} server at {self.address} died "
+                f"before answering job {job_id}: {exc}"
+            ) from exc
+        return wire.decode_reply(reply)
+
+    def is_alive(self) -> bool:
+        """Whether the placement can still answer submitted work."""
+        return not self._closed and self._conn.connected
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Drop the connection (the remote server keeps running)."""
+        self._closed = True
+        self._pending.clear()
+        self._conn.drop()
+
+
+# --------------------------------------------------------------------------
+# Server-in-a-process helper (benchmarks, tests, examples)
+# --------------------------------------------------------------------------
+
+
+class ServerProcessHandle:
+    """A :class:`ReadoutServer` running in a child process on this host."""
+
+    def __init__(self, process, pipe, address: tuple[str, int]) -> None:
+        self.process = process
+        self._pipe = pipe
+        self.address = address
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Ask the server process to drain and exit (escalating to terminate)."""
+        try:
+            self._pipe.send("stop")
+        except (OSError, ValueError, BrokenPipeError):  # pragma: no cover
+            pass
+        self.process.join(timeout)
+        if self.process.is_alive():  # pragma: no cover - hung server
+            self.process.terminate()
+            self.process.join(timeout)
+        self._pipe.close()
+
+    def __enter__(self) -> "ServerProcessHandle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def _server_process_main(bundle_dir: str, host: str, port: int, pipe) -> None:
+    server = ReadoutServer(bundle_dir, host=host, port=port)
+    try:
+        server.start()
+    except Exception as exc:  # noqa: BLE001 - surfaced to the parent
+        pipe.send(("error", f"{type(exc).__name__}: {exc}"))
+        return
+    pipe.send(("ok", server.address))
+    try:
+        pipe.recv()  # blocks until "stop" or the parent (pipe) goes away
+    except EOFError:  # pragma: no cover - parent died
+        pass
+    server.close()
+
+
+def spawn_server(
+    bundle_dir: str | Path,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    start_method: str | None = None,
+) -> ServerProcessHandle:
+    """Run a :class:`ReadoutServer` in a daemonic child process.
+
+    Blocks until the child has bound its socket and reports the address (or
+    failed to load the bundle).  The bench and the loopback smoke tests use
+    this so server and client do not share a GIL.
+    """
+    import multiprocessing
+
+    context = multiprocessing.get_context(start_method)
+    parent_pipe, child_pipe = context.Pipe()
+    process = context.Process(
+        target=_server_process_main,
+        args=(str(bundle_dir), host, int(port), child_pipe),
+        name="readout-server",
+        daemon=True,
+    )
+    process.start()
+    if not parent_pipe.poll(60.0):  # pragma: no cover - wedged child
+        process.terminate()
+        raise TransportError("Spawned readout server did not report an address")
+    status, payload = parent_pipe.recv()
+    if status != "ok":
+        process.join(5.0)
+        raise TransportError(f"Spawned readout server failed to start: {payload}")
+    return ServerProcessHandle(process, parent_pipe, tuple(payload))
+
+
+# --------------------------------------------------------------------------
+# CLI
+# --------------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.service.net BUNDLE [--host H] [--port P]``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.net",
+        description="Serve a readout artifact bundle over TCP.",
+    )
+    parser.add_argument("bundle", type=Path, help="artifact bundle directory")
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=0, help="bind port (0 picks a free one)"
+    )
+    parser.add_argument(
+        "--max-workers", type=int, default=None, help="engine worker-thread cap"
+    )
+    args = parser.parse_args(argv)
+    server = ReadoutServer(
+        args.bundle, host=args.host, port=args.port, max_workers=args.max_workers
+    )
+    server.start()
+    host, port = server.address
+    print(f"Serving {args.bundle} on {host}:{port}", flush=True)
+    server.serve_forever()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,44 +4,52 @@ A :class:`ReadoutService` is what heavy traffic talks to.  Where the engine
 answers one :class:`~repro.engine.request.ReadoutRequest` at a time, the
 service accepts many small concurrent requests, coalesces compatible ones
 into micro-batches on a bounded queue (``max_batch`` requests, ``max_wait_ms``
-linger), and dispatches each batch either
+linger), and dispatches each batch to one of three placements:
 
 * **in-process** -- straight through ``engine.serve()``, the fallback that
   is bit-identical to calling the engine directly (it *is* the engine,
-  served one coalesced batch at a time), or
-* **sharded** -- split by qubit columns across worker processes
+  served one coalesced batch at a time);
+* **local shards** -- split by qubit columns across worker processes
   (``n_shards >= 2``) that each load the same artifact bundle and serve
   their qubit group through the same ``serve()`` path
-  (:mod:`repro.service.sharding`).  Columns reassemble on the way out, so
-  sharded results are bit-identical to in-process results too.
+  (:class:`~repro.service.transport.LocalProcessTransport`);
+* **remote shards** -- the same split across hosts (``shard_hosts=[...]``),
+  each group placed on a :class:`~repro.service.net.ReadoutServer` through a
+  :class:`~repro.service.net.TcpShardTransport`.
+
+The batching layer never knows which: every placement is a
+:class:`~repro.service.transport.ShardTransport` speaking the one wire codec
+(:mod:`repro.engine.wire`), and columns reassemble on the way out, so every
+placement is bit-identical to one engine serving the whole request.
 
 Micro-batching is exact, not approximate: shots are independent through the
 whole datapath (the emulator chunks internally; every per-shot result is
 computed from that shot alone), so serving a concatenation and slicing the
-rows back apart reproduces per-request serving bit-for-bit.  Tests pin both
-equalities against the golden fixed-point snapshot.
+rows back apart reproduces per-request serving bit-for-bit.  Tests pin all
+three placements against the golden fixed-point snapshot.
 """
 
 from __future__ import annotations
 
-import json
 import queue
 import threading
 import time
-from concurrent.futures import Future
+import warnings
+from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass, replace
 from pathlib import Path
 
 import numpy as np
 
-from repro.engine.bundle import MANIFEST_NAME
+from repro.engine.bundle import load_manifest
 from repro.engine.engine import ReadoutEngine
 from repro.engine.request import (
     ReadoutRequest,
     ReadoutResult,
     validate_multiplexed_payload,
 )
-from repro.service.sharding import ShardHandle, partition_qubits, spawn_shards
+from repro.service.sharding import partition_qubits
+from repro.service.transport import ShardTransport, spawn_local_shards
 
 __all__ = ["ReadoutService", "ServiceStats"]
 
@@ -56,7 +64,11 @@ class ServiceStats:
     ``batches`` counts dispatches; ``coalesced_requests`` counts requests
     that shared a dispatch with at least one other request, so
     ``requests_served > batches`` (or a non-zero ``coalesced_requests``)
-    is direct evidence micro-batching engaged.
+    is direct evidence micro-batching engaged.  ``transport`` /
+    ``placements`` / ``backend`` describe where dispatches go
+    (``"inprocess"`` with one placement, ``"local"`` worker processes, or
+    ``"tcp"`` remote servers) -- the same observability fields every
+    :class:`~repro.engine.request.ReadoutResult` carries in its ``meta``.
     """
 
     requests_served: int = 0
@@ -64,6 +76,10 @@ class ServiceStats:
     coalesced_requests: int = 0
     largest_batch_requests: int = 0
     largest_batch_shots: int = 0
+    cancelled_requests: int = 0
+    transport: str = "inprocess"
+    placements: int = 1
+    backend: str = ""
 
 
 @dataclass
@@ -79,19 +95,29 @@ class ReadoutService:
     ----------
     engine:
         A live :class:`ReadoutEngine` to serve in-process.  Mutually
-        exclusive with sharded mode (worker processes cannot inherit a live
-        engine; they load the bundle).
+        exclusive with sharded mode (worker processes and remote servers
+        cannot inherit a live engine; they load the bundle).
     bundle_dir:
         An artifact bundle directory (:meth:`ReadoutEngine.save`).  Required
-        for ``n_shards >= 2``; with ``n_shards <= 1`` the service loads the
-        bundle into an in-process engine itself.
+        for local sharding (``n_shards >= 2``); with ``n_shards <= 1`` the
+        service loads the bundle into an in-process engine itself.  With
+        ``shard_hosts`` it is optional (used for the partition hints; when
+        omitted the first host is asked for its deployment info instead).
     n_shards:
         ``<= 1`` serves in-process (the bit-identical fallback).
         ``>= 2`` spawns that many worker processes, each loading
-        ``bundle_dir`` and owning a contiguous qubit group.
+        ``bundle_dir`` and owning a contiguous qubit group.  Requests for
+        more shards than available qubit groups are clamped with a warning.
+    shard_hosts:
+        Remote placement: a list of ``"host:port"`` strings (or ``(host,
+        port)`` pairs) naming running :class:`~repro.service.net.ReadoutServer`\\ s
+        that have each loaded the same bundle.  One qubit group is placed
+        per host; micro-batching, backpressure, and stats work unchanged.
     shard_groups:
         Explicit qubit groups (one list per shard) overriding the balanced
-        partition derived from the manifest's shard-layout hints.
+        partition derived from the manifest's shard-layout hints.  Empty
+        groups are dropped with a warning (an empty shard would be an idle
+        worker).
     max_batch:
         Most requests coalesced into one dispatch.
     max_wait_ms:
@@ -107,9 +133,13 @@ class ReadoutService:
     worker_parallel:
         Whether shard workers use their engine's thread fan-out on top of
         process parallelism (off by default: one busy core per shard).
+        Local shards only; a remote server's parallelism is its own setting.
     start_method:
         :mod:`multiprocessing` start method for shard workers (``None`` =
         platform default).
+    remote_timeout / connect_timeout:
+        Per-request and connection deadlines (seconds) for ``shard_hosts``
+        placements.
     autostart:
         Start the batcher (and shards) on the first :meth:`submit`.  Pass
         False to queue requests first and :meth:`start` later -- then the
@@ -123,6 +153,7 @@ class ReadoutService:
         bundle_dir: str | Path | None = None,
         *,
         n_shards: int = 1,
+        shard_hosts: list | None = None,
         shard_groups: list[list[int]] | None = None,
         max_batch: int = 32,
         max_wait_ms: float = 2.0,
@@ -130,6 +161,8 @@ class ReadoutService:
         parallel: bool | None = None,
         worker_parallel: bool = False,
         start_method: str | None = None,
+        remote_timeout: float = 30.0,
+        connect_timeout: float = 5.0,
         autostart: bool = True,
     ) -> None:
         if max_batch < 1:
@@ -138,7 +171,7 @@ class ReadoutService:
             raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
         if max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
-        if engine is None and bundle_dir is None:
+        if engine is None and bundle_dir is None and not shard_hosts:
             raise ValueError("ReadoutService needs an engine or a bundle_dir")
         self.n_shards = max(1, int(n_shards))
         self.max_batch = int(max_batch)
@@ -146,14 +179,31 @@ class ReadoutService:
         self._parallel = parallel
         self._worker_parallel = bool(worker_parallel)
         self._start_method = start_method
+        self._remote_timeout = float(remote_timeout)
+        self._connect_timeout = float(connect_timeout)
         self._autostart = bool(autostart)
         self._bundle_dir = None if bundle_dir is None else Path(bundle_dir)
+        self.shard_hosts = list(shard_hosts) if shard_hosts else None
 
         self._engine: ReadoutEngine | None = None
         self._owns_engine = False
-        if self.n_shards < 2:
-            shard_groups = None  # grouping is meaningless without workers
-        if self.n_shards >= 2:
+        self._backend_kind = ""
+        if self.shard_hosts is not None:
+            mode = "tcp"
+            if engine is not None:
+                raise ValueError(
+                    "Remote sharded serving talks to running ReadoutServers; "
+                    "pass shard_hosts (and optionally bundle_dir for the "
+                    "partition hints) instead of a live engine"
+                )
+            if n_shards > 1 and n_shards != len(self.shard_hosts):
+                raise ValueError(
+                    f"n_shards={n_shards} conflicts with "
+                    f"{len(self.shard_hosts)} shard_hosts; pass one or the other"
+                )
+            self.n_shards = len(self.shard_hosts)
+        elif self.n_shards >= 2:
+            mode = "local"
             if engine is not None:
                 raise ValueError(
                     "Sharded serving loads the artifact bundle in every worker "
@@ -161,27 +211,27 @@ class ReadoutService:
                 )
             if self._bundle_dir is None:
                 raise ValueError("n_shards >= 2 requires bundle_dir")
-            manifest = json.loads((self._bundle_dir / MANIFEST_NAME).read_text())
-            self._n_qubits = int(manifest["n_qubits"])
-            if shard_groups is None:
-                shard_groups = partition_qubits(
-                    self._n_qubits,
-                    self.n_shards,
-                    atomic_groups=manifest.get("shard_layout", {}).get("qubit_groups"),
-                )
-            else:
-                flat = sorted(q for group in shard_groups for q in group)
-                if flat != list(range(self._n_qubits)):
-                    raise ValueError(
-                        f"shard_groups must cover every qubit exactly once, "
-                        f"got {shard_groups} for {self._n_qubits} qubits"
-                    )
-            if len(shard_groups) < 2:
+        else:
+            mode = "inprocess"
+            shard_groups = None  # grouping is meaningless without workers
+
+        if mode != "inprocess":
+            layout = self._deployment_layout()
+            # Clamping is warned about once, phrased in terms of the
+            # parameter the caller actually passed: n_shards for local
+            # sharding, the host list for remote placement (below).
+            shard_groups = self._plan_groups(
+                shard_groups, layout, warn_clamp=mode == "local"
+            )
+            if mode == "local" and len(shard_groups) < 2:
                 # Partitioning collapsed to one shard (fewer atomic groups
                 # than requested shards): a lone worker process buys nothing,
-                # so fall through to the bit-identical in-process mode.
+                # so fall through to the bit-identical in-process mode.  A
+                # lone *remote* placement is kept -- the engine lives on the
+                # other host either way.
                 shard_groups = None
-        if shard_groups is None:
+                mode = "inprocess"
+        if mode == "inprocess":
             self.n_shards = 1
             if engine is not None:
                 self._engine = engine
@@ -190,10 +240,27 @@ class ReadoutService:
                 self._engine = ReadoutEngine.load(self._bundle_dir)
                 self._owns_engine = True
                 self._n_qubits = self._engine.n_qubits
+            self._backend_kind = self._engine.backend_kind
         else:
             self.n_shards = len(shard_groups)
+            if mode == "tcp" and self.n_shards > len(self.shard_hosts):
+                # A group without a host would silently never be served (and
+                # its result columns would be uninitialized memory).
+                raise ValueError(
+                    f"{self.n_shards} shard groups need {self.n_shards} "
+                    f"shard_hosts, got {len(self.shard_hosts)}"
+                )
+            if mode == "tcp" and self.n_shards < len(self.shard_hosts):
+                warnings.warn(
+                    f"{len(self.shard_hosts)} shard_hosts exceed the "
+                    f"{self.n_shards} available qubit groups; the extra hosts "
+                    f"are left unused",
+                    stacklevel=2,
+                )
+                self.shard_hosts = self.shard_hosts[: self.n_shards]
+        self._mode = mode
         self.shard_groups = shard_groups
-        self._shards: list[ShardHandle] = []
+        self._shards: list[ShardTransport] = []
 
         self._queue: queue.Queue = queue.Queue(maxsize=max_pending)
         self._batcher: threading.Thread | None = None
@@ -201,7 +268,74 @@ class ReadoutService:
         self._started = False
         self._closed = False
         self._next_job_id = 0
-        self._stats = ServiceStats()
+        self._stats = ServiceStats(
+            transport=mode,
+            placements=self.n_shards,
+            backend=self._backend_kind,
+        )
+
+    # -------------------------------------------------------------- planning
+    def _deployment_layout(self) -> dict:
+        """Qubit count / shard hints / backend kind of the served deployment.
+
+        From the bundle manifest when we have one, else from the first
+        remote server's deployment info -- remote placement should not
+        require a local copy of the bundle.
+        """
+        if self._bundle_dir is not None:
+            manifest = load_manifest(self._bundle_dir)
+            self._backend_kind = str(manifest.get("backend", ""))
+            return {
+                "n_qubits": int(manifest["n_qubits"]),
+                "qubit_groups": manifest.get("shard_layout", {}).get("qubit_groups"),
+            }
+        from repro.service.net import RemoteEngineClient
+
+        with RemoteEngineClient(
+            self.shard_hosts[0],
+            timeout=self._remote_timeout,
+            connect_timeout=self._connect_timeout,
+        ) as client:
+            info = client.info()
+        self._backend_kind = str(info.get("backend", ""))
+        return {
+            "n_qubits": int(info["n_qubits"]),
+            "qubit_groups": (info.get("shard_layout") or {}).get("qubit_groups"),
+        }
+
+    def _plan_groups(
+        self,
+        shard_groups: list[list[int]] | None,
+        layout: dict,
+        warn_clamp: bool = True,
+    ) -> list[list[int]]:
+        self._n_qubits = layout["n_qubits"]
+        if shard_groups is None:
+            groups = partition_qubits(
+                self._n_qubits, self.n_shards, atomic_groups=layout["qubit_groups"]
+            )
+            if warn_clamp and len(groups) < self.n_shards:
+                warnings.warn(
+                    f"n_shards={self.n_shards} exceeds the {len(groups)} "
+                    f"available qubit groups; clamped to {len(groups)} shards "
+                    f"(an empty shard would be an idle worker)",
+                    stacklevel=3,
+                )
+            return groups
+        flat = sorted(q for group in shard_groups for q in group)
+        if flat != list(range(self._n_qubits)):
+            raise ValueError(
+                f"shard_groups must cover every qubit exactly once, "
+                f"got {shard_groups} for {self._n_qubits} qubits"
+            )
+        if any(not group for group in shard_groups):
+            warnings.warn(
+                f"shard_groups contains empty groups ({shard_groups}); "
+                f"dropping them (an empty shard would be an idle worker)",
+                stacklevel=3,
+            )
+            shard_groups = [group for group in shard_groups if group]
+        return [list(group) for group in shard_groups]
 
     # ------------------------------------------------------------------ intro
     @property
@@ -211,8 +345,13 @@ class ReadoutService:
 
     @property
     def sharded(self) -> bool:
-        """Whether requests are split across worker processes."""
-        return self.n_shards >= 2
+        """Whether dispatches cross a shard-transport boundary."""
+        return self._mode != "inprocess"
+
+    @property
+    def transport_name(self) -> str:
+        """How dispatches travel: ``"inprocess"``, ``"local"``, or ``"tcp"``."""
+        return self._mode
 
     @property
     def stats(self) -> ServiceStats:
@@ -221,7 +360,7 @@ class ReadoutService:
 
     # -------------------------------------------------------------- lifecycle
     def start(self) -> "ReadoutService":
-        """Spawn the shard workers (if any) and the batcher thread.
+        """Spawn the shard transports (if any) and the batcher thread.
 
         Idempotent; called automatically on the first :meth:`submit` unless
         ``autostart=False``.
@@ -231,13 +370,35 @@ class ReadoutService:
                 raise RuntimeError("ReadoutService is closed")
             if self._started:
                 return self
-            if self.sharded:
-                self._shards = spawn_shards(
+            if self._mode == "local":
+                self._shards = spawn_local_shards(
                     self._bundle_dir,
                     self.shard_groups,
                     worker_parallel=self._worker_parallel,
                     start_method=self._start_method,
                 )
+            elif self._mode == "tcp":
+                from repro.service.net import TcpShardTransport
+
+                shards: list[ShardTransport] = []
+                try:
+                    for index, (host, group) in enumerate(
+                        zip(self.shard_hosts, self.shard_groups)
+                    ):
+                        shards.append(
+                            TcpShardTransport(
+                                index,
+                                group,
+                                host,
+                                timeout=self._remote_timeout,
+                                connect_timeout=self._connect_timeout,
+                            )
+                        )
+                except Exception:
+                    for shard in shards:
+                        shard.close()
+                    raise
+                self._shards = shards
             self._batcher = threading.Thread(
                 target=self._batch_loop, name="readout-service-batcher", daemon=True
             )
@@ -249,7 +410,8 @@ class ReadoutService:
         """Stop serving: drain nothing further, fail pending requests, reap workers.
 
         Idempotent.  A user-supplied engine is left open (the caller owns
-        it); a bundle-loaded engine and all shard processes are shut down.
+        it); a bundle-loaded engine and all shard placements are shut down
+        (remote servers keep running -- only the connections close).
         """
         with self._lifecycle_lock:
             if self._closed:
@@ -279,7 +441,9 @@ class ReadoutService:
         Blocks (backpressure) while the ingress queue holds ``max_pending``
         requests.  Shape/selection errors that need no backend are raised
         here synchronously, so a malformed request cannot poison the
-        micro-batch it would have joined.
+        micro-batch it would have joined.  Cancelling the returned future
+        before its batch dispatches removes it from the batch (asyncio
+        callers get this through :meth:`aserve`).
         """
         if self._closed:
             raise RuntimeError("ReadoutService is closed")
@@ -307,6 +471,8 @@ class ReadoutService:
 
         Submission happens on the calling thread (it can block briefly under
         backpressure); completion is awaited without blocking the loop.
+        Cancelling the awaiting task cancels the queued request: if its
+        batch has not dispatched yet it is dropped from the batch.
         """
         import asyncio
 
@@ -356,8 +522,31 @@ class ReadoutService:
                 return
 
     def _serve_entries(self, entries: list[_Entry]) -> None:
-        groups: dict[tuple, list[_Entry]] = {}
+        # Claim every future first: one that was cancelled while queued
+        # (aserve cancellation) drops out of its batch here, and the claim
+        # makes later set_result/set_exception calls race-free.
+        live = []
+        cancelled = 0
         for entry in entries:
+            try:
+                if entry.future.set_running_or_notify_cancel():
+                    live.append(entry)
+                else:
+                    cancelled += 1
+            except (RuntimeError, InvalidStateError):
+                # Already resolved (failed by the close()-race drain):
+                # nothing to serve -- and not a caller cancellation, so it
+                # must not inflate the counter.  set_running_or_notify_cancel
+                # raises a plain RuntimeError for non-pending futures, and a
+                # dead batcher would strand every queued request.
+                pass
+        if cancelled:
+            self._stats = replace(
+                self._stats,
+                cancelled_requests=self._stats.cancelled_requests + cancelled,
+            )
+        groups: dict[tuple, list[_Entry]] = {}
+        for entry in live:
             groups.setdefault(self._compat_key(entry.request), []).append(entry)
         for group in groups.values():
             try:
@@ -421,22 +610,27 @@ class ReadoutService:
             + (len(group) if len(group) > 1 else 0),
             largest_batch_requests=max(stats.largest_batch_requests, len(group)),
             largest_batch_shots=max(stats.largest_batch_shots, batch_shots),
+            cancelled_requests=self._stats.cancelled_requests,
         )
 
     # --------------------------------------------------------------- dispatch
     def _dispatch(self, request: ReadoutRequest) -> ReadoutResult:
         if not self.sharded:
             result = self._engine.serve(request, parallel=self._parallel)
-            return replace(result, meta={**result.meta, "shards": 0})
+            return replace(
+                result,
+                meta={**result.meta, "shards": 0, "transport": "inprocess"},
+            )
         return self._dispatch_sharded(request)
 
     def _dispatch_sharded(self, request: ReadoutRequest) -> ReadoutResult:
         """Split a request by qubit columns, serve per shard, reassemble.
 
         Each shard receives only its columns of the payload (sliced, hence
-        copied -- exactly the bytes that cross the process boundary) with the
-        matching explicit ``qubits`` selection, so the worker engine computes
-        the same per-qubit results the in-process path would.
+        copied -- exactly the bytes that cross the transport boundary) with
+        the matching explicit ``qubits`` selection, so the placed engine
+        computes the same per-qubit results the in-process path would --
+        whether the transport is a local worker pipe or a TCP socket.
         """
         start = time.perf_counter()
         selected = (
@@ -445,7 +639,7 @@ class ReadoutService:
             else list(request.qubits)
         )
         payload = request.payload
-        plan: list[tuple[ShardHandle, list[int]]] = []
+        plan: list[tuple[ShardTransport, list[int]]] = []
         for shard in self._shards:
             columns = [
                 column for column, qubit in enumerate(selected)
@@ -455,7 +649,7 @@ class ReadoutService:
                 plan.append((shard, columns))
         self._next_job_id += 1
         job_id = self._next_job_id
-        submitted: list[ShardHandle] = []
+        submitted: list[ShardTransport] = []
         try:
             for shard, columns in plan:
                 sub_request = request.with_payload(
@@ -489,17 +683,19 @@ class ReadoutService:
         # uncollected response would desynchronize the FIFO protocol for the
         # next request served by that shard.
         error: Exception | None = None
+        backend_kind = self._backend_kind
         for shard, columns in plan:
             try:
-                shard_states, shard_logits, _elapsed = shard.collect(job_id)
+                shard_result = shard.collect(job_id)
             except Exception as exc:  # noqa: BLE001 - re-raised below
                 if error is None:
                     error = exc
                 continue
             if want_states:
-                states[:, columns] = shard_states
+                states[:, columns] = shard_result.states
             if want_logits:
-                logits[:, columns] = shard_logits
+                logits[:, columns] = shard_result.logits
+            backend_kind = shard_result.meta.get("backend", backend_kind)
         if error is not None:
             raise error
         return ReadoutResult(
@@ -509,7 +705,11 @@ class ReadoutService:
             logits=logits,
             n_shots=n_shots,
             elapsed_s=time.perf_counter() - start,
-            meta={"shards": len(plan)},
+            meta={
+                "backend": backend_kind,
+                "shards": len(plan),
+                "transport": self._mode,
+            },
         )
 
     # ----------------------------------------------------------------- misc
@@ -531,7 +731,9 @@ class ReadoutService:
             self._queue.put(_SHUTDOWN)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        mode = f"{self.n_shards} shards" if self.sharded else "in-process"
+        mode = (
+            f"{self.n_shards} {self._mode} shards" if self.sharded else "in-process"
+        )
         return (
             f"ReadoutService(n_qubits={self._n_qubits}, {mode}, "
             f"max_batch={self.max_batch})"

@@ -1,85 +1,39 @@
-"""Process-level qubit sharding for :class:`repro.service.ReadoutService`.
+"""Qubit partitioning for sharded :class:`repro.service.ReadoutService`.
 
-The engine's per-qubit thread fan-out covers one host process; heavy traffic
-wants the next level: worker **processes** that each load the same artifact
-bundle and own a disjoint group of qubits.  Qubits are independent (that is
-the paper's deployment premise -- five students running concurrently), so a
-multiplexed request splits by qubit columns, each shard serves its columns
-through the ordinary :meth:`~repro.engine.engine.ReadoutEngine.serve` path,
-and the front-end reassembles the columns -- bit-identical to one engine
-serving the whole request, because every column is computed by the same
-backend code on the same inputs.
+Qubits are independent (that is the paper's deployment premise -- five
+students running concurrently), so a multiplexed request splits by qubit
+columns, each shard serves its columns through the ordinary
+:meth:`~repro.engine.engine.ReadoutEngine.serve` path, and the front-end
+reassembles the columns -- bit-identical to one engine serving the whole
+request, because every column is computed by the same backend code on the
+same inputs.
 
-This module holds the pieces that must be importable from a worker process:
-the partitioning helper, the worker main loop, and the
-:class:`ShardHandle` the front-end drives it through.
+This module owns the *partitioning* question (which qubits live on which
+shard); *how* a sub-request reaches a shard is a transport concern --
+see :mod:`repro.service.transport` for the protocol and the local
+worker-process implementation, and :mod:`repro.service.net` for the TCP
+one.  The PR-4 names (``ShardHandle``, ``spawn_shards``) are kept as
+aliases of the transport layer so existing imports keep resolving -- note
+one behavioral change: ``collect()`` now returns a decoded
+:class:`~repro.engine.request.ReadoutResult` instead of the PR-4
+``(states, logits, elapsed)`` tuple.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import queue as queue_module
-from dataclasses import dataclass
-from multiprocessing import shared_memory
-from pathlib import Path
-
 import numpy as np
 
-from repro.engine.request import ReadoutRequest
+from repro.service.transport import (  # noqa: F401  (back-compat re-exports)
+    SHM_THRESHOLD_BYTES,
+    LocalProcessTransport,
+    spawn_local_shards,
+)
 
 __all__ = ["partition_qubits", "ShardHandle", "spawn_shards"]
 
-#: Payloads at or above this size cross the process boundary through a
-#: shared-memory segment (one memcpy, mapped zero-copy by the worker)
-#: instead of being pickled through the request pipe (one pickle memcpy plus
-#: kernel write/read copies -- measured ~2.6 ms/MB on the CI container,
-#: which would eat the micro-batching gain for bulk carrier batches).
-#: Small payloads stay inline: a segment per tiny request would cost more
-#: in syscalls than it saves in copies.
-SHM_THRESHOLD_BYTES = 1 << 18
-
-
-def _pack_payload(
-    payload: np.ndarray,
-) -> tuple[tuple, shared_memory.SharedMemory | None]:
-    """Encode an array for the wire: inline, or via a shared-memory segment.
-
-    Returns the wire descriptor and the segment the *caller* must keep alive
-    until the worker has answered (and then close+unlink).
-    """
-    if payload.nbytes < SHM_THRESHOLD_BYTES:
-        return ("inline", payload), None
-    segment = shared_memory.SharedMemory(create=True, size=payload.nbytes)
-    staged = np.ndarray(payload.shape, payload.dtype, buffer=segment.buf)
-    staged[...] = payload
-    del staged
-    return ("shm", segment.name, payload.shape, payload.dtype.str), segment
-
-
-def _unpack_payload(
-    descriptor: tuple,
-) -> tuple[np.ndarray, shared_memory.SharedMemory | None]:
-    """Decode a wire descriptor; returns the array and the mapping to close.
-
-    The returned array is a zero-copy view into the segment: the caller must
-    drop every reference to it (and anything sliced from it) before closing.
-    """
-    if descriptor[0] == "inline":
-        return descriptor[1], None
-    _, name, shape, dtype = descriptor
-    segment = shared_memory.SharedMemory(name=name)
-    try:
-        # The attaching side must not register the segment with its resource
-        # tracker: the front-end owns the lifecycle (it unlinks after the
-        # response), and a second registration makes the worker's tracker
-        # complain about -- or double-unlink -- an already-removed segment at
-        # exit (CPython gh-82300).
-        from multiprocessing import resource_tracker
-
-        resource_tracker.unregister(segment._name, "shared_memory")
-    except Exception:  # pragma: no cover - tracker internals vary by version
-        pass
-    return np.ndarray(shape, np.dtype(dtype), buffer=segment.buf), segment
+#: Back-compat aliases for the pre-transport (PR 4) names.
+ShardHandle = LocalProcessTransport
+spawn_shards = spawn_local_shards
 
 
 def partition_qubits(
@@ -93,8 +47,10 @@ def partition_qubits(
     hint -- names groups a shard boundary must not split (backends that
     share state).  ``None`` means every qubit is its own atomic group, the
     layout :func:`repro.engine.bundle.save_engine` records for per-qubit
-    backends.  More shards than atomic groups are clipped, never padded with
-    empty shards.
+    backends.  The result never contains an empty shard: more shards than
+    atomic groups (in particular ``n_shards > n_qubits``) are clipped, so a
+    degenerate request cannot spawn idle workers
+    (:class:`~repro.service.ReadoutService` warns when it clamps).
     """
     if n_qubits <= 0:
         raise ValueError(f"n_qubits must be positive, got {n_qubits}")
@@ -109,6 +65,9 @@ def partition_qubits(
                 f"atomic_groups must cover every qubit index exactly once, "
                 f"got {atomic_groups} for {n_qubits} qubits"
             )
+        # An empty atomic group carries no constraint and must not become an
+        # empty shard; drop it before computing boundaries.
+        atomic_groups = [group for group in atomic_groups if group]
     n_shards = min(n_shards, len(atomic_groups))
     # Contiguous split balanced by *qubit* count (atomic groups may be
     # uneven): each boundary is the first group prefix reaching the ideal
@@ -130,186 +89,3 @@ def partition_qubits(
         [qubit for group in atomic_groups[start:stop] for qubit in group]
         for start, stop in zip(edges[:-1], edges[1:])
     ]
-
-
-def _shard_worker_main(
-    bundle_dir: str,
-    requests,
-    responses,
-    worker_parallel: bool,
-) -> None:
-    """Worker-process loop: load the bundle once, serve sub-requests forever.
-
-    Every worker loads the **same artifact bundle** -- the deployment
-    property the ROADMAP sharding item asks for: shards are interchangeable
-    replicas of the full system that happen to be asked only about their
-    qubit group (each sub-request carries its own explicit ``qubits``
-    selection; the front-end owns the shard-to-group mapping).  ``None`` on
-    the request queue shuts the worker down.
-    """
-    from repro.engine.engine import ReadoutEngine
-
-    engine = ReadoutEngine.load(bundle_dir)
-    try:
-        while True:
-            item = requests.get()
-            if item is None:
-                break
-            job_id, meta, descriptor = item
-            segment = None
-            try:
-                payload, segment = _unpack_payload(descriptor)
-                is_raw, qubits, output, dequantize, fmt = meta
-                request = ReadoutRequest(
-                    raw=payload if is_raw else None,
-                    traces=None if is_raw else payload,
-                    qubits=qubits,
-                    output=output,
-                    dequantize=dequantize,
-                    fmt=fmt,
-                )
-                result = engine.serve(request, parallel=worker_parallel)
-                # Drop every view into the segment before closing the mapping
-                # (serve() returns fresh arrays; the request held the view).
-                del request, payload
-                responses.put(
-                    (job_id, True, (result.states, result.logits, result.elapsed_s))
-                )
-            except Exception as exc:  # noqa: BLE001 - relayed to the caller
-                request = payload = None  # release views before unmapping
-                responses.put((job_id, False, exc))
-            finally:
-                if segment is not None:
-                    try:
-                        segment.close()
-                    except BufferError:  # pragma: no cover - leaked view
-                        pass
-    finally:
-        engine.close()
-
-
-@dataclass
-class ShardHandle:
-    """Front-end handle of one worker process and its qubit group."""
-
-    shard_index: int
-    qubits: list[int]
-    process: multiprocessing.Process
-    requests: object  # multiprocessing.Queue
-    responses: object
-
-    def __post_init__(self) -> None:
-        self.qubit_set = frozenset(self.qubits)
-        self._inflight: dict[int, shared_memory.SharedMemory] = {}
-
-    def submit(self, job_id: int, request: ReadoutRequest) -> None:
-        """Queue one sub-request (columns already restricted to this shard).
-
-        Bulk payloads travel through a shared-memory segment (see
-        :data:`SHM_THRESHOLD_BYTES`); the segment stays alive -- tracked in
-        ``_inflight`` -- until :meth:`collect` reaps the response.
-        """
-        descriptor, segment = _pack_payload(request.payload)
-        if segment is not None:
-            self._inflight[job_id] = segment
-        meta = (
-            request.is_raw,
-            request.qubits,
-            request.output,
-            request.dequantize,
-            request.fmt,
-        )
-        self.requests.put((job_id, meta, descriptor))
-
-    def collect(self, job_id: int) -> tuple[np.ndarray | None, np.ndarray | None, float]:
-        """Block for the response to ``job_id`` and return (states, logits, elapsed).
-
-        The front-end is the only producer and consumer, and the worker
-        serves FIFO, so responses arrive in submission order; the job id is
-        checked anyway so a protocol bug fails loudly instead of silently
-        mismatching arrays.  The wait polls worker liveness: a shard that
-        died (bundle failed to load, OOM kill) raises instead of parking the
-        batcher -- and every future behind it -- forever.
-        """
-        try:
-            while True:
-                try:
-                    got_id, ok, payload = self.responses.get(timeout=1.0)
-                    break
-                except queue_module.Empty:
-                    if not self.process.is_alive():
-                        raise RuntimeError(
-                            f"Shard {self.shard_index} worker died (exit code "
-                            f"{self.process.exitcode}) before answering job "
-                            f"{job_id}; check that every worker can load the "
-                            f"bundle"
-                        ) from None
-        finally:
-            self._release(job_id)
-        if got_id != job_id:
-            raise RuntimeError(
-                f"Shard {self.shard_index} answered job {got_id} while job "
-                f"{job_id} was expected; the shard protocol is out of sync"
-            )
-        if not ok:
-            raise payload
-        return payload
-
-    def _release(self, job_id: int) -> None:
-        segment = self._inflight.pop(job_id, None)
-        if segment is not None:
-            segment.close()
-            segment.unlink()
-
-    def close(self, timeout: float = 5.0) -> None:
-        """Ask the worker to exit and reap it (escalating to terminate)."""
-        if self.process.is_alive():
-            try:
-                self.requests.put(None)
-            except (OSError, ValueError):  # pragma: no cover - queue torn down
-                pass
-        self.process.join(timeout)
-        if self.process.is_alive():  # pragma: no cover - hung worker
-            self.process.terminate()
-            self.process.join(timeout)
-        for job_id in list(self._inflight):
-            self._release(job_id)
-
-
-def spawn_shards(
-    bundle_dir: str | Path,
-    shard_groups: list[list[int]],
-    worker_parallel: bool = False,
-    start_method: str | None = None,
-) -> list[ShardHandle]:
-    """Start one worker process per qubit group, each loading ``bundle_dir``.
-
-    ``start_method`` selects the :mod:`multiprocessing` start method
-    (``None`` = platform default; ``"spawn"`` is the safe choice inside
-    heavily threaded hosts).  Workers are daemonic so an abandoned service
-    cannot outlive its interpreter.
-    """
-    context = multiprocessing.get_context(start_method)
-    handles: list[ShardHandle] = []
-    for shard_index, qubits in enumerate(shard_groups):
-        # Full Queues (not SimpleQueues): collect() needs timed gets to poll
-        # worker liveness instead of blocking forever on a dead process.
-        requests = context.Queue()
-        responses = context.Queue()
-        process = context.Process(
-            target=_shard_worker_main,
-            args=(str(bundle_dir), requests, responses, worker_parallel),
-            name=f"readout-shard-{shard_index}",
-            daemon=True,
-        )
-        process.start()
-        handles.append(
-            ShardHandle(
-                shard_index=shard_index,
-                qubits=list(qubits),
-                process=process,
-                requests=requests,
-                responses=responses,
-            )
-        )
-    return handles

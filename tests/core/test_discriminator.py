@@ -171,8 +171,11 @@ class TestToEngine:
         assert engine.n_qubits == readout.n_qubits
         assert engine.backend_kind == "float"
         shots = small_dataset.test_traces[:60]
+        from repro.engine import ReadoutRequest
+
         np.testing.assert_array_equal(
-            engine.discriminate_all(shots), readout.discriminate_all(shots)
+            engine.serve(ReadoutRequest(traces=shots)).states,
+            readout.discriminate_all(shots),
         )
 
     def test_fpga_engine_agrees_with_float(self, trained_readout, small_dataset):
@@ -180,8 +183,11 @@ class TestToEngine:
         fpga = readout.to_engine(backend="fpga")
         assert fpga.backend_kind == "fpga" and fpga.is_bit_exact
         shots = small_dataset.test_traces[:200]
+        from repro.engine import ReadoutRequest
+
         agreement = np.mean(
-            fpga.discriminate_all(shots) == readout.discriminate_all(shots)
+            fpga.serve(ReadoutRequest(traces=shots)).states
+            == readout.discriminate_all(shots)
         )
         assert agreement >= 0.99
 
@@ -199,14 +205,14 @@ class TestToEngine:
     ):
         """Train → to_engine → save → load → serve, the deployment flow."""
         readout, _ = trained_readout
-        from repro.engine import ReadoutEngine
+        from repro.engine import ReadoutEngine, ReadoutRequest
 
         engine = readout.to_engine(backend="fpga")
         shots = small_dataset.test_traces[:60]
-        reference_logits = engine.predict_logits_all(shots)
+        request = ReadoutRequest(traces=shots, output="both")
+        reference = engine.serve(request)
         engine.save(tmp_path / "deployed")
         loaded = ReadoutEngine.load(tmp_path / "deployed")
-        np.testing.assert_array_equal(loaded.predict_logits_all(shots), reference_logits)
-        np.testing.assert_array_equal(
-            loaded.discriminate_all(shots), engine.discriminate_all(shots)
-        )
+        served = loaded.serve(request)
+        np.testing.assert_array_equal(served.logits, reference.logits)
+        np.testing.assert_array_equal(served.states, reference.states)

@@ -14,9 +14,18 @@ from repro.engine import (
     FixedPointBackend,
     MANIFEST_NAME,
     ReadoutEngine,
+    ReadoutRequest,
     load_engine,
     save_engine,
 )
+
+
+def _logits(engine: ReadoutEngine, traces: np.ndarray) -> np.ndarray:
+    return engine.serve(ReadoutRequest(traces=traces, output="logits")).logits
+
+
+def _states(engine: ReadoutEngine, traces: np.ndarray) -> np.ndarray:
+    return engine.serve(ReadoutRequest(traces=traces, output="states")).states
 
 
 @pytest.fixture
@@ -34,12 +43,12 @@ class TestRoundTrip:
         assert loaded.n_qubits == synthetic_fpga_engine.n_qubits
         assert loaded.backend_kind == "fpga"
         np.testing.assert_array_equal(
-            loaded.predict_logits_all(synthetic_traces),
-            synthetic_fpga_engine.predict_logits_all(synthetic_traces),
+            _logits(loaded, synthetic_traces),
+            _logits(synthetic_fpga_engine, synthetic_traces),
         )
         np.testing.assert_array_equal(
-            loaded.discriminate_all(synthetic_traces),
-            synthetic_fpga_engine.discriminate_all(synthetic_traces),
+            _states(loaded, synthetic_traces),
+            _states(synthetic_fpga_engine, synthetic_traces),
         )
 
     def test_fpga_round_trip_still_pinned_to_golden(self, tmp_path):
@@ -59,13 +68,13 @@ class TestRoundTrip:
         engine = ReadoutEngine.from_students([trained_student] * 2, backend="float")
         view = small_dataset.qubit_view(0)
         traces = np.stack([view.test_traces[:80]] * 2, axis=1)
-        reference = engine.predict_logits_all(traces)
+        reference = _logits(engine, traces)
         engine.save(tmp_path / "float-bundle")
         loaded = ReadoutEngine.load(tmp_path / "float-bundle")
         assert loaded.backend_kind == "float"
-        np.testing.assert_array_equal(loaded.predict_logits_all(traces), reference)
+        np.testing.assert_array_equal(_logits(loaded, traces), reference)
         np.testing.assert_array_equal(
-            loaded.discriminate_all(traces), engine.discriminate_all(traces)
+            _states(loaded, traces), _states(engine, traces)
         )
 
     def test_fpga_bundle_from_student_carries_both_representations(
@@ -114,8 +123,10 @@ class TestRoundTrip:
         carriers = digitize_traces(synthetic_traces)
         loaded = load_engine(fpga_bundle)
         np.testing.assert_array_equal(
-            loaded.predict_logits_all_raw(carriers),
-            synthetic_fpga_engine.predict_logits_all_raw(carriers),
+            loaded.serve(ReadoutRequest(raw=carriers, output="logits")).logits,
+            synthetic_fpga_engine.serve(
+                ReadoutRequest(raw=carriers, output="logits")
+            ).logits,
         )
 
 
@@ -205,7 +216,7 @@ class TestShardLayout:
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             loaded = load_engine(fpga_bundle)
-            states = loaded.discriminate_all(synthetic_traces)
+            states = _states(loaded, synthetic_traces)
         assert states.shape == (synthetic_traces.shape[0], loaded.n_qubits)
 
     def test_legacy_manifest_loads_into_service_without_warnings(

@@ -32,10 +32,62 @@ from repro.engine import (
 from repro.fpga.fixed_point import Q16_16
 from repro.readout.preprocessing import digitize_traces
 
+# These are *the* legacy-shim tests: they exercise the deprecated eight-method
+# API on purpose, so the suite-wide error filter for its DeprecationWarnings
+# (pytest.ini) is relaxed here -- and only here plus tests/engine/test_engine.py.
+pytestmark = pytest.mark.filterwarnings("ignore:ReadoutEngine")
+
 
 @pytest.fixture(scope="module")
 def carriers(synthetic_traces) -> np.ndarray:
     return digitize_traces(synthetic_traces)
+
+
+class TestShimDeprecation:
+    """The eight legacy entry points must announce their deprecation."""
+
+    def test_legacy_methods_emit_deprecation_warnings(
+        self, synthetic_fpga_engine, synthetic_traces
+    ):
+        carriers = digitize_traces(synthetic_traces)
+        calls = {
+            "discriminate": lambda: synthetic_fpga_engine.discriminate(
+                synthetic_traces[:, 0], qubit_index=0
+            ),
+            "predict_logits": lambda: synthetic_fpga_engine.predict_logits(
+                synthetic_traces[:, 0], qubit_index=0
+            ),
+            "discriminate_all": lambda: synthetic_fpga_engine.discriminate_all(
+                synthetic_traces
+            ),
+            "predict_logits_all": lambda: synthetic_fpga_engine.predict_logits_all(
+                synthetic_traces
+            ),
+            "discriminate_raw": lambda: synthetic_fpga_engine.discriminate_raw(
+                carriers[:, 0], qubit_index=0
+            ),
+            "predict_logits_from_raw": (
+                lambda: synthetic_fpga_engine.predict_logits_from_raw(
+                    carriers[:, 0], qubit_index=0
+                )
+            ),
+            "discriminate_all_raw": lambda: synthetic_fpga_engine.discriminate_all_raw(
+                carriers
+            ),
+            "predict_logits_all_raw": (
+                lambda: synthetic_fpga_engine.predict_logits_all_raw(carriers)
+            ),
+        }
+        for name, call in calls.items():
+            with pytest.warns(DeprecationWarning, match=rf"ReadoutEngine\.{name}\(\)"):
+                call()
+
+    def test_serve_does_not_warn(self, synthetic_fpga_engine, synthetic_traces):
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error", DeprecationWarning)
+            synthetic_fpga_engine.serve(ReadoutRequest(traces=synthetic_traces))
 
 
 class TestRequestValidation:

@@ -30,6 +30,20 @@ class TestPartitioning:
         assert partition_qubits(5, 5) == [[0], [1], [2], [3], [4]]
         assert partition_qubits(3, 8) == [[0], [1], [2]]  # clipped, never empty
 
+    def test_more_shards_than_qubits_never_yields_empty_shards(self):
+        """Degenerate n_shards > n_qubits: only non-empty shards come back."""
+        for n_qubits in (1, 2, 3, 5):
+            for n_shards in (n_qubits + 1, 2 * n_qubits, 17):
+                groups = partition_qubits(n_qubits, n_shards)
+                assert len(groups) == n_qubits
+                assert all(groups)
+                assert sorted(q for g in groups for q in g) == list(range(n_qubits))
+
+    def test_empty_atomic_groups_are_dropped_not_propagated(self):
+        groups = partition_qubits(3, 4, atomic_groups=[[0], [], [1], [2], []])
+        assert groups == [[0], [1], [2]]
+        assert all(groups)
+
     def test_atomic_groups_are_not_split(self):
         groups = partition_qubits(4, 2, atomic_groups=[[0, 1], [2], [3]])
         assert groups == [[0, 1], [2, 3]]
@@ -70,6 +84,29 @@ class TestConstruction:
         service = ReadoutService(bundle_dir=service_bundle, n_shards=2, autostart=False)
         assert service.shard_groups == [[0, 1], [2]]
         assert service.sharded
+        service.close()
+
+    def test_oversubscribed_shard_count_clamps_with_warning(self, service_bundle):
+        """n_shards beyond the qubit count must clamp loudly, not spawn idle
+        workers (the bundle has 3 qubits)."""
+        with pytest.warns(UserWarning, match="clamped to 3"):
+            service = ReadoutService(
+                bundle_dir=service_bundle, n_shards=8, autostart=False
+            )
+        assert service.n_shards == 3
+        assert service.shard_groups == [[0], [1], [2]]
+        service.close()
+
+    def test_empty_explicit_shard_groups_dropped_with_warning(self, service_bundle):
+        with pytest.warns(UserWarning, match="empty groups"):
+            service = ReadoutService(
+                bundle_dir=service_bundle,
+                n_shards=3,
+                shard_groups=[[0, 1], [], [2]],
+                autostart=False,
+            )
+        assert service.shard_groups == [[0, 1], [2]]
+        assert service.n_shards == 2
         service.close()
 
 
@@ -200,6 +237,73 @@ class TestInProcessServing:
             service_engine.serve(ReadoutRequest(raw=service_carriers[:8])).states,
         )
 
+    def test_aserve_cancellation_drops_the_request(
+        self, service_engine, service_carriers
+    ):
+        """A cancelled aserve() task leaves its batch before dispatch: the
+        neighbours still serve exactly, and the cancellation is counted."""
+
+        async def run(service):
+            doomed = asyncio.ensure_future(
+                service.aserve(ReadoutRequest(raw=service_carriers[:8]))
+            )
+            survivor = asyncio.ensure_future(
+                service.aserve(ReadoutRequest(raw=service_carriers[8:16]))
+            )
+            await asyncio.sleep(0)  # let both submissions queue
+            doomed.cancel()
+            # Give the loop a tick to propagate the cancellation onto the
+            # wrapped concurrent future before the batcher claims it.
+            await asyncio.sleep(0.05)
+            service.start()  # drain the backlog only now
+            result = await survivor
+            with pytest.raises(asyncio.CancelledError):
+                await doomed
+            return result
+
+        service = ReadoutService(
+            engine=service_engine, max_batch=64, max_wait_ms=50.0, autostart=False
+        )
+        result = asyncio.run(run(service))
+        service.close()
+        np.testing.assert_array_equal(
+            result.states,
+            service_engine.serve(ReadoutRequest(raw=service_carriers[8:16])).states,
+        )
+        assert service.stats.cancelled_requests == 1
+        assert service.stats.requests_served == 1
+
+    def test_cancelled_future_before_start_is_skipped(
+        self, service_engine, service_carriers
+    ):
+        """Direct submit() + Future.cancel(): the batcher must neither serve
+        the entry nor die on its claimed future."""
+        service = ReadoutService(engine=service_engine, autostart=False)
+        doomed = service.submit(ReadoutRequest(raw=service_carriers[:4]))
+        survivor = service.submit(ReadoutRequest(raw=service_carriers[4:8]))
+        assert doomed.cancel()
+        service.start()
+        np.testing.assert_array_equal(
+            survivor.result(timeout=30).states,
+            service_engine.serve(ReadoutRequest(raw=service_carriers[4:8])).states,
+        )
+        service.close()
+        assert doomed.cancelled()
+
+    def test_submit_after_close_races_are_loud(self, service_engine, service_carriers):
+        """submit() strictly after close() raises; a future caught mid-race is
+        failed rather than left unresolved (regression guard for the drain)."""
+        service = ReadoutService(engine=service_engine)
+        service.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            service.submit(ReadoutRequest(raw=service_carriers[:2]))
+        # And the close() drain path also fails an already-queued future.
+        racing = ReadoutService(engine=service_engine, autostart=False)
+        future = racing.submit(ReadoutRequest(raw=service_carriers[:2]))
+        racing.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            future.result(timeout=5)
+
 
 class TestShardedServing:
     def test_sharded_bit_identical_to_direct_serve(
@@ -279,6 +383,52 @@ class TestShardedServing:
             assert result.states.shape == (4, 3)
 
 
+class TestObservability:
+    """Every dispatch path records backend kind, shard count, transport name."""
+
+    def test_engine_serve_meta_records_backend(self, service_engine, service_carriers):
+        meta = service_engine.serve(ReadoutRequest(raw=service_carriers[:2])).meta
+        assert meta["backend"] == "fpga"
+
+    def test_in_process_dispatch_meta(self, service_engine, service_carriers):
+        with ReadoutService(engine=service_engine) as service:
+            meta = service.serve(ReadoutRequest(raw=service_carriers[:2])).meta
+        assert meta["backend"] == "fpga"
+        assert meta["shards"] == 0
+        assert meta["transport"] == "inprocess"
+        stats = service.stats
+        assert stats.transport == "inprocess"
+        assert stats.placements == 1
+        assert stats.backend == "fpga"
+
+    def test_sharded_dispatch_meta(self, service_bundle, service_carriers):
+        with ReadoutService(bundle_dir=service_bundle, n_shards=2) as service:
+            meta = service.serve(ReadoutRequest(raw=service_carriers[:2])).meta
+            stats = service.stats
+        assert meta == {"backend": "fpga", "shards": 2, "transport": "local"}
+        assert stats.transport == "local"
+        assert stats.placements == 2
+        assert stats.backend == "fpga"
+
+    def test_microbatch_meta_extends_the_dispatch_meta(
+        self, service_engine, service_carriers
+    ):
+        service = ReadoutService(
+            engine=service_engine, max_batch=8, max_wait_ms=50.0, autostart=False
+        )
+        futures = [
+            service.submit(ReadoutRequest(raw=service_carriers[i : i + 4]))
+            for i in range(0, 16, 4)
+        ]
+        service.start()
+        metas = [future.result(timeout=30).meta for future in futures]
+        service.close()
+        for meta in metas:
+            assert meta["transport"] == "inprocess"
+            assert meta["backend"] == "fpga"
+            assert meta["microbatch_requests"] == len(futures)
+
+
 class TestGoldenThroughService:
     def test_sharded_service_reproduces_golden_snapshot(self, tmp_path):
         """End-to-end pinning: bundle -> 2 worker processes -> micro-batched
@@ -311,7 +461,9 @@ class TestResilience:
         bundle = tmp_path / "one-qubit"
         engine.save(bundle)
         carriers = service_carriers[:, [0]]
-        with ReadoutService(bundle_dir=bundle, n_shards=4) as service:
+        with pytest.warns(UserWarning, match="clamped to 1"):
+            service = ReadoutService(bundle_dir=bundle, n_shards=4)
+        with service:
             assert not service.sharded
             assert service.n_shards == 1
             result = service.serve(ReadoutRequest(raw=carriers))

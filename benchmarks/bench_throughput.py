@@ -21,7 +21,11 @@ Measures shots/second through
 * the **network tier** -- the same request stream through a loopback
   ``ReadoutServer``/``RemoteEngineClient`` round trip and a
   ``TcpShardTransport``-backed service (``remote_serving`` section:
-  ``remote_tcp_vs_direct`` and friends), bit-identity asserted first, and
+  ``remote_tcp_vs_direct`` and friends), bit-identity asserted first,
+* the **resilience layer** -- one qubit shard on two replica servers,
+  serving the same stream in steady state and through a seeded kill/recover
+  cycle (``resilient_steady`` / ``resilient_killover`` plus p95 round-trip
+  latencies in the derived section), bit-identity asserted both times, and
 * the **trace synthesizer** -- the batched ``generate_shots`` path the
   dataset builder uses versus a replica of the seed's per-shot Python loop,
   plus the end-to-end dataset builder itself.
@@ -756,6 +760,157 @@ def bench_remote_serving(
     )
 
 
+def bench_resilient_serving(
+    report: ThroughputReport, n_shots: int, repeats: int, seed: int
+) -> None:
+    """What does self-healing cost?  Steady state vs. a seeded kill cycle.
+
+    One qubit shard is placed on **two** replica ``ReadoutServer`` processes
+    behind a :class:`ReplicatedTcpShardTransport`.  The same request stream
+    is served twice, per-request round-trip latencies recorded both times:
+
+    * ``resilient_steady`` -- both replicas healthy (repeatable, so it gets
+      the usual best-of-``repeats`` treatment), and
+    * ``resilient_killover`` -- the *active* replica is SIGKILLed a quarter
+      of the way through the stream, so the tail of the run rides one
+      failover (redial + resend of pending frames) onto the survivor.  The
+      kill is one-shot per server fleet, so this is a single timed pass.
+
+    Bit-identity to direct ``engine.serve()`` is asserted for both passes
+    and the failover must actually have happened (``stats.failovers >= 1``,
+    no degraded answers).  Besides the two throughput entries, the derived
+    section records tail latency: ``resilient_p95_steady_ms`` /
+    ``resilient_p95_killover_ms`` (p95 over every per-request round trip)
+    and ``resilient_killover_vs_steady`` (throughput ratio; < 1.0 is the
+    price of the recovery hiccup).
+    """
+    import tempfile
+
+    from repro.perf import WallClockTimer
+    from repro.perf.timer import ThroughputMeasurement
+    from repro.service import ReadoutService, RetryPolicy, spawn_server
+
+    n_samples = 500
+    n_qubits = len(ENGINE_ASSIGNMENT)
+    n_requests = 48
+    request_shots = 8
+    engine = build_bench_engine(n_samples, seed)
+    rng = np.random.default_rng(seed + 6)
+    traces = rng.uniform(
+        -3.0, 3.0, size=(n_requests * request_shots, n_qubits, n_samples, 2)
+    )
+    carriers = digitize_traces(traces)
+    requests = [
+        ReadoutRequest(raw=carriers[start : start + request_shots], output="states")
+        for start in range(0, carriers.shape[0], request_shots)
+    ]
+    items = n_requests * request_shots * n_qubits
+    reference = np.concatenate([engine.serve(request).states for request in requests])
+
+    def p95_ms(samples: list[float]) -> float:
+        return float(np.percentile(np.asarray(samples), 95.0) * 1e3)
+
+    latencies: dict[str, list[float]] = {"steady": [], "killover": []}
+
+    def serve_stream(service: ReadoutService, bucket: list[float]) -> np.ndarray:
+        # Sequential round trips on purpose: each request's wall time is a
+        # clean latency sample, and the failover hiccup lands on exactly one
+        # of them instead of smearing across a concurrent batch.
+        states = []
+        for request in requests:
+            with WallClockTimer() as timer:
+                states.append(service.submit(request).result(timeout=600).states)
+            bucket.append(timer.elapsed)
+        return np.concatenate(states)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        bundle_dir = Path(tmp) / "bench-bundle"
+        engine.save(bundle_dir)
+        replicas = [spawn_server(bundle_dir) for _ in range(2)]
+        try:
+            addresses = {
+                f"{host}:{port}": handle
+                for handle in replicas
+                for host, port in (handle.address,)
+            }
+            with ReadoutService(
+                bundle_dir=bundle_dir,
+                shard_hosts=[list(addresses)],
+                max_batch=64,
+                max_wait_ms=10.0,
+                remote_timeout=300.0,
+                retry=RetryPolicy(attempts=4, try_timeout_s=300.0),
+                failover_seed=seed,
+            ) as service:
+                if not np.array_equal(
+                    serve_stream(service, []), reference
+                ):
+                    raise AssertionError(
+                        "replicated TCP serving is not bit-identical to direct "
+                        "engine.serve() dispatch"
+                    )
+                print(
+                    f"  replicated serving == direct on {n_requests} requests x "
+                    f"{request_shots} shots x {n_qubits} qubits OK "
+                    f"(1 shard, {len(addresses)} replicas)"
+                )
+                steady = measure_throughput(
+                    lambda: serve_stream(service, latencies["steady"]),
+                    n_items=items,
+                    name="resilient_steady",
+                    repeats=repeats,
+                )
+
+                kill_at = n_requests // 4
+                states = []
+                with WallClockTimer() as total:
+                    for index, request in enumerate(requests):
+                        if index == kill_at:
+                            victim = addresses[service._shards[0].address]
+                            victim.process.kill()  # the *active* replica dies
+                        with WallClockTimer() as timer:
+                            states.append(
+                                service.submit(request).result(timeout=600).states
+                            )
+                        latencies["killover"].append(timer.elapsed)
+                killover = ThroughputMeasurement(
+                    name="resilient_killover",
+                    n_items=items,
+                    repeats=1,  # a SIGKILL is one-shot per fleet
+                    best_seconds=total.elapsed,
+                    mean_seconds=total.elapsed,
+                    std_seconds=0.0,
+                )
+                if not np.array_equal(np.concatenate(states), reference):
+                    raise AssertionError(
+                        "serving diverged from direct dispatch after the kill"
+                    )
+                stats = service.stats
+                if stats.failovers < 1:
+                    raise AssertionError("the kill cycle recorded no failover")
+                if stats.degraded_requests:
+                    raise AssertionError(
+                        "the kill cycle degraded answers instead of failing over"
+                    )
+        finally:
+            for handle in replicas:
+                handle.close()
+    report.add(steady)
+    report.add(killover)
+    ratio = report.record_speedup(
+        "resilient_killover_vs_steady", "resilient_killover", "resilient_steady"
+    )
+    steady_p95 = p95_ms(latencies["steady"])
+    killover_p95 = p95_ms(latencies["killover"])
+    report.derived["resilient_p95_steady_ms"] = steady_p95
+    report.derived["resilient_p95_killover_ms"] = killover_p95
+    print(
+        f"  kill cycle vs steady state: {ratio:.2f}x throughput "
+        f"({stats.failovers} failover(s)); p95 latency "
+        f"{steady_p95:.1f} ms -> {killover_p95:.1f} ms"
+    )
+
+
 def bench_synthesis(report: ThroughputReport, n_shots: int, repeats: int, seed: int) -> None:
     """Trace synthesis: the batched generator vs. the seed per-shot loop."""
     physics = _bench_device()
@@ -858,6 +1013,8 @@ def main(argv: list[str] | None = None) -> int:
     bench_service(report, n_shots, repeats, args.seed)
     print("Remote serving (loopback TCP vs direct serve vs local shards):")
     bench_remote_serving(report, n_shots, repeats, args.seed)
+    print("Resilient serving (replicated TCP shard, seeded kill/recover cycle):")
+    bench_resilient_serving(report, n_shots, repeats, args.seed)
     print(f"Trace synthesis ({n_shots} shots, 2-qubit device):")
     bench_synthesis(report, n_shots, repeats, args.seed)
 

@@ -13,8 +13,14 @@ The deployment story of the serving stack, end to end on loopback TCP:
    through one server, and a ``ReadoutService(shard_hosts=[...])`` that
    splits qubit columns across both servers with micro-batching on top.
 
-CI runs this as its loopback network-serving smoke (exit code 5 on failure,
-downgraded to a warning like the other non-blocking gates).  Run it with::
+Then the resilience story on the same stack: place each qubit shard on
+**two** replica servers, kill one placement mid-load, and verify every
+request still completes bit-identical while ``ServiceStats`` records the
+failover.
+
+CI runs this as its loopback network-serving smoke (exit code 5 when basic
+network serving breaks, 6 when only the failover demo breaks -- both
+downgraded to warnings like the other non-blocking gates).  Run it with::
 
     PYTHONPATH=src python examples/network_serving.py
 """
@@ -31,11 +37,19 @@ from repro.engine import FixedPointBackend, ReadoutEngine, ReadoutRequest
 from repro.fpga.fixed_point import Q16_16
 from repro.fpga.quantize import QuantizedStudentParameters
 from repro.readout.preprocessing import digitize_traces
-from repro.service import ReadoutService, RemoteEngineClient, spawn_server
+from repro.service import (
+    ReadoutService,
+    RemoteEngineClient,
+    RetryPolicy,
+    spawn_server,
+)
 
 #: Distinct exit code for the CI smoke gate ("network serving broke"),
 #: mirroring the examples gate (4) and the bench regression gate (3).
 SMOKE_FAILURE_EXIT_CODE = 5
+#: Distinct exit code for the failover demo ("self-healing broke"): basic
+#: network serving may still be fine when only the resilience layer fails.
+FAILOVER_FAILURE_EXIT_CODE = 6
 
 
 def synthetic_parameters(seed: int, n_samples: int = 120) -> QuantizedStudentParameters:
@@ -132,14 +146,75 @@ def run() -> None:
     print("\nAll three serving paths are bit-identical. Network serving OK.")
 
 
+def run_failover() -> None:
+    """Kill one placement mid-load; every request must still complete."""
+    n_qubits, n_shots = 4, 64
+    engine = ReadoutEngine(
+        [FixedPointBackend(synthetic_parameters(seed=31 + q)) for q in range(n_qubits)]
+    )
+    rng = np.random.default_rng(11)
+    carriers = digitize_traces(
+        rng.uniform(-3.0, 3.0, size=(n_shots, n_qubits, 120, 2))
+    )
+    request = ReadoutRequest(raw=carriers, output="both")
+    direct = engine.serve(request)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        bundle = Path(tmp) / "readout-v1"
+        engine.save(bundle)
+        print("\nStarting two shards x two replica servers each ...")
+        replicas = [[spawn_server(bundle) for _ in range(2)] for _ in range(2)]
+        flat = [handle for pair in replicas for handle in pair]
+        try:
+            shard_hosts = [
+                [f"{host}:{port}" for host, port in (h.address for h in pair)]
+                for pair in replicas
+            ]
+            with ReadoutService(
+                bundle_dir=bundle,
+                shard_hosts=shard_hosts,
+                retry=RetryPolicy(attempts=4, try_timeout_s=15.0),
+                remote_timeout=60.0,
+                failover_seed=7,
+            ) as service:
+                print(f"Replicated placement: qubit groups {service.shard_groups} "
+                      f"on {[len(r) for r in shard_hosts]} replicas per shard")
+                futures = [service.submit(request) for _ in range(3)]
+                victim = replicas[0][0]
+                victim.process.kill()  # a placement dies hard, mid-load
+                print(f"Killed the placement at {victim.address[0]}:"
+                      f"{victim.address[1]} mid-load")
+                futures += [service.submit(request) for _ in range(3)]
+                results = [future.result(timeout=120) for future in futures]
+                stats = service.stats
+            for result in results:
+                assert np.array_equal(result.states, direct.states), \
+                    "states diverged after failover"
+                assert np.array_equal(result.logits, direct.logits), \
+                    "logits diverged after failover"
+                assert "degraded" not in result.meta, "a request was degraded"
+            assert stats.failovers >= 1, "no failover was recorded"
+            print(f"All {stats.requests_served} requests bit-identical through "
+                  f"{stats.failovers} failover(s). Self-healing OK.")
+        finally:
+            for handle in flat:
+                handle.close()
+    engine.close()
+
+
 def main() -> int:
+    import traceback
+
     try:
         run()
     except Exception:  # noqa: BLE001 - the smoke gate wants one exit code
-        import traceback
-
         traceback.print_exc()
         return SMOKE_FAILURE_EXIT_CODE
+    try:
+        run_failover()
+    except Exception:  # noqa: BLE001 - distinct code: only resilience broke
+        traceback.print_exc()
+        return FAILOVER_FAILURE_EXIT_CODE
     return 0
 
 

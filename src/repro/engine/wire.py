@@ -54,6 +54,7 @@ __all__ = [
     "encode_request",
     "encode_request_chunks",
     "decode_request",
+    "decode_request_wire_meta",
     "encode_result",
     "decode_result",
     "encode_error",
@@ -248,13 +249,22 @@ def _decode_fmt(spec: dict | None) -> FixedPointFormat | None:
 # --------------------------------------------------------------------------
 
 
-def encode_request_chunks(request: ReadoutRequest) -> list:
+def encode_request_chunks(
+    request: ReadoutRequest, wire_meta: dict | None = None
+) -> list:
     """A request frame as buffers (prefix, header, payload) -- see :func:`_frame_chunks`.
 
     For transports that can scatter-write (a shared-memory segment, a
     vectored socket send): the bulk carrier crosses its boundary with one
     copy instead of being flattened into an intermediate ``bytes`` first.
     Concatenated, the chunks are exactly :func:`encode_request`'s frame.
+
+    ``wire_meta`` rides in the header outside the request proper -- the
+    transport-level envelope (idempotent ``request_id`` for retry dedup,
+    trace ids).  It is invisible to :func:`decode_request` (the rebuilt
+    request is unchanged) and read back with
+    :func:`decode_request_wire_meta`; decoders that predate the field
+    ignore the extra header key, so no wire-version bump is needed.
     """
     if not isinstance(request, ReadoutRequest):
         raise TypeError(
@@ -269,12 +279,14 @@ def encode_request_chunks(request: ReadoutRequest) -> list:
         "dequantize": request.dequantize,
         "fmt": _encode_fmt(request.fmt),
     }
+    if wire_meta:
+        header["meta"] = dict(wire_meta)
     return _frame_chunks(REQUEST, header, (payload,))
 
 
-def encode_request(request: ReadoutRequest) -> bytes:
+def encode_request(request: ReadoutRequest, wire_meta: dict | None = None) -> bytes:
     """Encode a :class:`ReadoutRequest` as one self-contained frame."""
-    return b"".join(encode_request_chunks(request))
+    return b"".join(encode_request_chunks(request, wire_meta))
 
 
 def decode_request(frame) -> ReadoutRequest:
@@ -295,6 +307,18 @@ def decode_request(frame) -> ReadoutRequest:
     if header["carrier"] == "raw":
         return ReadoutRequest(raw=array, **kwargs)
     return ReadoutRequest(traces=array, **kwargs)
+
+
+def decode_request_wire_meta(frame) -> dict:
+    """The transport envelope of a REQUEST frame (``{}`` when absent).
+
+    This is where an idempotent ``request_id`` travels: a server that has
+    already answered the id can replay its cached reply instead of serving
+    the retried request twice.
+    """
+    _, header, _ = _split(frame, expected_kind=REQUEST)
+    meta = header.get("meta")
+    return dict(meta) if meta else {}
 
 
 # --------------------------------------------------------------------------

@@ -18,43 +18,74 @@ all speaking the one wire codec (:mod:`repro.engine.wire`)::
 
     # across hosts (each running `python -m repro.service.net <bundle>`):
     #   ReadoutService(shard_hosts=["10.0.0.5:7777", "10.0.0.6:7777"])
+    # replicated, self-healing (failover + respawn + health probing):
+    #   ReadoutService(
+    #       shard_hosts=[["10.0.0.5:7777", "10.0.0.7:7777"],
+    #                    ["10.0.0.6:7777", "10.0.0.8:7777"]],
+    #       retry=RetryPolicy(attempts=3), probe_interval_s=1.0,
+    #   )
     # asyncio front-ends:  result = await service.aserve(request)
 
 See :mod:`repro.service.service` for the batching/dispatch mechanics,
 :mod:`repro.service.transport` for the shard-transport protocol and the
-local worker-process implementation, and :mod:`repro.service.net` for the
-TCP server/client tier.
+local worker-process implementation, :mod:`repro.service.net` for the TCP
+server/client tier (including replica failover), :mod:`repro.service.retry`
+/ :mod:`repro.service.health` for the retry policy and health-checked host
+pool, and :mod:`repro.service.faults` for the fault-injection harness that
+keeps the self-healing paths honest.
 """
 
 from repro.service.service import ReadoutService, ServiceStats
-from repro.service.sharding import partition_qubits
+from repro.service.sharding import partition_qubits, replica_addresses
+from repro.service.retry import RetryPolicy
+from repro.service.health import HostHealth, HostPool
 from repro.service.transport import (
     LocalProcessTransport,
     ShardTransport,
+    WorkerDiedError,
     spawn_local_shards,
 )
 from repro.service.net import (
+    AllReplicasDownError,
     ReadoutServer,
     RemoteEngineClient,
+    ReplicatedTcpShardTransport,
     TcpShardTransport,
     TransportConnectError,
     TransportError,
     TransportTimeoutError,
     spawn_server,
 )
+from repro.service.faults import (
+    ChaosProxy,
+    ChaosServer,
+    ChaosTransport,
+    FaultSchedule,
+)
 
 __all__ = [
     "ReadoutService",
     "ServiceStats",
     "partition_qubits",
+    "replica_addresses",
+    "RetryPolicy",
+    "HostHealth",
+    "HostPool",
     "ShardTransport",
     "LocalProcessTransport",
+    "WorkerDiedError",
     "spawn_local_shards",
     "ReadoutServer",
     "RemoteEngineClient",
     "TcpShardTransport",
+    "ReplicatedTcpShardTransport",
+    "AllReplicasDownError",
     "TransportError",
     "TransportConnectError",
     "TransportTimeoutError",
     "spawn_server",
+    "ChaosProxy",
+    "ChaosServer",
+    "ChaosTransport",
+    "FaultSchedule",
 ]

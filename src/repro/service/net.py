@@ -31,23 +31,29 @@ from __future__ import annotations
 
 import argparse
 import collections
+import random
 import select
 import socket
 import threading
+import time
+import uuid
 from pathlib import Path
 
 from repro.engine import wire
 from repro.engine.bundle import load_manifest
 from repro.engine.engine import ReadoutEngine
 from repro.engine.request import ReadoutRequest, ReadoutResult
+from repro.service.retry import RetryPolicy
 
 __all__ = [
     "TransportError",
     "TransportConnectError",
     "TransportTimeoutError",
+    "AllReplicasDownError",
     "ReadoutServer",
     "RemoteEngineClient",
     "TcpShardTransport",
+    "ReplicatedTcpShardTransport",
     "ServerProcessHandle",
     "spawn_server",
     "main",
@@ -72,6 +78,16 @@ class TransportConnectError(TransportError):
 
 class TransportTimeoutError(TransportError):
     """The server did not answer within the configured timeout."""
+
+
+class AllReplicasDownError(TransportError):
+    """Every replica of a shard placement failed within the retry budget.
+
+    The typed signal :class:`~repro.service.ReadoutService` turns into
+    graceful degradation (``degraded_ok=True``) or a bounded-deadline
+    failure -- distinct from a single-connection :class:`TransportError`,
+    which the failover loop absorbs.
+    """
 
 
 def _parse_address(address, port: int | None = None) -> tuple[str, int]:
@@ -114,6 +130,12 @@ class ReadoutServer:
     drain_timeout:
         How long :meth:`close` waits for each in-flight connection to finish
         its current request before force-closing the socket.
+    reply_cache_size:
+        How many recent replies to keep, keyed by the idempotent
+        ``request_id`` retrying clients stamp into wire meta.  A retried
+        request whose first attempt *was* answered (the reply died with the
+        connection) replays the cached frame instead of being served twice
+        -- the server half of idempotent failover.  ``0`` disables caching.
     """
 
     def __init__(
@@ -126,6 +148,7 @@ class ReadoutServer:
         max_workers: int | None = None,
         backlog: int = 16,
         drain_timeout: float = 10.0,
+        reply_cache_size: int = 256,
     ) -> None:
         self.bundle_dir = Path(bundle_dir)
         self._requested = (host, int(port))
@@ -143,9 +166,15 @@ class ReadoutServer:
         self._closed = threading.Event()
         self._started = False
         self._requests_served = 0
+        self._deduplicated_replies = 0
         # Connection handlers run on their own threads; the counter needs a
         # lock or concurrent clients under-count it.
         self._served_lock = threading.Lock()
+        self._reply_cache_size = int(reply_cache_size)
+        self._reply_cache: collections.OrderedDict[str, bytes] = (
+            collections.OrderedDict()
+        )
+        self._cache_lock = threading.Lock()
 
     # ---------------------------------------------------------------- state
     @property
@@ -159,6 +188,11 @@ class ReadoutServer:
     def requests_served(self) -> int:
         """REQUEST frames answered since start (result or error replies)."""
         return self._requests_served
+
+    @property
+    def deduplicated_replies(self) -> int:
+        """Retried requests answered from the idempotency cache."""
+        return self._deduplicated_replies
 
     # ------------------------------------------------------------ lifecycle
     def start(self) -> "ReadoutServer":
@@ -292,6 +326,22 @@ class ReadoutServer:
             except OSError:  # pragma: no cover - already closed
                 pass
 
+    def _cached_reply(self, request_id: str) -> bytes | None:
+        with self._cache_lock:
+            reply = self._reply_cache.get(request_id)
+            if reply is not None:
+                self._reply_cache.move_to_end(request_id)
+        return reply
+
+    def _cache_reply(self, request_id: str, reply: bytes) -> None:
+        if self._reply_cache_size <= 0:
+            return
+        with self._cache_lock:
+            self._reply_cache[request_id] = reply
+            self._reply_cache.move_to_end(request_id)
+            while len(self._reply_cache) > self._reply_cache_size:
+                self._reply_cache.popitem(last=False)
+
     def _reply_for(self, frame: bytes) -> bytes:
         try:
             kind = wire.frame_kind(frame)
@@ -302,11 +352,21 @@ class ReadoutServer:
                     f"ReadoutServer answers REQUEST and INFO_REQUEST frames, "
                     f"got kind {kind}"
                 )
+            request_id = wire.decode_request_wire_meta(frame).get("request_id")
+            if request_id is not None:
+                cached = self._cached_reply(str(request_id))
+                if cached is not None:
+                    # A failover retry of work already done: replay the
+                    # answer instead of serving the same request twice.
+                    with self._served_lock:
+                        self._requests_served += 1
+                        self._deduplicated_replies += 1
+                    return cached
             request = wire.decode_request(frame)
             result = self._engine.serve(request, parallel=self._parallel)
             with self._served_lock:
                 self._requests_served += 1
-            return wire.encode_result(
+            reply = wire.encode_result(
                 ReadoutResult(
                     qubits=result.qubits,
                     output=result.output,
@@ -317,6 +377,9 @@ class ReadoutServer:
                     meta={**result.meta, "transport": "tcp"},
                 )
             )
+            if request_id is not None:
+                self._cache_reply(str(request_id), reply)
+            return reply
         except Exception as exc:  # noqa: BLE001 - relayed to the caller
             with self._served_lock:
                 self._requests_served += 1
@@ -465,6 +528,16 @@ class RemoteEngineClient:
         may need more than the default 30 s.
     connect_timeout:
         Deadline for establishing the TCP connection.
+    retries:
+        Transparent reconnect-and-resend attempts after a dropped or stale
+        pooled connection (default 1).  A server restart between requests
+        leaves the client holding a dead socket; instead of failing the
+        first request onto the caller, the client redials and resends --
+        every request carries an idempotent ``request_id`` in wire meta, so
+        a retry whose first attempt was actually served replays the cached
+        answer rather than computing twice.  Timeouts and refused
+        connections are **not** retried (the server is busy or gone, not
+        stale).  ``0`` restores fail-fast.
     """
 
     def __init__(
@@ -474,15 +547,41 @@ class RemoteEngineClient:
         *,
         timeout: float = 30.0,
         connect_timeout: float = 5.0,
+        retries: int = 1,
     ) -> None:
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         parsed_host, parsed_port = _parse_address(host, port)
         self._conn = _FramedConnection(parsed_host, parsed_port, timeout, connect_timeout)
+        self._retries = int(retries)
+        self.reconnects = 0
         self._closed = False
 
     @property
     def address(self) -> str:
         """The server's ``host:port``."""
         return self._conn.address
+
+    def _roundtrip_idempotent(self, frame: bytes) -> bytes:
+        """One round trip, transparently resent over a fresh connection.
+
+        Only connection-loss failures (:class:`TransportError` that is not a
+        timeout or a refusal, and mid-frame stream truncation) are retried:
+        those mean the pooled socket went stale underneath us.  The frame is
+        byte-identical on every attempt, so its ``request_id`` lets the
+        server deduplicate.
+        """
+        attempts = self._retries + 1
+        for attempt in range(1, attempts + 1):
+            try:
+                return self._conn.roundtrip(frame)
+            except (TransportConnectError, TransportTimeoutError):
+                raise
+            except (TransportError, wire.WireFormatError):
+                if attempt == attempts:
+                    raise
+                self.reconnects += 1
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def serve(self, request: ReadoutRequest) -> ReadoutResult:
         """Serve one request remotely; bit-identical to the server's engine."""
@@ -492,14 +591,18 @@ class RemoteEngineClient:
             raise TypeError(
                 f"serve() takes a ReadoutRequest, got {type(request).__name__}"
             )
-        reply = self._conn.roundtrip(wire.encode_request(request))
-        return wire.decode_reply(reply)
+        frame = wire.encode_request(
+            request, wire_meta={"request_id": uuid.uuid4().hex}
+        )
+        return wire.decode_reply(self._roundtrip_idempotent(frame))
 
     def info(self) -> dict:
         """The server's deployment description (qubits, backend, shard hints)."""
         if self._closed:
             raise RuntimeError("RemoteEngineClient is closed")
-        return wire.decode_info(self._conn.roundtrip(wire.encode_info_request()))
+        return wire.decode_info(
+            self._roundtrip_idempotent(wire.encode_info_request())
+        )
 
     def close(self) -> None:
         """Drop the connection.  Idempotent; later calls raise."""
@@ -599,6 +702,233 @@ class TcpShardTransport:
         self._closed = True
         self._pending.clear()
         self._conn.drop()
+
+
+# --------------------------------------------------------------------------
+# The replicated TCP shard transport (failover across replica placements)
+# --------------------------------------------------------------------------
+
+
+class ReplicatedTcpShardTransport:
+    """One qubit shard placed on *several* interchangeable servers.
+
+    Each address names a :class:`ReadoutServer` that has loaded the same
+    bundle; exactly one -- the **active replica** -- carries traffic at a
+    time, so the per-shard FIFO protocol is untouched.  When the active
+    replica fails (connection lost, refused, mid-frame truncation, or a
+    reply slower than the per-try deadline), the transport **fails over**:
+    it redials the next replica -- healthy ones first, per the optional
+    :class:`~repro.service.health.HostPool` -- and resends every
+    still-unanswered frame in order.  Every frame carries an idempotent
+    ``request_id`` in wire meta, so a server that already answered a resent
+    frame replays its cached reply instead of serving it twice: failover is
+    exactly-once from the caller's point of view.
+
+    The :class:`~repro.service.retry.RetryPolicy` bounds the whole loop
+    (sweep attempts across replicas, exponential backoff with a jitter cap,
+    optional per-try deadline); when the budget is spent the transport
+    raises :class:`AllReplicasDownError`, the typed signal the service
+    turns into graceful degradation.
+
+    A single address is valid -- then "failover" degenerates to
+    reconnect-and-resend against a restarted placement, which is exactly
+    what a self-healing single-host deployment wants.
+    """
+
+    name = "tcp"
+
+    def __init__(
+        self,
+        shard_index: int,
+        qubits: list[int],
+        addresses,
+        *,
+        timeout: float = 30.0,
+        connect_timeout: float = 5.0,
+        retry: RetryPolicy | None = None,
+        pool=None,
+        seed: int | None = None,
+        should_abort=None,
+    ) -> None:
+        if not addresses:
+            raise ValueError(
+                f"Shard {shard_index} needs at least one replica address"
+            )
+        self.shard_index = shard_index
+        self.qubits = list(qubits)
+        self.qubit_set = frozenset(self.qubits)
+        self._retry = retry or RetryPolicy()
+        effective_timeout = (
+            self._retry.try_timeout_s
+            if self._retry.try_timeout_s is not None
+            else timeout
+        )
+        self._pool = pool
+        self._rng = random.Random(seed)
+        self._should_abort = should_abort or (lambda: False)
+        self.addresses: list[str] = []
+        self._conns: dict[str, _FramedConnection] = {}
+        for address in addresses:
+            host, port = _parse_address(address)
+            key = f"{host}:{port}"
+            if key in self._conns:
+                continue
+            self.addresses.append(key)
+            self._conns[key] = _FramedConnection(
+                host, port, effective_timeout, connect_timeout
+            )
+            if self._pool is not None:
+                self._pool.add(key)
+        #: Unanswered frames in submission order: ``(job_id, frame)``.
+        self._pending: collections.deque[tuple[int, bytes]] = collections.deque()
+        self._active: str | None = None
+        self.counters = {"failovers": 0, "resubmissions": 0}
+        self._closed = False
+        # Fail at placement time only when *no* replica is reachable: the
+        # placement exists as long as one server answers.
+        self._connect_any(initial=True)
+
+    # ------------------------------------------------------------- replicas
+    @property
+    def address(self) -> str:
+        """The active replica's ``host:port`` (falls back to the first)."""
+        return self._active or self.addresses[0]
+
+    def _candidates(self) -> list[str]:
+        """Dial order: after the active replica, healthy hosts first.
+
+        Ejected hosts stay at the back as a last resort -- a wrongly
+        ejected replica must not turn a degraded shard into a dead one.
+        """
+        ordered = list(self.addresses)
+        if self._active in ordered:
+            pivot = ordered.index(self._active)
+            ordered = ordered[pivot + 1 :] + ordered[: pivot + 1]
+        if self._pool is not None:
+            ordered = self._pool.order_by_health(ordered)
+        return ordered
+
+    def _connect_any(self, initial: bool = False) -> None:
+        """Dial replicas until one accepts (and takes the pending backlog)."""
+        errors: list[str] = []
+        attempts = 1 if initial else self._retry.attempts
+        for attempt in range(1, attempts + 1):
+            delay = self._retry.delay(attempt, self._rng)
+            if delay:
+                time.sleep(delay)
+            for candidate in self._candidates():
+                if self._should_abort():
+                    raise TransportError(
+                        f"Shard {self.shard_index} failover aborted: the "
+                        f"service is closing"
+                    )
+                conn = self._conns[candidate]
+                conn.drop()  # a stale socket to a restarted server must redial
+                try:
+                    conn._ensure()
+                    for _job_id, frame in self._pending:
+                        conn.send(frame)
+                        self.counters["resubmissions"] += 1
+                    self._active = candidate
+                    return
+                except TransportError as exc:
+                    errors.append(f"{candidate}: {exc}")
+                    if self._pool is not None:
+                        self._pool.record_failure(candidate, error=str(exc))
+                    continue
+        detail = "; ".join(errors[-len(self.addresses) :]) or "no replicas"
+        if initial:
+            raise TransportConnectError(
+                f"Shard {self.shard_index} could not reach any of its "
+                f"{len(self.addresses)} replica(s): {detail}"
+            )
+        # The budget is spent: the in-flight frames are being failed to
+        # their callers, so drop them -- a recovered replica must start
+        # from a clean FIFO, not replay requests nobody waits for.
+        self._pending.clear()
+        raise AllReplicasDownError(
+            f"Shard {self.shard_index}: every replica failed within the "
+            f"retry budget ({self._retry.attempts} attempt(s) over "
+            f"{self.addresses}): {detail}"
+        )
+
+    def _failover(self, reason: str) -> None:
+        if self._pool is not None and self._active is not None:
+            self._pool.record_failure(self._active, error=reason)
+        self.counters["failovers"] += 1
+        self._connect_any()
+
+    # -------------------------------------------------------------- protocol
+    def submit(self, job_id: int, request: ReadoutRequest) -> None:
+        """Send one sub-request to the active replica (failing over if needed)."""
+        if self._closed:
+            raise RuntimeError(
+                f"Shard {self.shard_index} transport is closed; submit() after "
+                f"close() is a protocol violation"
+            )
+        frame = wire.encode_request(
+            request, wire_meta={"request_id": uuid.uuid4().hex}
+        )
+        self._pending.append((job_id, frame))
+        conn = self._conns[self._active]
+        if not conn.connected and len(self._pending) > 1:
+            # A plain send() would redial and carry only this frame,
+            # stranding the earlier pending ones sent on the lost
+            # connection; the failover sweep resends the whole backlog.
+            self._failover("connection lost with frames in flight")
+            return
+        try:
+            conn.send(frame)
+        except (TransportError, wire.WireFormatError) as exc:
+            # The frame is already queued in _pending, so the failover
+            # resend sweep carries it to whichever replica answers next.
+            self._failover(str(exc))
+
+    def collect(self, job_id: int) -> ReadoutResult:
+        """Block for the response to ``job_id``, failing over on dead replicas."""
+        if not self._pending:
+            raise RuntimeError(
+                f"Shard {self.shard_index} has no job in flight while job "
+                f"{job_id} was expected; the shard protocol is out of sync"
+            )
+        expected = self._pending[0][0]
+        if expected != job_id:
+            raise RuntimeError(
+                f"Shard {self.shard_index} would answer job {expected} while "
+                f"job {job_id} was expected; the shard protocol is out of sync"
+            )
+        failovers = 0
+        while True:
+            try:
+                reply = self._conns[self._active].receive()
+            except (TransportError, wire.WireFormatError) as exc:
+                # Includes replies slower than the per-try deadline: a slow
+                # replica is failed over exactly like a dead one (the
+                # request id keeps the resend idempotent).
+                failovers += 1
+                if failovers > self._retry.attempts:
+                    self._pending.clear()  # failing the job: clean FIFO restart
+                    raise AllReplicasDownError(
+                        f"Shard {self.shard_index}: job {job_id} could not be "
+                        f"answered within the retry budget: {exc}"
+                    ) from exc
+                self._failover(str(exc))
+                continue
+            self._pending.popleft()
+            if self._pool is not None:
+                self._pool.record_success(self._active)
+            return wire.decode_reply(reply)
+
+    def is_alive(self) -> bool:
+        """Whether the placement can still answer submitted work."""
+        return not self._closed and self._active is not None
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Drop every replica connection (the remote servers keep running)."""
+        self._closed = True
+        self._pending.clear()
+        for conn in self._conns.values():
+            conn.drop()
 
 
 # --------------------------------------------------------------------------

@@ -1,0 +1,105 @@
+"""Retry policy for resilient serving: attempts, backoff, per-try deadlines.
+
+One :class:`RetryPolicy` value describes how hard a caller tries before a
+failure is allowed to surface: how many attempts, how long each try may
+take, and how long to back off between tries (exponential with a jitter
+cap, so a fleet of retrying shards does not stampede a recovering host).
+
+The policy is *pure data plus arithmetic*: :meth:`delay` computes the sleep
+before a given attempt, :meth:`deadline_s` the worst-case wall-clock budget
+the whole retry loop can consume -- the "bounded deadline" the service
+quotes when every replica of a shard is down.  The jitter source is an
+explicit ``random.Random`` (seedable) so fault-injection tests replay the
+exact same schedule.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a resilient caller retries a failed placement.
+
+    Parameters
+    ----------
+    attempts:
+        Total tries (the first attempt counts).  ``1`` disables retrying.
+    try_timeout_s:
+        Per-try answer deadline (seconds) applied to the transport while a
+        retry loop is driving it; ``None`` keeps the transport's own
+        timeout.  A shorter per-try deadline is what turns "slow replica"
+        into "fail over to the next replica" instead of a full-timeout
+        stall.
+    backoff_base_s:
+        Sleep before the second attempt; each further attempt doubles it
+        (``backoff_factor``).
+    backoff_factor:
+        Multiplier applied per attempt (``2.0`` = exponential doubling).
+    jitter_s:
+        Cap of the uniform random jitter added to every backoff sleep.
+        Jitter is capped, not proportional, so late attempts stay spread
+        without the spread itself growing unbounded.
+    max_backoff_s:
+        Ceiling for a single backoff sleep (before jitter).
+    """
+
+    attempts: int = 3
+    try_timeout_s: float | None = None
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    jitter_s: float = 0.05
+    max_backoff_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if self.try_timeout_s is not None and self.try_timeout_s <= 0:
+            raise ValueError(
+                f"try_timeout_s must be positive, got {self.try_timeout_s}"
+            )
+        if self.backoff_base_s < 0:
+            raise ValueError(
+                f"backoff_base_s must be >= 0, got {self.backoff_base_s}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.jitter_s < 0:
+            raise ValueError(f"jitter_s must be >= 0, got {self.jitter_s}")
+        if self.max_backoff_s < 0:
+            raise ValueError(
+                f"max_backoff_s must be >= 0, got {self.max_backoff_s}"
+            )
+
+    def delay(self, attempt: int, rng: random.Random | None = None) -> float:
+        """Sleep (seconds) before ``attempt`` (1-based; attempt 1 never waits).
+
+        Exponential in the attempt index, capped at ``max_backoff_s``, plus
+        uniform jitter in ``[0, jitter_s]`` drawn from ``rng`` (a fresh
+        unseeded source when omitted).
+        """
+        if attempt <= 1:
+            return 0.0
+        base = self.backoff_base_s * self.backoff_factor ** (attempt - 2)
+        base = min(base, self.max_backoff_s)
+        jitter = (rng or random).uniform(0.0, self.jitter_s) if self.jitter_s else 0.0
+        return base + jitter
+
+    def deadline_s(self, try_timeout_s: float) -> float:
+        """Worst-case wall clock of the whole loop (the bounded-queueing quote).
+
+        ``try_timeout_s`` is the effective per-try deadline (the transport's
+        own timeout when :attr:`try_timeout_s` is ``None``).
+        """
+        per_try = self.try_timeout_s if self.try_timeout_s is not None else try_timeout_s
+        total = self.attempts * float(per_try)
+        for attempt in range(2, self.attempts + 1):
+            base = self.backoff_base_s * self.backoff_factor ** (attempt - 2)
+            total += min(base, self.max_backoff_s) + self.jitter_s
+        return total

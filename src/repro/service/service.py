@@ -32,6 +32,7 @@ three placements against the golden fixed-point snapshot.
 from __future__ import annotations
 
 import queue
+import random
 import threading
 import time
 import warnings
@@ -48,8 +49,13 @@ from repro.engine.request import (
     ReadoutResult,
     validate_multiplexed_payload,
 )
-from repro.service.sharding import partition_qubits
-from repro.service.transport import ShardTransport, spawn_local_shards
+from repro.service.retry import RetryPolicy
+from repro.service.sharding import partition_qubits, replica_addresses
+from repro.service.transport import (
+    ShardTransport,
+    WorkerDiedError,
+    spawn_local_shards,
+)
 
 __all__ = ["ReadoutService", "ServiceStats"]
 
@@ -69,6 +75,16 @@ class ServiceStats:
     (``"inprocess"`` with one placement, ``"local"`` worker processes, or
     ``"tcp"`` remote servers) -- the same observability fields every
     :class:`~repro.engine.request.ReadoutResult` carries in its ``meta``.
+
+    The resilience counters record every self-healing event: ``failovers``
+    (a replicated TCP shard switched replica), ``worker_respawns`` (a dead
+    local worker process was restarted), ``redispatches`` (an in-flight
+    micro-batch was resubmitted after a respawn), ``degraded_requests``
+    (requests answered with a recorded gap because every replica of a
+    shard was down and ``degraded_ok=True``), and ``hosts_ejected`` /
+    ``hosts_readmitted`` (health-pool membership changes).  All stay zero
+    on a healthy deployment -- a non-zero value is direct evidence the
+    corresponding recovery path ran.
     """
 
     requests_served: int = 0
@@ -77,6 +93,12 @@ class ServiceStats:
     largest_batch_requests: int = 0
     largest_batch_shots: int = 0
     cancelled_requests: int = 0
+    failovers: int = 0
+    worker_respawns: int = 0
+    redispatches: int = 0
+    degraded_requests: int = 0
+    hosts_ejected: int = 0
+    hosts_readmitted: int = 0
     transport: str = "inprocess"
     placements: int = 1
     backend: str = ""
@@ -140,6 +162,32 @@ class ReadoutService:
     remote_timeout / connect_timeout:
         Per-request and connection deadlines (seconds) for ``shard_hosts``
         placements.
+    retry:
+        A :class:`~repro.service.retry.RetryPolicy` enabling self-healing:
+        replicated TCP shards fail over under it, and dead local workers
+        are respawned and their in-flight micro-batch re-dispatched within
+        its attempt budget.  ``None`` keeps the pre-resilience behavior for
+        single-address placements (failures surface immediately) while
+        replica lists in ``shard_hosts`` still get a default policy.
+    degraded_ok:
+        Opt in to partial answers: when every replica of a shard stays down
+        past the retry budget, requests resolve with the healthy shards'
+        columns and the gap recorded in ``ReadoutResult.meta["degraded"]``
+        (missing states are ``-1``, missing logits ``NaN``) instead of
+        failing.  Off by default -- unhealthy deployments fail loudly
+        within the policy's bounded deadline.
+    probe_interval_s:
+        Period of the background health prober for remote placements
+        (INFO-frame round trips through a
+        :class:`~repro.service.health.HostPool`).  ``0`` (default) disables
+        the prober; the pool still learns from request-path evidence.
+    eject_after / readmit_after:
+        Consecutive failure/success counts at which the host pool ejects
+        and re-admits a replica.
+    failover_seed:
+        Seed for the backoff jitter of failover/redispatch loops, so fault
+        tests replay an exact schedule.  ``None`` (default) is wall-clock
+        random.
     autostart:
         Start the batcher (and shards) on the first :meth:`submit`.  Pass
         False to queue requests first and :meth:`start` later -- then the
@@ -163,6 +211,12 @@ class ReadoutService:
         start_method: str | None = None,
         remote_timeout: float = 30.0,
         connect_timeout: float = 5.0,
+        retry: RetryPolicy | None = None,
+        degraded_ok: bool = False,
+        probe_interval_s: float = 0.0,
+        eject_after: int = 2,
+        readmit_after: int = 2,
+        failover_seed: int | None = None,
         autostart: bool = True,
     ) -> None:
         if max_batch < 1:
@@ -181,9 +235,32 @@ class ReadoutService:
         self._start_method = start_method
         self._remote_timeout = float(remote_timeout)
         self._connect_timeout = float(connect_timeout)
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._degraded_ok = bool(degraded_ok)
+        self._probe_interval_s = float(probe_interval_s)
+        self._eject_after = int(eject_after)
+        self._readmit_after = int(readmit_after)
+        self._failover_seed = failover_seed
+        self._rng = random.Random(failover_seed)
         self._autostart = bool(autostart)
         self._bundle_dir = None if bundle_dir is None else Path(bundle_dir)
         self.shard_hosts = list(shard_hosts) if shard_hosts else None
+        #: Replica addresses per shard (``shard_hosts`` normalized), and
+        #: whether the deployment opted into the resilient TCP transport:
+        #: explicitly (a retry policy, a probe interval) or implicitly (any
+        #: shard listing more than one replica).
+        self.shard_replicas = (
+            None
+            if self.shard_hosts is None
+            else [replica_addresses(entry) for entry in self.shard_hosts]
+        )
+        self._replicated = self.shard_replicas is not None and (
+            retry is not None
+            or self._probe_interval_s > 0
+            or any(len(replicas) > 1 for replicas in self.shard_replicas)
+        )
+        self._pool = None
+        self._closing = threading.Event()
 
         self._engine: ReadoutEngine | None = None
         self._owns_engine = False
@@ -258,6 +335,7 @@ class ReadoutService:
                     stacklevel=2,
                 )
                 self.shard_hosts = self.shard_hosts[: self.n_shards]
+                self.shard_replicas = self.shard_replicas[: self.n_shards]
         self._mode = mode
         self.shard_groups = shard_groups
         self._shards: list[ShardTransport] = []
@@ -291,12 +369,22 @@ class ReadoutService:
             }
         from repro.service.net import RemoteEngineClient
 
-        with RemoteEngineClient(
-            self.shard_hosts[0],
-            timeout=self._remote_timeout,
-            connect_timeout=self._connect_timeout,
-        ) as client:
-            info = client.info()
+        # Any replica of the first shard can answer the deployment question;
+        # a dead first replica must not block planning when a live one exists.
+        last_error: Exception | None = None
+        for address in self.shard_replicas[0]:
+            try:
+                with RemoteEngineClient(
+                    address,
+                    timeout=self._remote_timeout,
+                    connect_timeout=self._connect_timeout,
+                ) as client:
+                    info = client.info()
+                break
+            except Exception as exc:  # noqa: BLE001 - re-raised when all fail
+                last_error = exc
+        else:
+            raise last_error
         self._backend_kind = str(info.get("backend", ""))
         return {
             "n_qubits": int(info["n_qubits"]),
@@ -355,8 +443,39 @@ class ReadoutService:
 
     @property
     def stats(self) -> ServiceStats:
-        """A snapshot of the serving counters (updated by the batcher thread)."""
-        return self._stats
+        """A snapshot of the serving counters (updated by the batcher thread).
+
+        The resilience counters are folded in live from the shard
+        transports (failovers, respawns) and the host pool (ejections,
+        re-admissions); :meth:`close` freezes their final values into the
+        snapshot.
+        """
+        stats = self._stats
+        failovers = stats.failovers
+        respawns = stats.worker_respawns
+        for shard in self._shards:
+            counters = getattr(shard, "counters", None)
+            if counters:
+                failovers += int(counters.get("failovers", 0))
+            respawns += int(getattr(shard, "respawns", 0))
+        ejected = stats.hosts_ejected
+        readmitted = stats.hosts_readmitted
+        if self._pool is not None:
+            ejected += self._pool.ejections
+            readmitted += self._pool.readmissions
+        return replace(
+            stats,
+            failovers=failovers,
+            worker_respawns=respawns,
+            hosts_ejected=ejected,
+            hosts_readmitted=readmitted,
+        )
+
+    @property
+    def host_pool(self):
+        """The live :class:`~repro.service.health.HostPool` of a replicated
+        TCP deployment (``None`` otherwise, and after :meth:`close`)."""
+        return self._pool
 
     # -------------------------------------------------------------- lifecycle
     def start(self) -> "ReadoutService":
@@ -378,27 +497,62 @@ class ReadoutService:
                     start_method=self._start_method,
                 )
             elif self._mode == "tcp":
-                from repro.service.net import TcpShardTransport
+                from repro.service.net import (
+                    ReplicatedTcpShardTransport,
+                    TcpShardTransport,
+                )
 
+                if self._replicated:
+                    from repro.service.health import HostPool
+
+                    self._pool = HostPool(
+                        probe_interval_s=self._probe_interval_s,
+                        eject_after=self._eject_after,
+                        readmit_after=self._readmit_after,
+                    )
                 shards: list[ShardTransport] = []
                 try:
-                    for index, (host, group) in enumerate(
-                        zip(self.shard_hosts, self.shard_groups)
+                    for index, (replicas, group) in enumerate(
+                        zip(self.shard_replicas, self.shard_groups)
                     ):
-                        shards.append(
-                            TcpShardTransport(
-                                index,
-                                group,
-                                host,
-                                timeout=self._remote_timeout,
-                                connect_timeout=self._connect_timeout,
+                        if self._replicated:
+                            shards.append(
+                                ReplicatedTcpShardTransport(
+                                    index,
+                                    group,
+                                    replicas,
+                                    timeout=self._remote_timeout,
+                                    connect_timeout=self._connect_timeout,
+                                    retry=self._retry,
+                                    pool=self._pool,
+                                    seed=(
+                                        None
+                                        if self._failover_seed is None
+                                        else self._failover_seed + index
+                                    ),
+                                    should_abort=self._closing.is_set,
+                                )
                             )
-                        )
+                        else:
+                            shards.append(
+                                TcpShardTransport(
+                                    index,
+                                    group,
+                                    replicas[0],
+                                    timeout=self._remote_timeout,
+                                    connect_timeout=self._connect_timeout,
+                                )
+                            )
                 except Exception:
                     for shard in shards:
                         shard.close()
+                    if self._pool is not None:
+                        self._pool.close()
+                        self._pool = None
                     raise
                 self._shards = shards
+                if self._pool is not None:
+                    self._pool.start()
             self._batcher = threading.Thread(
                 target=self._batch_loop, name="readout-service-batcher", daemon=True
             )
@@ -418,13 +572,24 @@ class ReadoutService:
                 return
             self._closed = True
             started = self._started
+        # Raise the closing flag *before* joining the batcher: an in-flight
+        # failover/redispatch loop observes it at its next backoff step and
+        # aborts (failing its futures) instead of burning the full retry
+        # budget while close() waits on the join.
+        self._closing.set()
         if started:
             self._queue.put(_SHUTDOWN)
             self._batcher.join()
         self._fail_pending(RuntimeError("ReadoutService was closed"))
+        # Freeze the live resilience counters into the final snapshot
+        # before the transports (and pool) they are scraped from go away.
+        self._stats = self.stats
         for shard in self._shards:
             shard.close()
         self._shards = []
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
         if self._owns_engine and self._engine is not None:
             self._engine.close()
 
@@ -571,12 +736,12 @@ class ReadoutService:
         )
 
     def _serve_group(self, group: list[_Entry]) -> None:
-        stats = self._stats
         if len(group) == 1:
             request = group[0].request
             result = self._dispatch(request)
             group[0].future.set_result(result)
             batch_shots = result.n_shots
+            degraded = 1 if result.meta.get("degraded") else 0
         else:
             batch = np.concatenate([entry.request.payload for entry in group], axis=0)
             batch_request = group[0].request.with_payload(batch)
@@ -602,6 +767,11 @@ class ReadoutService:
                     )
                 )
             batch_shots = int(batch.shape[0])
+            degraded = len(group) if batch_result.meta.get("degraded") else 0
+        # Re-read the stats *after* dispatch: the dispatch itself may have
+        # bumped resilience counters (redispatches) that a pre-dispatch
+        # snapshot would silently roll back.
+        stats = self._stats
         self._stats = replace(
             stats,
             requests_served=stats.requests_served + len(group),
@@ -610,7 +780,7 @@ class ReadoutService:
             + (len(group) if len(group) > 1 else 0),
             largest_batch_requests=max(stats.largest_batch_requests, len(group)),
             largest_batch_shots=max(stats.largest_batch_shots, batch_shots),
-            cancelled_requests=self._stats.cancelled_requests,
+            degraded_requests=stats.degraded_requests + degraded,
         )
 
     # --------------------------------------------------------------- dispatch
@@ -649,25 +819,28 @@ class ReadoutService:
                 plan.append((shard, columns))
         self._next_job_id += 1
         job_id = self._next_job_id
-        submitted: list[ShardTransport] = []
-        try:
-            for shard, columns in plan:
-                sub_request = request.with_payload(
-                    payload[:, columns],
-                    qubits=tuple(selected[column] for column in columns),
-                )
+        submitted: list[tuple[ShardTransport, list[int]]] = []
+        sub_requests: dict[int, ReadoutRequest] = {}
+        # A failed submit (every replica down, /dev/shm exhausted, ...) no
+        # longer aborts the dispatch on the spot: the failure is carried to
+        # the same degrade-or-raise decision the collect failures reach, and
+        # the successfully submitted shards are *always* collected first --
+        # an uncollected response would desynchronize the per-shard FIFO
+        # protocol for the next request.
+        failures: list[tuple[list[int], ShardTransport, Exception]] = []
+        for shard, columns in plan:
+            sub_request = request.with_payload(
+                payload[:, columns],
+                qubits=tuple(selected[column] for column in columns),
+            )
+            sub_requests[id(shard)] = sub_request
+            try:
+                self._revive(shard)
                 shard.submit(job_id, sub_request)
-                submitted.append(shard)
-        except Exception:
-            # A partial submit (e.g. /dev/shm exhausted mid-plan) must not
-            # leave answered-but-uncollected jobs behind: reap them so the
-            # per-shard FIFO protocol stays in sync for the next request.
-            for shard in submitted:
-                try:
-                    shard.collect(job_id)
-                except Exception:  # noqa: BLE001 - already failing the request
-                    pass
-            raise
+            except Exception as exc:  # noqa: BLE001 - degraded or re-raised
+                failures.append((columns, shard, exc))
+                continue
+            submitted.append((shard, columns))
         want_states = request.output in ("states", "both")
         want_logits = request.output in ("logits", "both")
         n_shots = int(payload.shape[0])
@@ -679,25 +852,29 @@ class ReadoutService:
             if want_logits
             else None
         )
-        # Collect from *every* shard in the plan even after a failure: an
-        # uncollected response would desynchronize the FIFO protocol for the
-        # next request served by that shard.
-        error: Exception | None = None
         backend_kind = self._backend_kind
-        for shard, columns in plan:
+        for shard, columns in submitted:
             try:
-                shard_result = shard.collect(job_id)
-            except Exception as exc:  # noqa: BLE001 - re-raised below
-                if error is None:
-                    error = exc
+                shard_result = self._collect_resilient(
+                    shard, job_id, sub_requests[id(shard)]
+                )
+            except Exception as exc:  # noqa: BLE001 - degraded or re-raised
+                failures.append((columns, shard, exc))
                 continue
             if want_states:
                 states[:, columns] = shard_result.states
             if want_logits:
                 logits[:, columns] = shard_result.logits
             backend_kind = shard_result.meta.get("backend", backend_kind)
-        if error is not None:
-            raise error
+        meta = {
+            "backend": backend_kind,
+            "shards": len(plan),
+            "transport": self._mode,
+        }
+        if failures:
+            meta["degraded"] = self._degrade(
+                failures, plan, selected, states, logits
+            )
         return ReadoutResult(
             qubits=tuple(selected),
             output=request.output,
@@ -705,12 +882,88 @@ class ReadoutService:
             logits=logits,
             n_shots=n_shots,
             elapsed_s=time.perf_counter() - start,
-            meta={
-                "backend": backend_kind,
-                "shards": len(plan),
-                "transport": self._mode,
-            },
+            meta=meta,
         )
+
+    # ------------------------------------------------------------- resilience
+    def _revive(self, shard: ShardTransport) -> None:
+        """Respawn a local worker found dead before it is handed new work."""
+        if getattr(shard, "can_respawn", False) and not shard.is_alive():
+            shard.respawn()
+
+    def _collect_resilient(
+        self, shard: ShardTransport, job_id: int, sub_request: ReadoutRequest
+    ) -> ReadoutResult:
+        """Collect one shard's answer, healing a dead local worker in place.
+
+        Replica failover lives inside the TCP transport (it owns the
+        pending frames); worker *respawn* lives here because rebuilding the
+        process needs the sub-request to re-dispatch.  Both are bounded by
+        the same retry policy.
+        """
+        try:
+            return shard.collect(job_id)
+        except WorkerDiedError as exc:
+            if not getattr(shard, "can_respawn", False):
+                raise
+            last = exc
+            for attempt in range(2, self._retry.attempts + 1):
+                if self._closing.is_set():
+                    raise last
+                delay = self._retry.delay(attempt, self._rng)
+                if delay:
+                    time.sleep(delay)
+                try:
+                    shard.respawn()
+                    shard.submit(job_id, sub_request)
+                    self._stats = replace(
+                        self._stats, redispatches=self._stats.redispatches + 1
+                    )
+                    return shard.collect(job_id)
+                except WorkerDiedError as retry_exc:
+                    last = retry_exc
+            raise last
+
+    def _degrade(
+        self,
+        failures: list,
+        plan: list,
+        selected: list[int],
+        states,
+        logits,
+    ) -> dict:
+        """Fill the failed shards' columns or re-raise, per ``degraded_ok``.
+
+        Degradation is reserved for *placement* failures (dead workers,
+        every replica down) with at least one healthy shard and a service
+        that is not closing; anything else -- a deterministic serving error,
+        a fully dark deployment -- surfaces as the failure it is.
+        """
+        from repro.service.net import TransportError
+
+        recoverable = all(
+            isinstance(exc, (TransportError, WorkerDiedError))
+            for _, _, exc in failures
+        )
+        if (
+            not self._degraded_ok
+            or not recoverable
+            or len(failures) >= len(plan)
+            or self._closing.is_set()
+        ):
+            raise failures[0][2]
+        gap_qubits: list[int] = []
+        for columns, _shard, _exc in failures:
+            if states is not None:
+                states[:, columns] = -1
+            if logits is not None:
+                logits[:, columns] = np.nan
+            gap_qubits.extend(selected[column] for column in columns)
+        return {
+            "qubits": sorted(gap_qubits),
+            "shards": [shard.shard_index for _, shard, _ in failures],
+            "errors": [str(exc) for _, _, exc in failures],
+        }
 
     # ----------------------------------------------------------------- misc
     def _fail_pending(self, exc: Exception) -> None:

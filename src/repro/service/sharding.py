@@ -29,11 +29,51 @@ from repro.service.transport import (  # noqa: F401  (back-compat re-exports)
     spawn_local_shards,
 )
 
-__all__ = ["partition_qubits", "ShardHandle", "spawn_shards"]
+__all__ = [
+    "partition_qubits",
+    "replica_addresses",
+    "ShardHandle",
+    "spawn_shards",
+]
 
 #: Back-compat aliases for the pre-transport (PR 4) names.
 ShardHandle = LocalProcessTransport
 spawn_shards = spawn_local_shards
+
+
+def replica_addresses(entry) -> list:
+    """Normalize one ``shard_hosts`` entry to a list of replica addresses.
+
+    Accepted shapes, in increasing order of redundancy:
+
+    - ``"host:port"`` -- one placement, no replicas;
+    - ``(host, port)`` -- same, as a pair (``port`` an ``int``);
+    - ``["host:port", (host, port), ...]`` -- replicas of the *same* shard,
+      tried in order with automatic failover.
+
+    The two-element ambiguity (is ``("a:1", "b:2")`` one pair or two
+    replicas?) is resolved by type: a 2-sequence whose first element is a
+    ``str`` and whose second is an ``int`` is a single ``(host, port)``
+    address; anything else iterable is a replica list.
+    """
+    if isinstance(entry, (str, bytes)):
+        return [entry]
+    try:
+        items = list(entry)
+    except TypeError:
+        raise ValueError(
+            f"shard placement must be 'host:port', (host, port), or a list "
+            f"of replica addresses, got {entry!r}"
+        ) from None
+    if not items:
+        raise ValueError("shard placement needs at least one replica address")
+    if (
+        len(items) == 2
+        and isinstance(items[0], str)
+        and isinstance(items[1], int)
+    ):
+        return [tuple(items)]
+    return items
 
 
 def partition_qubits(

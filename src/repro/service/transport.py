@@ -39,9 +39,20 @@ from repro.engine.request import ReadoutRequest, ReadoutResult
 __all__ = [
     "SHM_THRESHOLD_BYTES",
     "ShardTransport",
+    "WorkerDiedError",
     "LocalProcessTransport",
     "spawn_local_shards",
 ]
+
+
+class WorkerDiedError(RuntimeError):
+    """A shard worker process died before answering submitted work.
+
+    Typed (rather than a bare ``RuntimeError``) so the service supervisor
+    can tell "the placement is gone -- respawn and re-dispatch" from a
+    serving error the worker *answered* with, which must surface to the
+    caller untouched.
+    """
 
 #: Frames at or above this size cross the process boundary through a
 #: shared-memory segment (one memcpy, mapped zero-copy by the worker)
@@ -221,6 +232,7 @@ class LocalProcessTransport:
         process: multiprocessing.Process,
         requests,
         responses,
+        spawn_args: dict | None = None,
     ) -> None:
         self.shard_index = shard_index
         self.qubits = list(qubits)
@@ -228,6 +240,11 @@ class LocalProcessTransport:
         self.process = process
         self.requests = requests
         self.responses = responses
+        #: What :func:`spawn_local_shards` used to start the worker; kept so
+        #: a supervisor can :meth:`respawn` a dead worker from the same
+        #: bundle.  ``None`` disables respawning (hand-built transports).
+        self._spawn_args = spawn_args
+        self.respawns = 0
         self._inflight: dict[int, shared_memory.SharedMemory] = {}
         self._closed = False
 
@@ -273,7 +290,7 @@ class LocalProcessTransport:
                     break
                 except queue_module.Empty:
                     if not self.process.is_alive():
-                        raise RuntimeError(
+                        raise WorkerDiedError(
                             f"Shard {self.shard_index} worker died (exit code "
                             f"{self.process.exitcode}) before answering job "
                             f"{job_id}; check that every worker can load the "
@@ -291,6 +308,53 @@ class LocalProcessTransport:
     def is_alive(self) -> bool:
         """Whether the worker process can still answer submitted work."""
         return not self._closed and self.process.is_alive()
+
+    @property
+    def can_respawn(self) -> bool:
+        """Whether :meth:`respawn` can rebuild this placement from its bundle."""
+        return self._spawn_args is not None and not self._closed
+
+    def respawn(self) -> None:
+        """Replace a dead worker with a fresh one loading the same bundle.
+
+        The supervisor's lever: the old process is reaped (terminated if it
+        is somehow still alive), fresh queues are created -- in-flight jobs
+        on the old queue pair are abandoned, their shared-memory segments
+        released -- and a new worker starts from the recorded spawn args.
+        The transport keeps its identity (shard index, qubit group), so the
+        front-end re-dispatches onto it transparently.
+        """
+        if self._closed:
+            raise RuntimeError(
+                f"Shard {self.shard_index} transport is closed; respawn() "
+                f"after close() is a protocol violation"
+            )
+        if self._spawn_args is None:
+            raise RuntimeError(
+                f"Shard {self.shard_index} transport was not built by "
+                f"spawn_local_shards and cannot respawn"
+            )
+        if self.process.is_alive():  # pragma: no cover - defensive reap
+            self.process.terminate()
+        self.process.join(5.0)
+        for job_id in list(self._inflight):
+            self._release(job_id)
+        context = multiprocessing.get_context(self._spawn_args["start_method"])
+        self.requests = context.Queue()
+        self.responses = context.Queue()
+        self.process = context.Process(
+            target=_shard_worker_main,
+            args=(
+                self._spawn_args["bundle_dir"],
+                self.requests,
+                self.responses,
+                self._spawn_args["worker_parallel"],
+            ),
+            name=f"readout-shard-{self.shard_index}",
+            daemon=True,
+        )
+        self.process.start()
+        self.respawns += 1
 
     def _release(self, job_id: int) -> None:
         segment = self._inflight.pop(job_id, None)
@@ -348,6 +412,11 @@ def spawn_local_shards(
                 process=process,
                 requests=requests,
                 responses=responses,
+                spawn_args={
+                    "bundle_dir": str(bundle_dir),
+                    "worker_parallel": worker_parallel,
+                    "start_method": start_method,
+                },
             )
         )
     return transports

@@ -1,0 +1,186 @@
+"""Tests for the resilience primitives: RetryPolicy, HostPool, replica parsing.
+
+These are the pure pieces under the self-healing serving stack -- no
+sockets, no processes -- so their contracts (bounded deadlines, seeded
+jitter, eject/readmit vote counts, placement-entry shapes) pin exactly.
+The integration of these pieces under injected faults lives in
+``test_faults.py``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.service import HostPool, RetryPolicy, replica_addresses
+
+
+class TestRetryPolicy:
+    def test_defaults_are_valid_and_frozen(self):
+        policy = RetryPolicy()
+        assert policy.attempts == 3
+        with pytest.raises(AttributeError):
+            policy.attempts = 5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"attempts": 0},
+            {"try_timeout_s": 0.0},
+            {"try_timeout_s": -1.0},
+            {"backoff_base_s": -0.1},
+            {"backoff_factor": 0.5},
+            {"jitter_s": -0.1},
+            {"max_backoff_s": -1.0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_delay_schedule_is_exponential_and_capped(self):
+        policy = RetryPolicy(
+            attempts=6,
+            backoff_base_s=0.1,
+            backoff_factor=2.0,
+            jitter_s=0.0,
+            max_backoff_s=0.3,
+        )
+        delays = [policy.delay(attempt) for attempt in range(1, 7)]
+        assert delays == [0.0, 0.1, 0.2, 0.3, 0.3, 0.3]  # capped at max
+
+    def test_first_attempt_never_waits(self):
+        assert RetryPolicy(jitter_s=1.0).delay(1) == 0.0
+
+    def test_jitter_is_seedable_and_bounded(self):
+        policy = RetryPolicy(backoff_base_s=0.1, jitter_s=0.05)
+        first = [policy.delay(2, random.Random(7)) for _ in range(5)]
+        second = [policy.delay(2, random.Random(7)) for _ in range(5)]
+        assert first == second  # same seed, same schedule
+        for delay in first:
+            assert 0.1 <= delay <= 0.15
+
+    def test_deadline_bounds_the_whole_loop(self):
+        policy = RetryPolicy(
+            attempts=3, backoff_base_s=0.1, jitter_s=0.05, max_backoff_s=10.0
+        )
+        # 3 tries x 2s + backoffs (0.1 + 0.2) + jitter caps (2 x 0.05)
+        assert policy.deadline_s(2.0) == pytest.approx(6.4)
+
+    def test_explicit_try_timeout_overrides_transport_timeout(self):
+        policy = RetryPolicy(
+            attempts=2, try_timeout_s=0.5, backoff_base_s=0.0, jitter_s=0.0
+        )
+        assert policy.deadline_s(30.0) == pytest.approx(1.0)
+
+
+class TestHostPool:
+    def test_hosts_start_healthy_and_unknown_hosts_are_healthy(self):
+        pool = HostPool(["a:1", "b:2"], probe_interval_s=0)
+        assert pool.is_healthy("a:1")
+        assert pool.is_healthy("never-seen:9")
+
+    def test_ejects_after_consecutive_failures_only(self):
+        pool = HostPool(["a:1"], probe_interval_s=0, eject_after=2)
+        pool.record_failure("a:1", error="boom")
+        assert pool.is_healthy("a:1")  # one strike is not an ejection
+        pool.record_success("a:1")
+        pool.record_failure("a:1")
+        assert pool.is_healthy("a:1")  # the success reset the streak
+        pool.record_failure("a:1")
+        assert not pool.is_healthy("a:1")
+        assert pool.ejections == 1
+        assert pool.state()["hosts"]["a:1"]["last_error"] == "boom"
+
+    def test_readmits_after_consecutive_successes(self):
+        pool = HostPool(
+            ["a:1"], probe_interval_s=0, eject_after=1, readmit_after=2
+        )
+        pool.record_failure("a:1")
+        assert not pool.is_healthy("a:1")
+        pool.record_success("a:1")
+        assert not pool.is_healthy("a:1")  # one success is not re-admission
+        pool.record_success("a:1")
+        assert pool.is_healthy("a:1")
+        assert pool.readmissions == 1
+
+    def test_order_by_health_puts_ejected_hosts_last_not_nowhere(self):
+        pool = HostPool(["a:1", "b:2", "c:3"], probe_interval_s=0, eject_after=1)
+        pool.record_failure("b:2")
+        assert pool.order_by_health(["a:1", "b:2", "c:3"]) == [
+            "a:1",
+            "c:3",
+            "b:2",  # deprioritized, still dialable as a last resort
+        ]
+        pool.record_failure("a:1")
+        pool.record_failure("c:3")
+        # Everyone ejected: original order, nobody unreachable.
+        assert pool.order_by_health(["a:1", "b:2", "c:3"]) == ["a:1", "b:2", "c:3"]
+
+    def test_scripted_probe_drives_the_same_state_machine(self):
+        down = {"a:1"}
+        pool = HostPool(
+            ["a:1", "b:2"],
+            probe_interval_s=0,
+            eject_after=2,
+            probe=lambda address: address not in down,
+        )
+        pool.probe_once()
+        pool.probe_once()
+        assert not pool.is_healthy("a:1")
+        assert pool.is_healthy("b:2")
+        state = pool.state()
+        assert state["probes"] == 4  # two sweeps over two hosts
+        down.clear()
+        pool.probe_once()
+        pool.probe_once()
+        assert pool.is_healthy("a:1")
+        assert pool.readmissions == 1
+
+    def test_background_prober_ejects_unresponsive_host(self):
+        pool = HostPool(
+            ["dead:1"],
+            probe_interval_s=0.02,
+            eject_after=2,
+            probe=lambda address: False,
+        )
+        with pool:
+            deadline = time.monotonic() + 5.0
+            while pool.is_healthy("dead:1") and time.monotonic() < deadline:
+                time.sleep(0.02)
+        assert not pool.is_healthy("dead:1")
+        assert pool.state()["probes"] >= 2
+        pool.close()  # idempotent
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            HostPool(eject_after=0)
+        with pytest.raises(ValueError):
+            HostPool(readmit_after=0)
+        with pytest.raises(ValueError):
+            HostPool(probe_interval_s=-1.0)
+
+
+class TestReplicaAddresses:
+    def test_single_string_is_one_placement(self):
+        assert replica_addresses("10.0.0.5:7777") == ["10.0.0.5:7777"]
+
+    def test_host_port_pair_is_one_placement(self):
+        assert replica_addresses(("10.0.0.5", 7777)) == [("10.0.0.5", 7777)]
+
+    def test_list_is_replicas_in_failover_order(self):
+        entry = ["10.0.0.5:7777", ("10.0.0.6", 7777)]
+        assert replica_addresses(entry) == entry
+
+    def test_two_strings_are_two_replicas_not_a_pair(self):
+        # The 2-sequence ambiguity resolves by type: (str, int) is a pair,
+        # anything else iterable is a replica list.
+        assert replica_addresses(("a:1", "b:2")) == ["a:1", "b:2"]
+
+    def test_rejects_empty_and_unparseable_entries(self):
+        with pytest.raises(ValueError, match="at least one"):
+            replica_addresses([])
+        with pytest.raises(ValueError, match="shard placement"):
+            replica_addresses(7777)

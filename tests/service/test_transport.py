@@ -138,3 +138,65 @@ class TestCloseAndLiveness:
                 transport.collect(1)
         finally:
             transport.close()
+
+    def test_worker_death_is_the_typed_subclass(self, tmp_path, service_carriers):
+        """WorkerDiedError subclasses RuntimeError: the supervisor catches
+        the type while ``match='worker died'`` callers keep passing."""
+        from repro.service.transport import WorkerDiedError
+
+        (transport,) = spawn_local_shards(tmp_path / "not-a-bundle", [[0, 1, 2]])
+        try:
+            transport.submit(1, ReadoutRequest(raw=service_carriers[:2]))
+            with pytest.raises(WorkerDiedError):
+                transport.collect(1)
+        finally:
+            transport.close()
+
+
+class TestRespawn:
+    def test_respawn_revives_a_killed_worker_bit_identically(
+        self, service_bundle, service_engine, service_carriers
+    ):
+        (transport,) = spawn_local_shards(service_bundle, [[0, 1, 2]])
+        try:
+            assert transport.can_respawn
+            request = ReadoutRequest(raw=service_carriers)
+            transport.submit(1, request)
+            first = transport.collect(1)
+            transport.process.kill()
+            transport.process.join(10.0)
+            assert not transport.is_alive()
+            transport.respawn()
+            assert transport.is_alive()
+            assert transport.respawns == 1
+            transport.submit(2, request)
+            second = transport.collect(2)
+        finally:
+            transport.close()
+        direct = service_engine.serve(request)
+        np.testing.assert_array_equal(first.states, direct.states)
+        np.testing.assert_array_equal(second.states, direct.states)
+
+    def test_respawn_clears_inflight_jobs_for_a_clean_fifo(
+        self, service_bundle, service_carriers
+    ):
+        """A job in flight at the moment of death is abandoned by respawn()
+        (its caller re-dispatches); the fresh worker starts with an empty
+        FIFO instead of inheriting half-answered state."""
+        (transport,) = spawn_local_shards(service_bundle, [[0, 1, 2]])
+        try:
+            transport.process.kill()
+            transport.process.join(10.0)
+            transport.submit(5, ReadoutRequest(raw=service_carriers[:2]))
+            transport.respawn()
+            assert not transport._inflight
+            transport.submit(6, ReadoutRequest(raw=service_carriers[:2]))
+            assert transport.collect(6).n_shots == 2
+        finally:
+            transport.close()
+
+    def test_respawn_after_close_is_refused(self, service_bundle):
+        (transport,) = spawn_local_shards(service_bundle, [[0, 1, 2]])
+        transport.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            transport.respawn()

@@ -25,7 +25,12 @@ Measures shots/second through
 * the **resilience layer** -- one qubit shard on two replica servers,
   serving the same stream in steady state and through a seeded kill/recover
   cycle (``resilient_steady`` / ``resilient_killover`` plus p95 round-trip
-  latencies in the derived section), bit-identity asserted both times, and
+  latencies in the derived section), bit-identity asserted both times,
+* the **telemetry subsystem** -- the instrumented service vs. a
+  ``telemetry=False`` twin on the same stream (``telemetry_on_vs_off``,
+  asserted <= 5% overhead) and an overload flood against an SLO-bounded
+  service vs. an unbounded one (``shed_under_overload``: shed count and
+  accepted-request p99 queue wait in the derived section), and
 * the **trace synthesizer** -- the batched ``generate_shots`` path the
   dataset builder uses versus a replica of the seed's per-shot Python loop,
   plus the end-to-end dataset builder itself.
@@ -911,6 +916,150 @@ def bench_resilient_serving(
     )
 
 
+def bench_telemetry(report: ThroughputReport, n_shots: int, repeats: int, seed: int) -> None:
+    """Telemetry overhead A/B plus SLO admission under a synthetic overload.
+
+    ``telemetry_overhead``: the same micro-batched request stream through two
+    otherwise-identical in-process services, one with the stage histograms /
+    trace ids on (the default) and one with ``telemetry=False``.  Interleaved
+    timing (:func:`measure_paired`) so machine-load drift cannot fake an
+    overhead; the recorded ``telemetry_on_vs_off`` ratio must stay >= 0.95x
+    -- the subsystem promises <= 5% throughput cost, and this assertion is
+    how the promise stays honest.
+
+    ``shed_under_overload``: flood a ``max_batch=1`` service far faster than
+    it can drain.  The SLO-bounded twin (``slo_budget_ms`` + a seeded cost
+    estimate) sheds the hopeless tail at the submit edge with
+    ``AdmissionError``; the unbounded twin accepts everything and lets the
+    queue wait grow with the backlog.  Derived numbers: accepted-request p99
+    queue wait on both sides plus the shed count -- the point of admission
+    control in two lines of JSON.
+    """
+    from repro.service import AdmissionError, ReadoutService
+
+    n_samples = 500
+    n_qubits = len(ENGINE_ASSIGNMENT)
+    n_requests = 96
+    request_shots = 8
+    engine = build_bench_engine(n_samples, seed)
+    rng = np.random.default_rng(seed + 6)
+    carriers = digitize_traces(
+        rng.uniform(
+            -3.0, 3.0, size=(n_requests * request_shots, n_qubits, n_samples, 2)
+        )
+    )
+    requests = [
+        ReadoutRequest(
+            raw=carriers[start : start + request_shots], output="states"
+        )
+        for start in range(0, carriers.shape[0], request_shots)
+    ]
+    items = n_requests * request_shots * n_qubits
+
+    def service_gather(service: ReadoutService) -> np.ndarray:
+        futures = [service.submit(request) for request in requests]
+        return np.concatenate([future.result().states for future in futures])
+
+    # --- telemetry on vs off: same stream, same coalescing ---------------
+    with ReadoutService(
+        engine=engine, max_batch=64, max_wait_ms=10.0, telemetry=False
+    ) as plain, ReadoutService(
+        engine=engine, max_batch=64, max_wait_ms=10.0
+    ) as telemetered:
+        if not np.array_equal(service_gather(telemetered), service_gather(plain)):
+            raise AssertionError(
+                "telemetry changed the served bits: the instrumented service "
+                "diverged from the telemetry=False twin"
+            )
+        measured = measure_paired(
+            {
+                "telemetry_off": (lambda: service_gather(plain), items),
+                "telemetry_on": (lambda: service_gather(telemetered), items),
+            },
+            repeats=repeats,
+        )
+        snapshot = telemetered.metrics()
+    for measurement in measured.values():
+        report.add(measurement)
+    ratio = report.record_speedup(
+        "telemetry_on_vs_off", "telemetry_on", "telemetry_off"
+    )
+    for stage in ("queue", "batch", "compute"):
+        if snapshot["stages"][stage]["count"] < 1:
+            raise AssertionError(
+                f"the instrumented service recorded no {stage!r} latency"
+            )
+    print(
+        f"  telemetry on vs off: {ratio:.2f}x throughput "
+        f"(compute p95 {snapshot['stages']['compute']['p95_ms']:.2f} ms over "
+        f"{snapshot['stages']['compute']['count']} observations)"
+    )
+    if ratio < 0.95:
+        raise AssertionError(
+            f"telemetry costs more than the promised 5%: "
+            f"{ratio:.3f}x of the uninstrumented throughput"
+        )
+
+    # --- shed_under_overload: SLO-bounded vs unbounded admission ---------
+    flood = [
+        ReadoutRequest(raw=carriers[:request_shots], output="states")
+        for _ in range(192)
+    ]
+
+    def flooded_p99(service: ReadoutService) -> tuple[int, float]:
+        futures = []
+        shed = 0
+        for request in flood:
+            try:
+                futures.append(service.submit(request))
+            except AdmissionError:
+                shed += 1
+        for future in futures:
+            future.result(timeout=300)
+        queue = service.metrics()["stages"]["queue"]
+        return shed, float(queue["p99_ms"])
+
+    # max_batch=1 + a deliberately slow drain shape: every request pays a
+    # full dispatch, so the backlog (and the unbounded twin's queue wait)
+    # grows linearly while the flood loop runs.
+    with ReadoutService(
+        engine=engine,
+        max_batch=1,
+        max_wait_ms=0.0,
+        slo_budget_ms=25.0,
+        slo_initial_cost_ms=2.0,
+    ) as bounded:
+        shed_count, bounded_p99 = flooded_p99(bounded)
+        shed_stats = bounded.stats
+    with ReadoutService(engine=engine, max_batch=1, max_wait_ms=0.0) as unbounded:
+        accepted_all, unbounded_p99 = flooded_p99(unbounded)
+    if accepted_all != 0:
+        raise AssertionError("the unbounded twin shed requests without a budget")
+    if shed_count < 1:
+        raise AssertionError(
+            "the SLO-bounded service shed nothing under a 192-request flood"
+        )
+    if shed_stats.shed_requests != shed_count:
+        raise AssertionError(
+            f"ServiceStats.shed_requests={shed_stats.shed_requests} disagrees "
+            f"with the {shed_count} AdmissionErrors raised"
+        )
+    if bounded_p99 > unbounded_p99:
+        raise AssertionError(
+            f"shedding did not bound the accepted queue wait: p99 "
+            f"{bounded_p99:.1f} ms bounded vs {unbounded_p99:.1f} ms unbounded"
+        )
+    report.derived["shed_requests_bounded"] = float(shed_count)
+    report.derived["shed_p99_bounded_ms"] = bounded_p99
+    report.derived["shed_p99_unbounded_ms"] = unbounded_p99
+    print(
+        f"  overload flood ({len(flood)} requests, 25 ms budget): "
+        f"{shed_count} shed, accepted p99 queue wait {bounded_p99:.1f} ms "
+        f"vs {unbounded_p99:.1f} ms unbounded"
+    )
+    engine.close()
+
+
 def bench_synthesis(report: ThroughputReport, n_shots: int, repeats: int, seed: int) -> None:
     """Trace synthesis: the batched generator vs. the seed per-shot loop."""
     physics = _bench_device()
@@ -1015,6 +1164,8 @@ def main(argv: list[str] | None = None) -> int:
     bench_remote_serving(report, n_shots, repeats, args.seed)
     print("Resilient serving (replicated TCP shard, seeded kill/recover cycle):")
     bench_resilient_serving(report, n_shots, repeats, args.seed)
+    print("Telemetry overhead + SLO admission under overload:")
+    bench_telemetry(report, n_shots, repeats, args.seed)
     print(f"Trace synthesis ({n_shots} shots, 2-qubit device):")
     bench_synthesis(report, n_shots, repeats, args.seed)
 

@@ -18,9 +18,15 @@ Then the resilience story on the same stack: place each qubit shard on
 request still completes bit-identical while ``ServiceStats`` records the
 failover.
 
+The failover demo ends with the observability story: the service's folded
+telemetry snapshot and a **remote** METRICS-frame snapshot fetched from a
+surviving replica (what ``python -m repro.service.telemetry HOST:PORT``
+prints against a production host).
+
 CI runs this as its loopback network-serving smoke (exit code 5 when basic
-network serving breaks, 6 when only the failover demo breaks -- both
-downgraded to warnings like the other non-blocking gates).  Run it with::
+network serving breaks, 6 when only the failover demo breaks, 7 when only
+the metrics tail breaks -- all downgraded to warnings like the other
+non-blocking gates).  Run it with::
 
     PYTHONPATH=src python examples/network_serving.py
 """
@@ -50,6 +56,13 @@ SMOKE_FAILURE_EXIT_CODE = 5
 #: Distinct exit code for the failover demo ("self-healing broke"): basic
 #: network serving may still be fine when only the resilience layer fails.
 FAILOVER_FAILURE_EXIT_CODE = 6
+#: Distinct exit code for the telemetry tail ("observability broke"):
+#: serving and failover may both be fine when only the METRICS surface fails.
+METRICS_FAILURE_EXIT_CODE = 7
+
+
+class MetricsSmokeFailure(Exception):
+    """The metrics tail of the failover demo failed (CI exit code 7)."""
 
 
 def synthetic_parameters(seed: int, n_samples: int = 120) -> QuantizedStudentParameters:
@@ -187,6 +200,7 @@ def run_failover() -> None:
                 futures += [service.submit(request) for _ in range(3)]
                 results = [future.result(timeout=120) for future in futures]
                 stats = service.stats
+                service_metrics = service.metrics(include_remotes=False)
             for result in results:
                 assert np.array_equal(result.states, direct.states), \
                     "states diverged after failover"
@@ -196,6 +210,28 @@ def run_failover() -> None:
             assert stats.failovers >= 1, "no failover was recorded"
             print(f"All {stats.requests_served} requests bit-identical through "
                   f"{stats.failovers} failover(s). Self-healing OK.")
+
+            # --- Telemetry tail: observability of the run just made --------
+            try:
+                from repro.service.telemetry import format_metrics
+
+                print()
+                print(format_metrics(service_metrics, title="service telemetry"))
+                survivor = "%s:%d" % replicas[0][1].address
+                with RemoteEngineClient(survivor, timeout=30.0) as client:
+                    remote_metrics = client.metrics()
+                print()
+                print(format_metrics(
+                    remote_metrics, title=f"surviving replica {survivor}"
+                ))
+                assert remote_metrics["requests_served"] >= 1, \
+                    "survivor served nothing"
+                assert service_metrics["stages"]["wire"]["count"] >= 1, \
+                    "no wire latency was recorded"
+                print("\nRemote metrics snapshot fetched over METRICS frames. "
+                      "Observability OK.")
+            except Exception as exc:  # noqa: BLE001 - mapped to exit code 7
+                raise MetricsSmokeFailure(str(exc)) from exc
         finally:
             for handle in flat:
                 handle.close()
@@ -212,6 +248,9 @@ def main() -> int:
         return SMOKE_FAILURE_EXIT_CODE
     try:
         run_failover()
+    except MetricsSmokeFailure:  # distinct code: only observability broke
+        traceback.print_exc()
+        return METRICS_FAILURE_EXIT_CODE
     except Exception:  # noqa: BLE001 - distinct code: only resilience broke
         traceback.print_exc()
         return FAILOVER_FAILURE_EXIT_CODE

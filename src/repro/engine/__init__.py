@@ -52,7 +52,12 @@ from repro.engine.backends import (
     make_backend,
     states_from_logits,
 )
-from repro.engine.request import OUTPUT_KINDS, ReadoutRequest, ReadoutResult
+from repro.engine.request import (
+    OUTPUT_KINDS,
+    PRIORITY_CLASSES,
+    ReadoutRequest,
+    ReadoutResult,
+)
 from repro.engine.engine import ReadoutEngine, serve_traces
 from repro.engine.bundle import (
     BUNDLE_FORMAT_VERSION,
@@ -71,6 +76,7 @@ __all__ = [
     "make_backend",
     "states_from_logits",
     "OUTPUT_KINDS",
+    "PRIORITY_CLASSES",
     "ReadoutRequest",
     "ReadoutResult",
     "ReadoutEngine",

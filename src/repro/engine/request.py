@@ -39,6 +39,7 @@ from repro.fpga.fixed_point import FixedPointFormat
 
 __all__ = [
     "OUTPUT_KINDS",
+    "PRIORITY_CLASSES",
     "ReadoutRequest",
     "ReadoutResult",
     "multiplexed_shape_error",
@@ -49,6 +50,12 @@ __all__ = [
 
 #: Valid ``ReadoutRequest.output`` selectors.
 OUTPUT_KINDS = ("states", "logits", "both")
+
+#: Valid ``ReadoutRequest.priority`` classes, highest first.  ``"feedback"``
+#: is mid-circuit feedback traffic -- it preempts ``"bulk"`` (re-analysis,
+#: offline sweeps) in the service's micro-batch queue ordering.  Priority
+#: never changes *what* is computed, only *when* a queued request dispatches.
+PRIORITY_CLASSES = ("feedback", "bulk")
 
 
 # --------------------------------------------------------------------------
@@ -129,6 +136,12 @@ class ReadoutRequest:
     fmt:
         Raw carriers only: the fixed-point format the carriers were
         digitized in (validated against each backend's format).
+    priority:
+        Scheduling class (:data:`PRIORITY_CLASSES`): ``"feedback"``
+        requests preempt ``"bulk"`` ones in the service's micro-batch
+        queue.  Ignored by direct ``engine.serve()`` (there is no queue)
+        and by every dispatch once the request leaves the queue -- the
+        served arrays are identical either way.
 
     The dataclass is frozen -- a request is a value that can be hashed by
     identity, shipped across threads and processes, and re-dispatched --
@@ -142,6 +155,7 @@ class ReadoutRequest:
     output: str = "states"
     dequantize: bool = False
     fmt: FixedPointFormat | None = None
+    priority: str = "bulk"
 
     def __post_init__(self) -> None:
         if (self.traces is None) == (self.raw is None):
@@ -152,6 +166,11 @@ class ReadoutRequest:
         if self.output not in OUTPUT_KINDS:
             raise ValueError(
                 f"output must be one of {OUTPUT_KINDS}, got {self.output!r}"
+            )
+        if self.priority not in PRIORITY_CLASSES:
+            raise ValueError(
+                f"priority must be one of {PRIORITY_CLASSES}, "
+                f"got {self.priority!r}"
             )
         if self.traces is not None:
             object.__setattr__(self, "traces", np.asarray(self.traces))
@@ -198,6 +217,7 @@ class ReadoutRequest:
             output=self.output,
             dequantize=self.dequantize,
             fmt=self.fmt,
+            priority=self.priority,
         )
         if self.is_raw:
             return ReadoutRequest(raw=payload, **kwargs)

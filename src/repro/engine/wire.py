@@ -48,6 +48,8 @@ __all__ = [
     "ERROR",
     "INFO_REQUEST",
     "INFO",
+    "METRICS_REQUEST",
+    "METRICS",
     "MAX_FRAME_BYTES",
     "RemoteServingError",
     "WireFormatError",
@@ -62,6 +64,9 @@ __all__ = [
     "encode_info_request",
     "encode_info",
     "decode_info",
+    "encode_metrics_request",
+    "encode_metrics",
+    "decode_metrics",
     "frame_kind",
     "decode_reply",
     "read_frame",
@@ -73,8 +78,11 @@ MAGIC = b"KQRW"
 #: Bump on any incompatible frame-layout or header-schema change.
 WIRE_VERSION = 1
 
-#: Frame kinds.
+#: Frame kinds.  METRICS_REQUEST/METRICS are additive (a peer that predates
+#: them answers with a WireFormatError frame it can express, never garbage),
+#: so -- like the INFO pair before them -- they need no version bump.
 REQUEST, RESULT, ERROR, INFO_REQUEST, INFO = 1, 2, 3, 4, 5
+METRICS_REQUEST, METRICS = 6, 7
 
 _PREFIX = struct.Struct(">4sBBIQ")
 
@@ -278,6 +286,7 @@ def encode_request_chunks(
         "output": request.output,
         "dequantize": request.dequantize,
         "fmt": _encode_fmt(request.fmt),
+        "priority": request.priority,
     }
     if wire_meta:
         header["meta"] = dict(wire_meta)
@@ -303,6 +312,9 @@ def decode_request(frame) -> ReadoutRequest:
         output=header["output"],
         dequantize=bool(header["dequantize"]),
         fmt=_decode_fmt(header["fmt"]),
+        # Frames encoded before priority classes existed lack the key; they
+        # are bulk traffic by definition.
+        priority=header.get("priority", "bulk"),
     )
     if header["carrier"] == "raw":
         return ReadoutRequest(raw=array, **kwargs)
@@ -429,6 +441,30 @@ def decode_info(frame) -> dict:
     """The deployment-description dict carried by an INFO frame."""
     _, header, _ = _split(frame, expected_kind=INFO)
     return dict(header["info"])
+
+
+# --------------------------------------------------------------------------
+# Metrics frames (live telemetry snapshots; additive like the INFO pair)
+# --------------------------------------------------------------------------
+
+
+def encode_metrics_request() -> bytes:
+    """A header-only frame asking a server for its live metrics snapshot."""
+    return _assemble(METRICS_REQUEST, {})
+
+
+def encode_metrics(metrics: dict) -> bytes:
+    """Encode a metrics snapshot (JSON-serializable values only)."""
+    return _assemble(METRICS, {"metrics": metrics})
+
+
+def decode_metrics(frame) -> dict:
+    """The metrics snapshot carried by a METRICS frame (ERROR frames re-raise)."""
+    kind = frame_kind(frame)
+    if kind == ERROR:
+        raise decode_error(frame)
+    _, header, _ = _split(frame, expected_kind=METRICS)
+    return dict(header["metrics"])
 
 
 # --------------------------------------------------------------------------

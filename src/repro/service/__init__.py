@@ -31,14 +31,26 @@ See :mod:`repro.service.service` for the batching/dispatch mechanics,
 local worker-process implementation, :mod:`repro.service.net` for the TCP
 server/client tier (including replica failover), :mod:`repro.service.retry`
 / :mod:`repro.service.health` for the retry policy and health-checked host
-pool, and :mod:`repro.service.faults` for the fault-injection harness that
-keeps the self-healing paths honest.
+pool, :mod:`repro.service.faults` for the fault-injection harness that
+keeps the self-healing paths honest, and :mod:`repro.service.telemetry`
+for the traffic-tier observability layer -- per-request trace ids,
+per-stage latency histograms (``service.metrics()``, the METRICS wire
+frame, ``python -m repro.service.telemetry host:port``), and SLO-bounded
+admission control (``slo_budget_ms=...``).
 """
 
 from repro.service.service import ReadoutService, ServiceStats
 from repro.service.sharding import partition_qubits, replica_addresses
 from repro.service.retry import RetryPolicy
 from repro.service.health import HostHealth, HostPool
+from repro.service.telemetry import (
+    STAGES,
+    AdmissionController,
+    AdmissionError,
+    LatencyHistogram,
+    TelemetryRecorder,
+    new_trace_id,
+)
 from repro.service.transport import (
     LocalProcessTransport,
     ShardTransport,
@@ -71,6 +83,12 @@ __all__ = [
     "RetryPolicy",
     "HostHealth",
     "HostPool",
+    "STAGES",
+    "AdmissionController",
+    "AdmissionError",
+    "LatencyHistogram",
+    "TelemetryRecorder",
+    "new_trace_id",
     "ShardTransport",
     "LocalProcessTransport",
     "WorkerDiedError",

@@ -183,9 +183,9 @@ class ChaosTransport:
     def name(self) -> str:
         return self.inner.name
 
-    def submit(self, job_id, request) -> None:
+    def submit(self, job_id, request, wire_meta=None) -> None:
         self._inflict("submit")
-        self.inner.submit(job_id, request)
+        self.inner.submit(job_id, request, wire_meta)
 
     def collect(self, job_id):
         self._inflict("collect")

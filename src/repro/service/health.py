@@ -22,7 +22,10 @@ into :class:`~repro.service.ServiceStats`.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
+
+from repro.service.telemetry import LatencyHistogram
 
 __all__ = ["HostHealth", "HostPool", "default_probe"]
 
@@ -124,6 +127,9 @@ class HostPool:
         self._lock = threading.Lock()
         self._hosts: dict[str, HostHealth] = {}
         self._counters = _PoolCounters()
+        #: Probe round-trip latency across all hosts -- the cheapest live
+        #: estimate of wire health a deployment has, folded into metrics().
+        self.probe_latency = LatencyHistogram()
         self._stop = threading.Event()
         self._prober: threading.Thread | None = None
         for host in hosts or ():
@@ -172,7 +178,9 @@ class HostPool:
         for address in self.addresses():
             if self._stop.is_set():
                 return
+            started = time.perf_counter()
             ok = bool(self._probe(address))
+            self.probe_latency.record(time.perf_counter() - started)
             with self._lock:
                 self._counters.probes += 1
             if ok:
@@ -250,6 +258,7 @@ class HostPool:
                 "readmissions": self._counters.readmissions,
                 "recorded_failures": self._counters.recorded_failures,
                 "recorded_successes": self._counters.recorded_successes,
+                "probe_latency": self.probe_latency.summary(),
             }
 
     @property

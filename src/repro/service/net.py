@@ -44,6 +44,7 @@ from repro.engine.bundle import load_manifest
 from repro.engine.engine import ReadoutEngine
 from repro.engine.request import ReadoutRequest, ReadoutResult
 from repro.service.retry import RetryPolicy
+from repro.service.telemetry import TelemetryRecorder, new_trace_id
 
 __all__ = [
     "TransportError",
@@ -136,6 +137,12 @@ class ReadoutServer:
         request whose first attempt *was* answered (the reply died with the
         connection) replays the cached frame instead of being served twice
         -- the server half of idempotent failover.  ``0`` disables caching.
+    telemetry:
+        Record per-request engine-compute and request-handling latency
+        histograms, served live through the METRICS wire frame
+        (:meth:`metrics`, ``python -m repro.service.telemetry HOST:PORT``).
+        On by default; ``False`` answers METRICS requests with empty
+        histograms.
     """
 
     def __init__(
@@ -149,6 +156,7 @@ class ReadoutServer:
         backlog: int = 16,
         drain_timeout: float = 10.0,
         reply_cache_size: int = 256,
+        telemetry: bool = True,
     ) -> None:
         self.bundle_dir = Path(bundle_dir)
         self._requested = (host, int(port))
@@ -175,6 +183,11 @@ class ReadoutServer:
             collections.OrderedDict()
         )
         self._cache_lock = threading.Lock()
+        #: ``compute`` is the engine's own serve time; ``handle`` is the
+        #: whole decode-serve-encode round inside the connection thread.
+        self._telemetry = TelemetryRecorder(
+            enabled=bool(telemetry), stages=("compute", "handle")
+        )
 
     # ---------------------------------------------------------------- state
     @property
@@ -193,6 +206,24 @@ class ReadoutServer:
     def deduplicated_replies(self) -> int:
         """Retried requests answered from the idempotency cache."""
         return self._deduplicated_replies
+
+    def metrics(self) -> dict:
+        """The live telemetry snapshot the METRICS wire frame serves.
+
+        Latency histograms (engine compute, whole-request handling) with
+        p50/p95/p99 summaries, the served/deduplicated counters, and the
+        full bucket counts so a front-end can merge snapshots across hosts.
+        """
+        with self._served_lock:
+            served = self._requests_served
+            deduplicated = self._deduplicated_replies
+        snapshot = self._telemetry.snapshot()
+        snapshot.update(
+            source="readout-server",
+            requests_served=served,
+            deduplicated_replies=deduplicated,
+        )
+        return snapshot
 
     # ------------------------------------------------------------ lifecycle
     def start(self) -> "ReadoutServer":
@@ -343,29 +374,44 @@ class ReadoutServer:
                 self._reply_cache.popitem(last=False)
 
     def _reply_for(self, frame: bytes) -> bytes:
+        handle_start = time.perf_counter()
         try:
             kind = wire.frame_kind(frame)
             if kind == wire.INFO_REQUEST:
                 return wire.encode_info(self._info)
+            if kind == wire.METRICS_REQUEST:
+                return wire.encode_metrics(self.metrics())
             if kind != wire.REQUEST:
                 raise wire.WireFormatError(
-                    f"ReadoutServer answers REQUEST and INFO_REQUEST frames, "
-                    f"got kind {kind}"
+                    f"ReadoutServer answers REQUEST, INFO_REQUEST, and "
+                    f"METRICS_REQUEST frames, got kind {kind}"
                 )
-            request_id = wire.decode_request_wire_meta(frame).get("request_id")
+            wire_meta = wire.decode_request_wire_meta(frame)
+            request_id = wire_meta.get("request_id")
             if request_id is not None:
                 cached = self._cached_reply(str(request_id))
                 if cached is not None:
                     # A failover retry of work already done: replay the
-                    # answer instead of serving the same request twice.
+                    # answer instead of serving the same request twice.  The
+                    # cached frame carries the original trace echo -- the
+                    # resent frame is byte-identical, so the ids match.
                     with self._served_lock:
                         self._requests_served += 1
                         self._deduplicated_replies += 1
+                    self._telemetry.count("deduplicated_replies")
                     return cached
             request = wire.decode_request(frame)
             result = self._engine.serve(request, parallel=self._parallel)
             with self._served_lock:
                 self._requests_served += 1
+            # Echo the envelope's trace keys: the front-end (and the trace
+            # tests) read them back to prove the id crossed the wire.
+            trace_keys = {
+                key: wire_meta[key]
+                for key in ("trace_id", "trace_ids")
+                if key in wire_meta
+            }
+            self._telemetry.record("compute", result.elapsed_s)
             reply = wire.encode_result(
                 ReadoutResult(
                     qubits=result.qubits,
@@ -374,15 +420,17 @@ class ReadoutServer:
                     logits=result.logits,
                     n_shots=result.n_shots,
                     elapsed_s=result.elapsed_s,
-                    meta={**result.meta, "transport": "tcp"},
+                    meta={**result.meta, "transport": "tcp", **trace_keys},
                 )
             )
             if request_id is not None:
                 self._cache_reply(str(request_id), reply)
+            self._telemetry.record("handle", time.perf_counter() - handle_start)
             return reply
         except Exception as exc:  # noqa: BLE001 - relayed to the caller
             with self._served_lock:
                 self._requests_served += 1
+            self._telemetry.count("error_replies")
             return wire.encode_error(exc)
 
 
@@ -583,8 +631,17 @@ class RemoteEngineClient:
                 self.reconnects += 1
         raise AssertionError("unreachable")  # pragma: no cover
 
-    def serve(self, request: ReadoutRequest) -> ReadoutResult:
-        """Serve one request remotely; bit-identical to the server's engine."""
+    def serve(
+        self, request: ReadoutRequest, *, trace_id: str | None = None
+    ) -> ReadoutResult:
+        """Serve one request remotely; bit-identical to the server's engine.
+
+        Every request is traced at this edge: ``trace_id`` (minted here when
+        not supplied) rides in wire meta alongside the idempotent request id
+        and comes back in ``ReadoutResult.meta["trace_id"]`` -- including
+        when a reconnect-resend was answered from the server's reply cache,
+        because the resent frame is byte-identical.
+        """
         if self._closed:
             raise RuntimeError("RemoteEngineClient is closed")
         if not isinstance(request, ReadoutRequest):
@@ -592,7 +649,11 @@ class RemoteEngineClient:
                 f"serve() takes a ReadoutRequest, got {type(request).__name__}"
             )
         frame = wire.encode_request(
-            request, wire_meta={"request_id": uuid.uuid4().hex}
+            request,
+            wire_meta={
+                "request_id": uuid.uuid4().hex,
+                "trace_id": trace_id or new_trace_id(),
+            },
         )
         return wire.decode_reply(self._roundtrip_idempotent(frame))
 
@@ -602,6 +663,14 @@ class RemoteEngineClient:
             raise RuntimeError("RemoteEngineClient is closed")
         return wire.decode_info(
             self._roundtrip_idempotent(wire.encode_info_request())
+        )
+
+    def metrics(self) -> dict:
+        """The server's live telemetry snapshot (the METRICS wire frame)."""
+        if self._closed:
+            raise RuntimeError("RemoteEngineClient is closed")
+        return wire.decode_metrics(
+            self._roundtrip_idempotent(wire.encode_metrics_request())
         )
 
     def close(self) -> None:
@@ -661,14 +730,16 @@ class TcpShardTransport:
         """The placed server's ``host:port``."""
         return self._conn.address
 
-    def submit(self, job_id: int, request: ReadoutRequest) -> None:
+    def submit(
+        self, job_id: int, request: ReadoutRequest, wire_meta: dict | None = None
+    ) -> None:
         """Send one sub-request (columns already restricted to this shard)."""
         if self._closed:
             raise RuntimeError(
                 f"Shard {self.shard_index} transport is closed; submit() after "
                 f"close() is a protocol violation"
             )
-        self._conn.send(wire.encode_request(request))
+        self._conn.send(wire.encode_request(request, wire_meta))
         self._pending.append(job_id)
 
     def collect(self, job_id: int) -> ReadoutResult:
@@ -859,15 +930,23 @@ class ReplicatedTcpShardTransport:
         self._connect_any()
 
     # -------------------------------------------------------------- protocol
-    def submit(self, job_id: int, request: ReadoutRequest) -> None:
-        """Send one sub-request to the active replica (failing over if needed)."""
+    def submit(
+        self, job_id: int, request: ReadoutRequest, wire_meta: dict | None = None
+    ) -> None:
+        """Send one sub-request to the active replica (failing over if needed).
+
+        The idempotent ``request_id`` and the caller's ``wire_meta`` (trace
+        ids) share one envelope; a failover resends this exact frame, so
+        both survive the resend -- and the reply-cache dedup -- unchanged.
+        """
         if self._closed:
             raise RuntimeError(
                 f"Shard {self.shard_index} transport is closed; submit() after "
                 f"close() is a protocol violation"
             )
         frame = wire.encode_request(
-            request, wire_meta={"request_id": uuid.uuid4().hex}
+            request,
+            wire_meta={"request_id": uuid.uuid4().hex, **(wire_meta or {})},
         )
         self._pending.append((job_id, frame))
         conn = self._conns[self._active]

@@ -31,13 +31,14 @@ three placements against the golden fixed-point snapshot.
 
 from __future__ import annotations
 
+import itertools
 import queue
 import random
 import threading
 import time
 import warnings
 from concurrent.futures import Future, InvalidStateError
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 from pathlib import Path
 
 import numpy as np
@@ -45,12 +46,20 @@ import numpy as np
 from repro.engine.bundle import load_manifest
 from repro.engine.engine import ReadoutEngine
 from repro.engine.request import (
+    PRIORITY_CLASSES,
     ReadoutRequest,
     ReadoutResult,
     validate_multiplexed_payload,
 )
 from repro.service.retry import RetryPolicy
 from repro.service.sharding import partition_qubits, replica_addresses
+from repro.service.telemetry import (
+    STAGES,
+    AdmissionController,
+    AdmissionError,
+    TelemetryRecorder,
+    new_trace_id,
+)
 from repro.service.transport import (
     ShardTransport,
     WorkerDiedError,
@@ -61,6 +70,13 @@ __all__ = ["ReadoutService", "ServiceStats"]
 
 #: Queue sentinel asking the batcher thread to exit.
 _SHUTDOWN = object()
+
+#: Queue ordering: feedback preempts bulk; the shutdown sentinel sorts last
+#: so a queued backlog drains before the batcher exits (the FIFO close
+#: semantics, priority-ordered).  Ties break on the submission sequence
+#: number, so ordering stays FIFO within a class.
+_PRIORITY_RANK = {priority: rank for rank, priority in enumerate(PRIORITY_CLASSES)}
+_SHUTDOWN_RANK = len(PRIORITY_CLASSES)
 
 
 @dataclass(frozen=True)
@@ -85,6 +101,16 @@ class ServiceStats:
     ``hosts_readmitted`` (health-pool membership changes).  All stay zero
     on a healthy deployment -- a non-zero value is direct evidence the
     corresponding recovery path ran.
+
+    The admission counters record the bounded-latency mode
+    (``slo_budget_ms``): ``shed_requests`` were rejected with
+    :class:`~repro.service.telemetry.AdmissionError` because their
+    predicted queue wait exceeded the budget; ``degraded_admissions`` were
+    accepted but downgraded to states-only (``degraded_ok=True``) instead.
+
+    The dataclass is frozen and every field is an immutable scalar, so a
+    snapshot handed out by :attr:`ReadoutService.stats` can neither tear
+    nor leak mutable live state back to the caller.
     """
 
     requests_served: int = 0
@@ -99,6 +125,8 @@ class ServiceStats:
     degraded_requests: int = 0
     hosts_ejected: int = 0
     hosts_readmitted: int = 0
+    shed_requests: int = 0
+    degraded_admissions: int = 0
     transport: str = "inprocess"
     placements: int = 1
     backend: str = ""
@@ -108,6 +136,14 @@ class ServiceStats:
 class _Entry:
     request: ReadoutRequest
     future: Future
+    #: Minted at the submit edge (None with telemetry off); echoed back in
+    #: ``ReadoutResult.meta["trace_id"]``.
+    trace_id: str | None = None
+    #: ``time.perf_counter()`` at enqueue -- the queue-wait stage clock.
+    enqueued_at: float = 0.0
+    #: Set when admission control degraded this request to states-only:
+    #: records the original output and the predicted wait that triggered it.
+    admission: dict | None = None
 
 
 class ReadoutService:
@@ -188,6 +224,26 @@ class ReadoutService:
         Seed for the backoff jitter of failover/redispatch loops, so fault
         tests replay an exact schedule.  ``None`` (default) is wall-clock
         random.
+    slo_budget_ms:
+        Bounded-latency mode: when the *predicted* queue wait of a new
+        request (entries ahead of it times an EWMA of per-request dispatch
+        cost) exceeds this budget, :meth:`submit` sheds it with
+        :class:`~repro.service.telemetry.AdmissionError` -- or, with
+        ``degraded_ok=True`` and a request asking for logits, degrades it
+        to states-only with the decision recorded in
+        ``meta["admission"]``.  ``None`` (default) admits everything.
+        ``"feedback"``-priority requests only wait behind other feedback
+        requests, so they both preempt bulk traffic *and* are shed later.
+    slo_initial_cost_ms:
+        Seed for the per-request cost estimate (``None`` = learn from the
+        first dispatch).  Deterministic admission tests and the overload
+        bench set it so shed decisions do not depend on warm-up timing.
+    telemetry:
+        Record per-stage latency histograms and mint per-request trace ids
+        (:meth:`metrics`, ``meta["trace_id"]``/``meta["stage_ms"]``).  On
+        by default; ``False`` removes the instrumentation from the hot
+        path (the overhead benchmark's A/B switch).  Admission control
+        works either way.
     autostart:
         Start the batcher (and shards) on the first :meth:`submit`.  Pass
         False to queue requests first and :meth:`start` later -- then the
@@ -217,6 +273,9 @@ class ReadoutService:
         eject_after: int = 2,
         readmit_after: int = 2,
         failover_seed: int | None = None,
+        slo_budget_ms: float | None = None,
+        slo_initial_cost_ms: float | None = None,
+        telemetry: bool = True,
         autostart: bool = True,
     ) -> None:
         if max_batch < 1:
@@ -225,6 +284,11 @@ class ReadoutService:
             raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
         if max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if slo_budget_ms is not None and slo_budget_ms <= 0:
+            raise ValueError(
+                f"slo_budget_ms must be > 0 (or None to admit everything), "
+                f"got {slo_budget_ms}"
+            )
         if engine is None and bundle_dir is None and not shard_hosts:
             raise ValueError("ReadoutService needs an engine or a bundle_dir")
         self.n_shards = max(1, int(n_shards))
@@ -340,17 +404,41 @@ class ReadoutService:
         self.shard_groups = shard_groups
         self._shards: list[ShardTransport] = []
 
-        self._queue: queue.Queue = queue.Queue(maxsize=max_pending)
+        # A priority queue carrying (rank, seq, entry): feedback preempts
+        # bulk, the shutdown sentinel sorts behind both so a queued backlog
+        # drains first, and the monotonic seq keeps FIFO order within a
+        # class (and makes ties impossible, so entries never compare).
+        self._queue: queue.PriorityQueue = queue.PriorityQueue(maxsize=max_pending)
+        self._seq = itertools.count()
         self._batcher: threading.Thread | None = None
         self._lifecycle_lock = threading.Lock()
         self._started = False
         self._closed = False
         self._next_job_id = 0
+        # All counter updates go through _bump / _update_stats under this
+        # lock: ServiceStats is replaced, never mutated, so readers get an
+        # immutable snapshot and writers cannot interleave read-modify-write.
+        self._stats_lock = threading.Lock()
         self._stats = ServiceStats(
             transport=mode,
             placements=self.n_shards,
             backend=self._backend_kind,
         )
+        self._telemetry = TelemetryRecorder(enabled=bool(telemetry))
+        self._slo_budget_s = (
+            None if slo_budget_ms is None else float(slo_budget_ms) / 1000.0
+        )
+        self._admission = AdmissionController(
+            initial_cost_s=(
+                None
+                if slo_initial_cost_ms is None
+                else float(slo_initial_cost_ms) / 1000.0
+            )
+        )
+        # Queued-but-not-yet-dispatched entries per priority class: the
+        # depth the admission predictor multiplies by the cost estimate.
+        self._admission_lock = threading.Lock()
+        self._queued_depth = {priority: 0 for priority in PRIORITY_CLASSES}
 
     # -------------------------------------------------------------- planning
     def _deployment_layout(self) -> dict:
@@ -443,14 +531,19 @@ class ReadoutService:
 
     @property
     def stats(self) -> ServiceStats:
-        """A snapshot of the serving counters (updated by the batcher thread).
+        """An atomic snapshot of the serving counters.
 
+        One lock-guarded copy: every writer replaces the frozen
+        :class:`ServiceStats` under the same lock, so a snapshot can never
+        mix counters from two different updates -- and being frozen with
+        scalar fields, it cannot leak mutable live state to the caller.
         The resilience counters are folded in live from the shard
         transports (failovers, respawns) and the host pool (ejections,
         re-admissions); :meth:`close` freezes their final values into the
         snapshot.
         """
-        stats = self._stats
+        with self._stats_lock:
+            stats = self._stats
         failovers = stats.failovers
         respawns = stats.worker_respawns
         for shard in self._shards:
@@ -470,6 +563,83 @@ class ReadoutService:
             hosts_ejected=ejected,
             hosts_readmitted=readmitted,
         )
+
+    def _bump(self, **deltas: int) -> None:
+        """Atomically add ``deltas`` to the stats counters."""
+        with self._stats_lock:
+            self._stats = replace(
+                self._stats,
+                **{
+                    name: getattr(self._stats, name) + value
+                    for name, value in deltas.items()
+                },
+            )
+
+    def metrics(self, *, include_remotes: bool = True) -> dict:
+        """The full telemetry snapshot of this service.
+
+        Per-stage latency histograms (:data:`~repro.service.telemetry.STAGES`:
+        queue-wait, batch-assembly, shard-dispatch, wire round-trip, engine
+        compute) as count/mean/p50/p95/p99 summaries plus mergeable bucket
+        counts, the event counters, the :attr:`stats` snapshot, the SLO
+        admission state, and -- for replicated deployments -- the host
+        pool's health view.  The stage histograms are recorded on the
+        service side of every dispatch, so the same five stages are
+        populated whichever transport a placement uses.
+
+        With ``include_remotes`` (the default) a TCP deployment also asks
+        each configured server for its own live snapshot over a fresh
+        short-lived connection (the METRICS wire frame; the shard
+        connections' FIFO protocol is never touched), under
+        ``"placements_metrics"`` keyed by address -- unreachable replicas
+        report an ``"error"`` entry instead of failing the call.
+        """
+        snapshot = self._telemetry.snapshot()
+        snapshot.update(
+            source="readout-service",
+            transport=self._mode,
+            placements=self.n_shards,
+            stats=asdict(self.stats),
+            slo={
+                "budget_ms": (
+                    None
+                    if self._slo_budget_s is None
+                    else self._slo_budget_s * 1e3
+                ),
+                "cost_estimate_ms": (
+                    None
+                    if self._admission.cost_s is None
+                    else self._admission.cost_s * 1e3
+                ),
+                "shed_requests": self.stats.shed_requests,
+                "degraded_admissions": self.stats.degraded_admissions,
+            },
+        )
+        if self._pool is not None:
+            snapshot["host_pool"] = self._pool.state()
+        if include_remotes and self._mode == "tcp" and not self._closed:
+            from repro.service.net import RemoteEngineClient
+
+            remotes: dict = {}
+            for replicas in self.shard_replicas:
+                for address in replicas:
+                    host, port = address if isinstance(address, tuple) else (
+                        address, None
+                    )
+                    key = f"{host}:{port}" if port is not None else str(host)
+                    if key in remotes:
+                        continue
+                    try:
+                        with RemoteEngineClient(
+                            address,
+                            timeout=self._remote_timeout,
+                            connect_timeout=self._connect_timeout,
+                        ) as client:
+                            remotes[key] = client.metrics()
+                    except Exception as exc:  # noqa: BLE001 - dead replica
+                        remotes[key] = {"error": f"{type(exc).__name__}: {exc}"}
+            snapshot["placements_metrics"] = remotes
+        return snapshot
 
     @property
     def host_pool(self):
@@ -578,12 +748,14 @@ class ReadoutService:
         # budget while close() waits on the join.
         self._closing.set()
         if started:
-            self._queue.put(_SHUTDOWN)
+            self._queue.put((_SHUTDOWN_RANK, next(self._seq), _SHUTDOWN))
             self._batcher.join()
         self._fail_pending(RuntimeError("ReadoutService was closed"))
         # Freeze the live resilience counters into the final snapshot
         # before the transports (and pool) they are scraped from go away.
-        self._stats = self.stats
+        final = self.stats
+        with self._stats_lock:
+            self._stats = final
         for shard in self._shards:
             shard.close()
         self._shards = []
@@ -600,7 +772,9 @@ class ReadoutService:
         self.close()
 
     # ---------------------------------------------------------------- serving
-    def submit(self, request: ReadoutRequest) -> Future:
+    def submit(
+        self, request: ReadoutRequest, *, trace_id: str | None = None
+    ) -> Future:
         """Queue one request; returns a future resolving to its :class:`ReadoutResult`.
 
         Blocks (backpressure) while the ingress queue holds ``max_pending``
@@ -609,6 +783,16 @@ class ReadoutService:
         micro-batch it would have joined.  Cancelling the returned future
         before its batch dispatches removes it from the batch (asyncio
         callers get this through :meth:`aserve`).
+
+        ``trace_id`` threads a caller-minted trace id through the request
+        (one is minted here otherwise, telemetry permitting); it travels in
+        the wire ``meta`` across every placement and comes back in
+        ``ReadoutResult.meta["trace_id"]``.  Under ``slo_budget_ms`` the
+        request may be shed here with
+        :class:`~repro.service.telemetry.AdmissionError` -- before it is
+        queued, so a shed request costs the caller nothing but the check.
+        ``request.priority`` orders the queue: ``"feedback"`` entries
+        dispatch before queued ``"bulk"`` entries.
         """
         if self._closed:
             raise RuntimeError("ReadoutService is closed")
@@ -619,13 +803,75 @@ class ReadoutService:
         self._validate(request)
         if self._autostart and not self._started:
             self.start()
+        if trace_id is None and self._telemetry.enabled:
+            trace_id = new_trace_id()
+        admission = self._admit(request, trace_id)
+        if admission is not None:
+            request = replace(request, output="states")
         future: Future = Future()
-        self._queue.put(_Entry(request=request, future=future))
+        entry = _Entry(
+            request=request,
+            future=future,
+            trace_id=trace_id,
+            enqueued_at=time.perf_counter(),
+            admission=admission,
+        )
+        with self._admission_lock:
+            self._queued_depth[request.priority] += 1
+        self._queue.put(
+            (_PRIORITY_RANK[request.priority], next(self._seq), entry)
+        )
         if self._closed:
             # Raced with close(): the batcher (and its drain) may already be
             # gone, so make sure this entry cannot sit unresolved forever.
             self._fail_pending(RuntimeError("ReadoutService was closed"))
         return future
+
+    def _admit(self, request: ReadoutRequest, trace_id: str | None) -> dict | None:
+        """The SLO admission decision: admit, degrade, or shed.
+
+        Predicts this request's queue wait as (entries it must wait behind)
+        x (EWMA per-request dispatch cost).  A ``"feedback"`` request only
+        waits behind queued feedback entries -- the priority queue
+        dispatches it past bulk traffic -- so it is both served first and
+        shed last.  Returns ``None`` (admitted untouched) or the record to
+        stamp into ``meta["admission"]`` (admitted, degraded to
+        states-only); raises :class:`AdmissionError` when the wait exceeds
+        the budget and degrading is not allowed.
+        """
+        if self._slo_budget_s is None:
+            return None
+        rank = _PRIORITY_RANK[request.priority]
+        with self._admission_lock:
+            depth = sum(
+                self._queued_depth[priority]
+                for priority in PRIORITY_CLASSES
+                if _PRIORITY_RANK[priority] <= rank
+            )
+        predicted = self._admission.predicted_wait_s(depth)
+        if predicted <= self._slo_budget_s:
+            return None
+        predicted_ms = predicted * 1e3
+        budget_ms = self._slo_budget_s * 1e3
+        if self._degraded_ok and request.output != "states":
+            self._bump(degraded_admissions=1)
+            self._telemetry.count("degraded_admissions")
+            return {
+                "degraded_to": "states",
+                "original_output": request.output,
+                "predicted_wait_ms": predicted_ms,
+                "budget_ms": budget_ms,
+            }
+        self._bump(shed_requests=1)
+        self._telemetry.count("shed_requests")
+        raise AdmissionError(
+            f"predicted queue wait {predicted_ms:.1f} ms exceeds the "
+            f"{budget_ms:.1f} ms SLO budget ({depth} queued request(s) "
+            f"ahead)",
+            trace_id=trace_id,
+            predicted_wait_ms=predicted_ms,
+            budget_ms=budget_ms,
+        )
 
     def serve(self, request: ReadoutRequest) -> ReadoutResult:
         """Submit one request and block for its result."""
@@ -656,12 +902,24 @@ class ReadoutService:
         )
 
     # ----------------------------------------------------------- batcher loop
+    def _pop_entry(self, item) -> _Entry:
+        """Unwrap a ``(rank, seq, entry)`` queue item, keeping depth books.
+
+        The dequeued entry is no longer *ahead of* anyone, so the admission
+        predictor's per-class depth drops here, symmetrically with the
+        increment in :meth:`submit`.
+        """
+        entry = item[2]
+        with self._admission_lock:
+            self._queued_depth[entry.request.priority] -= 1
+        return entry
+
     def _batch_loop(self) -> None:
         while True:
-            entry = self._queue.get()
-            if entry is _SHUTDOWN:
+            item = self._queue.get()
+            if item[2] is _SHUTDOWN:
                 return
-            entries = [entry]
+            entries = [self._pop_entry(item)]
             deadline = time.monotonic() + self.max_wait_s
             shutdown = False
             while len(entries) < self.max_batch:
@@ -678,10 +936,10 @@ class ReadoutService:
                     )
                 except queue.Empty:
                     break
-                if nxt is _SHUTDOWN:
+                if nxt[2] is _SHUTDOWN:
                     shutdown = True
                     break
-                entries.append(nxt)
+                entries.append(self._pop_entry(nxt))
             self._serve_entries(entries)
             if shutdown:
                 return
@@ -706,10 +964,7 @@ class ReadoutService:
                 # dead batcher would strand every queued request.
                 pass
         if cancelled:
-            self._stats = replace(
-                self._stats,
-                cancelled_requests=self._stats.cancelled_requests + cancelled,
-            )
+            self._bump(cancelled_requests=cancelled)
         groups: dict[tuple, list[_Entry]] = {}
         for entry in live:
             groups.setdefault(self._compat_key(entry.request), []).append(entry)
@@ -736,21 +991,48 @@ class ReadoutService:
         )
 
     def _serve_group(self, group: list[_Entry]) -> None:
+        # Stage clocks: queue-wait ends for every entry the moment its
+        # group is picked up; batch-assembly is the concatenation work;
+        # the dispatch interval feeds both the admission cost EWMA and the
+        # shard/wire/compute stages recorded inside _dispatch.
+        t0 = time.perf_counter()
+        if self._telemetry.enabled:
+            for entry in group:
+                if entry.enqueued_at:
+                    self._telemetry.record("queue", t0 - entry.enqueued_at)
+        trace_ids = [entry.trace_id for entry in group]
         if len(group) == 1:
-            request = group[0].request
-            result = self._dispatch(request)
-            group[0].future.set_result(result)
-            batch_shots = result.n_shots
+            entry = group[0]
+            assembled = time.perf_counter()
+            batch_s = assembled - t0
+            self._telemetry.record("batch", batch_s)
+            result = self._dispatch(entry.request, trace_ids)
+            self._admission.observe(1, time.perf_counter() - assembled)
             degraded = 1 if result.meta.get("degraded") else 0
+            queue_s = t0 - entry.enqueued_at if entry.enqueued_at else 0.0
+            entry.future.set_result(
+                replace(
+                    result,
+                    meta=self._finish_meta(
+                        result.meta, entry, 0, queue_s, batch_s
+                    ),
+                )
+            )
+            batch_shots = result.n_shots
         else:
             batch = np.concatenate([entry.request.payload for entry in group], axis=0)
             batch_request = group[0].request.with_payload(batch)
-            batch_result = self._dispatch(batch_request)
+            assembled = time.perf_counter()
+            batch_s = assembled - t0
+            self._telemetry.record("batch", batch_s)
+            batch_result = self._dispatch(batch_request, trace_ids)
+            self._admission.observe(len(group), time.perf_counter() - assembled)
             offset = 0
-            for entry in group:
+            for index, entry in enumerate(group):
                 shots = entry.request.payload.shape[0]
                 rows = slice(offset, offset + shots)
                 offset += shots
+                queue_s = t0 - entry.enqueued_at if entry.enqueued_at else 0.0
                 entry.future.set_result(
                     replace(
                         batch_result,
@@ -760,7 +1042,9 @@ class ReadoutService:
                         else batch_result.logits[rows],
                         n_shots=shots,
                         meta={
-                            **batch_result.meta,
+                            **self._finish_meta(
+                                batch_result.meta, entry, index, queue_s, batch_s
+                            ),
                             "microbatch_requests": len(group),
                             "microbatch_shots": int(batch.shape[0]),
                         },
@@ -768,32 +1052,85 @@ class ReadoutService:
                 )
             batch_shots = int(batch.shape[0])
             degraded = len(group) if batch_result.meta.get("degraded") else 0
-        # Re-read the stats *after* dispatch: the dispatch itself may have
-        # bumped resilience counters (redispatches) that a pre-dispatch
+        # One lock-guarded replace *after* dispatch: the dispatch itself may
+        # have bumped resilience counters (redispatches) that a pre-dispatch
         # snapshot would silently roll back.
-        stats = self._stats
-        self._stats = replace(
-            stats,
-            requests_served=stats.requests_served + len(group),
-            batches=stats.batches + 1,
-            coalesced_requests=stats.coalesced_requests
-            + (len(group) if len(group) > 1 else 0),
-            largest_batch_requests=max(stats.largest_batch_requests, len(group)),
-            largest_batch_shots=max(stats.largest_batch_shots, batch_shots),
-            degraded_requests=stats.degraded_requests + degraded,
+        with self._stats_lock:
+            stats = self._stats
+            self._stats = replace(
+                stats,
+                requests_served=stats.requests_served + len(group),
+                batches=stats.batches + 1,
+                coalesced_requests=stats.coalesced_requests
+                + (len(group) if len(group) > 1 else 0),
+                largest_batch_requests=max(stats.largest_batch_requests, len(group)),
+                largest_batch_shots=max(stats.largest_batch_shots, batch_shots),
+                degraded_requests=stats.degraded_requests + degraded,
+            )
+
+    def _finish_meta(
+        self,
+        meta: dict,
+        entry: _Entry,
+        index: int,
+        queue_s: float,
+        batch_s: float,
+    ) -> dict:
+        """Per-entry result ``meta``: trace id, stage timings, admission.
+
+        The trace id prefers the transport-echoed ``trace_ids`` list (proof
+        the id crossed the wire and came back) over the locally remembered
+        one; both are the same value on a healthy path.  ``stage_ms`` gets
+        this entry's own queue wait on top of the batch-wide stages.
+        """
+        out = dict(meta)
+        echoed = out.pop("trace_ids", None)
+        trace = (
+            echoed[index]
+            if echoed and index < len(echoed)
+            else entry.trace_id
         )
+        if trace is not None:
+            out["trace_id"] = trace
+        if self._telemetry.enabled:
+            stage_ms = dict(out.get("stage_ms") or {})
+            stage_ms["queue"] = queue_s * 1e3
+            stage_ms["batch"] = batch_s * 1e3
+            out["stage_ms"] = stage_ms
+        if entry.admission is not None:
+            out["admission"] = dict(entry.admission)
+        return out
 
     # --------------------------------------------------------------- dispatch
-    def _dispatch(self, request: ReadoutRequest) -> ReadoutResult:
+    def _dispatch(
+        self, request: ReadoutRequest, trace_ids: list | None = None
+    ) -> ReadoutResult:
         if not self.sharded:
+            started = time.perf_counter()
             result = self._engine.serve(request, parallel=self._parallel)
-            return replace(
-                result,
-                meta={**result.meta, "shards": 0, "transport": "inprocess"},
-            )
-        return self._dispatch_sharded(request)
+            meta = {**result.meta, "shards": 0, "transport": "inprocess"}
+            if self._telemetry.enabled:
+                dispatch_s = time.perf_counter() - started
+                compute_s = float(result.elapsed_s)
+                # No wire in-process: the honest remainder is dispatch
+                # overhead around the engine call, ~0 by construction.
+                wire_s = max(0.0, dispatch_s - compute_s)
+                self._telemetry.record("shard", dispatch_s)
+                self._telemetry.record("compute", compute_s)
+                self._telemetry.record("wire", wire_s)
+                meta["stage_ms"] = {
+                    "shard": dispatch_s * 1e3,
+                    "wire": wire_s * 1e3,
+                    "compute": compute_s * 1e3,
+                }
+                if any(trace_id is not None for trace_id in trace_ids or ()):
+                    meta["trace_ids"] = list(trace_ids)
+            return replace(result, meta=meta)
+        return self._dispatch_sharded(request, trace_ids)
 
-    def _dispatch_sharded(self, request: ReadoutRequest) -> ReadoutResult:
+    def _dispatch_sharded(
+        self, request: ReadoutRequest, trace_ids: list | None = None
+    ) -> ReadoutResult:
         """Split a request by qubit columns, serve per shard, reassemble.
 
         Each shard receives only its columns of the payload (sliced, hence
@@ -828,6 +1165,15 @@ class ReadoutService:
         # an uncollected response would desynchronize the per-shard FIFO
         # protocol for the next request.
         failures: list[tuple[list[int], ShardTransport, Exception]] = []
+        # The trace ids ride the wire meta of every shard's REQUEST frame
+        # (and every failover resend of it), so the placed server can echo
+        # them back -- the propagation proof the trace tests pin.
+        wire_meta = (
+            {"trace_ids": list(trace_ids)}
+            if trace_ids and any(t is not None for t in trace_ids)
+            else None
+        )
+        submit_times: dict[int, float] = {}
         for shard, columns in plan:
             sub_request = request.with_payload(
                 payload[:, columns],
@@ -836,10 +1182,11 @@ class ReadoutService:
             sub_requests[id(shard)] = sub_request
             try:
                 self._revive(shard)
-                shard.submit(job_id, sub_request)
+                shard.submit(job_id, sub_request, wire_meta)
             except Exception as exc:  # noqa: BLE001 - degraded or re-raised
                 failures.append((columns, shard, exc))
                 continue
+            submit_times[id(shard)] = time.perf_counter()
             submitted.append((shard, columns))
         want_states = request.output in ("states", "both")
         want_logits = request.output in ("logits", "both")
@@ -853,14 +1200,29 @@ class ReadoutService:
             else None
         )
         backend_kind = self._backend_kind
+        echoed_trace_ids = None
+        max_compute_s = 0.0
         for shard, columns in submitted:
             try:
                 shard_result = self._collect_resilient(
-                    shard, job_id, sub_requests[id(shard)]
+                    shard, job_id, sub_requests[id(shard)], wire_meta
                 )
             except Exception as exc:  # noqa: BLE001 - degraded or re-raised
                 failures.append((columns, shard, exc))
                 continue
+            if self._telemetry.enabled:
+                # Wire cost of this shard: its submit-to-collect round trip
+                # minus the time its engine spent computing.  Collects are
+                # sequential, so later shards' round trips include overlap
+                # with earlier ones -- each is still the latency that shard
+                # imposed on the dispatch.
+                roundtrip_s = time.perf_counter() - submit_times[id(shard)]
+                compute_s = float(shard_result.elapsed_s)
+                max_compute_s = max(max_compute_s, compute_s)
+                self._telemetry.record("compute", compute_s)
+                self._telemetry.record("wire", max(0.0, roundtrip_s - compute_s))
+            if echoed_trace_ids is None:
+                echoed_trace_ids = shard_result.meta.get("trace_ids")
             if want_states:
                 states[:, columns] = shard_result.states
             if want_logits:
@@ -871,6 +1233,21 @@ class ReadoutService:
             "shards": len(plan),
             "transport": self._mode,
         }
+        if self._telemetry.enabled:
+            dispatch_s = time.perf_counter() - start
+            self._telemetry.record("shard", dispatch_s)
+            meta["stage_ms"] = {
+                "shard": dispatch_s * 1e3,
+                # Shards compute in parallel: the batch pays the slowest
+                # one; the rest of the dispatch interval is wire + scatter
+                # and gather around it.
+                "compute": max_compute_s * 1e3,
+                "wire": max(0.0, dispatch_s - max_compute_s) * 1e3,
+            }
+        if echoed_trace_ids is not None:
+            meta["trace_ids"] = list(echoed_trace_ids)
+        elif wire_meta is not None:
+            meta["trace_ids"] = list(trace_ids)
         if failures:
             meta["degraded"] = self._degrade(
                 failures, plan, selected, states, logits
@@ -892,14 +1269,20 @@ class ReadoutService:
             shard.respawn()
 
     def _collect_resilient(
-        self, shard: ShardTransport, job_id: int, sub_request: ReadoutRequest
+        self,
+        shard: ShardTransport,
+        job_id: int,
+        sub_request: ReadoutRequest,
+        wire_meta: dict | None = None,
     ) -> ReadoutResult:
         """Collect one shard's answer, healing a dead local worker in place.
 
         Replica failover lives inside the TCP transport (it owns the
         pending frames); worker *respawn* lives here because rebuilding the
         process needs the sub-request to re-dispatch.  Both are bounded by
-        the same retry policy.
+        the same retry policy.  The re-dispatch carries the same
+        ``wire_meta`` as the original submit, so trace ids survive respawn
+        exactly as they survive replica failover.
         """
         try:
             return shard.collect(job_id)
@@ -915,10 +1298,8 @@ class ReadoutService:
                     time.sleep(delay)
                 try:
                     shard.respawn()
-                    shard.submit(job_id, sub_request)
-                    self._stats = replace(
-                        self._stats, redispatches=self._stats.redispatches + 1
-                    )
+                    shard.submit(job_id, sub_request, wire_meta)
+                    self._bump(redispatches=1)
                     return shard.collect(job_id)
                 except WorkerDiedError as retry_exc:
                     last = retry_exc
@@ -973,7 +1354,7 @@ class ReadoutService:
         saw_shutdown = False
         while True:
             try:
-                entry = self._queue.get_nowait()
+                _rank, _seq, entry = self._queue.get_nowait()
             except queue.Empty:
                 break
             if entry is _SHUTDOWN:
@@ -981,7 +1362,7 @@ class ReadoutService:
             elif not entry.future.done():
                 entry.future.set_exception(exc)
         if saw_shutdown:
-            self._queue.put(_SHUTDOWN)
+            self._queue.put((_SHUTDOWN_RANK, next(self._seq), _SHUTDOWN))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         mode = (

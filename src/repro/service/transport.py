@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import multiprocessing
 import queue as queue_module
+from dataclasses import replace
 from multiprocessing import shared_memory
 from pathlib import Path
 from typing import Protocol, runtime_checkable
@@ -82,8 +83,15 @@ class ShardTransport(Protocol):
         """Transport kind for observability metadata (``"local"``, ``"tcp"``)."""
         ...
 
-    def submit(self, job_id: int, request: ReadoutRequest) -> None:
-        """Queue one sub-request (columns already restricted to this shard)."""
+    def submit(
+        self, job_id: int, request: ReadoutRequest, wire_meta: dict | None = None
+    ) -> None:
+        """Queue one sub-request (columns already restricted to this shard).
+
+        ``wire_meta`` is the transport envelope riding in the frame header
+        (trace ids, idempotent request ids); the worker echoes its trace
+        keys back in the result ``meta``.
+        """
         ...
 
     def collect(self, job_id: int) -> ReadoutResult:
@@ -190,7 +198,19 @@ def _shard_worker_main(
             try:
                 frame, segment = _unpack_frame(descriptor)
                 request = wire.decode_request(frame)
+                wire_meta = wire.decode_request_wire_meta(frame)
                 result = engine.serve(request, parallel=worker_parallel)
+                # Echo the envelope's trace keys so the front-end can prove
+                # the id crossed the process boundary with the request.
+                trace_keys = {
+                    key: wire_meta[key]
+                    for key in ("trace_id", "trace_ids")
+                    if key in wire_meta
+                }
+                if trace_keys:
+                    result = replace(
+                        result, meta={**result.meta, **trace_keys}
+                    )
                 # The result arrays are fresh; only the request held views
                 # into the segment.  Drop them before closing the mapping.
                 reply = wire.encode_result(result)
@@ -248,7 +268,9 @@ class LocalProcessTransport:
         self._inflight: dict[int, shared_memory.SharedMemory] = {}
         self._closed = False
 
-    def submit(self, job_id: int, request: ReadoutRequest) -> None:
+    def submit(
+        self, job_id: int, request: ReadoutRequest, wire_meta: dict | None = None
+    ) -> None:
         """Queue one sub-request (columns already restricted to this shard).
 
         Bulk frames travel through a shared-memory segment; the segment stays
@@ -260,7 +282,9 @@ class LocalProcessTransport:
                 f"Shard {self.shard_index} transport is closed; submit() after "
                 f"close() is a protocol violation"
             )
-        descriptor, segment = _pack_frame(wire.encode_request_chunks(request))
+        descriptor, segment = _pack_frame(
+            wire.encode_request_chunks(request, wire_meta)
+        )
         if segment is not None:
             self._inflight[job_id] = segment
         try:

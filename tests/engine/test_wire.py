@@ -285,3 +285,57 @@ class TestFraming:
     def test_info_round_trip(self):
         info = {"n_qubits": 5, "backend": "fpga", "shard_layout": {"max_shards": 5}}
         assert wire.decode_info(wire.encode_info(info)) == info
+
+
+class TestMetricsFrames:
+    """METRICS_REQUEST/METRICS: the additive telemetry frames (no version bump)."""
+
+    def test_metrics_round_trip(self):
+        metrics = {
+            "source": "readout-server",
+            "requests_served": 12,
+            "stages": {"compute": {"count": 12, "p99_ms": 1.5}},
+            "histograms": {"compute": {"counts": [[40, 12]]}},
+        }
+        assert wire.decode_metrics(wire.encode_metrics(metrics)) == metrics
+
+    def test_metrics_request_is_a_distinct_kind(self):
+        frame = wire.encode_metrics_request()
+        assert wire.frame_kind(frame) == wire.METRICS_REQUEST
+        assert wire.frame_kind(wire.encode_metrics({})) == wire.METRICS
+
+    def test_metrics_kinds_are_additive_not_a_version_bump(self):
+        # Old peers reject the unknown kind with a clean error instead of a
+        # protocol mismatch -- the same compatibility contract INFO made.
+        assert wire.WIRE_VERSION == 1
+        assert (wire.METRICS_REQUEST, wire.METRICS) == (6, 7)
+
+    def test_error_frame_reraises_from_decode_metrics(self):
+        frame = wire.encode_error(RuntimeError("server on fire"))
+        with pytest.raises(RuntimeError, match="server on fire"):
+            wire.decode_metrics(frame)
+
+
+class TestPriorityOnTheWire:
+    def test_priority_rides_the_request_header(self):
+        request = ReadoutRequest(
+            traces=np.zeros((2, 1, 4, 2)), priority="feedback"
+        )
+        decoded = wire.decode_request(wire.encode_request(request))
+        assert decoded.priority == "feedback"
+
+    def test_missing_priority_defaults_to_bulk(self):
+        # Frames from pre-telemetry encoders have no priority key; they must
+        # decode as bulk traffic, not fail.  Re-assemble a frame with the
+        # key stripped, as an old encoder would have produced it.
+        request = ReadoutRequest(traces=np.zeros((2, 1, 4, 2)))
+        frame = wire.encode_request(request)
+        _, header, payload = wire._split(frame, expected_kind=wire.REQUEST)
+        del header["priority"]
+        array, _end = wire._read_array(header["array"], payload, 0, copy=True)
+        stripped = wire._assemble(wire.REQUEST, header, (array,))
+        assert wire.decode_request(stripped).priority == "bulk"
+
+    def test_invalid_priority_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="priority"):
+            ReadoutRequest(traces=np.zeros((2, 1, 4, 2)), priority="urgent")

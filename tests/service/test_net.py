@@ -264,7 +264,10 @@ class TestRemoteShardedService:
             np.testing.assert_array_equal(float_served.logits, direct.logits)
             np.testing.assert_array_equal(subset.logits[:, 0], direct.logits[:, 2])
             np.testing.assert_array_equal(subset.logits[:, 1], direct.logits[:, 0])
-            assert served.meta == {"backend": "fpga", "shards": 2, "transport": "tcp"}
+            assert {
+                k: served.meta[k] for k in ("backend", "shards", "transport")
+            } == {"backend": "fpga", "shards": 2, "transport": "tcp"}
+            assert served.meta["trace_id"]
             stats = service.stats
             assert stats.transport == "tcp"
             assert stats.placements == 2

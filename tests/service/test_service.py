@@ -405,7 +405,12 @@ class TestObservability:
         with ReadoutService(bundle_dir=service_bundle, n_shards=2) as service:
             meta = service.serve(ReadoutRequest(raw=service_carriers[:2])).meta
             stats = service.stats
-        assert meta == {"backend": "fpga", "shards": 2, "transport": "local"}
+        # Telemetry adds trace_id / stage_ms on top of the dispatch meta.
+        assert {k: meta[k] for k in ("backend", "shards", "transport")} == {
+            "backend": "fpga", "shards": 2, "transport": "local"
+        }
+        assert set(meta["stage_ms"]) == {"queue", "batch", "shard", "wire", "compute"}
+        assert meta["trace_id"]
         assert stats.transport == "local"
         assert stats.placements == 2
         assert stats.backend == "fpga"

@@ -56,7 +56,7 @@ def test_table2_duration_sweep(benchmark, bench_klinq_sweep, bench_artifacts):
         )
     )
     print(
-        f"\nOptimal-duration geometric mean (paper reports 0.906): "
+        "\nOptimal-duration geometric mean (paper reports 0.906): "
         f"{sweep.optimal_geometric_mean():.3f}"
     )
 

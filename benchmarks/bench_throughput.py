@@ -352,7 +352,7 @@ def bench_emulator(report: ThroughputReport, n_shots: int, repeats: int, seed: i
     print(
         "  headline emulator_datapath_speedup (batch geomean): "
         f"{report.derived['emulator_datapath_speedup']:.1f}x "
-        f"(all workloads/regimes: "
+        "(all workloads/regimes: "
         f"{report.derived['emulator_datapath_speedup_geomean']:.1f}x)"
     )
     traces = rng.uniform(-3.0, 3.0, size=(n_shots, n_samples, 2))
@@ -719,10 +719,10 @@ def bench_remote_serving(
                     if not np.array_equal(produced, reference):
                         raise AssertionError(
                             f"{label} serving is not bit-identical to direct "
-                            f"engine.serve() dispatch"
+                            "engine.serve() dispatch"
                         )
                 print(
-                    f"  TCP client == TCP shards == local shards == direct on "
+                    "  TCP client == TCP shards == local shards == direct on "
                     f"{n_requests} requests x {request_shots} shots x "
                     f"{n_qubits} qubits OK (groups: {tcp_shards.shard_groups})"
                 )
@@ -996,7 +996,7 @@ def bench_telemetry(report: ThroughputReport, n_shots: int, repeats: int, seed: 
     )
     if ratio < 0.95:
         raise AssertionError(
-            f"telemetry costs more than the promised 5%: "
+            "telemetry costs more than the promised 5%: "
             f"{ratio:.3f}x of the uninstrumented throughput"
         )
 
@@ -1046,7 +1046,7 @@ def bench_telemetry(report: ThroughputReport, n_shots: int, repeats: int, seed: 
         )
     if bounded_p99 > unbounded_p99:
         raise AssertionError(
-            f"shedding did not bound the accepted queue wait: p99 "
+            "shedding did not bound the accepted queue wait: p99 "
             f"{bounded_p99:.1f} ms bounded vs {unbounded_p99:.1f} ms unbounded"
         )
     report.derived["shed_requests_bounded"] = float(shed_count)
@@ -1177,7 +1177,7 @@ def main(argv: list[str] | None = None) -> int:
         if args.fail_on_regression:
             # A typo'd baseline path must not silently disable the CI gate.
             raise SystemExit(
-                f"--fail-on-regression requires an existing baseline; "
+                "--fail-on-regression requires an existing baseline; "
                 f"{args.baseline} not found"
             )
         print(f"  note: baseline {args.baseline} not found; skipping comparison")

@@ -42,9 +42,9 @@ def main() -> None:
     for qubit, duration in best.items():
         print(f"  {qubit}: {duration:.0f} ns")
     print(
-        f"\nGeometric mean at each qubit's optimal duration: "
+        "\nGeometric mean at each qubit's optimal duration: "
         f"{sweep.optimal_geometric_mean():.3f} "
-        f"(the paper reports 0.906 on its measured dataset)"
+        "(the paper reports 0.906 on its measured dataset)"
     )
     print(
         "\nInterpretation: fidelity degrades gracefully down to ~500 ns, and some qubits "

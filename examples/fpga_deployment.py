@@ -123,7 +123,7 @@ def main() -> None:
             f"{manifest['qubits'][0]['carrier_dtype']}, shard hints for "
             f"{manifest['shard_layout']['max_shards']} shard(s)) serves "
             f"bit-identical raw-carrier logits: {manifest_path.name} "
-            f"checksums verified"
+            "checksums verified"
         )
         sequential = loaded.serve(ReadoutRequest(raw=carriers), parallel=False)
         parallel = loaded.serve(ReadoutRequest(raw=carriers), parallel=True)
@@ -150,7 +150,7 @@ def main() -> None:
             f"ReadoutService answered {stats.requests_served} concurrent "
             f"requests in {stats.batches} micro-batch dispatch(es) "
             f"(largest {stats.largest_batch_shots} shots), bit-identical to "
-            f"direct serve()."
+            "direct serve()."
         )
 
     # 6. Latency and resource estimates at paper scale ------------------------

@@ -65,9 +65,9 @@ def main() -> None:
     fidelity = assignment_fidelity(outcomes, ancilla_truth, threshold=0.5)
     float_outcomes = readout.discriminate(ancilla_traces, qubit_index=ANCILLA)
     print(f"Ancilla assignment fidelity: {fidelity:.3f} "
-          f"(per-qubit fidelity from training report: "
+          "(per-qubit fidelity from training report: "
           f"{report.per_qubit[ANCILLA].student_fidelity:.3f}; "
-          f"agreement with the float students: "
+          "agreement with the float students: "
           f"{np.mean(outcomes == float_outcomes):.4f})")
 
     # Conditional feedback: apply an X correction whenever the ancilla reads 1.
@@ -98,10 +98,10 @@ def main() -> None:
     n_samples = dataset.qubit_view(ANCILLA).n_samples
     latency = LatencyModel(pipeline.architecture, n_samples, clock_mhz=100.0)
     print(
-        f"\nFPGA latency model for the ancilla discriminator: "
+        "\nFPGA latency model for the ancilla discriminator: "
         f"{latency.total_cycles()} cycles "
         f"({latency.total_nanoseconds():.0f} ns at 100 MHz) after the last sample arrives; "
-        f"the paper reports 32 ns for its measured implementation."
+        "the paper reports 32 ns for its measured implementation."
     )
 
 

@@ -33,7 +33,6 @@ non-blocking gates).  Run it with::
 
 from __future__ import annotations
 
-import sys
 import tempfile
 from pathlib import Path
 

@@ -276,6 +276,6 @@ class KlinqReadout:
         if untrained:
             raise RuntimeError(
                 f"KlinqReadout has untrained qubits {untrained}; "
-                f"call fit() (or the per-qubit pipelines) before requesting students"
+                "call fit() (or the per-qubit pipelines) before requesting students"
             )
         return [pipeline.require_student() for pipeline in self.pipelines]

@@ -86,7 +86,7 @@ def save_engine(engine: ReadoutEngine, directory: str | Path) -> Path:
         if student is None and parameters is None:
             raise ValueError(
                 f"Backend for qubit {qubit_index} holds neither a student nor "
-                f"quantized parameters; nothing to persist"
+                "quantized parameters; nothing to persist"
             )
         if backend.name == "fpga" and parameters is None:
             raise ValueError(
@@ -205,14 +205,14 @@ def load_engine(directory: str | Path, max_workers: int | None = None) -> Readou
             if student is None:
                 raise ValueError(
                     f"Bundle entry for qubit {qubit_index} declares a float backend "
-                    f"but carries no student files"
+                    "but carries no student files"
                 )
             backends.append(FloatStudentBackend(student))
         elif kind == "fpga":
             if not entry.get("quantized"):
                 raise ValueError(
                     f"Bundle entry for qubit {qubit_index} declares an fpga backend "
-                    f"but carries no quantized parameters"
+                    "but carries no quantized parameters"
                 )
             parameters = load_quantized_parameters(qubit_dir / "quantized")
             declared_dtype = entry.get("carrier_dtype")

@@ -121,7 +121,7 @@ class ReadoutEngine:
             if not isinstance(backend, ReadoutBackend):
                 raise TypeError(
                     f"Backend for qubit {index} ({type(backend).__name__}) does not "
-                    f"satisfy the ReadoutBackend protocol"
+                    "satisfy the ReadoutBackend protocol"
                 )
         if max_workers is not None and max_workers <= 0:
             raise ValueError(f"max_workers must be positive, got {max_workers}")
@@ -223,7 +223,7 @@ class ReadoutEngine:
         if not isinstance(request, ReadoutRequest):
             raise TypeError(
                 f"serve() takes a ReadoutRequest, got {type(request).__name__}; "
-                f"build one with ReadoutRequest(traces=...) or ReadoutRequest(raw=...)"
+                "build one with ReadoutRequest(traces=...) or ReadoutRequest(raw=...)"
             )
         selected = self._resolve_qubits(request.qubits)
         want_logits = request.output in ("logits", "both")
@@ -536,7 +536,7 @@ class ReadoutEngine:
                 raise ValueError(
                     f"Raw carriers declared as {fmt} but the backend for qubit "
                     f"{qubit_index} consumes {backend.fmt}; re-digitize the "
-                    f"capture in the backend's format"
+                    "capture in the backend's format"
                 )
             if output == "states":
                 return backend.predict_states_from_raw
@@ -548,8 +548,8 @@ class ReadoutEngine:
             return lambda t: backend.predict_logits(dequant_fmt.from_raw(t))
         raise TypeError(
             f"Backend for qubit {qubit_index} ({backend.name!r}) does not "
-            f"support raw integer carriers; serve float traces instead, or "
-            f"pass dequantize=True to opt into an explicit float fallback"
+            "support raw integer carriers; serve float traces instead, or "
+            "pass dequantize=True to opt into an explicit float fallback"
         )
 
     def _resolve_dequantize_fmt(self, fmt: FixedPointFormat | None) -> FixedPointFormat:
@@ -573,9 +573,9 @@ class ReadoutEngine:
         if len(fmts) > 1:
             names = ", ".join(sorted(str(f) for f in fmts))
             raise ValueError(
-                f"Cannot infer the carrier format for dequantization: the "
+                "Cannot infer the carrier format for dequantization: the "
                 f"engine's raw-capable backends use multiple formats ({names}); "
-                f"pass fmt explicitly"
+                "pass fmt explicitly"
             )
         return Q16_16
 

@@ -100,9 +100,9 @@ def validate_multiplexed_payload(
 def integer_carrier_error(dtype: np.dtype) -> TypeError:
     """A raw carrier was not a signed integer array."""
     return TypeError(
-        f"raw traces must be a signed integer array (int32/int64 ADC "
+        "raw traces must be a signed integer array (int32/int64 ADC "
         f"samples), got dtype {dtype}; use the float-trace "
-        f"entry points for undigitized data"
+        "entry points for undigitized data"
     )
 
 

@@ -60,6 +60,14 @@ class AverageModule:
     def __init__(self, fmt: FixedPointFormat, samples_per_interval: int, reciprocal_raw: int) -> None:
         if samples_per_interval <= 0:
             raise ValueError(f"samples_per_interval must be positive, got {samples_per_interval}")
+        # Adder-tree sums of S in-range samples reach S * 2**(w-1); bound S
+        # statically so the int64 accumulation below can never wrap (for
+        # Q16.16 this allows S up to 2**30 -- far beyond any real window).
+        if samples_per_interval > (1 << (_INT64_SAFE_BITS - fmt.word_length)):
+            raise ValueError(
+                f"samples_per_interval {samples_per_interval} could overflow the "
+                f"int64 adder tree for {fmt} (max {1 << (_INT64_SAFE_BITS - fmt.word_length)})"
+            )
         self.fmt = fmt
         self.samples_per_interval = int(samples_per_interval)
         self.reciprocal_raw = int(reciprocal_raw)
@@ -147,6 +155,15 @@ class NormalizeModule:
         self._right_shift = np.maximum(shift_bits, 0)
         self._left_columns = np.flatnonzero(shift_bits < 0)
         self._left_shift = -shift_bits[self._left_columns]
+        # Centered values reach 2**word_length (feature minus minimum); bound
+        # the left shift statically so the int64 shift below saturates via
+        # np.clip instead of silently wrapping first.
+        max_left = _INT64_SAFE_BITS - (fmt.word_length + 1)
+        if self._left_shift.size and int(self._left_shift.max()) > max_left:
+            raise ValueError(
+                f"left shift of {int(self._left_shift.max())} bits could wrap the "
+                f"int64 intermediate for {fmt} (max {max_left})"
+            )
 
     def forward(self, features_raw: np.ndarray) -> np.ndarray:
         """Normalize a batch of raw feature vectors ``(n_shots, n_features)``."""

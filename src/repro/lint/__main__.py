@@ -1,0 +1,114 @@
+"""CLI for the domain lint suite: ``python -m repro.lint``.
+
+Exit codes: 0 clean (everything fixed, suppressed, or baselined), 1 new
+findings, 2 usage/configuration error.  ``--fail-on-new`` is the default
+behaviour spelled out for CI readability; ``--no-baseline`` reports the
+grandfathered findings too.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.lint.findings import save_baseline
+from repro.lint.runner import default_repo_root, run_lint
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Domain-specific static analysis for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="source files to lint (default: every .py under src/repro)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repo root (default: auto-detected from this package)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the machine-readable report"
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also list baselined/suppressed findings and the overflow report",
+    )
+    parser.add_argument(
+        "--fail-on-new",
+        action="store_true",
+        help="exit 1 when findings outside the baseline exist (the default; "
+        "spelled out so the CI invocation documents itself)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline file (default: <root>/lint-baseline.json)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: report grandfathered findings as new",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to report (others still run, not shown)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        root = (args.root or default_repo_root()).resolve()
+    except RuntimeError as exc:
+        print(f"repro.lint: {exc}", file=sys.stderr)
+        return 2
+    baseline_path = args.baseline or root / "lint-baseline.json"
+    paths = [path.resolve() for path in args.paths] or None
+    if paths is not None:
+        for path in paths:
+            if not path.is_file():
+                print(f"repro.lint: no such file: {path}", file=sys.stderr)
+                return 2
+    rules = None
+    if args.rules:
+        rules = {rule.strip() for rule in args.rules.split(",") if rule.strip()}
+    result = run_lint(
+        root,
+        baseline_path=baseline_path,
+        use_baseline=not (args.no_baseline or args.write_baseline),
+        paths=paths,
+        rules=rules,
+    )
+    if args.write_baseline:
+        counts = save_baseline(baseline_path, result.new)
+        print(
+            f"repro.lint: wrote {len(counts)} baseline keys "
+            f"({len(result.new)} findings) to {baseline_path}"
+        )
+        return 0
+    if args.json:
+        print(json.dumps(result.to_json(), indent=2))
+    else:
+        print(result.render_text(verbose=args.verbose))
+    return result.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,207 @@
+"""Finding model, pragma suppression, and the grandfathered-findings baseline.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+:attr:`~Finding.key` deliberately excludes the line number so the committed
+baseline survives unrelated edits above a grandfathered site; the message is
+part of the key so two distinct violations in one file never collapse.
+
+Suppression is per-line: ``# lint: allow[rule-id] reason`` on the offending
+line (or on a comment-only line directly above it) suppresses that rule
+there.  The reason is mandatory -- a pragma without one is itself reported
+(``lint-pragma``) and does not suppress anything, so silent waivers cannot
+accumulate.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "BASELINE_VERSION",
+    "Finding",
+    "PragmaIndex",
+    "load_baseline",
+    "save_baseline",
+]
+
+BASELINE_VERSION = 1
+
+_PRAGMA_RE = re.compile(r"#\s*lint:\s*allow\[(?P<rules>[^\]]*)\](?P<reason>.*)$")
+
+
+def _iter_comments(source: str) -> list[tuple[int, str, int]]:
+    """``(lineno, comment_text, col)`` for every real comment token.
+
+    Tokenizing (rather than scanning lines) keeps pragma syntax quoted in
+    docstrings or string literals from registering as live pragmas.
+    """
+    import io
+    import tokenize
+
+    comments: list[tuple[int, str, int]] = []
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                comments.append((token.start[0], token.string, token.start[1]))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        pass  # unparseable tails; the AST parse reports the real error
+    return comments
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is repo-relative with ``/`` separators so keys are stable
+    across machines and operating systems.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    @property
+    def key(self) -> str:
+        """Stable identity used by the baseline (line numbers excluded)."""
+        return f"{self.rule}::{self.path}::{self.message}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "key": self.key,
+        }
+
+
+@dataclass
+class _Pragma:
+    rules: tuple[str, ...]
+    reason: str
+    line: int
+    used: bool = False
+
+
+@dataclass
+class PragmaIndex:
+    """Per-file index of ``# lint: allow[...]`` pragmas.
+
+    Build one per source file with :meth:`from_source`; ask it whether a
+    finding is suppressed with :meth:`suppresses`.  Pragmas missing a
+    reason, and pragmas that suppressed nothing by the end of the run, are
+    surfaced as findings of their own via :meth:`pragma_findings` /
+    :meth:`unused_findings` so the suppression layer stays auditable.
+    """
+
+    path: str
+    by_line: dict[int, _Pragma] = field(default_factory=dict)
+    malformed: list[Finding] = field(default_factory=list)
+
+    @classmethod
+    def from_source(cls, path: str, source: str) -> "PragmaIndex":
+        index = cls(path=path)
+        lines = source.splitlines()
+        for lineno, text, comment_col in _iter_comments(source):
+            match = _PRAGMA_RE.search(text)
+            if match is None:
+                continue
+            rules = tuple(
+                rule.strip() for rule in match.group("rules").split(",") if rule.strip()
+            )
+            reason = match.group("reason").strip()
+            if not rules or not reason:
+                index.malformed.append(
+                    Finding(
+                        rule="lint-pragma",
+                        path=path,
+                        line=lineno,
+                        col=comment_col,
+                        message=(
+                            "pragma must name at least one rule and give a reason: "
+                            "'# lint: allow[rule-id] reason'"
+                        ),
+                    )
+                )
+                continue
+            pragma = _Pragma(rules=rules, reason=reason, line=lineno)
+            # The pragma covers its own line; a comment-only pragma line also
+            # covers the next line, so multi-line statements can be annotated
+            # above rather than by stretching the first physical line.
+            index.by_line[lineno] = pragma
+            line_text = lines[lineno - 1] if lineno <= len(lines) else ""
+            if not line_text[:comment_col].strip() and lineno + 1 not in index.by_line:
+                index.by_line[lineno + 1] = pragma
+        return index
+
+    def suppresses(self, finding: Finding) -> str | None:
+        """The pragma reason when ``finding`` is suppressed, else ``None``."""
+        pragma = self.by_line.get(finding.line)
+        if pragma is not None and finding.rule in pragma.rules:
+            pragma.used = True
+            return pragma.reason
+        return None
+
+    def pragma_findings(self) -> list[Finding]:
+        return list(self.malformed)
+
+    def unused_findings(self) -> list[Finding]:
+        seen: set[int] = set()
+        findings = []
+        for pragma in self.by_line.values():
+            if pragma.used or pragma.line in seen:
+                continue
+            seen.add(pragma.line)
+            findings.append(
+                Finding(
+                    rule="lint-pragma",
+                    path=self.path,
+                    line=pragma.line,
+                    col=0,
+                    message=(
+                        "unused pragma allow[%s]: nothing to suppress here"
+                        % ", ".join(pragma.rules)
+                    ),
+                )
+            )
+        return findings
+
+
+def load_baseline(path: Path) -> dict[str, int]:
+    """Load ``{finding key: grandfathered count}`` (missing file = empty)."""
+    if not path.exists():
+        return {}
+    payload = json.loads(path.read_text())
+    if payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {payload.get('version')!r} in {path}"
+        )
+    findings = payload.get("findings", {})
+    return {str(key): int(count) for key, count in findings.items()}
+
+
+def save_baseline(path: Path, findings: list[Finding]) -> dict[str, int]:
+    """Write the baseline for ``findings`` and return its key counts."""
+    counts: dict[str, int] = {}
+    for finding in findings:
+        counts[finding.key] = counts.get(finding.key, 0) + 1
+    payload = {
+        "version": BASELINE_VERSION,
+        "comment": (
+            "Grandfathered repro.lint findings. Regenerate with "
+            "'python -m repro.lint --write-baseline' after reviewing that "
+            "every remaining entry is intentional."
+        ),
+        "findings": dict(sorted(counts.items())),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    return counts

@@ -1,0 +1,233 @@
+"""Parse the repo once, run every checker, fold pragmas and the baseline.
+
+The runner owns everything rule-agnostic: discovering and parsing source
+files into a :class:`Project`, handing the whole project to each checker
+(checkers are cross-file -- wire exhaustiveness reads ``wire.py`` *and*
+``net.py``), applying per-line pragma suppression, splitting what remains
+into new vs baselined findings, and rendering text/JSON reports.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.findings import Finding, PragmaIndex, load_baseline
+
+__all__ = [
+    "LintResult",
+    "Project",
+    "SourceModule",
+    "default_checkers",
+    "default_repo_root",
+    "load_project",
+    "run_lint",
+]
+
+
+@dataclass
+class SourceModule:
+    """One parsed source file, keyed by repo-relative posix path."""
+
+    path: str
+    abspath: Path
+    source: str
+    tree: ast.Module
+    pragmas: PragmaIndex
+
+
+@dataclass
+class Project:
+    """Every parsed module the checkers may look at."""
+
+    root: Path
+    modules: dict[str, SourceModule] = field(default_factory=dict)
+    parse_errors: list[Finding] = field(default_factory=list)
+
+    def get(self, path: str) -> SourceModule | None:
+        return self.modules.get(path)
+
+    def add_file(self, abspath: Path) -> None:
+        relpath = abspath.relative_to(self.root).as_posix()
+        source = abspath.read_text()
+        try:
+            tree = ast.parse(source, filename=str(abspath))
+        except SyntaxError as exc:
+            self.parse_errors.append(
+                Finding(
+                    rule="lint-parse",
+                    path=relpath,
+                    line=int(exc.lineno or 1),
+                    col=int(exc.offset or 0),
+                    message=f"could not parse: {exc.msg}",
+                )
+            )
+            return
+        self.modules[relpath] = SourceModule(
+            path=relpath,
+            abspath=abspath,
+            source=source,
+            tree=tree,
+            pragmas=PragmaIndex.from_source(relpath, source),
+        )
+
+
+def default_repo_root() -> Path:
+    """The checkout root: the directory holding ``src/repro``."""
+    candidate = Path(__file__).resolve().parents[3]
+    if (candidate / "src" / "repro").is_dir():
+        return candidate
+    probe = Path.cwd()
+    for parent in (probe, *probe.parents):
+        if (parent / "src" / "repro").is_dir():
+            return parent
+    raise RuntimeError("cannot locate the repo root (no src/repro found)")
+
+
+def load_project(root: Path, paths: list[Path] | None = None) -> Project:
+    """Parse ``paths`` (default: every ``.py`` under ``src/repro``)."""
+    project = Project(root=root)
+    if paths is None:
+        paths = sorted((root / "src" / "repro").rglob("*.py"))
+    for path in paths:
+        project.add_file(path.resolve())
+    return project
+
+
+def default_checkers() -> list:
+    from repro.lint.locks import LockChecker
+    from repro.lint.overflow import OverflowChecker
+    from repro.lint.purity import PurityChecker
+    from repro.lint.wirecheck import WireChecker
+
+    return [PurityChecker(), OverflowChecker(), LockChecker(), WireChecker()]
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced, split by disposition."""
+
+    root: Path
+    new: list[Finding]
+    baselined: list[Finding]
+    suppressed: list[tuple[Finding, str]]
+    overflow_report: list[dict]
+    baseline: dict[str, int]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.new else 0
+
+    def to_json(self) -> dict:
+        return {
+            "version": 1,
+            "root": str(self.root),
+            "summary": {
+                "new": len(self.new),
+                "baselined": len(self.baselined),
+                "suppressed": len(self.suppressed),
+                "overflow_sites": len(self.overflow_report),
+            },
+            "findings": [finding.to_json() for finding in self.new],
+            "baselined": [finding.to_json() for finding in self.baselined],
+            "suppressed": [
+                dict(finding.to_json(), reason=reason)
+                for finding, reason in self.suppressed
+            ],
+            "overflow_report": list(self.overflow_report),
+        }
+
+    def render_text(self, verbose: bool = False) -> str:
+        lines: list[str] = []
+        for finding in self.new:
+            lines.append(finding.render())
+        if verbose:
+            for finding in self.baselined:
+                lines.append(f"{finding.render()} (baselined)")
+            for finding, reason in self.suppressed:
+                lines.append(f"{finding.render()} (suppressed: {reason})")
+            for site in self.overflow_report:
+                lines.append(
+                    "overflow site %s:%s %s: worst %s bits, headroom %s bits [%s]"
+                    % (
+                        site["path"],
+                        site["line"],
+                        site["where"],
+                        site["worst_bits"],
+                        site["headroom_bits"],
+                        site["status"],
+                    )
+                )
+        lines.append(
+            "repro.lint: %d new, %d baselined, %d suppressed, "
+            "%d overflow sites proven"
+            % (
+                len(self.new),
+                len(self.baselined),
+                len(self.suppressed),
+                len(self.overflow_report),
+            )
+        )
+        return "\n".join(lines)
+
+
+def run_lint(
+    root: Path | None = None,
+    *,
+    checkers: list | None = None,
+    baseline_path: Path | None = None,
+    use_baseline: bool = True,
+    paths: list[Path] | None = None,
+    rules: set[str] | None = None,
+) -> LintResult:
+    """Run every checker and fold pragmas + baseline into a result.
+
+    ``rules`` restricts reporting (not checking) to the named rule ids;
+    pragma bookkeeping findings (``lint-pragma``) are always kept.
+    """
+    root = (root or default_repo_root()).resolve()
+    project = load_project(root, paths=paths)
+    raw: list[Finding] = list(project.parse_errors)
+    overflow_report: list[dict] = []
+    for checker in checkers if checkers is not None else default_checkers():
+        raw.extend(checker.run(project))
+        overflow_report.extend(getattr(checker, "site_report", ()))
+
+    kept: list[Finding] = []
+    suppressed: list[tuple[Finding, str]] = []
+    for finding in raw:
+        module = project.get(finding.path)
+        reason = module.pragmas.suppresses(finding) if module else None
+        if reason is not None:
+            suppressed.append((finding, reason))
+        else:
+            kept.append(finding)
+    # Pragma hygiene runs after suppression so "used" state is final.
+    for module in project.modules.values():
+        kept.extend(module.pragmas.pragma_findings())
+        kept.extend(module.pragmas.unused_findings())
+
+    if rules is not None:
+        kept = [f for f in kept if f.rule in rules or f.rule.startswith("lint-")]
+
+    if baseline_path is None:
+        baseline_path = root / "lint-baseline.json"
+    baseline = load_baseline(baseline_path) if use_baseline else {}
+    remaining = dict(baseline)
+    new: list[Finding] = []
+    baselined: list[Finding] = []
+    for finding in sorted(kept, key=lambda f: (f.path, f.line, f.rule)):
+        if remaining.get(finding.key, 0) > 0:
+            remaining[finding.key] -= 1
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    return LintResult(
+        root=root,
+        new=new,
+        baselined=baselined,
+        suppressed=suppressed,
+        overflow_report=overflow_report,
+        baseline=baseline,
+    )

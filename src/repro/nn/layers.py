@@ -23,7 +23,7 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
-from repro.nn.initializers import Initializer, HeNormal, Zeros, get_initializer
+from repro.nn.initializers import Initializer, get_initializer
 
 __all__ = [
     "Layer",

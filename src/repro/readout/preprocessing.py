@@ -18,8 +18,6 @@ bit-for-bit so the float pipeline and the fixed-point emulator agree.
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 
 from repro.readout.matched_filter import MatchedFilter, train_matched_filter

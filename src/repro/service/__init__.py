@@ -39,6 +39,15 @@ frame, ``python -m repro.service.telemetry host:port``), and SLO-bounded
 admission control (``slo_budget_ms=...``).
 """
 
+import os as _os
+
+if _os.environ.get("REPRO_LOCKSAN") == "1":
+    # Opt-in runtime lock-order sanitizer: installed before any service
+    # object exists so every repro-created lock is wrapped from birth.
+    from repro.service import locksan as _locksan
+
+    _locksan.install()
+
 from repro.service.service import ReadoutService, ServiceStats
 from repro.service.sharding import partition_qubits, replica_addresses
 from repro.service.retry import RetryPolicy

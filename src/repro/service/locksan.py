@@ -1,0 +1,182 @@
+"""Opt-in runtime lock-order sanitizer (``REPRO_LOCKSAN=1``).
+
+The static checker (:mod:`repro.lint.locks`) proves guarded fields are
+written under their locks; what it cannot see is the *order* two locks are
+taken in across threads -- the AB/BA pattern that deadlocks only under the
+right interleaving.  This module catches it at test time:
+
+- :func:`install` replaces ``threading.Lock`` with a factory that wraps
+  locks created *by repro code* (the creating frame's module starts with
+  ``repro.``) in a recording proxy; everything else gets a plain lock.
+- Each proxy is labelled by its creation site (``module:line``), so the
+  ordering graph generalizes across instances: two histogram locks born on
+  the same line are one node.
+- Acquiring B while holding A records the edge ``A -> B``.  If ``B -> A``
+  was ever observed -- including ``A -> A`` between two *different*
+  instances from one site, the classic unordered-pair hazard -- a
+  :class:`LockOrderViolation` is raised at the acquisition point and
+  recorded for :func:`violations`.
+
+Enable it for a test run with ``REPRO_LOCKSAN=1`` (activated by
+``repro.service.__init__``); the ``tests/service`` suite asserts at session
+end that no inversion was observed.  The proxy adds two dict operations per
+acquisition, so keep it out of benchmark runs.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = [
+    "LockOrderViolation",
+    "install",
+    "uninstall",
+    "installed",
+    "violations",
+    "reset",
+]
+
+
+class LockOrderViolation(RuntimeError):
+    """Two locks were acquired in opposite orders (potential deadlock)."""
+
+
+_real_lock = None  # the unpatched threading.Lock while installed
+_graph_lock = threading.Lock()  # guards _edges/_violations (never wrapped)
+_edges: dict[tuple[str, str], str] = {}  # (held_site, acquired_site) -> thread
+_violations: list[str] = []
+_held = threading.local()  # per-thread stack of (site, lock id)
+
+
+def _held_stack() -> list[tuple[str, int]]:
+    stack = getattr(_held, "stack", None)
+    if stack is None:
+        stack = _held.stack = []
+    return stack
+
+
+class _SanitizedLock:
+    """Delegating proxy recording acquisition order by creation site."""
+
+    __slots__ = ("_lock", "_site")
+
+    def __init__(self, lock, site: str) -> None:
+        self._lock = lock
+        self._site = site
+
+    # ------------------------------------------------------------- recording
+    def _before_acquire(self) -> None:
+        stack = _held_stack()
+        if not stack:
+            return
+        held_site, held_id = stack[-1]
+        if held_id == id(self):
+            return  # re-acquiring the same instance deadlocks regardless;
+            # let the real lock exhibit it rather than mislabel it.
+        edge = (held_site, self._site)
+        reverse = (self._site, held_site)
+        with _graph_lock:
+            other = _edges.get(reverse)
+            if other is not None and edge != reverse:
+                message = (
+                    f"lock-order inversion: acquiring {self._site} while "
+                    f"holding {held_site} in {threading.current_thread().name}, "
+                    f"but the opposite order was taken in {other}"
+                )
+            elif edge == reverse:
+                # Same creation site, different instances: an unordered pair.
+                message = (
+                    f"lock-order hazard: two locks created at {self._site} "
+                    f"acquired nested in {threading.current_thread().name} "
+                    "(no global order between sibling instances)"
+                )
+            else:
+                _edges.setdefault(edge, threading.current_thread().name)
+                return
+            _violations.append(message)
+        raise LockOrderViolation(message)
+
+    def _after_acquire(self) -> None:
+        _held_stack().append((self._site, id(self)))
+
+    def _after_release(self) -> None:
+        stack = _held_stack()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index][1] == id(self):
+                del stack[index]
+                return
+
+    # ------------------------------------------------------------ lock API
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        self._before_acquire()
+        got = self._lock.acquire(blocking, timeout)
+        if got:
+            self._after_acquire()
+        return got
+
+    def release(self) -> None:
+        self._lock.release()
+        self._after_release()
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def _at_fork_reinit(self) -> None:  # pragma: no cover - fork paths
+        self._lock._at_fork_reinit()
+        _held.stack = []
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<SanitizedLock {self._site} wrapping {self._lock!r}>"
+
+
+def _lock_factory():
+    import sys
+
+    frame = sys._getframe(1)
+    module = frame.f_globals.get("__name__", "")
+    real = _real_lock()
+    if not module.startswith("repro."):
+        return real
+    return _SanitizedLock(real, f"{module}:{frame.f_lineno}")
+
+
+def install() -> None:
+    """Patch ``threading.Lock`` to sanitize repro-created locks.  Idempotent."""
+    global _real_lock
+    if _real_lock is not None:
+        return
+    _real_lock = threading.Lock
+    threading.Lock = _lock_factory
+
+
+def uninstall() -> None:
+    """Restore the real ``threading.Lock`` (existing proxies keep working)."""
+    global _real_lock
+    if _real_lock is None:
+        return
+    threading.Lock = _real_lock
+    _real_lock = None
+
+
+def installed() -> bool:
+    return _real_lock is not None
+
+
+def violations() -> list[str]:
+    """Every inversion observed since the last :func:`reset`."""
+    with _graph_lock:
+        return list(_violations)
+
+
+def reset() -> None:
+    """Clear the ordering graph and recorded violations."""
+    with _graph_lock:
+        _edges.clear()
+        _violations.clear()
+    _held.stack = []

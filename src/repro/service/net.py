@@ -240,7 +240,8 @@ class ReadoutServer:
             "supports_raw": self._engine.supports_raw,
             "shard_layout": manifest.get("shard_layout"),
         }
-        self._requests_served = 0
+        with self._served_lock:
+            self._requests_served = 0
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         listener.bind(self._requested)
@@ -383,7 +384,7 @@ class ReadoutServer:
                 return wire.encode_metrics(self.metrics())
             if kind != wire.REQUEST:
                 raise wire.WireFormatError(
-                    f"ReadoutServer answers REQUEST, INFO_REQUEST, and "
+                    "ReadoutServer answers REQUEST, INFO_REQUEST, and "
                     f"METRICS_REQUEST frames, got kind {kind}"
                 )
             wire_meta = wire.decode_request_wire_meta(frame)
@@ -527,7 +528,7 @@ class _FramedConnection:
             self.drop()
             raise TransportError(
                 f"Readout server at {self.address} closed the connection "
-                f"before answering"
+                "before answering"
             )
         return reply
 
@@ -737,7 +738,7 @@ class TcpShardTransport:
         if self._closed:
             raise RuntimeError(
                 f"Shard {self.shard_index} transport is closed; submit() after "
-                f"close() is a protocol violation"
+                "close() is a protocol violation"
             )
         self._conn.send(wire.encode_request(request, wire_meta))
         self._pending.append(job_id)
@@ -891,7 +892,7 @@ class ReplicatedTcpShardTransport:
                 if self._should_abort():
                     raise TransportError(
                         f"Shard {self.shard_index} failover aborted: the "
-                        f"service is closing"
+                        "service is closing"
                     )
                 conn = self._conns[candidate]
                 conn.drop()  # a stale socket to a restarted server must redial
@@ -942,7 +943,7 @@ class ReplicatedTcpShardTransport:
         if self._closed:
             raise RuntimeError(
                 f"Shard {self.shard_index} transport is closed; submit() after "
-                f"close() is a protocol violation"
+                "close() is a protocol violation"
             )
         frame = wire.encode_request(
             request,

@@ -54,7 +54,6 @@ from repro.engine.request import (
 from repro.service.retry import RetryPolicy
 from repro.service.sharding import partition_qubits, replica_addresses
 from repro.service.telemetry import (
-    STAGES,
     AdmissionController,
     AdmissionError,
     TelemetryRecorder,
@@ -286,7 +285,7 @@ class ReadoutService:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
         if slo_budget_ms is not None and slo_budget_ms <= 0:
             raise ValueError(
-                f"slo_budget_ms must be > 0 (or None to admit everything), "
+                "slo_budget_ms must be > 0 (or None to admit everything), "
                 f"got {slo_budget_ms}"
             )
         if engine is None and bundle_dir is None and not shard_hosts:
@@ -395,7 +394,7 @@ class ReadoutService:
                 warnings.warn(
                     f"{len(self.shard_hosts)} shard_hosts exceed the "
                     f"{self.n_shards} available qubit groups; the extra hosts "
-                    f"are left unused",
+                    "are left unused",
                     stacklevel=2,
                 )
                 self.shard_hosts = self.shard_hosts[: self.n_shards]
@@ -494,20 +493,20 @@ class ReadoutService:
                 warnings.warn(
                     f"n_shards={self.n_shards} exceeds the {len(groups)} "
                     f"available qubit groups; clamped to {len(groups)} shards "
-                    f"(an empty shard would be an idle worker)",
+                    "(an empty shard would be an idle worker)",
                     stacklevel=3,
                 )
             return groups
         flat = sorted(q for group in shard_groups for q in group)
         if flat != list(range(self._n_qubits)):
             raise ValueError(
-                f"shard_groups must cover every qubit exactly once, "
+                "shard_groups must cover every qubit exactly once, "
                 f"got {shard_groups} for {self._n_qubits} qubits"
             )
         if any(not group for group in shard_groups):
             warnings.warn(
                 f"shard_groups contains empty groups ({shard_groups}); "
-                f"dropping them (an empty shard would be an idle worker)",
+                "dropping them (an empty shard would be an idle worker)",
                 stacklevel=3,
             )
             shard_groups = [group for group in shard_groups if group]
@@ -867,7 +866,7 @@ class ReadoutService:
         raise AdmissionError(
             f"predicted queue wait {predicted_ms:.1f} ms exceeds the "
             f"{budget_ms:.1f} ms SLO budget ({depth} queued request(s) "
-            f"ahead)",
+            "ahead)",
             trace_id=trace_id,
             predicted_wait_ms=predicted_ms,
             budget_ms=budget_ms,

@@ -62,7 +62,7 @@ def replica_addresses(entry) -> list:
         items = list(entry)
     except TypeError:
         raise ValueError(
-            f"shard placement must be 'host:port', (host, port), or a list "
+            "shard placement must be 'host:port', (host, port), or a list "
             f"of replica addresses, got {entry!r}"
         ) from None
     if not items:
@@ -102,7 +102,7 @@ def partition_qubits(
         flat = [qubit for group in atomic_groups for qubit in group]
         if sorted(flat) != list(range(n_qubits)):
             raise ValueError(
-                f"atomic_groups must cover every qubit index exactly once, "
+                "atomic_groups must cover every qubit index exactly once, "
                 f"got {atomic_groups} for {n_qubits} qubits"
             )
         # An empty atomic group carries no constraint and must not become an

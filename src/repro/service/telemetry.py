@@ -196,7 +196,7 @@ class LatencyHistogram:
         )
         if layout != (self.floor_s, self.ceiling_s, self.buckets_per_decade):
             raise ValueError(
-                f"Cannot merge histograms with different bucket layouts: "
+                "Cannot merge histograms with different bucket layouts: "
                 f"{layout} vs "
                 f"{(self.floor_s, self.ceiling_s, self.buckets_per_decade)}"
             )

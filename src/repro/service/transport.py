@@ -280,7 +280,7 @@ class LocalProcessTransport:
         if self._closed:
             raise RuntimeError(
                 f"Shard {self.shard_index} transport is closed; submit() after "
-                f"close() is a protocol violation"
+                "close() is a protocol violation"
             )
         descriptor, segment = _pack_frame(
             wire.encode_request_chunks(request, wire_meta)
@@ -295,7 +295,7 @@ class LocalProcessTransport:
             self._release(job_id)
             raise RuntimeError(
                 f"Shard {self.shard_index} transport is closed; submit() after "
-                f"close() is a protocol violation"
+                "close() is a protocol violation"
             ) from None
 
     def collect(self, job_id: int) -> ReadoutResult:
@@ -318,7 +318,7 @@ class LocalProcessTransport:
                             f"Shard {self.shard_index} worker died (exit code "
                             f"{self.process.exitcode}) before answering job "
                             f"{job_id}; check that every worker can load the "
-                            f"bundle"
+                            "bundle"
                         ) from None
         finally:
             self._release(job_id)
@@ -351,12 +351,12 @@ class LocalProcessTransport:
         if self._closed:
             raise RuntimeError(
                 f"Shard {self.shard_index} transport is closed; respawn() "
-                f"after close() is a protocol violation"
+                "after close() is a protocol violation"
             )
         if self._spawn_args is None:
             raise RuntimeError(
                 f"Shard {self.shard_index} transport was not built by "
-                f"spawn_local_shards and cannot respawn"
+                "spawn_local_shards and cannot respawn"
             )
         if self.process.is_alive():  # pragma: no cover - defensive reap
             self.process.terminate()

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.config import FNN_A, FNN_B, StudentArchitecture, TrainingConfig
+from repro.core.config import FNN_A, FNN_B, StudentArchitecture
 from repro.core.student import StudentModel, build_student_network
 
 

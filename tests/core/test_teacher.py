@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.config import TeacherArchitecture, TrainingConfig
+from repro.core.config import TeacherArchitecture
 from repro.core.teacher import TeacherModel, build_teacher_network, flatten_traces
 
 

@@ -1,0 +1,27 @@
+"""Fixtures for the repro.lint tests.
+
+``fixture_project`` parses files from ``tests/lint/fixtures/`` into a
+:class:`~repro.lint.runner.Project` rooted at the fixtures directory, so
+checker scopes use short repo-relative keys like ``"purity_bad.py"``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint.runner import Project
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+@pytest.fixture()
+def fixture_project():
+    def build(*names: str) -> Project:
+        project = Project(root=FIXTURES)
+        for name in names:
+            project.add_file(FIXTURES / name)
+        return project
+
+    return build

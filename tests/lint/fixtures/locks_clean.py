@@ -1,0 +1,24 @@
+"""Fixture: the same class with every guarded access under its lock."""
+
+import threading
+import time
+
+
+class Stats:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+        self._events = []
+
+    def bump(self):
+        with self._lock:
+            self._count += 1
+
+    def record(self, event):
+        with self._lock:
+            self._events.append(event)
+
+    def snapshot(self):
+        time.sleep(0.01)
+        with self._lock:
+            return self._count

@@ -1,0 +1,14 @@
+"""Fixture: one multiply site behind a runtime magnitude gate.
+
+The overflow checker's tests pair this file with different proof ledgers:
+no proof (unproven), a proof pinned to the ``abs(a) > 1048576`` gate
+(proven / voided when the gate text changes), and a proof whose worst-case
+bits exceed int64 (hard violation).
+"""
+
+
+class Mod:
+    def forward(self, a, b):
+        if abs(a) > 1048576:
+            raise ValueError("operand out of range")
+        return a * b

@@ -1,0 +1,22 @@
+"""Fixture: pragma suppression shapes.
+
+Pragma syntax quoted in a docstring must stay inert:
+``# lint: allow[float-in-fpga] quoted in prose``.
+"""
+
+
+class Demo:
+    def forward(self, raw):
+        scale = 0.5  # lint: allow[float-in-fpga] fixture: same-line pragma
+        # lint: allow[float-in-fpga] fixture: comment line covers the next line
+        ratio = raw / 4
+        bad = raw / 2
+        return scale, ratio, bad
+
+    def broken(self, raw):
+        worse = 1.5  # lint: allow[float-in-fpga]
+        return worse
+
+    def spare(self, raw):
+        # lint: allow[float-in-fpga] fixture: nothing here to suppress
+        return raw + 1

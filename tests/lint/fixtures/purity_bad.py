@@ -1,0 +1,23 @@
+"""Fixture: float leaks in a fixed-point datapath (purity checker).
+
+Each statement in ``forward`` is one distinct way float contamination
+enters a raw path; ``to_float`` is the declared dequantization boundary.
+"""
+
+import math
+
+import numpy as np
+
+
+class Datapath:
+    def forward(self, raw):
+        scale = 0.5
+        ratio = raw / 4
+        angle = math.cos(ratio)
+        mean = np.mean(raw)
+        widened = raw.astype(np.float64)
+        scratch = np.empty(raw.shape)
+        return scale, angle, mean, widened, scratch
+
+    def to_float(self, raw):
+        return raw / 65536.0

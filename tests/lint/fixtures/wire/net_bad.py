@@ -1,0 +1,28 @@
+"""Fixture: a server/client pair that forgets the SWAP frames.
+
+``Server._reply_for`` never dispatches ``SWAP_REQUEST`` and no ``Client``
+method calls ``decode_swap``, so ``SWAP_DONE`` is undecodable -- the two
+findings the wire checker must produce.
+"""
+
+import wire
+
+
+class Server:
+    def _reply_for(self, kind, payload):
+        if kind == wire.REQUEST:
+            return wire.RESULT, payload
+        if kind == wire.PING_REQUEST:
+            return wire.PONG, payload
+        return wire.ERROR, payload
+
+
+class Client:
+    def call(self, payload):
+        return wire.decode_result(payload)
+
+    def ping(self, payload):
+        return wire.decode_pong(payload)
+
+    def on_error(self, payload):
+        return wire.decode_error(payload)

@@ -1,0 +1,28 @@
+"""Fixture: the complete server/client pair the wire checker must pass."""
+
+import wire
+
+
+class Server:
+    def _reply_for(self, kind, payload):
+        if kind == wire.REQUEST:
+            return wire.RESULT, payload
+        if kind == wire.PING_REQUEST:
+            return wire.PONG, payload
+        if kind == wire.SWAP_REQUEST:
+            return wire.SWAP_DONE, payload
+        return wire.ERROR, payload
+
+
+class Client:
+    def call(self, payload):
+        return wire.decode_result(payload)
+
+    def ping(self, payload):
+        return wire.decode_pong(payload)
+
+    def swap(self, payload):
+        return wire.decode_swap(payload)
+
+    def on_error(self, payload):
+        return wire.decode_error(payload)

@@ -1,0 +1,25 @@
+"""Fixture: a miniature wire module for the exhaustiveness checker."""
+
+WIRE_VERSION = 99
+
+REQUEST, RESULT, ERROR = 1, 2, 3
+PING_REQUEST = 4
+PONG = 5
+SWAP_REQUEST = 6
+SWAP_DONE = 7
+
+
+def decode_result(payload):
+    return RESULT, payload
+
+
+def decode_pong(payload):
+    return PONG, payload
+
+
+def decode_swap(payload):
+    return SWAP_DONE, payload
+
+
+def decode_error(payload):
+    return ERROR, payload

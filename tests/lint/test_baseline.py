@@ -1,0 +1,81 @@
+"""Baseline round-trip: grandfathering, counts, and version checks."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint.findings import Finding, load_baseline, save_baseline
+from repro.lint.purity import PurityChecker, PurityScope
+from repro.lint.runner import run_lint
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+SCOPE = {"purity_bad.py": PurityScope(mode="all", allow=frozenset({"to_float"}))}
+
+
+def _run(tmp_path: Path, use_baseline: bool = True):
+    return run_lint(
+        FIXTURES,
+        checkers=[PurityChecker(scope=SCOPE)],
+        baseline_path=tmp_path / "baseline.json",
+        use_baseline=use_baseline,
+        paths=[FIXTURES / "purity_bad.py"],
+    )
+
+
+def test_round_trip_counts_duplicate_keys(tmp_path):
+    finding = Finding(rule="r", path="p.py", line=3, col=0, message="m")
+    twin = Finding(rule="r", path="p.py", line=9, col=0, message="m")
+    other = Finding(rule="r2", path="p.py", line=1, col=0, message="m2")
+    path = tmp_path / "baseline.json"
+    counts = save_baseline(path, [finding, twin, other])
+    assert counts == {finding.key: 2, other.key: 1}
+    assert load_baseline(path) == counts
+
+
+def test_missing_baseline_is_empty(tmp_path):
+    assert load_baseline(tmp_path / "absent.json") == {}
+
+
+def test_unsupported_version_is_rejected(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text('{"version": 999, "findings": {}}')
+    with pytest.raises(ValueError, match="unsupported baseline version"):
+        load_baseline(path)
+
+
+def test_grandfathered_findings_do_not_fail(tmp_path):
+    fresh = _run(tmp_path, use_baseline=False)
+    assert fresh.exit_code == 1
+    assert len(fresh.new) == 6
+    save_baseline(tmp_path / "baseline.json", fresh.new)
+
+    gated = _run(tmp_path)
+    assert gated.exit_code == 0
+    assert gated.new == []
+    assert len(gated.baselined) == 6
+
+
+def test_findings_beyond_the_baselined_count_are_new(tmp_path):
+    fresh = _run(tmp_path, use_baseline=False)
+    # Grandfather everything except one finding: exactly one stays new.
+    save_baseline(tmp_path / "baseline.json", fresh.new[:-1])
+    gated = _run(tmp_path)
+    assert gated.exit_code == 1
+    assert len(gated.new) == 1
+    assert len(gated.baselined) == 5
+
+
+def test_baseline_keys_survive_line_drift():
+    before = Finding(rule="r", path="p.py", line=10, col=0, message="m")
+    after = Finding(rule="r", path="p.py", line=400, col=7, message="m")
+    assert before.key == after.key
+
+
+def test_repo_baseline_is_empty():
+    """The committed baseline grandfathers nothing: the tree is clean."""
+    from repro.lint.runner import default_repo_root
+
+    baseline = load_baseline(default_repo_root() / "lint-baseline.json")
+    assert baseline == {}

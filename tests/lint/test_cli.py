@@ -1,0 +1,106 @@
+"""The ``python -m repro.lint`` CLI: exit codes, JSON schema, repo gate."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+
+SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+
+def _lint(*argv: str, cwd: Path | None = None) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *argv],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=cwd,
+    )
+
+
+@pytest.fixture()
+def violating_repo(tmp_path: Path) -> Path:
+    """A minimal repo whose datapath leaks a float literal."""
+    fpga = tmp_path / "src" / "repro" / "fpga"
+    fpga.mkdir(parents=True)
+    fpga.joinpath("modules.py").write_text(
+        "class AverageModule:\n"
+        "    def forward(self, raw):\n"
+        "        return raw * 0.5\n"
+    )
+    return tmp_path
+
+
+def test_repo_is_clean():
+    """The committed tree passes its own lint gate (the CI invocation)."""
+    result = _lint("--fail-on-new")
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "0 new" in result.stdout
+
+
+def test_seeded_violation_fails_the_gate(violating_repo):
+    result = _lint("--root", str(violating_repo), "--fail-on-new")
+    assert result.returncode == 1
+    assert "[float-in-fpga]" in result.stdout
+
+
+def test_json_report_schema(violating_repo):
+    result = _lint("--root", str(violating_repo), "--json")
+    assert result.returncode == 1
+    payload = json.loads(result.stdout)
+    assert payload["version"] == 1
+    assert set(payload["summary"]) == {
+        "new",
+        "baselined",
+        "suppressed",
+        "overflow_sites",
+    }
+    assert payload["summary"]["new"] == len(payload["findings"]) > 0
+    finding = payload["findings"][0]
+    assert set(finding) == {"rule", "path", "line", "col", "message", "key"}
+    rules = {entry["rule"] for entry in payload["findings"]}
+    assert "float-in-fpga" in rules
+
+
+def test_write_baseline_then_gate_passes(violating_repo):
+    wrote = _lint("--root", str(violating_repo), "--write-baseline")
+    assert wrote.returncode == 0
+    assert (violating_repo / "lint-baseline.json").is_file()
+    gated = _lint("--root", str(violating_repo), "--fail-on-new")
+    assert gated.returncode == 0
+
+
+def test_unknown_path_is_a_usage_error(tmp_path):
+    result = _lint(str(tmp_path / "nope.py"))
+    assert result.returncode == 2
+    assert "no such file" in result.stderr
+
+
+def test_rules_filter_limits_the_report(violating_repo):
+    result = _lint("--root", str(violating_repo), "--rules", "wire-unhandled-frame")
+    # The float leak still runs but is filtered from the report; with no
+    # wire findings in this tiny repo the gate passes.
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_repo_overflow_report_covers_every_mac_site():
+    """--verbose lists a proven headroom line for modules.py and emulator.py."""
+    result = _lint("--verbose", "--no-baseline")
+    assert result.returncode == 0, result.stdout + result.stderr
+    sites = [
+        line
+        for line in result.stdout.splitlines()
+        if line.startswith("overflow site")
+    ]
+    assert any("src/repro/fpga/modules.py" in line for line in sites)
+    assert any("src/repro/fpga/emulator.py" in line for line in sites)
+    assert all("[proven]" in line for line in sites)

@@ -1,0 +1,64 @@
+"""Pragma suppression: same-line, line-above, malformed, unused, quoted."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint.findings import PragmaIndex
+from repro.lint.purity import PurityChecker, PurityScope
+from repro.lint.runner import run_lint
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+SCOPE = {"pragma_demo.py": PurityScope(mode="all")}
+
+
+def _run():
+    return run_lint(
+        FIXTURES,
+        checkers=[PurityChecker(scope=SCOPE)],
+        use_baseline=False,
+        paths=[FIXTURES / "pragma_demo.py"],
+    )
+
+
+def test_same_line_and_line_above_pragmas_suppress():
+    result = _run()
+    suppressed = {finding.line: reason for finding, reason in result.suppressed}
+    assert 10 in suppressed  # scale = 0.5, same-line pragma
+    assert 12 in suppressed  # ratio = raw / 4, pragma on the line above
+    assert suppressed[10] == "fixture: same-line pragma"
+
+
+def test_unsuppressed_finding_still_reported():
+    result = _run()
+    float_findings = [f for f in result.new if f.rule == "float-in-fpga"]
+    assert sorted(f.line for f in float_findings) == [13, 17]
+
+
+def test_reasonless_pragma_is_malformed_and_suppresses_nothing():
+    result = _run()
+    malformed = [
+        f
+        for f in result.new
+        if f.rule == "lint-pragma" and "must name at least one rule" in f.message
+    ]
+    assert [f.line for f in malformed] == [17]
+    # ...and the float literal it sat next to is still reported (above).
+
+
+def test_unused_pragma_is_reported():
+    result = _run()
+    unused = [
+        f for f in result.new if f.rule == "lint-pragma" and "unused" in f.message
+    ]
+    assert [f.line for f in unused] == [21]
+
+
+def test_pragma_in_docstring_is_inert():
+    source = (FIXTURES / "pragma_demo.py").read_text()
+    index = PragmaIndex.from_source("pragma_demo.py", source)
+    # Only the four real comment pragmas register (lines 10, 11, 17, 21);
+    # 17 is malformed so it never reaches by_line.
+    assert set(p.line for p in index.by_line.values()) == {10, 11, 21}
+    assert [f.line for f in index.malformed] == [17]

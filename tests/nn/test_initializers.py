@@ -13,7 +13,6 @@ from repro.nn.initializers import (
     GlorotUniform,
     HeNormal,
     HeUniform,
-    Initializer,
     Zeros,
     get_initializer,
 )

@@ -113,8 +113,8 @@ class TestCopyAndConfig:
         config = student_like.get_config()
         rebuilt = Sequential.from_config(config)
         assert rebuilt.parameter_count() == student_like.parameter_count()
-        assert [type(l).__name__ for l in rebuilt.layers] == [
-            type(l).__name__ for l in student_like.layers
+        assert [type(layer).__name__ for layer in rebuilt.layers] == [
+            type(layer).__name__ for layer in student_like.layers
         ]
 
     def test_summary_mentions_every_layer(self, student_like):

@@ -52,5 +52,5 @@ class TestSaveLoad:
     def test_architecture_preserved(self, model, tmp_path):
         save_model(model, tmp_path / "m")
         restored = load_model(tmp_path / "m")
-        assert [type(l).__name__ for l in restored.layers] == ["Dense", "ReLU", "Dense"]
+        assert [type(layer).__name__ for layer in restored.layers] == ["Dense", "ReLU", "Dense"]
         assert restored.input_dim == 12

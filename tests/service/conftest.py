@@ -22,6 +22,22 @@ from repro.engine import FixedPointBackend, ReadoutEngine  # noqa: E402
 from repro.readout.preprocessing import digitize_traces  # noqa: E402
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _locksan_gate():
+    """Fail the session if the opt-in lock-order sanitizer saw an inversion.
+
+    Under ``REPRO_LOCKSAN=1`` (importing :mod:`repro.service` installs the
+    sanitizer) every lock acquired by repro code during these tests feeds
+    the ordering graph; an inversion raises at the acquisition point *and*
+    is re-asserted here so one swallowed worker exception cannot hide it.
+    """
+    from repro.service import locksan
+
+    yield
+    if locksan.installed():
+        assert locksan.violations() == []
+
+
 @pytest.fixture(scope="module")
 def service_engine() -> ReadoutEngine:
     """A three-qubit fixed-point engine from deterministic synthetic students."""

@@ -23,10 +23,18 @@ telemetry snapshot and a **remote** METRICS-frame snapshot fetched from a
 surviving replica (what ``python -m repro.service.telemetry HOST:PORT``
 prints against a production host).
 
+The run closes with the model-lifecycle story: publish the bundle to a
+versioned :class:`~repro.service.BundleRegistry`, let the
+:class:`~repro.service.RegistryWatcher` verify and adopt a "retrained"
+bundle out of the staging area, canary it against the baseline, promote
+it, and hot-swap back under queued load -- zero dropped requests and
+bit-identity on both sides of the swap barrier.
+
 CI runs this as its loopback network-serving smoke (exit code 5 when basic
 network serving breaks, 6 when only the failover demo breaks, 7 when only
-the metrics tail breaks -- all downgraded to warnings like the other
-non-blocking gates).  Run it with::
+the metrics tail breaks, 8 when only the model-lifecycle demo breaks --
+all downgraded to warnings like the other non-blocking gates).  Run it
+with::
 
     PYTHONPATH=src python examples/network_serving.py
 """
@@ -58,6 +66,9 @@ FAILOVER_FAILURE_EXIT_CODE = 6
 #: Distinct exit code for the telemetry tail ("observability broke"):
 #: serving and failover may both be fine when only the METRICS surface fails.
 METRICS_FAILURE_EXIT_CODE = 7
+#: Distinct exit code for the model-lifecycle demo ("hot swap broke"):
+#: steady-state serving may be fine when only registry/swap/canary fails.
+LIFECYCLE_FAILURE_EXIT_CODE = 8
 
 
 class MetricsSmokeFailure(Exception):
@@ -237,6 +248,82 @@ def run_failover() -> None:
     engine.close()
 
 
+def run_lifecycle() -> None:
+    """Publish, canary, promote, and hot-swap a new bundle with zero drops."""
+    from repro.service import BundleRegistry, RegistryWatcher
+
+    n_qubits, n_shots = 4, 64
+    engine_v1 = ReadoutEngine(
+        [FixedPointBackend(synthetic_parameters(seed=51 + q)) for q in range(n_qubits)]
+    )
+    engine_v2 = ReadoutEngine(
+        [FixedPointBackend(synthetic_parameters(seed=151 + q)) for q in range(n_qubits)]
+    )
+    rng = np.random.default_rng(13)
+    carriers = digitize_traces(
+        rng.uniform(-3.0, 3.0, size=(n_shots, n_qubits, 120, 2))
+    )
+    request = ReadoutRequest(raw=carriers, output="both")
+    ref_v1 = engine_v1.serve(request)
+    ref_v2 = engine_v2.serve(request)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        registry = BundleRegistry(Path(tmp) / "registry")
+        bundle_v1 = Path(tmp) / "train-out-v1"
+        engine_v1.save(bundle_v1)
+        version_v1 = registry.publish(bundle_v1)
+        print(f"\nPublished the deployment as registry version {version_v1!r} "
+              f"(bundle id {registry.bundle_id(version_v1)[:12]}...)")
+
+        # A retrain pipeline drops the new calibration into staging; the
+        # watcher verifies every checksum before adopting it as a version.
+        engine_v2.save(registry.staging_dir / "retrain-output")
+        watcher = RegistryWatcher(registry)
+        adopted = watcher.poll_once()
+        assert adopted, "the watcher did not adopt the staged bundle"
+        version_v2 = adopted[0]
+        print(f"Watcher verified and adopted staging/retrain-output as "
+              f"{version_v2!r}")
+
+        with ReadoutService(
+            registry=registry, bundle_dir=registry.resolve(version_v1)
+        ) as service:
+            # Canary first: a deterministic 25% of requests is answered by
+            # the candidate and bit-compared against the baseline.
+            service.swap_bundle(version_v2, canary_fraction=0.25)
+            for _ in range(8):
+                service.serve(request)
+            report = service.canary_report()
+            print(f"Canary {report.version!r}: {report.canary_requests} canaried "
+                  f"vs {report.baseline_requests} baseline requests, "
+                  f"{report.disagreements} disagreement(s)")
+            outcome = service.promote()
+            assert outcome["swapped"], "promote did not complete the swap"
+
+            # Hot swap back to v1 under queued load: requests submitted
+            # before the swap drain on the old engine, requests after it on
+            # the new -- zero drops, bit-identity on both sides.
+            pre = [service.submit(request) for _ in range(6)]
+            service.swap_bundle(version_v1)
+            post = [service.submit(request) for _ in range(6)]
+            for future in pre:
+                result = future.result(timeout=120)
+                assert np.array_equal(result.logits, ref_v2.logits), \
+                    "a pre-swap request was not served by the promoted engine"
+            for future in post:
+                result = future.result(timeout=120)
+                assert np.array_equal(result.logits, ref_v1.logits), \
+                    "a post-swap request was not served by the new engine"
+            stats = service.stats
+        assert stats.bundle_swaps == 2, "expected promote + swap-back"
+        assert stats.promotions == 1
+        print(f"Hot swaps: {stats.bundle_swaps} (1 promoted canary), "
+              f"{stats.requests_served} requests served, zero dropped, "
+              f"active version {stats.active_version!r}. Model lifecycle OK.")
+    engine_v1.close()
+    engine_v2.close()
+
+
 def main() -> int:
     import traceback
 
@@ -253,6 +340,11 @@ def main() -> int:
     except Exception:  # noqa: BLE001 - distinct code: only resilience broke
         traceback.print_exc()
         return FAILOVER_FAILURE_EXIT_CODE
+    try:
+        run_lifecycle()
+    except Exception:  # noqa: BLE001 - distinct code: only lifecycle broke
+        traceback.print_exc()
+        return LIFECYCLE_FAILURE_EXIT_CODE
     return 0
 
 

@@ -62,6 +62,8 @@ from repro.engine.engine import ReadoutEngine, serve_traces
 from repro.engine.bundle import (
     BUNDLE_FORMAT_VERSION,
     MANIFEST_NAME,
+    bundle_id_of,
+    compute_bundle_id,
     load_engine,
     load_manifest,
     save_engine,
@@ -83,6 +85,8 @@ __all__ = [
     "serve_traces",
     "BUNDLE_FORMAT_VERSION",
     "MANIFEST_NAME",
+    "bundle_id_of",
+    "compute_bundle_id",
     "save_engine",
     "load_engine",
     "load_manifest",

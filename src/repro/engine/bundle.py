@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+from datetime import datetime, timezone
 from pathlib import Path
 
 from repro.core.student import StudentModel
@@ -42,6 +43,8 @@ from repro.nn.serialization import load_state_pair, save_state_pair
 __all__ = [
     "BUNDLE_FORMAT_VERSION",
     "MANIFEST_NAME",
+    "bundle_id_of",
+    "compute_bundle_id",
     "save_engine",
     "load_engine",
     "load_manifest",
@@ -51,6 +54,37 @@ __all__ = [
 BUNDLE_FORMAT_VERSION = 1
 
 MANIFEST_NAME = "manifest.json"
+
+
+def compute_bundle_id(files: dict[str, str]) -> str:
+    """The content identity of a bundle: SHA-256 over its file checksums.
+
+    Derived purely from the manifest's ``files`` map (sorted name/checksum
+    pairs), so two bundles with byte-identical payloads share one id no
+    matter where or when they were saved -- the property the lifecycle
+    registry pins swaps and canary comparisons to.
+    """
+    digest = hashlib.sha256()
+    for name, checksum in sorted(files.items()):
+        digest.update(name.encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(checksum.encode("ascii"))
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def bundle_id_of(manifest: dict) -> str:
+    """The bundle id a manifest records -- computed for legacy manifests.
+
+    Manifests written before the provenance fields existed carry no
+    ``bundle_id`` key; their identity is still well-defined (it is a pure
+    function of the file checksums), so this derives it instead of failing
+    or warning -- legacy bundles stay first-class registry citizens.
+    """
+    recorded = manifest.get("bundle_id")
+    if recorded is not None:
+        return str(recorded)
+    return compute_bundle_id(dict(manifest.get("files", {})))
 
 
 def _sha256(path: Path) -> str:
@@ -120,9 +154,20 @@ def save_engine(engine: ReadoutEngine, directory: str | Path) -> Path:
                 ),
             }
         )
+    files = {
+        path.relative_to(directory).as_posix(): _sha256(path)
+        for path in sorted(written)
+    }
     manifest = {
         "format_version": BUNDLE_FORMAT_VERSION,
         "backend": engine.backend_kind,
+        # Provenance: the content identity (a pure function of the file
+        # checksums -- see compute_bundle_id) and the save timestamp.
+        # Additive keys: loaders that predate them ignore them, and legacy
+        # manifests without them still load warning-free (bundle_id_of
+        # derives the id on demand).
+        "bundle_id": compute_bundle_id(files),
+        "created_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "n_qubits": engine.n_qubits,
         "qubits": qubits,
         # Hints for process-sharded serving (repro.service.ReadoutService):
@@ -138,10 +183,7 @@ def save_engine(engine: ReadoutEngine, directory: str | Path) -> Path:
         },
         # POSIX-style keys keep bundles portable across platforms (a bundle
         # saved on Windows must load on the Linux control host).
-        "files": {
-            path.relative_to(directory).as_posix(): _sha256(path)
-            for path in sorted(written)
-        },
+        "files": files,
     }
     manifest_path = directory / MANIFEST_NAME
     manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")

@@ -50,6 +50,8 @@ __all__ = [
     "INFO",
     "METRICS_REQUEST",
     "METRICS",
+    "SWAP_REQUEST",
+    "SWAP",
     "MAX_FRAME_BYTES",
     "RemoteServingError",
     "WireFormatError",
@@ -67,6 +69,10 @@ __all__ = [
     "encode_metrics_request",
     "encode_metrics",
     "decode_metrics",
+    "encode_swap_request",
+    "decode_swap_request",
+    "encode_swap",
+    "decode_swap",
     "frame_kind",
     "decode_reply",
     "read_frame",
@@ -83,6 +89,10 @@ WIRE_VERSION = 1
 #: so -- like the INFO pair before them -- they need no version bump.
 REQUEST, RESULT, ERROR, INFO_REQUEST, INFO = 1, 2, 3, 4, 5
 METRICS_REQUEST, METRICS = 6, 7
+#: Hot-swap control frames (additive, like the METRICS pair): SWAP_REQUEST
+#: asks a server to load a new bundle and flip atomically; SWAP acknowledges
+#: with the adopted deployment's identity.
+SWAP_REQUEST, SWAP = 8, 9
 
 _PREFIX = struct.Struct(">4sBBIQ")
 
@@ -465,6 +475,48 @@ def decode_metrics(frame) -> dict:
         raise decode_error(frame)
     _, header, _ = _split(frame, expected_kind=METRICS)
     return dict(header["metrics"])
+
+
+# --------------------------------------------------------------------------
+# Swap frames (hot bundle swap; additive like the INFO and METRICS pairs)
+# --------------------------------------------------------------------------
+
+
+def encode_swap_request(spec: dict) -> bytes:
+    """Ask a server to hot-swap to a new bundle.
+
+    ``spec`` is JSON-serializable swap instructions: ``bundle_dir`` (a path
+    the *server's* filesystem can resolve) and optionally
+    ``expected_bundle_id`` so the caller can pin exactly which artifact the
+    server must adopt (a mismatched staging copy fails the swap instead of
+    silently serving the wrong model).
+    """
+    return _assemble(SWAP_REQUEST, {"swap": dict(spec)})
+
+
+def decode_swap_request(frame) -> dict:
+    """The swap instructions carried by a SWAP_REQUEST frame."""
+    _, header, _ = _split(frame, expected_kind=SWAP_REQUEST)
+    return dict(header["swap"])
+
+
+def encode_swap(info: dict) -> bytes:
+    """Acknowledge a completed swap (the adopted deployment's identity)."""
+    return _assemble(SWAP, {"swap": dict(info)})
+
+
+def decode_swap(frame) -> dict:
+    """The swap acknowledgement carried by a SWAP frame (ERROR frames re-raise).
+
+    A failed swap travels as a structured ERROR frame -- the server keeps
+    serving its old engine, and the caller sees the original exception type
+    exactly as :func:`decode_metrics` surfaces metrics failures.
+    """
+    kind = frame_kind(frame)
+    if kind == ERROR:
+        raise decode_error(frame)
+    _, header, _ = _split(frame, expected_kind=SWAP)
+    return dict(header["swap"])
 
 
 # --------------------------------------------------------------------------

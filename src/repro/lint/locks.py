@@ -47,6 +47,20 @@ GUARDED_BY: dict[str, dict[str, dict[str, str]]] = {
             "_queued_depth": "_admission_lock",
             "_started": "_lifecycle_lock",
             "_closed": "_lifecycle_lock",
+            "_canary": "_canary_lock",
+        },
+    },
+    "src/repro/service/lifecycle.py": {
+        "BundleRegistry": {"_index": "_lock"},
+        "RegistryWatcher": {"_adopted": "_lock", "_skipped": "_lock"},
+        "CanaryRollout": {
+            "_active": "_lock",
+            "_seen": "_lock",
+            "_canary_requests": "_lock",
+            "_baseline_requests": "_lock",
+            "_canary_batches": "_lock",
+            "_disagreements": "_lock",
+            "_disagreeing_shots": "_lock",
         },
     },
     "src/repro/service/telemetry.py": {
@@ -66,6 +80,9 @@ GUARDED_BY: dict[str, dict[str, dict[str, str]]] = {
             "_deduplicated_replies": "_served_lock",
             "_reply_cache": "_cache_lock",
             "_connections": "_conn_lock",
+            "_engine": "_swap_lock",
+            "_info": "_swap_lock",
+            "_swaps": "_swap_lock",
         },
     },
     "src/repro/service/health.py": {

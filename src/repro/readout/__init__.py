@@ -38,7 +38,11 @@ from repro.readout.physics import (
     mean_trajectory,
 )
 from repro.readout.noise import NoiseModel, CrosstalkModel, RelaxationModel
-from repro.readout.trace_generator import TraceGenerator, MultiplexedTraceGenerator
+from repro.readout.trace_generator import (
+    CalibrationDrift,
+    MultiplexedTraceGenerator,
+    TraceGenerator,
+)
 from repro.readout.dataset import (
     ReadoutDataset,
     QubitDatasetView,
@@ -63,6 +67,7 @@ __all__ = [
     "NoiseModel",
     "CrosstalkModel",
     "RelaxationModel",
+    "CalibrationDrift",
     "TraceGenerator",
     "MultiplexedTraceGenerator",
     "ReadoutDataset",

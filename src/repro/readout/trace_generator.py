@@ -8,12 +8,70 @@ crosstalk, and is what the dataset builder uses.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.readout.physics import ReadoutPhysics
 from repro.readout.preprocessing import digitize_traces
 
-__all__ = ["TraceGenerator", "MultiplexedTraceGenerator"]
+__all__ = ["CalibrationDrift", "TraceGenerator", "MultiplexedTraceGenerator"]
+
+
+@dataclass(frozen=True)
+class CalibrationDrift:
+    """A parameterized calibration-drift schedule over a batch of shots.
+
+    Models the slow analog-chain drift that degrades a deployed
+    discriminator between recalibrations: a multiplicative amplitude drift
+    and additive I/Q offset drifts, each ramping linearly from its
+    ``start`` value at the first shot of a batch to its ``end`` value at
+    the last.  Applying drifted shots to an engine trained on undrifted
+    data reproduces the fidelity decay that motivates retraining and a
+    hot swap (:meth:`repro.service.ReadoutService.swap_bundle`).
+
+    Parameters
+    ----------
+    amplitude:
+        ``(start, end)`` multiplicative gain applied to both quadratures
+        (``(1.0, 1.0)`` = no amplitude drift).
+    offset_i, offset_q:
+        ``(start, end)`` additive offsets for the I and Q quadratures, in
+        the same units as the traces (default: no offset drift).
+    """
+
+    amplitude: tuple[float, float] = (1.0, 1.0)
+    offset_i: tuple[float, float] = (0.0, 0.0)
+    offset_q: tuple[float, float] = (0.0, 0.0)
+
+    def schedules(self, n_shots: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-shot ``(gain, offset_i, offset_q)`` arrays, each ``(n_shots,)``."""
+        if n_shots <= 0:
+            raise ValueError(f"n_shots must be positive, got {n_shots}")
+        gain = np.linspace(self.amplitude[0], self.amplitude[1], n_shots)
+        off_i = np.linspace(self.offset_i[0], self.offset_i[1], n_shots)
+        off_q = np.linspace(self.offset_q[0], self.offset_q[1], n_shots)
+        return gain, off_i, off_q
+
+    def apply(self, shots: np.ndarray) -> np.ndarray:
+        """Return a drifted copy of ``shots``.
+
+        ``shots`` is ``(n_shots, ..., 2)`` with the shot axis first and the
+        I/Q quadrature axis last (both the single-qubit ``(n_shots,
+        n_samples, 2)`` and the multiplexed ``(n_shots, n_qubits,
+        n_samples, 2)`` layouts qualify); the schedule broadcasts over
+        everything in between.
+        """
+        shots = np.asarray(shots, dtype=np.float64)
+        if shots.ndim < 2 or shots.shape[-1] != 2:
+            raise ValueError(
+                f"expected a (n_shots, ..., 2) I/Q array, got shape {shots.shape}"
+            )
+        gain, off_i, off_q = self.schedules(shots.shape[0])
+        shape = (shots.shape[0],) + (1,) * (shots.ndim - 2)
+        offsets = np.stack([off_i, off_q], axis=-1).reshape(shape + (2,))
+        return shots * gain.reshape(shape + (1,)) + offsets
 
 
 class TraceGenerator:
@@ -40,7 +98,12 @@ class TraceGenerator:
         self.include_relaxation = bool(include_relaxation)
 
     def generate(
-        self, qubit_index: int, state: int, duration_ns: float, n_shots: int = 1
+        self,
+        qubit_index: int,
+        state: int,
+        duration_ns: float,
+        n_shots: int = 1,
+        drift: CalibrationDrift | None = None,
     ) -> np.ndarray:
         """Generate ``n_shots`` traces for one qubit prepared in ``state``.
 
@@ -48,7 +111,9 @@ class TraceGenerator:
         All random draws (relaxation times, amplifier noise) happen in bulk,
         so the cost per shot is a few vectorized NumPy operations rather than
         a Python-level loop iteration; the result is statistically identical
-        to generating the shots one at a time.
+        to generating the shots one at a time.  ``drift`` applies a
+        :class:`CalibrationDrift` schedule across the batch (shot 0 =
+        schedule start, last shot = schedule end).
         """
         if state not in (0, 1):
             raise ValueError(f"state must be 0 or 1, got {state}")
@@ -67,6 +132,8 @@ class TraceGenerator:
             shots = np.repeat(trajectories[state][None, :, :], n_shots, axis=0)
         if params.noise_sigma > 0:
             shots = shots + self.rng.normal(0.0, params.noise_sigma, size=shots.shape)
+        if drift is not None:
+            shots = drift.apply(shots)
         return shots
 
     def generate_raw(
@@ -76,17 +143,20 @@ class TraceGenerator:
         duration_ns: float,
         n_shots: int = 1,
         fmt=None,
+        drift: CalibrationDrift | None = None,
     ) -> np.ndarray:
         """Generate shots already digitized into raw integer ADC carriers.
 
-        Same physics as :meth:`generate`, followed by the capture-side ADC
-        step (:func:`repro.readout.preprocessing.digitize_traces`) in the
+        Same physics as :meth:`generate` (including the optional ``drift``
+        schedule), followed by the capture-side ADC step
+        (:func:`repro.readout.preprocessing.digitize_traces`) in the
         ``fmt`` fixed-point format (default Q16.16).  Returns ``(n_shots,
         n_samples, 2)`` in the format's compact carrier dtype (int32 for
         Q16.16) -- the form the raw serving entry points consume directly.
         """
         return digitize_traces(
-            self.generate(qubit_index, state, duration_ns, n_shots=n_shots), fmt=fmt
+            self.generate(qubit_index, state, duration_ns, n_shots=n_shots, drift=drift),
+            fmt=fmt,
         )
 
 
@@ -144,7 +214,11 @@ class MultiplexedTraceGenerator:
         return self.generate_shots(joint_state, duration_ns, n_shots=1)[0]
 
     def generate_shots(
-        self, joint_state: np.ndarray, duration_ns: float, n_shots: int
+        self,
+        joint_state: np.ndarray,
+        duration_ns: float,
+        n_shots: int,
+        drift: CalibrationDrift | Sequence[CalibrationDrift] | None = None,
     ) -> np.ndarray:
         """Generate ``n_shots`` shots of the same joint state (vectorized).
 
@@ -152,6 +226,10 @@ class MultiplexedTraceGenerator:
         equivalent to calling :meth:`generate_shot` ``n_shots`` times but
         draws relaxation times and noise in bulk, which is what makes the
         32-permutation dataset builder fast enough for the benchmark harness.
+        ``drift`` applies a :class:`CalibrationDrift` schedule across the
+        batch, identically to every qubit (the analog chain drifts
+        device-wide); pass a sequence of ``n_qubits`` drifts for per-qubit
+        schedules instead.
         """
         if n_shots <= 0:
             raise ValueError(f"n_shots must be positive, got {n_shots}")
@@ -205,6 +283,18 @@ class MultiplexedTraceGenerator:
             sigma = self.physics.qubits[q].noise_sigma
             if sigma > 0:
                 shots[:, q] += self.rng.normal(0.0, sigma, size=(n_shots, n_samples, 2))
+
+        if drift is not None:
+            if isinstance(drift, CalibrationDrift):
+                shots = drift.apply(shots)
+            else:
+                drifts = list(drift)
+                if len(drifts) != n_qubits:
+                    raise ValueError(
+                        f"need one drift per qubit ({n_qubits}), got {len(drifts)}"
+                    )
+                for q, qubit_drift in enumerate(drifts):
+                    shots[:, q] = qubit_drift.apply(shots[:, q])
         return shots
 
     def generate_shots_raw(
@@ -213,15 +303,18 @@ class MultiplexedTraceGenerator:
         duration_ns: float,
         n_shots: int,
         fmt=None,
+        drift: CalibrationDrift | Sequence[CalibrationDrift] | None = None,
     ) -> np.ndarray:
         """Generate multiplexed shots already digitized into raw ADC carriers.
 
-        Same physics as :meth:`generate_shots`, followed by the capture-side
-        ADC step once for the whole batch (see
+        Same physics as :meth:`generate_shots` (including the optional
+        ``drift`` schedule), followed by the capture-side ADC step once for
+        the whole batch (see
         :func:`repro.readout.preprocessing.digitize_traces`).  Returns
         ``(n_shots, n_qubits, n_samples, 2)`` integer carriers ready for
         :meth:`repro.engine.engine.ReadoutEngine.discriminate_all_raw`.
         """
         return digitize_traces(
-            self.generate_shots(joint_state, duration_ns, n_shots), fmt=fmt
+            self.generate_shots(joint_state, duration_ns, n_shots, drift=drift),
+            fmt=fmt,
         )

@@ -32,7 +32,11 @@ local worker-process implementation, :mod:`repro.service.net` for the TCP
 server/client tier (including replica failover), :mod:`repro.service.retry`
 / :mod:`repro.service.health` for the retry policy and health-checked host
 pool, :mod:`repro.service.faults` for the fault-injection harness that
-keeps the self-healing paths honest, and :mod:`repro.service.telemetry`
+keeps the self-healing paths honest, :mod:`repro.service.lifecycle` for
+the zero-downtime model lifecycle -- the versioned
+:class:`BundleRegistry`, the staging :class:`RegistryWatcher`, and the
+canary-rollout machinery behind ``service.swap_bundle()`` /
+``promote()`` / ``rollback()`` -- and :mod:`repro.service.telemetry`
 for the traffic-tier observability layer -- per-request trace ids,
 per-stage latency histograms (``service.metrics()``, the METRICS wire
 frame, ``python -m repro.service.telemetry host:port``), and SLO-bounded
@@ -49,6 +53,13 @@ if _os.environ.get("REPRO_LOCKSAN") == "1":
     _locksan.install()
 
 from repro.service.service import ReadoutService, ServiceStats
+from repro.service.lifecycle import (
+    BundleRegistry,
+    CanaryReport,
+    CanaryRollout,
+    RegistryError,
+    RegistryWatcher,
+)
 from repro.service.sharding import partition_qubits, replica_addresses
 from repro.service.retry import RetryPolicy
 from repro.service.health import HostHealth, HostPool
@@ -87,6 +98,11 @@ from repro.service.faults import (
 __all__ = [
     "ReadoutService",
     "ServiceStats",
+    "BundleRegistry",
+    "RegistryWatcher",
+    "RegistryError",
+    "CanaryRollout",
+    "CanaryReport",
     "partition_qubits",
     "replica_addresses",
     "RetryPolicy",

@@ -40,7 +40,7 @@ import uuid
 from pathlib import Path
 
 from repro.engine import wire
-from repro.engine.bundle import load_manifest
+from repro.engine.bundle import bundle_id_of, load_manifest
 from repro.engine.engine import ReadoutEngine
 from repro.engine.request import ReadoutRequest, ReadoutResult
 from repro.service.retry import RetryPolicy
@@ -164,8 +164,14 @@ class ReadoutServer:
         self._max_workers = max_workers
         self._backlog = int(backlog)
         self._drain_timeout = float(drain_timeout)
+        # The engine reference, deployment info, and swap counter flip
+        # together under one lock (SWAP_REQUEST handling); request threads
+        # take a local engine reference under it, so an in-flight request
+        # always finishes on the engine that started serving it.
+        self._swap_lock = threading.Lock()
         self._engine: ReadoutEngine | None = None
         self._info: dict = {}
+        self._swaps = 0
         self._listener: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
         self._conn_lock = threading.Lock()
@@ -217,11 +223,14 @@ class ReadoutServer:
         with self._served_lock:
             served = self._requests_served
             deduplicated = self._deduplicated_replies
+        with self._swap_lock:
+            swaps = self._swaps
         snapshot = self._telemetry.snapshot()
         snapshot.update(
             source="readout-server",
             requests_served=served,
             deduplicated_replies=deduplicated,
+            bundle_swaps=swaps,
         )
         return snapshot
 
@@ -233,13 +242,16 @@ class ReadoutServer:
         if self._closing.is_set():
             raise RuntimeError("ReadoutServer is closed")
         manifest = load_manifest(self.bundle_dir)
-        self._engine = ReadoutEngine.load(self.bundle_dir, max_workers=self._max_workers)
-        self._info = {
-            "n_qubits": self._engine.n_qubits,
-            "backend": self._engine.backend_kind,
-            "supports_raw": self._engine.supports_raw,
-            "shard_layout": manifest.get("shard_layout"),
-        }
+        engine = ReadoutEngine.load(self.bundle_dir, max_workers=self._max_workers)
+        with self._swap_lock:
+            self._engine = engine
+            self._info = {
+                "n_qubits": engine.n_qubits,
+                "backend": engine.backend_kind,
+                "supports_raw": engine.supports_raw,
+                "shard_layout": manifest.get("shard_layout"),
+                "bundle_id": bundle_id_of(manifest),
+            }
         with self._served_lock:
             self._requests_served = 0
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -294,8 +306,10 @@ class ReadoutServer:
                 except OSError:
                     pass
                 thread.join(self._drain_timeout)
-        if self._engine is not None:
-            self._engine.close()
+        with self._swap_lock:
+            engine, self._engine = self._engine, None
+        if engine is not None:
+            engine.close()
         self._closed.set()
 
     def __enter__(self) -> "ReadoutServer":
@@ -379,13 +393,16 @@ class ReadoutServer:
         try:
             kind = wire.frame_kind(frame)
             if kind == wire.INFO_REQUEST:
-                return wire.encode_info(self._info)
+                with self._swap_lock:
+                    return wire.encode_info(self._info)
             if kind == wire.METRICS_REQUEST:
                 return wire.encode_metrics(self.metrics())
+            if kind == wire.SWAP_REQUEST:
+                return self._handle_swap(frame)
             if kind != wire.REQUEST:
                 raise wire.WireFormatError(
-                    "ReadoutServer answers REQUEST, INFO_REQUEST, and "
-                    f"METRICS_REQUEST frames, got kind {kind}"
+                    "ReadoutServer answers REQUEST, INFO_REQUEST, "
+                    f"METRICS_REQUEST, and SWAP_REQUEST frames, got kind {kind}"
                 )
             wire_meta = wire.decode_request_wire_meta(frame)
             request_id = wire_meta.get("request_id")
@@ -402,7 +419,12 @@ class ReadoutServer:
                     self._telemetry.count("deduplicated_replies")
                     return cached
             request = wire.decode_request(frame)
-            result = self._engine.serve(request, parallel=self._parallel)
+            # A local reference, not self._engine at call time: a concurrent
+            # swap must not change which engine answers a request that has
+            # already been admitted (closed engines still serve, bit-exact).
+            with self._swap_lock:
+                engine = self._engine
+            result = engine.serve(request, parallel=self._parallel)
             with self._served_lock:
                 self._requests_served += 1
             # Echo the envelope's trace keys: the front-end (and the trace
@@ -433,6 +455,69 @@ class ReadoutServer:
                 self._requests_served += 1
             self._telemetry.count("error_replies")
             return wire.encode_error(exc)
+
+    def _handle_swap(self, frame: bytes) -> bytes:
+        """Hot-swap to the bundle a SWAP_REQUEST names; ack with a SWAP frame.
+
+        The candidate is fully loaded and verified *before* anything flips,
+        so a broken bundle (bad checksum, wrong qubit count, mismatched
+        identity) answers with an error while the old engine keeps serving
+        -- the server-side half of "rollback after a failed candidate load".
+        In-flight requests on other connection threads finish on the engine
+        they started with; the reply cache is deliberately *not* cleared, so
+        idempotent retries stay answered by the engine that originally
+        served them.
+        """
+        spec = wire.decode_swap_request(frame)
+        bundle_dir = Path(spec["bundle_dir"])
+        manifest = load_manifest(bundle_dir)
+        bundle_id = bundle_id_of(manifest)
+        expected = spec.get("expected_bundle_id")
+        if expected is not None and expected != bundle_id:
+            raise ValueError(
+                f"Bundle at {bundle_dir} has id {bundle_id[:12]}… but the swap "
+                f"request pinned {str(expected)[:12]}…; refusing to swap to an "
+                "artifact that is not the one the caller verified"
+            )
+        engine = ReadoutEngine.load(bundle_dir, max_workers=self._max_workers)
+        info = {
+            "n_qubits": engine.n_qubits,
+            "backend": engine.backend_kind,
+            "supports_raw": engine.supports_raw,
+            "shard_layout": manifest.get("shard_layout"),
+            "bundle_id": bundle_id,
+        }
+        with self._swap_lock:
+            old = self._engine
+            compatible = old is None or old.n_qubits == engine.n_qubits
+            if compatible:
+                self._engine = engine
+                self._info = info
+                self.bundle_dir = bundle_dir
+                self._swaps += 1
+                swaps = self._swaps
+        if not compatible:
+            engine.close()
+            raise ValueError(
+                f"Bundle at {bundle_dir} serves {engine.n_qubits} qubits but "
+                f"this server serves {old.n_qubits}; a hot swap cannot change "
+                "the deployment shape"
+            )
+        if old is not None:
+            # Closed engines still serve (sequentially, bit-identically), so
+            # requests that took a reference before the flip finish cleanly.
+            old.close()
+        self._telemetry.count("bundle_swaps")
+        return wire.encode_swap(
+            {
+                "swapped": True,
+                "bundle_dir": str(bundle_dir),
+                "bundle_id": bundle_id,
+                "n_qubits": engine.n_qubits,
+                "backend": engine.backend_kind,
+                "swaps": swaps,
+            }
+        )
 
 
 # --------------------------------------------------------------------------
@@ -674,6 +759,24 @@ class RemoteEngineClient:
             self._roundtrip_idempotent(wire.encode_metrics_request())
         )
 
+    def swap(self, bundle_dir, *, expected_bundle_id: str | None = None) -> dict:
+        """Ask the server to hot-swap to a new bundle (SWAP wire frames).
+
+        ``bundle_dir`` is a path *on the server's filesystem*; pass
+        ``expected_bundle_id`` (from :func:`repro.engine.bundle.bundle_id_of`
+        or the registry index) to pin the swap to the exact artifact you
+        verified.  A failed candidate load raises here with the server's
+        original exception while the server keeps serving its old engine.
+        """
+        if self._closed:
+            raise RuntimeError("RemoteEngineClient is closed")
+        spec: dict = {"bundle_dir": str(bundle_dir)}
+        if expected_bundle_id is not None:
+            spec["expected_bundle_id"] = str(expected_bundle_id)
+        return wire.decode_swap(
+            self._roundtrip_idempotent(wire.encode_swap_request(spec))
+        )
+
     def close(self) -> None:
         """Drop the connection.  Idempotent; later calls raise."""
         self._closed = True
@@ -764,6 +867,30 @@ class TcpShardTransport:
                 f"before answering job {job_id}: {exc}"
             ) from exc
         return wire.decode_reply(reply)
+
+    def swap(self, bundle_dir, expected_bundle_id: str | None = None) -> dict:
+        """Hot-swap the placed server's bundle; blocks for the SWAP ack.
+
+        Called at the service's drain barrier, when this FIFO transport has
+        nothing in flight -- enforced here, because a swap roundtrip racing
+        request replies would desynchronize the job-id FIFO.
+        """
+        if self._closed:
+            raise RuntimeError(
+                f"Shard {self.shard_index} transport is closed; swap() after "
+                "close() is a protocol violation"
+            )
+        if self._pending:
+            raise RuntimeError(
+                f"Shard {self.shard_index} has {len(self._pending)} job(s) in "
+                "flight; bundle swaps happen only at a drain barrier"
+            )
+        spec: dict = {"bundle_dir": str(bundle_dir)}
+        if expected_bundle_id is not None:
+            spec["expected_bundle_id"] = str(expected_bundle_id)
+        return wire.decode_swap(
+            self._conn.roundtrip(wire.encode_swap_request(spec))
+        )
 
     def is_alive(self) -> bool:
         """Whether the placement can still answer submitted work."""
@@ -998,6 +1125,53 @@ class ReplicatedTcpShardTransport:
             if self._pool is not None:
                 self._pool.record_success(self._active)
             return wire.decode_reply(reply)
+
+    def swap(self, bundle_dir, expected_bundle_id: str | None = None) -> dict:
+        """Hot-swap **every** replica's bundle; blocks for all SWAP acks.
+
+        Replicas are interchangeable only while they serve the same bundle,
+        so the swap must land on all of them -- a failover after a partial
+        swap would silently change the answers.  Any replica that cannot be
+        reached or rejects the candidate fails the whole swap with a
+        per-replica breakdown; the caller decides whether to retry or roll
+        back (replicas that did swap keep serving the new bundle, which is
+        safe only because the caller pins ``expected_bundle_id`` and retries
+        or rolls back explicitly).
+        """
+        if self._closed:
+            raise RuntimeError(
+                f"Shard {self.shard_index} transport is closed; swap() after "
+                "close() is a protocol violation"
+            )
+        if self._pending:
+            raise RuntimeError(
+                f"Shard {self.shard_index} has {len(self._pending)} job(s) in "
+                "flight; bundle swaps happen only at a drain barrier"
+            )
+        spec: dict = {"bundle_dir": str(bundle_dir)}
+        if expected_bundle_id is not None:
+            spec["expected_bundle_id"] = str(expected_bundle_id)
+        frame = wire.encode_swap_request(spec)
+        swapped: list[str] = []
+        failures: list[str] = []
+        for key in self.addresses:
+            conn = self._conns[key]
+            try:
+                wire.decode_swap(conn.roundtrip(frame))
+            except Exception as exc:  # noqa: BLE001 - aggregated below
+                failures.append(f"{key}: {type(exc).__name__}: {exc}")
+                conn.drop()
+                continue
+            swapped.append(key)
+            if self._pool is not None:
+                self._pool.record_success(key)
+        if failures:
+            raise TransportError(
+                f"Shard {self.shard_index} bundle swap incomplete: "
+                f"swapped {swapped or 'no replicas'}, failed "
+                f"[{'; '.join(failures)}]"
+            )
+        return {"swapped": True, "replicas": swapped, "bundle_dir": str(bundle_dir)}
 
     def is_alive(self) -> bool:
         """Whether the placement can still answer submitted work."""

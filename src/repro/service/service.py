@@ -43,7 +43,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.engine.bundle import load_manifest
+from repro.engine.bundle import bundle_id_of, load_manifest
 from repro.engine.engine import ReadoutEngine
 from repro.engine.request import (
     PRIORITY_CLASSES,
@@ -51,6 +51,7 @@ from repro.engine.request import (
     ReadoutResult,
     validate_multiplexed_payload,
 )
+from repro.service.lifecycle import BundleRegistry, CanaryReport, CanaryRollout
 from repro.service.retry import RetryPolicy
 from repro.service.sharding import partition_qubits, replica_addresses
 from repro.service.telemetry import (
@@ -76,6 +77,30 @@ _SHUTDOWN = object()
 #: number, so ordering stays FIFO within a class.
 _PRIORITY_RANK = {priority: rank for rank, priority in enumerate(PRIORITY_CLASSES)}
 _SHUTDOWN_RANK = len(PRIORITY_CLASSES)
+
+#: Swap barriers ride the queue at the lowest request priority: feedback
+#: entries still preempt them (and are pre-swap by definition), while the
+#: already-queued bulk backlog drains first -- the drain half of the
+#: drain-and-flip swap protocol.
+_BARRIER_RANK = len(PRIORITY_CLASSES) - 1
+
+
+class _SwapBarrier:
+    """A queue item asking the batcher to run a swap plan between batches.
+
+    The batcher dispatches micro-batches synchronously on its own thread,
+    so the moment it dequeues a barrier **no micro-batch is in flight** --
+    it runs ``plan()`` right there (load-verified engines flip atomically)
+    and resolves ``future`` with the outcome.  ``future`` quacks enough
+    like an :class:`_Entry`'s for :meth:`ReadoutService._fail_pending` to
+    fail a barrier stranded by :meth:`~ReadoutService.close`.
+    """
+
+    __slots__ = ("plan", "future")
+
+    def __init__(self, plan) -> None:
+        self.plan = plan
+        self.future: Future = Future()
 
 
 @dataclass(frozen=True)
@@ -107,6 +132,14 @@ class ServiceStats:
     predicted queue wait exceeded the budget; ``degraded_admissions`` were
     accepted but downgraded to states-only (``degraded_ok=True``) instead.
 
+    The lifecycle counters record the zero-downtime model rollout path:
+    ``bundle_swaps`` (atomic engine flips at a drain barrier),
+    ``canary_requests`` / ``canary_disagreements`` (requests routed through
+    a canary comparison and how many answered differently), and
+    ``promotions`` / ``rollbacks`` (how staged rollouts ended).
+    ``active_version`` names the registry version currently served (empty
+    when the deployment was never swapped through the registry).
+
     The dataclass is frozen and every field is an immutable scalar, so a
     snapshot handed out by :attr:`ReadoutService.stats` can neither tear
     nor leak mutable live state back to the caller.
@@ -126,9 +159,15 @@ class ServiceStats:
     hosts_readmitted: int = 0
     shed_requests: int = 0
     degraded_admissions: int = 0
+    bundle_swaps: int = 0
+    canary_requests: int = 0
+    canary_disagreements: int = 0
+    promotions: int = 0
+    rollbacks: int = 0
     transport: str = "inprocess"
     placements: int = 1
     backend: str = ""
+    active_version: str = ""
 
 
 @dataclass
@@ -143,6 +182,10 @@ class _Entry:
     #: Set when admission control degraded this request to states-only:
     #: records the original output and the predicted wait that triggered it.
     admission: dict | None = None
+    #: The rollout this request was deterministically routed to at submit
+    #: time (None = baseline).  Canary entries never coalesce with baseline
+    #: ones, and a rollout decided before dispatch serves baseline anyway.
+    canary: CanaryRollout | None = None
 
 
 class ReadoutService:
@@ -248,6 +291,12 @@ class ReadoutService:
         False to queue requests first and :meth:`start` later -- then the
         backlog is drained in maximal micro-batches, which tests use to make
         coalescing deterministic.
+    registry:
+        A :class:`~repro.service.lifecycle.BundleRegistry` wiring the
+        service into the model lifecycle: with no ``engine``/``bundle_dir``
+        the registry's latest published version is served, and
+        :meth:`swap_bundle` resolves version names through it (hot swap,
+        canary rollout, :meth:`promote`/:meth:`rollback`).
     """
 
     def __init__(
@@ -276,6 +325,7 @@ class ReadoutService:
         slo_initial_cost_ms: float | None = None,
         telemetry: bool = True,
         autostart: bool = True,
+        registry: BundleRegistry | None = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -288,8 +338,16 @@ class ReadoutService:
                 "slo_budget_ms must be > 0 (or None to admit everything), "
                 f"got {slo_budget_ms}"
             )
+        self.registry = registry
+        initial_version = ""
         if engine is None and bundle_dir is None and not shard_hosts:
-            raise ValueError("ReadoutService needs an engine or a bundle_dir")
+            if registry is not None:
+                # Serve the registry's latest published version; swap_bundle
+                # moves the deployment forward as new versions land.
+                initial_version = registry.latest or ""
+                bundle_dir = registry.resolve()
+            else:
+                raise ValueError("ReadoutService needs an engine or a bundle_dir")
         self.n_shards = max(1, int(n_shards))
         self.max_batch = int(max_batch)
         self.max_wait_s = float(max_wait_ms) / 1000.0
@@ -422,6 +480,7 @@ class ReadoutService:
             transport=mode,
             placements=self.n_shards,
             backend=self._backend_kind,
+            active_version=initial_version,
         )
         self._telemetry = TelemetryRecorder(enabled=bool(telemetry))
         self._slo_budget_s = (
@@ -438,6 +497,11 @@ class ReadoutService:
         # depth the admission predictor multiplies by the cost estimate.
         self._admission_lock = threading.Lock()
         self._queued_depth = {priority: 0 for priority in PRIORITY_CLASSES}
+        # Model lifecycle: the rollout currently routing canary traffic
+        # (None outside a rollout; kept after promote/rollback so
+        # canary_report() still answers, with active=False).
+        self._canary_lock = threading.Lock()
+        self._canary: CanaryRollout | None = None
 
     # -------------------------------------------------------------- planning
     def _deployment_layout(self) -> dict:
@@ -614,6 +678,17 @@ class ReadoutService:
                 "degraded_admissions": self.stats.degraded_admissions,
             },
         )
+        stats_snapshot = self.stats
+        with self._canary_lock:
+            rollout = self._canary
+        lifecycle: dict = {
+            "active_version": stats_snapshot.active_version or None,
+            "bundle_swaps": stats_snapshot.bundle_swaps,
+            "registry": None if self.registry is None else str(self.registry.root),
+        }
+        if rollout is not None:
+            lifecycle["canary"] = asdict(rollout.report())
+        snapshot["lifecycle"] = lifecycle
         if self._pool is not None:
             snapshot["host_pool"] = self._pool.state()
         if include_remotes and self._mode == "tcp" and not self._closed:
@@ -761,6 +836,13 @@ class ReadoutService:
         if self._pool is not None:
             self._pool.close()
             self._pool = None
+        # An undecided rollout dies with the service: close the candidate
+        # engine (a promoted one became self._engine and is handled below).
+        with self._canary_lock:
+            rollout = self._canary
+        if rollout is not None and rollout.active:
+            rollout.deactivate()
+            rollout.engine.close()
         if self._owns_engine and self._engine is not None:
             self._engine.close()
 
@@ -769,6 +851,243 @@ class ReadoutService:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+    # --------------------------------------------------------- model lifecycle
+    def _resolve_swap_target(
+        self, version, bundle_dir
+    ) -> tuple[str, str, Path, dict]:
+        """Resolve a swap request to ``(name, bundle_id, directory, manifest)``.
+
+        Registry versions are checksum-re-verified by ``resolve``; explicit
+        directories are at least manifest-checked here (the engine load
+        verifies the payloads).  Validation happens *before* anything flips,
+        so a bad target is a no-op, not a broken deployment.
+        """
+        if bundle_dir is not None and version is not None:
+            raise ValueError(
+                "swap_bundle takes a registry version OR an explicit "
+                "bundle_dir, not both"
+            )
+        if bundle_dir is None:
+            if self.registry is None:
+                raise ValueError(
+                    "swap_bundle(version=...) needs a registry; construct "
+                    "the service with registry=... or pass bundle_dir="
+                )
+            name = version if version is not None else self.registry.latest
+            directory = self.registry.resolve(version)
+            manifest = load_manifest(directory)
+            bundle_id = self.registry.bundle_id(name)
+        else:
+            directory = Path(bundle_dir)
+            manifest = load_manifest(directory)
+            bundle_id = bundle_id_of(manifest)
+            name = str(version) if version is not None else directory.name
+        n_qubits = int(manifest["n_qubits"])
+        if n_qubits != self._n_qubits:
+            raise ValueError(
+                f"Bundle {name!r} serves {n_qubits} qubits but this service "
+                f"serves {self._n_qubits}; a hot swap cannot change the "
+                "deployment shape"
+            )
+        return str(name), bundle_id, directory, manifest
+
+    def swap_bundle(
+        self,
+        version: str | None = None,
+        *,
+        bundle_dir: str | Path | None = None,
+        canary_fraction: float | None = None,
+        timeout_s: float = 60.0,
+    ) -> dict:
+        """Swap the served model to a new bundle with zero dropped requests.
+
+        Without ``canary_fraction`` this is the full hot swap: a barrier
+        rides the request queue behind the already-queued backlog; when the
+        batcher reaches it no micro-batch is in flight, and the new engine
+        -- loaded and checksum-verified beforehand -- flips atomically.
+        Every request dispatched before the flip is answered bit-identically
+        by the old engine, every one after by the new (in-process directly;
+        local shard workers via the ``("swap", ...)`` control message; TCP
+        placements via the ``SWAP_REQUEST`` wire frame, pinned to this
+        bundle's id).  A candidate that fails to load raises here and
+        changes nothing -- the old engine keeps serving.
+
+        With ``canary_fraction`` the swap becomes a **staged rollout**: the
+        candidate engine is loaded on the front-end and a deterministic
+        fraction of subsequent requests is served by *both* engines, with
+        disagreements and per-engine latencies accumulating in
+        :meth:`canary_report`; :meth:`promote` finishes the rollout (the
+        full swap above) and :meth:`rollback` aborts it.
+
+        ``version`` names a registry version (``None`` = latest) when the
+        service holds a registry; ``bundle_dir`` swaps to an explicit
+        bundle directory instead.  Returns a summary dict.
+        """
+        if self._closed:
+            raise RuntimeError("ReadoutService is closed")
+        name, bundle_id, directory, _manifest = self._resolve_swap_target(
+            version, bundle_dir
+        )
+        if canary_fraction is not None:
+            engine = ReadoutEngine.load(directory)
+            rollout = CanaryRollout(name, bundle_id, directory, engine, canary_fraction)
+            with self._canary_lock:
+                conflict = self._canary is not None and self._canary.active
+                if not conflict:
+                    self._canary = rollout
+            if conflict:
+                engine.close()
+                raise RuntimeError(
+                    "A canary rollout is already active; promote() or "
+                    "rollback() it before starting another"
+                )
+            self._telemetry.count("canary_rollouts")
+            return {
+                "canary": True,
+                "version": name,
+                "bundle_id": bundle_id,
+                "fraction": float(canary_fraction),
+            }
+        return self._swap_now(name, bundle_id, directory, timeout_s=timeout_s)
+
+    def _swap_now(
+        self,
+        name: str,
+        bundle_id: str,
+        directory: Path,
+        *,
+        timeout_s: float,
+        engine: ReadoutEngine | None = None,
+    ) -> dict:
+        """Run the drain-and-flip swap (inline before start, barrier after)."""
+        with self._lifecycle_lock:
+            if self._closed:
+                raise RuntimeError("ReadoutService is closed")
+            if not self._started:
+                # No batcher, nothing in flight: flip right here.  Local and
+                # TCP placements have no shards yet either -- they pick the
+                # new bundle_dir up when start() spawns them.
+                return self._apply_swap(name, bundle_id, directory, engine)
+        barrier = _SwapBarrier(
+            lambda: self._apply_swap(name, bundle_id, directory, engine)
+        )
+        self._queue.put((_BARRIER_RANK, next(self._seq), barrier))
+        if self._closed:
+            # Raced with close(): make sure the barrier cannot sit
+            # unresolved if the batcher is already gone (mirrors submit()).
+            self._fail_pending(RuntimeError("ReadoutService was closed"))
+        return barrier.future.result(timeout=timeout_s)
+
+    def _apply_swap(
+        self,
+        name: str,
+        bundle_id: str,
+        directory: Path,
+        engine: ReadoutEngine | None = None,
+    ) -> dict:
+        """The flip itself: runs with nothing in flight (barrier or pre-start).
+
+        Per placement: in-process adopts a freshly loaded engine (or the
+        already-loaded canary candidate on promote) and closes the old one;
+        local shard workers swap through the queue-pair control message;
+        TCP placements through SWAP_REQUEST frames pinned to ``bundle_id``.
+        A load failure raises *before* anything changed in-process; for
+        sharded placements the failing shard keeps its old engine and the
+        error surfaces to the swap caller with earlier shards already
+        swapped -- re-issue the swap (idempotent) or swap back to recover.
+        """
+        if self._mode == "inprocess":
+            candidate = engine if engine is not None else ReadoutEngine.load(directory)
+            old = self._engine
+            owned = self._owns_engine
+            self._engine = candidate
+            self._owns_engine = True
+            if owned and old is not None:
+                # In-flight requests cannot exist here (drain barrier), and
+                # closed engines would still serve bit-identically anyway.
+                old.close()
+        else:
+            if engine is not None:
+                # A promoted canary candidate was loaded front-end side;
+                # sharded placements load their own copy from the bundle.
+                engine.close()
+            for shard in self._shards:
+                if self._mode == "local":
+                    self._revive(shard)
+                    self._next_job_id += 1
+                    shard.swap(self._next_job_id, directory)
+                else:
+                    shard.swap(str(directory), expected_bundle_id=bundle_id)
+        self._bundle_dir = directory
+        with self._stats_lock:
+            self._stats = replace(
+                self._stats,
+                bundle_swaps=self._stats.bundle_swaps + 1,
+                active_version=name,
+            )
+        self._telemetry.count("bundle_swaps")
+        return {
+            "swapped": True,
+            "version": name,
+            "bundle_id": bundle_id,
+            "bundle_dir": str(directory),
+            "transport": self._mode,
+            "placements": self.n_shards,
+        }
+
+    def canary_report(self) -> CanaryReport | None:
+        """The current (or last decided) rollout's evidence; None if never canaried."""
+        with self._canary_lock:
+            rollout = self._canary
+        return None if rollout is None else rollout.report()
+
+    def promote(self, *, timeout_s: float = 60.0) -> dict:
+        """Finish the active canary rollout: full swap to the candidate.
+
+        Routing stops first (in-flight canaried requests fall back to
+        baseline dispatch), then the ordinary drain-and-flip swap adopts
+        the candidate everywhere.  Returns the swap summary with the final
+        :class:`CanaryReport` under ``"report"``.
+        """
+        with self._canary_lock:
+            rollout = self._canary
+        if rollout is None or not rollout.active:
+            raise RuntimeError(
+                "promote() needs an active canary rollout; start one with "
+                "swap_bundle(..., canary_fraction=...)"
+            )
+        rollout.deactivate()
+        summary = self._swap_now(
+            rollout.version,
+            rollout.bundle_id,
+            rollout.bundle_dir,
+            timeout_s=timeout_s,
+            engine=rollout.engine,
+        )
+        self._bump(promotions=1)
+        self._telemetry.count("canary_promotions")
+        return {**summary, "promoted": True, "report": rollout.report()}
+
+    def rollback(self) -> CanaryReport:
+        """Abort the active canary rollout; baseline keeps serving untouched.
+
+        The candidate engine is closed (in-flight canaried requests still
+        finish -- closed engines serve, bit-identically) and the final
+        report is returned as the rollout's record of evidence.
+        """
+        with self._canary_lock:
+            rollout = self._canary
+        if rollout is None or not rollout.active:
+            raise RuntimeError(
+                "rollback() needs an active canary rollout; start one with "
+                "swap_bundle(..., canary_fraction=...)"
+            )
+        rollout.deactivate()
+        rollout.engine.close()
+        self._bump(rollbacks=1)
+        self._telemetry.count("canary_rollbacks")
+        return rollout.report()
 
     # ---------------------------------------------------------------- serving
     def submit(
@@ -807,6 +1126,17 @@ class ReadoutService:
         admission = self._admit(request, trace_id)
         if admission is not None:
             request = replace(request, output="states")
+        # The canary routing decision is made here, deterministically (the
+        # n-th eligible request, not a coin flip), and stamped on the entry
+        # so the batcher never coalesces canary and baseline traffic.
+        with self._canary_lock:
+            rollout = self._canary
+        canary = None
+        if rollout is not None and rollout.active:
+            if rollout.should_route():
+                canary = rollout
+            else:
+                rollout.record_baseline(1)
         future: Future = Future()
         entry = _Entry(
             request=request,
@@ -814,6 +1144,7 @@ class ReadoutService:
             trace_id=trace_id,
             enqueued_at=time.perf_counter(),
             admission=admission,
+            canary=canary,
         )
         with self._admission_lock:
             self._queued_depth[request.priority] += 1
@@ -918,9 +1249,15 @@ class ReadoutService:
             item = self._queue.get()
             if item[2] is _SHUTDOWN:
                 return
+            if isinstance(item[2], _SwapBarrier):
+                # Nothing is in flight (this thread does the dispatching),
+                # so this IS the drain barrier: run the flip right here.
+                self._run_swap(item[2])
+                continue
             entries = [self._pop_entry(item)]
             deadline = time.monotonic() + self.max_wait_s
             shutdown = False
+            barrier: _SwapBarrier | None = None
             while len(entries) < self.max_batch:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
@@ -938,10 +1275,32 @@ class ReadoutService:
                 if nxt[2] is _SHUTDOWN:
                     shutdown = True
                     break
+                if isinstance(nxt[2], _SwapBarrier):
+                    # The batch collected so far is pre-swap traffic: serve
+                    # it on the old engine first, then flip.
+                    barrier = nxt[2]
+                    break
                 entries.append(self._pop_entry(nxt))
             self._serve_entries(entries)
+            if barrier is not None:
+                self._run_swap(barrier)
             if shutdown:
                 return
+
+    def _run_swap(self, barrier: _SwapBarrier) -> None:
+        """Execute a swap plan on the batcher thread and resolve its future."""
+        try:
+            outcome = barrier.plan()
+        except BaseException as exc:  # noqa: BLE001 - belongs to the waiter
+            try:
+                barrier.future.set_exception(exc)
+            except InvalidStateError:  # pragma: no cover - close() raced us
+                pass
+            return
+        try:
+            barrier.future.set_result(outcome)
+        except InvalidStateError:  # pragma: no cover - close() raced us
+            pass
 
     def _serve_entries(self, entries: list[_Entry]) -> None:
         # Claim every future first: one that was cancelled while queued
@@ -966,7 +1325,13 @@ class ReadoutService:
             self._bump(cancelled_requests=cancelled)
         groups: dict[tuple, list[_Entry]] = {}
         for entry in live:
-            groups.setdefault(self._compat_key(entry.request), []).append(entry)
+            # Canary entries get their own groups (keyed by rollout
+            # identity): a coalesced batch must be answered by exactly one
+            # engine, and the comparison needs clean per-engine timings.
+            key = self._compat_key(entry.request) + (
+                0 if entry.canary is None else id(entry.canary),
+            )
+            groups.setdefault(key, []).append(entry)
         for group in groups.values():
             try:
                 self._serve_group(group)
@@ -1005,7 +1370,7 @@ class ReadoutService:
             assembled = time.perf_counter()
             batch_s = assembled - t0
             self._telemetry.record("batch", batch_s)
-            result = self._dispatch(entry.request, trace_ids)
+            result = self._dispatch_for(entry.request, trace_ids, group)
             self._admission.observe(1, time.perf_counter() - assembled)
             degraded = 1 if result.meta.get("degraded") else 0
             queue_s = t0 - entry.enqueued_at if entry.enqueued_at else 0.0
@@ -1024,7 +1389,7 @@ class ReadoutService:
             assembled = time.perf_counter()
             batch_s = assembled - t0
             self._telemetry.record("batch", batch_s)
-            batch_result = self._dispatch(batch_request, trace_ids)
+            batch_result = self._dispatch_for(batch_request, trace_ids, group)
             self._admission.observe(len(group), time.perf_counter() - assembled)
             offset = 0
             for index, entry in enumerate(group):
@@ -1101,6 +1466,92 @@ class ReadoutService:
         return out
 
     # --------------------------------------------------------------- dispatch
+    def _dispatch_for(
+        self,
+        request: ReadoutRequest,
+        trace_ids: list | None,
+        group: list[_Entry],
+    ) -> ReadoutResult:
+        """Route a (possibly coalesced) group: baseline, or canary-compared."""
+        rollout = group[0].canary
+        if rollout is None or not rollout.active:
+            # Entries stamped for a rollout that was decided (promoted or
+            # rolled back) while they queued serve as plain baseline.
+            return self._dispatch(request, trace_ids)
+        return self._dispatch_canary(request, trace_ids, group, rollout)
+
+    def _dispatch_canary(
+        self,
+        request: ReadoutRequest,
+        trace_ids: list | None,
+        group: list[_Entry],
+        rollout: CanaryRollout,
+    ) -> ReadoutResult:
+        """Serve one canaried group on *both* engines and compare bit-wise.
+
+        The baseline answer travels the normal placement (shards and all);
+        the candidate serves the same batch in-process on the front-end,
+        which works identically for in-process, local-shard, and TCP
+        deployments.  The caller receives the **candidate's** arrays (the
+        canary is real traffic exposure, not shadow logging) with the
+        baseline's meta and a ``"canary"`` record; disagreement counts and
+        both latencies accumulate in the rollout for :meth:`canary_report`.
+        """
+        t0 = time.perf_counter()
+        baseline = self._dispatch(request, trace_ids)
+        baseline_s = time.perf_counter() - t0
+        t1 = time.perf_counter()
+        # A rollback can race this dispatch; closed engines still serve
+        # (sequentially, bit-identically), so the comparison stays valid.
+        candidate = rollout.engine.serve(request, parallel=self._parallel)
+        candidate_s = time.perf_counter() - t1
+        mismatch = np.zeros(int(request.payload.shape[0]), dtype=bool)
+        if baseline.states is not None and candidate.states is not None:
+            mismatch |= np.any(
+                np.asarray(baseline.states) != np.asarray(candidate.states),
+                axis=1,
+            )
+        if baseline.logits is not None and candidate.logits is not None:
+            mismatch |= np.any(
+                np.asarray(baseline.logits) != np.asarray(candidate.logits),
+                axis=1,
+            )
+        disagreeing_shots = int(mismatch.sum())
+        disagreeing_requests = 0
+        offset = 0
+        for entry in group:
+            shots = int(entry.request.payload.shape[0])
+            if mismatch[offset : offset + shots].any():
+                disagreeing_requests += 1
+            offset += shots
+        rollout.record_comparison(
+            len(group),
+            disagreeing_requests,
+            disagreeing_shots,
+            candidate_s,
+            baseline_s,
+        )
+        self._bump(
+            canary_requests=len(group),
+            canary_disagreements=disagreeing_requests,
+        )
+        self._telemetry.count("canary_requests", len(group))
+        if disagreeing_requests:
+            self._telemetry.count("canary_disagreements", disagreeing_requests)
+        return replace(
+            baseline,
+            states=candidate.states,
+            logits=candidate.logits,
+            meta={
+                **baseline.meta,
+                "canary": {
+                    "version": rollout.version,
+                    "engine": "candidate",
+                    "disagreeing_shots": disagreeing_shots,
+                },
+            },
+        )
+
     def _dispatch(
         self, request: ReadoutRequest, trace_ids: list | None = None
     ) -> ReadoutResult:

@@ -183,6 +183,12 @@ def _shard_worker_main(
     responses are wire frames (:mod:`repro.engine.wire`), so this worker
     consumes exactly what a remote :class:`~repro.service.net.ReadoutServer`
     would.  ``None`` on the request queue shuts the worker down.
+
+    A ``("swap", bundle_dir)`` descriptor is the hot-swap control message
+    (the queue-pair analogue of the TCP ``SWAP_REQUEST`` frame): the worker
+    loads the new bundle, flips its engine, closes the old one, and acks
+    with a SWAP frame -- or keeps the old engine and answers with the load
+    error, so a broken candidate never takes a placement down.
     """
     from repro.engine.engine import ReadoutEngine
 
@@ -193,6 +199,25 @@ def _shard_worker_main(
             if item is None:
                 break
             job_id, descriptor = item
+            if descriptor[0] == "swap":
+                new_bundle_dir = descriptor[1]
+                try:
+                    candidate = ReadoutEngine.load(new_bundle_dir)
+                except Exception as exc:  # noqa: BLE001 - relayed to the caller
+                    reply = wire.encode_error(exc)
+                else:
+                    engine.close()
+                    engine = candidate
+                    reply = wire.encode_swap(
+                        {
+                            "swapped": True,
+                            "bundle_dir": str(new_bundle_dir),
+                            "n_qubits": engine.n_qubits,
+                            "backend": engine.backend_kind,
+                        }
+                    )
+                responses.put((job_id, reply))
+                continue
             segment = None
             frame = request = None
             try:
@@ -328,6 +353,49 @@ class LocalProcessTransport:
                 f"{job_id} was expected; the shard protocol is out of sync"
             )
         return wire.decode_reply(reply)
+
+    def swap(self, job_id: int, bundle_dir: str | Path, timeout: float = 30.0) -> dict:
+        """Ask the worker to hot-swap to ``bundle_dir``; block for the ack.
+
+        Synchronous by design: the service only swaps at a drain barrier,
+        when this FIFO transport has nothing in flight, so the next response
+        *is* the swap ack.  On success the recorded spawn args are updated
+        so a later :meth:`respawn` loads the new bundle; on failure the
+        worker keeps serving its old engine and the load error re-raises
+        here (:func:`repro.engine.wire.decode_swap`).
+        """
+        if self._closed:
+            raise RuntimeError(
+                f"Shard {self.shard_index} transport is closed; swap() after "
+                "close() is a protocol violation"
+            )
+        self.requests.put((job_id, ("swap", str(bundle_dir))))
+        deadline = timeout
+        while True:
+            try:
+                got_id, reply = self.responses.get(timeout=1.0)
+                break
+            except queue_module.Empty:
+                deadline -= 1.0
+                if not self.process.is_alive():
+                    raise WorkerDiedError(
+                        f"Shard {self.shard_index} worker died (exit code "
+                        f"{self.process.exitcode}) during a bundle swap"
+                    ) from None
+                if deadline <= 0:
+                    raise TimeoutError(
+                        f"Shard {self.shard_index} worker did not acknowledge "
+                        f"the bundle swap within {timeout:.1f}s"
+                    ) from None
+        if got_id != job_id:
+            raise RuntimeError(
+                f"Shard {self.shard_index} answered job {got_id} while swap "
+                f"job {job_id} was expected; the shard protocol is out of sync"
+            )
+        info = wire.decode_swap(reply)
+        if self._spawn_args is not None:
+            self._spawn_args["bundle_dir"] = str(bundle_dir)
+        return info
 
     def is_alive(self) -> bool:
         """Whether the worker process can still answer submitted work."""

@@ -15,6 +15,8 @@ from repro.engine import (
     MANIFEST_NAME,
     ReadoutEngine,
     ReadoutRequest,
+    bundle_id_of,
+    compute_bundle_id,
     load_engine,
     save_engine,
 )
@@ -184,6 +186,52 @@ class TestIntegrity:
         manifest_path.write_text(json.dumps(manifest))
         loaded = load_engine(fpga_bundle)
         assert loaded.supports_raw
+
+
+class TestProvenance:
+    """``bundle_id`` + ``created_utc`` manifest fields and legacy manifests."""
+
+    def test_manifest_records_bundle_id_and_created_utc(self, fpga_bundle):
+        from datetime import datetime
+
+        manifest = json.loads((fpga_bundle / MANIFEST_NAME).read_text())
+        assert manifest["bundle_id"] == compute_bundle_id(manifest["files"])
+        assert len(manifest["bundle_id"]) == 64
+        # created_utc is ISO-8601 with an explicit UTC offset.
+        stamp = datetime.fromisoformat(manifest["created_utc"])
+        assert stamp.utcoffset() is not None
+
+    def test_bundle_id_is_content_addressed(self, fpga_bundle, tmp_path):
+        """Saving the same engine twice yields the same id; different
+        payloads yield different ids."""
+        manifest = json.loads((fpga_bundle / MANIFEST_NAME).read_text())
+        resaved = tmp_path / "resaved"
+        save_engine(load_engine(fpga_bundle), resaved)
+        again = json.loads((resaved / MANIFEST_NAME).read_text())
+        assert again["bundle_id"] == manifest["bundle_id"]
+        tampered = dict(manifest["files"])
+        first = sorted(tampered)[0]
+        tampered[first] = "0" * 64
+        assert compute_bundle_id(tampered) != manifest["bundle_id"]
+
+    def test_legacy_manifest_without_provenance_loads_warning_free(
+        self, fpga_bundle, synthetic_traces
+    ):
+        """Pre-provenance bundles load with warnings-as-errors, and their
+        identity is still derivable from the checksum table."""
+        import warnings
+
+        manifest_path = fpga_bundle / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        recorded = manifest.pop("bundle_id")
+        manifest.pop("created_utc")
+        manifest_path.write_text(json.dumps(manifest))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            loaded = load_engine(fpga_bundle)
+            states = _states(loaded, synthetic_traces)
+        assert states.shape == (synthetic_traces.shape[0], loaded.n_qubits)
+        assert bundle_id_of(manifest) == recorded
 
 
 class TestShardLayout:

@@ -1,7 +1,7 @@
 """Fixture: a server/client pair that forgets the SWAP frames.
 
 ``Server._reply_for`` never dispatches ``SWAP_REQUEST`` and no ``Client``
-method calls ``decode_swap``, so ``SWAP_DONE`` is undecodable -- the two
+method calls ``decode_swap``, so ``SWAP`` is undecodable -- the two
 findings the wire checker must produce.
 """
 

@@ -10,7 +10,7 @@ class Server:
         if kind == wire.PING_REQUEST:
             return wire.PONG, payload
         if kind == wire.SWAP_REQUEST:
-            return wire.SWAP_DONE, payload
+            return wire.SWAP, payload
         return wire.ERROR, payload
 
 

@@ -6,7 +6,7 @@ REQUEST, RESULT, ERROR = 1, 2, 3
 PING_REQUEST = 4
 PONG = 5
 SWAP_REQUEST = 6
-SWAP_DONE = 7
+SWAP = 7
 
 
 def decode_result(payload):
@@ -18,7 +18,7 @@ def decode_pong(payload):
 
 
 def decode_swap(payload):
-    return SWAP_DONE, payload
+    return SWAP, payload
 
 
 def decode_error(payload):

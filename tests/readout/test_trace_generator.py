@@ -6,7 +6,11 @@ import numpy as np
 import pytest
 
 from repro.readout.physics import ReadoutPhysics
-from repro.readout.trace_generator import MultiplexedTraceGenerator, TraceGenerator
+from repro.readout.trace_generator import (
+    CalibrationDrift,
+    MultiplexedTraceGenerator,
+    TraceGenerator,
+)
 
 
 class TestTraceGenerator:
@@ -180,3 +184,85 @@ class TestRawGeneration:
             0, 0, 400.0, n_shots=2, fmt=wide
         )
         assert raw.dtype == np.int64  # words wider than 32 bits need int64
+
+
+class TestCalibrationDrift:
+    """The parameterized drift schedules behind the lifecycle scenario tests."""
+
+    def test_identity_drift_is_a_no_op(self, small_device: ReadoutPhysics):
+        clean = TraceGenerator(small_device, seed=7).generate(0, 1, 400.0, n_shots=5)
+        drifted = TraceGenerator(small_device, seed=7).generate(
+            0, 1, 400.0, n_shots=5, drift=CalibrationDrift()
+        )
+        np.testing.assert_array_equal(drifted, clean)
+
+    def test_linear_amplitude_and_offset_schedule(self):
+        drift = CalibrationDrift(
+            amplitude=(1.0, 2.0), offset_i=(0.0, 0.5), offset_q=(-0.5, 0.5)
+        )
+        shots = np.ones((3, 4, 2))
+        drifted = drift.apply(shots)
+        # Shot 0: schedule start -- gain 1, offsets (0, -0.5).
+        np.testing.assert_allclose(drifted[0, :, 0], 1.0)
+        np.testing.assert_allclose(drifted[0, :, 1], 0.5)
+        # Shot 1 (midpoint): gain 1.5, offsets (0.25, 0.0).
+        np.testing.assert_allclose(drifted[1, :, 0], 1.75)
+        np.testing.assert_allclose(drifted[1, :, 1], 1.5)
+        # Shot 2: schedule end -- gain 2, offsets (0.5, 0.5).
+        np.testing.assert_allclose(drifted[2, :, 0], 2.5)
+        np.testing.assert_allclose(drifted[2, :, 1], 2.5)
+
+    def test_multiplexed_batch_drifts_every_qubit(self, small_device: ReadoutPhysics):
+        drift = CalibrationDrift(amplitude=(1.0, 0.5))
+        clean = MultiplexedTraceGenerator(small_device, seed=3).generate_shots(
+            np.array([0, 1]), 400.0, n_shots=6
+        )
+        drifted = MultiplexedTraceGenerator(small_device, seed=3).generate_shots(
+            np.array([0, 1]), 400.0, n_shots=6, drift=drift
+        )
+        np.testing.assert_array_equal(drifted, drift.apply(clean))
+        np.testing.assert_array_equal(drifted[0], clean[0])  # schedule start
+        assert not np.array_equal(drifted[-1], clean[-1])
+
+    def test_per_qubit_drift_sequence(self, small_device: ReadoutPhysics):
+        drifts = [
+            CalibrationDrift(),  # qubit 0 untouched
+            CalibrationDrift(offset_i=(1.0, 1.0)),  # qubit 1 shifted
+        ]
+        clean = MultiplexedTraceGenerator(small_device, seed=4).generate_shots(
+            np.array([1, 0]), 400.0, n_shots=4
+        )
+        drifted = MultiplexedTraceGenerator(small_device, seed=4).generate_shots(
+            np.array([1, 0]), 400.0, n_shots=4, drift=drifts
+        )
+        np.testing.assert_array_equal(drifted[:, 0], clean[:, 0])
+        np.testing.assert_allclose(drifted[:, 1, :, 0], clean[:, 1, :, 0] + 1.0)
+        np.testing.assert_array_equal(drifted[:, 1, :, 1], clean[:, 1, :, 1])
+
+    def test_per_qubit_sequence_length_checked(self, small_device: ReadoutPhysics):
+        with pytest.raises(ValueError, match="one drift per qubit"):
+            MultiplexedTraceGenerator(small_device, seed=0).generate_shots(
+                np.array([0, 1]), 400.0, n_shots=2, drift=[CalibrationDrift()]
+            )
+
+    def test_raw_entry_points_digitize_the_drifted_signal(
+        self, small_device: ReadoutPhysics
+    ):
+        from repro.readout.preprocessing import digitize_traces
+
+        drift = CalibrationDrift(amplitude=(1.0, 1.2), offset_q=(0.0, 0.1))
+        floats = TraceGenerator(small_device, seed=9).generate(
+            0, 0, 400.0, n_shots=3, drift=drift
+        )
+        raw = TraceGenerator(small_device, seed=9).generate_raw(
+            0, 0, 400.0, n_shots=3, drift=drift
+        )
+        np.testing.assert_array_equal(raw, digitize_traces(floats))
+
+    def test_apply_rejects_non_iq_arrays(self):
+        with pytest.raises(ValueError, match="I/Q"):
+            CalibrationDrift().apply(np.ones((4, 5, 3)))
+
+    def test_schedules_reject_empty_batches(self):
+        with pytest.raises(ValueError, match="positive"):
+            CalibrationDrift().schedules(0)

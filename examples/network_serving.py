@@ -23,18 +23,25 @@ telemetry snapshot and a **remote** METRICS-frame snapshot fetched from a
 surviving replica (what ``python -m repro.service.telemetry HOST:PORT``
 prints against a production host).
 
-The run closes with the model-lifecycle story: publish the bundle to a
-versioned :class:`~repro.service.BundleRegistry`, let the
+Next the model-lifecycle story: publish the bundle to a versioned
+:class:`~repro.service.BundleRegistry`, let the
 :class:`~repro.service.RegistryWatcher` verify and adopt a "retrained"
 bundle out of the staging area, canary it against the baseline, promote
 it, and hot-swap back under queued load -- zero dropped requests and
 bit-identity on both sides of the swap barrier.
 
+The run closes with the asyncio tier: an ``AsyncRemoteEngineClient``
+pipelines the whole request stream over one multiplexed connection to an
+``AsyncReadoutServer`` (bit-identical again), a ``pipelined=True`` shard
+placement does the same under ``ReadoutService``, and the load generator
+reports closed-loop p50/p95/p99 latencies plus a 500-connection zero-drop
+soak.
+
 CI runs this as its loopback network-serving smoke (exit code 5 when basic
 network serving breaks, 6 when only the failover demo breaks, 7 when only
-the metrics tail breaks, 8 when only the model-lifecycle demo breaks --
-all downgraded to warnings like the other non-blocking gates).  Run it
-with::
+the metrics tail breaks, 8 when only the model-lifecycle demo breaks, 9
+when only the asyncio tier breaks -- all downgraded to warnings like the
+other non-blocking gates).  Run it with::
 
     PYTHONPATH=src python examples/network_serving.py
 """
@@ -69,6 +76,9 @@ METRICS_FAILURE_EXIT_CODE = 7
 #: Distinct exit code for the model-lifecycle demo ("hot swap broke"):
 #: steady-state serving may be fine when only registry/swap/canary fails.
 LIFECYCLE_FAILURE_EXIT_CODE = 8
+#: Distinct exit code for the asyncio-tier demo ("pipelined serving broke"):
+#: the threaded network tier may be fine when only the async tier fails.
+ASYNC_FAILURE_EXIT_CODE = 9
 
 
 class MetricsSmokeFailure(Exception):
@@ -324,6 +334,92 @@ def run_lifecycle() -> None:
     engine_v2.close()
 
 
+def run_async() -> None:
+    """The asyncio tier: pipelined multiplexed serving plus a mini load run."""
+    from repro.service import (
+        AsyncRemoteEngineClient,
+        run_closed_loop,
+        run_soak,
+        spawn_async_server,
+    )
+
+    n_qubits, n_shots = 5, 96
+    engine = ReadoutEngine(
+        [FixedPointBackend(synthetic_parameters(seed=71 + q)) for q in range(n_qubits)]
+    )
+    rng = np.random.default_rng(17)
+    carriers = digitize_traces(
+        rng.uniform(-3.0, 3.0, size=(n_shots, n_qubits, 120, 2))
+    )
+    chunk = 8
+    requests = [
+        ReadoutRequest(raw=carriers[i : i + chunk], output="both")
+        for i in range(0, n_shots, chunk)
+    ]
+    direct = [engine.serve(request) for request in requests]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        bundle = Path(tmp) / "readout-v1"
+        engine.save(bundle)
+        print("\nStarting two AsyncReadoutServer processes on 127.0.0.1 ...")
+        servers = [spawn_async_server(bundle) for _ in range(2)]
+        try:
+            hosts = [f"{host}:{port}" for host, port in (s.address for s in servers)]
+            print(f"Async servers up at {hosts[0]} and {hosts[1]}")
+
+            # --- One multiplexed connection, the whole stream in flight ----
+            with AsyncRemoteEngineClient(hosts[0], timeout=60.0) as client:
+                piped = client.serve_many(requests, max_inflight=len(requests))
+                for result, reference in zip(piped, direct):
+                    assert np.array_equal(result.states, reference.states), \
+                        "pipelined states diverged"
+                    assert np.array_equal(result.logits, reference.logits), \
+                        "pipelined logits diverged"
+                print(f"AsyncRemoteEngineClient pipelined {len(requests)} tagged "
+                      "requests over one socket: bit-identical to direct serve()")
+
+            # --- The same pipelining under a shard placement ---------------
+            with ReadoutService(
+                shard_hosts=hosts, pipelined=True, max_batch=16,
+                max_wait_ms=5.0, remote_timeout=60.0,
+            ) as service:
+                futures = [service.submit(request) for request in requests]
+                results = [future.result(timeout=120) for future in futures]
+                stats = service.stats
+            for result, reference in zip(results, direct):
+                assert np.array_equal(result.states, reference.states), \
+                    "async-sharded states diverged"
+            print(f"Pipelined shard service: bit-identical across "
+                  f"{stats.requests_served} requests "
+                  f"(transport={stats.transport!r})")
+
+            # --- A miniature latency-percentile load run -------------------
+            closed = run_closed_loop(
+                servers[0].address, requests[0],
+                connections=4, inflight=8, requests_per_connection=25,
+                timeout=60.0,
+            )
+            assert closed.drops == 0, "closed-loop load run dropped requests"
+            latency = closed.latency
+            print(f"Closed-loop load (4 conns x 8 in flight): "
+                  f"{closed.throughput_rps:,.0f} rps, p50 "
+                  f"{latency['p50_ms']:.1f} ms, p95 {latency['p95_ms']:.1f} ms, "
+                  f"p99 {latency['p99_ms']:.1f} ms")
+            soak = run_soak(
+                servers[0].address, requests[0],
+                connections=500, timeout=120.0, connect_timeout=60.0,
+            )
+            assert soak.drops == 0, "connection soak dropped requests"
+            assert soak.completed == soak.requests, "soak left requests unanswered"
+            print(f"Soak: {soak.connections} concurrent connections, "
+                  f"{soak.completed} requests, {soak.drops} drops. "
+                  "Async serving OK.")
+        finally:
+            for handle in servers:
+                handle.close()
+    engine.close()
+
+
 def main() -> int:
     import traceback
 
@@ -345,6 +441,11 @@ def main() -> int:
     except Exception:  # noqa: BLE001 - distinct code: only lifecycle broke
         traceback.print_exc()
         return LIFECYCLE_FAILURE_EXIT_CODE
+    try:
+        run_async()
+    except Exception:  # noqa: BLE001 - distinct code: only the async tier broke
+        traceback.print_exc()
+        return ASYNC_FAILURE_EXIT_CODE
     return 0
 
 

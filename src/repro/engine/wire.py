@@ -53,6 +53,8 @@ __all__ = [
     "SWAP_REQUEST",
     "SWAP",
     "MAX_FRAME_BYTES",
+    "PREFIX_SIZE",
+    "frame_total_size",
     "RemoteServingError",
     "WireFormatError",
     "encode_request",
@@ -60,6 +62,7 @@ __all__ = [
     "decode_request",
     "decode_request_wire_meta",
     "encode_result",
+    "encode_result_chunks",
     "decode_result",
     "encode_error",
     "decode_error",
@@ -74,6 +77,7 @@ __all__ = [
     "encode_swap",
     "decode_swap",
     "frame_kind",
+    "frame_wire_meta",
     "decode_reply",
     "read_frame",
     "write_frame",
@@ -99,6 +103,42 @@ _PREFIX = struct.Struct(">4sBBIQ")
 #: Upper bound a reader enforces before allocating for a frame -- a corrupt
 #: or hostile length prefix must not become a multi-terabyte allocation.
 MAX_FRAME_BYTES = 1 << 31
+
+#: Fixed size of the frame prefix (magic, version, kind, lengths).  A
+#: zero-copy stream reader fills exactly this many bytes, asks
+#: :func:`frame_total_size` for the frame length, and ``recv_into``\\ s the
+#: rest of the frame straight into one exact-size buffer.
+PREFIX_SIZE = _PREFIX.size
+
+
+def frame_total_size(prefix, max_bytes: int = MAX_FRAME_BYTES) -> int:
+    """Total frame length (prefix included) declared by an intact prefix.
+
+    Validates magic, version, and the ``max_bytes`` allocation bound --
+    everything a reader must check *before* trusting the lengths -- and
+    raises :class:`WireFormatError` otherwise.
+    """
+    try:
+        magic, version, _kind, header_len, payload_len = _PREFIX.unpack_from(
+            memoryview(prefix), 0
+        )
+    except struct.error as exc:
+        raise WireFormatError(f"Wire frame prefix unreadable: {exc}") from None
+    if magic != MAGIC:
+        raise WireFormatError(
+            f"Not a readout wire frame (magic {magic!r}, expected {MAGIC!r})"
+        )
+    if version != WIRE_VERSION:
+        raise WireFormatError(
+            f"Unsupported wire version {version} (this build speaks "
+            f"version {WIRE_VERSION})"
+        )
+    total = PREFIX_SIZE + header_len + payload_len
+    if total > max_bytes:
+        raise WireFormatError(
+            f"Wire frame of {total} bytes exceeds the {max_bytes}-byte limit"
+        )
+    return total
 
 
 class WireFormatError(ValueError):
@@ -221,6 +261,23 @@ def _split(frame, expected_kind: int | None = None) -> tuple[int, dict, memoryvi
 def frame_kind(frame) -> int:
     """The kind byte of a frame (validating magic and version first)."""
     return _split(frame)[0]
+
+
+def frame_wire_meta(frame) -> dict:
+    """The transport envelope of *any* frame kind (``{}`` when absent).
+
+    REQUEST frames keep their historical ``meta`` header key (written by
+    :func:`encode_request`); every reply kind carries its envelope under
+    ``envelope`` (written by the optional ``wire_meta`` parameter of the
+    reply encoders).  This is how the pipelined network tier routes
+    interleaved replies: a peer tags each request with an additive ``seq``
+    and matches the echo here without decoding the full frame body.
+    Decoders that predate the envelope ignore the extra key, so -- like the
+    envelope itself -- this needs no wire-version bump.
+    """
+    kind, header, _ = _split(frame)
+    meta = header.get("meta") if kind == REQUEST else header.get("envelope")
+    return dict(meta) if meta else {}
 
 
 def _read_array(spec: dict | None, payload: memoryview, offset: int, copy: bool = False):
@@ -348,8 +405,22 @@ def decode_request_wire_meta(frame) -> dict:
 # --------------------------------------------------------------------------
 
 
-def encode_result(result: ReadoutResult) -> bytes:
-    """Encode a :class:`ReadoutResult` as one self-contained frame."""
+def encode_result_chunks(
+    result: ReadoutResult, wire_meta: dict | None = None
+) -> list:
+    """A result frame as buffers (prefix, header, arrays) -- see :func:`_frame_chunks`.
+
+    The scatter form the async reply path writes with ``writelines``: the
+    state/logit columns cross the socket boundary as memoryviews of the
+    result arrays, never flattened into an intermediate ``bytes``.
+
+    ``wire_meta`` is the reply-side transport envelope (header key
+    ``envelope``): the pipelining ``seq`` echo travels here, outside the
+    result proper, so :func:`decode_result` rebuilds an identical result
+    whether or not the reply was tagged.  Read back with
+    :func:`frame_wire_meta`; pre-envelope decoders ignore the extra key
+    (no version bump).
+    """
     if not isinstance(result, ReadoutResult):
         raise TypeError(
             f"encode_result takes a ReadoutResult, got {type(result).__name__}"
@@ -368,7 +439,14 @@ def encode_result(result: ReadoutResult) -> bytes:
         "states": None if result.states is None else _array_spec(result.states),
         "logits": None if result.logits is None else _array_spec(result.logits),
     }
-    return _assemble(RESULT, header, arrays)
+    if wire_meta:
+        header["envelope"] = dict(wire_meta)
+    return _frame_chunks(RESULT, header, arrays)
+
+
+def encode_result(result: ReadoutResult, wire_meta: dict | None = None) -> bytes:
+    """Encode a :class:`ReadoutResult` as one self-contained frame."""
+    return b"".join(encode_result_chunks(result, wire_meta))
 
 
 def decode_result(frame) -> ReadoutResult:
@@ -398,8 +476,13 @@ def decode_result(frame) -> ReadoutResult:
 # --------------------------------------------------------------------------
 
 
-def encode_error(exc: BaseException) -> bytes:
-    """Encode an exception so the peer re-raises the same type and message."""
+def encode_error(exc: BaseException, wire_meta: dict | None = None) -> bytes:
+    """Encode an exception so the peer re-raises the same type and message.
+
+    ``wire_meta`` is the reply envelope (see :func:`encode_result_chunks`):
+    a pipelined server echoes the failing request's ``seq`` here so the
+    error lands on exactly the in-flight future that caused it.
+    """
     args = list(exc.args)
     if not all(isinstance(arg, (str, int, float, bool, type(None))) for arg in args):
         # Exotic argument payloads are not worth shipping; the text is.
@@ -409,6 +492,8 @@ def encode_error(exc: BaseException) -> bytes:
         "message": str(exc),
         "args": args,
     }
+    if wire_meta:
+        header["envelope"] = dict(wire_meta)
     return _assemble(ERROR, header)
 
 
@@ -437,14 +522,22 @@ def decode_error(frame) -> BaseException:
 # --------------------------------------------------------------------------
 
 
-def encode_info_request() -> bytes:
+def _control_header(wire_meta: dict | None) -> dict:
+    """Header for a payload-free control request, with its optional envelope."""
+    return {"envelope": dict(wire_meta)} if wire_meta else {}
+
+
+def encode_info_request(wire_meta: dict | None = None) -> bytes:
     """A header-only frame asking a server to describe its deployment."""
-    return _assemble(INFO_REQUEST, {})
+    return _assemble(INFO_REQUEST, _control_header(wire_meta))
 
 
-def encode_info(info: dict) -> bytes:
+def encode_info(info: dict, wire_meta: dict | None = None) -> bytes:
     """Encode a deployment-description dict (JSON-serializable values only)."""
-    return _assemble(INFO, {"info": info})
+    header: dict = {"info": info}
+    if wire_meta:
+        header["envelope"] = dict(wire_meta)
+    return _assemble(INFO, header)
 
 
 def decode_info(frame) -> dict:
@@ -458,14 +551,17 @@ def decode_info(frame) -> dict:
 # --------------------------------------------------------------------------
 
 
-def encode_metrics_request() -> bytes:
+def encode_metrics_request(wire_meta: dict | None = None) -> bytes:
     """A header-only frame asking a server for its live metrics snapshot."""
-    return _assemble(METRICS_REQUEST, {})
+    return _assemble(METRICS_REQUEST, _control_header(wire_meta))
 
 
-def encode_metrics(metrics: dict) -> bytes:
+def encode_metrics(metrics: dict, wire_meta: dict | None = None) -> bytes:
     """Encode a metrics snapshot (JSON-serializable values only)."""
-    return _assemble(METRICS, {"metrics": metrics})
+    header: dict = {"metrics": metrics}
+    if wire_meta:
+        header["envelope"] = dict(wire_meta)
+    return _assemble(METRICS, header)
 
 
 def decode_metrics(frame) -> dict:
@@ -482,7 +578,7 @@ def decode_metrics(frame) -> dict:
 # --------------------------------------------------------------------------
 
 
-def encode_swap_request(spec: dict) -> bytes:
+def encode_swap_request(spec: dict, wire_meta: dict | None = None) -> bytes:
     """Ask a server to hot-swap to a new bundle.
 
     ``spec`` is JSON-serializable swap instructions: ``bundle_dir`` (a path
@@ -491,7 +587,9 @@ def encode_swap_request(spec: dict) -> bytes:
     server must adopt (a mismatched staging copy fails the swap instead of
     silently serving the wrong model).
     """
-    return _assemble(SWAP_REQUEST, {"swap": dict(spec)})
+    header = _control_header(wire_meta)
+    header["swap"] = dict(spec)
+    return _assemble(SWAP_REQUEST, header)
 
 
 def decode_swap_request(frame) -> dict:
@@ -500,9 +598,12 @@ def decode_swap_request(frame) -> dict:
     return dict(header["swap"])
 
 
-def encode_swap(info: dict) -> bytes:
+def encode_swap(info: dict, wire_meta: dict | None = None) -> bytes:
     """Acknowledge a completed swap (the adopted deployment's identity)."""
-    return _assemble(SWAP, {"swap": dict(info)})
+    header: dict = {"swap": dict(info)}
+    if wire_meta:
+        header["envelope"] = dict(wire_meta)
+    return _assemble(SWAP, header)
 
 
 def decode_swap(frame) -> dict:

@@ -75,14 +75,27 @@ GUARDED_BY: dict[str, dict[str, dict[str, str]]] = {
         "AdmissionController": {"_cost_s": "_lock", "_observations": "_lock"},
     },
     "src/repro/service/net.py": {
-        "ReadoutServer": {
+        "ServingCore": {
             "_requests_served": "_served_lock",
             "_deduplicated_replies": "_served_lock",
             "_reply_cache": "_cache_lock",
-            "_connections": "_conn_lock",
             "_engine": "_swap_lock",
             "_info": "_swap_lock",
             "_swaps": "_swap_lock",
+        },
+        "ReadoutServer": {
+            "_connections": "_conn_lock",
+        },
+    },
+    "src/repro/service/aio.py": {
+        "PipelineDemux": {
+            "_pending": "_lock",
+            "_late_replies": "_lock",
+        },
+        "AsyncRemoteEngineClient": {
+            "_loop": "_lifecycle_lock",
+            "_thread": "_lifecycle_lock",
+            "_conn": "_lifecycle_lock",
         },
     },
     "src/repro/service/health.py": {

@@ -7,11 +7,13 @@ failure mode this checker closes is a frame constant that ships while one
 side still treats it as "unknown frame":
 
 - every *request* kind (``REQUEST`` itself plus any ``*_REQUEST``) must be
-  dispatched in ``ReadoutServer``'s request handler (a ``wire.<KIND>``
-  reference inside :data:`SERVER_HANDLER`);
-- every *reply* kind must be decodable by ``RemoteEngineClient``: some
-  ``wire.decode_*`` function that the client actually calls must reference
-  it;
+  dispatched in the shared serving core's request handler (a
+  ``wire.<KIND>`` reference inside :data:`SERVER_HANDLER` -- both the
+  threaded and the asyncio server answer through it);
+- every *reply* kind must be decodable by **each** client tier --
+  ``RemoteEngineClient`` and the pipelining ``AsyncRemoteEngineClient``
+  (:data:`EXTRA_CLIENTS`): some ``wire.decode_*`` function the client
+  actually calls must reference it;
 - duplicate kind values are flagged (two constants with one value cannot be
   told apart on the wire).
 
@@ -28,18 +30,34 @@ from repro.lint.astutil import call_name, dotted_name, iter_functions
 from repro.lint.findings import Finding
 from repro.lint.runner import Project
 
-__all__ = ["WireChecker", "RULE", "WIRE_MODULE", "SERVER_HANDLER", "CLIENT_CLASS"]
+__all__ = [
+    "WireChecker",
+    "RULE",
+    "WIRE_MODULE",
+    "SERVER_HANDLER",
+    "CLIENT_CLASS",
+    "EXTRA_CLIENTS",
+]
 
 RULE = "wire-unhandled-frame"
 
 WIRE_MODULE = "src/repro/engine/wire.py"
 NET_MODULE = "src/repro/service/net.py"
 
-#: The server-side dispatch point every request kind must appear in.
-SERVER_HANDLER = ("ReadoutServer", "_reply_for")
+#: The server-side dispatch point every request kind must appear in: the
+#: :class:`~repro.service.net.ServingCore` handler both the threaded and
+#: the asyncio server answer through.
+SERVER_HANDLER = ("ServingCore", "reply_chunks_for")
 
 #: The client whose called decoders define "decodable".
 CLIENT_CLASS = "RemoteEngineClient"
+
+#: Further ``(module, class)`` client tiers that must each cover every
+#: reply kind (a frame only the threaded client can decode is still
+#: half-handled).
+EXTRA_CLIENTS: tuple[tuple[str, str], ...] = (
+    ("src/repro/service/aio.py", "AsyncRemoteEngineClient"),
+)
 
 #: ALL-CAPS ints in wire.py that are not frame kinds.
 NON_KIND_CONSTANTS = frozenset({"WIRE_VERSION", "MAX_FRAME_BYTES"})
@@ -97,12 +115,14 @@ class WireChecker:
         server_handler: tuple[str, str] = SERVER_HANDLER,
         client_class: str = CLIENT_CLASS,
         non_kind_constants: frozenset[str] = NON_KIND_CONSTANTS,
+        extra_clients: tuple[tuple[str, str], ...] = EXTRA_CLIENTS,
     ) -> None:
         self.wire_module = wire_module
         self.net_module = net_module
         self.server_handler = server_handler
         self.client_class = client_class
         self.non_kind_constants = non_kind_constants
+        self.extra_clients = extra_clients
 
     def run(self, project: Project) -> list[Finding]:
         wire = project.get(self.wire_module)
@@ -191,15 +211,46 @@ class WireChecker:
                     )
                 )
 
-        # ---- client side: every reply kind covered by a called decoder.
+        # ---- client side: every reply kind covered by a called decoder,
+        # for every client tier (threaded and pipelined async alike).
         decoder_kinds: dict[str, set[str]] = {}
         for qualname, node in iter_functions(wire.tree):
             if qualname.startswith("decode_") or qualname == "frame_kind":
                 decoder_kinds[qualname] = _wire_names_used(node, set(kinds))
+        findings.extend(
+            self._check_client(
+                net.tree, self.net_module, self.client_class,
+                decoder_kinds, reply_kinds, kinds,
+            )
+        )
+        for module_path, client_class in self.extra_clients:
+            module = project.get(module_path)
+            if module is None:
+                # Fixture runs never carry the real extra tiers; like a
+                # missing wire/net module, absence disables the check.
+                continue
+            findings.extend(
+                self._check_client(
+                    module.tree, module_path, client_class,
+                    decoder_kinds, reply_kinds, kinds,
+                )
+            )
+        return findings
+
+    def _check_client(
+        self,
+        tree: ast.Module,
+        module_path: str,
+        client_class: str,
+        decoder_kinds: dict[str, set[str]],
+        reply_kinds: set[str],
+        kinds: dict[str, tuple[int, int]],
+    ) -> list[Finding]:
+        findings: list[Finding] = []
         client_methods = [
             node
-            for qualname, node in iter_functions(net.tree)
-            if qualname.startswith(f"{self.client_class}.")
+            for qualname, node in iter_functions(tree)
+            if qualname.startswith(f"{client_class}.")
         ]
         called_decoders: set[str] = set()
         for method in client_methods:
@@ -218,11 +269,11 @@ class WireChecker:
             findings.append(
                 Finding(
                     rule=RULE,
-                    path=self.net_module,
+                    path=module_path,
                     line=1,
                     col=0,
                     message=(
-                        f"client class {self.client_class} not found; update "
+                        f"client class {client_class} not found; update "
                         "repro.lint.wirecheck"
                     ),
                 )
@@ -238,7 +289,7 @@ class WireChecker:
                         col=0,
                         message=(
                             f"reply frame kind {name} is not decodable by "
-                            f"{self.client_class}: no wire.decode_* function "
+                            f"{client_class}: no wire.decode_* function "
                             "it calls references this kind"
                         ),
                     )

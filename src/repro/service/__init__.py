@@ -70,6 +70,7 @@ from repro.service.telemetry import (
     LatencyHistogram,
     TelemetryRecorder,
     new_trace_id,
+    summarize_latencies,
 )
 from repro.service.transport import (
     LocalProcessTransport,
@@ -87,6 +88,18 @@ from repro.service.net import (
     TransportError,
     TransportTimeoutError,
     spawn_server,
+)
+from repro.service.aio import (
+    AsyncReadoutServer,
+    AsyncRemoteEngineClient,
+    AsyncTcpShardTransport,
+    spawn_async_server,
+)
+from repro.service.loadgen import (
+    LoadgenReport,
+    run_closed_loop,
+    run_open_loop,
+    run_soak,
 )
 from repro.service.faults import (
     ChaosProxy,
@@ -127,6 +140,15 @@ __all__ = [
     "TransportConnectError",
     "TransportTimeoutError",
     "spawn_server",
+    "summarize_latencies",
+    "AsyncReadoutServer",
+    "AsyncRemoteEngineClient",
+    "AsyncTcpShardTransport",
+    "spawn_async_server",
+    "LoadgenReport",
+    "run_closed_loop",
+    "run_open_loop",
+    "run_soak",
     "ChaosProxy",
     "ChaosServer",
     "ChaosTransport",

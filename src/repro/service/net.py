@@ -32,7 +32,7 @@ from __future__ import annotations
 import argparse
 import collections
 import random
-import select
+import selectors
 import socket
 import threading
 import time
@@ -51,6 +51,7 @@ __all__ = [
     "TransportConnectError",
     "TransportTimeoutError",
     "AllReplicasDownError",
+    "ServingCore",
     "ReadoutServer",
     "RemoteEngineClient",
     "TcpShardTransport",
@@ -60,7 +61,9 @@ __all__ = [
     "main",
 ]
 
-#: How often (seconds) an idle server connection re-checks the drain flag.
+#: Accept-loop poll interval (seconds): how often a blocked accept() rechecks
+#: the drain flag.  Connection threads no longer poll at all -- they block in
+#: a selector that close() wakes explicitly through a socketpair.
 _POLL_INTERVAL_S = 0.25
 
 
@@ -103,6 +106,312 @@ def _parse_address(address, port: int | None = None) -> tuple[str, int]:
     raise ValueError(
         f"Expected a (host, port) pair or 'host:port' string, got {address!r}"
     )
+
+
+# --------------------------------------------------------------------------
+# The serving core (shared by the threaded and asyncio servers)
+# --------------------------------------------------------------------------
+
+
+class ServingCore:
+    """The I/O-agnostic heart of a readout server.
+
+    Everything that happens between a decoded request frame and its reply
+    bytes -- bundle loading, engine hot swaps, the idempotent reply cache,
+    request/compute telemetry -- lives here, shared by the threaded
+    :class:`ReadoutServer` and the asyncio
+    :class:`~repro.service.aio.AsyncReadoutServer`.  The I/O tiers stay
+    thin: they move frames, the core answers them.
+
+    :meth:`reply_chunks_for` returns each reply as a list of buffers
+    (prefix, header, then each result array) so a scatter-writing transport
+    puts the bulk arrays on the socket without flattening them into an
+    intermediate ``bytes``; the threaded tier joins the chunks before its
+    blocking ``write_frame``.  Every reply echoes the request envelope's
+    pipelining ``seq`` tag (when present), which is how interleaved replies
+    find their in-flight future on a multiplexing client.
+
+    Thread safety: every method may be called from any thread (connection
+    threads, the asyncio executor's workers).  The engine reference and
+    deployment info flip together under ``_swap_lock``; counters live under
+    ``_served_lock``; the reply cache under ``_cache_lock``.
+    """
+
+    def __init__(
+        self,
+        bundle_dir: str | Path,
+        *,
+        parallel: bool | None = None,
+        max_workers: int | None = None,
+        reply_cache_size: int = 256,
+        telemetry: bool = True,
+        transport_label: str = "tcp",
+        metrics_source: str = "readout-server",
+    ) -> None:
+        self.bundle_dir = Path(bundle_dir)
+        self._parallel = parallel
+        self._max_workers = max_workers
+        self._transport_label = str(transport_label)
+        self._metrics_source = str(metrics_source)
+        # The engine reference, deployment info, and swap counter flip
+        # together under one lock (SWAP_REQUEST handling); request handlers
+        # take a local engine reference under it, so an in-flight request
+        # always finishes on the engine that started serving it.
+        self._swap_lock = threading.Lock()
+        self._engine: ReadoutEngine | None = None
+        self._info: dict = {}
+        self._swaps = 0
+        self._requests_served = 0
+        self._deduplicated_replies = 0
+        # Handlers run on many threads; the counters need a lock or
+        # concurrent clients under-count them.
+        self._served_lock = threading.Lock()
+        self._reply_cache_size = int(reply_cache_size)
+        self._reply_cache: collections.OrderedDict[str, bytes] = (
+            collections.OrderedDict()
+        )
+        self._cache_lock = threading.Lock()
+        #: ``compute`` is the engine's own serve time; ``handle`` is the
+        #: whole decode-serve-encode round inside the handler.
+        self._telemetry = TelemetryRecorder(
+            enabled=bool(telemetry), stages=("compute", "handle")
+        )
+        #: Optional zero-arg callable whose dict is merged into every
+        #: metrics snapshot -- the asyncio tier reports its connection
+        #: gauges through the same METRICS frame this way.
+        self.extra_metrics = None
+
+    # ---------------------------------------------------------------- state
+    @property
+    def requests_served(self) -> int:
+        """REQUEST frames answered since load (result or error replies)."""
+        return self._requests_served
+
+    @property
+    def deduplicated_replies(self) -> int:
+        """Retried requests answered from the idempotency cache."""
+        return self._deduplicated_replies
+
+    @property
+    def swaps(self) -> int:
+        """Completed hot bundle swaps since load."""
+        return self._swaps
+
+    def info(self) -> dict:
+        """The deployment description the INFO wire frame serves."""
+        with self._swap_lock:
+            return dict(self._info)
+
+    def metrics(self, source: str | None = None) -> dict:
+        """The live telemetry snapshot the METRICS wire frame serves.
+
+        Latency histograms (engine compute, whole-request handling) with
+        p50/p95/p99 summaries, the served/deduplicated counters, and the
+        full bucket counts so a front-end can merge snapshots across hosts.
+        """
+        with self._served_lock:
+            served = self._requests_served
+            deduplicated = self._deduplicated_replies
+        with self._swap_lock:
+            swaps = self._swaps
+        snapshot = self._telemetry.snapshot()
+        snapshot.update(
+            source=self._metrics_source if source is None else source,
+            requests_served=served,
+            deduplicated_replies=deduplicated,
+            bundle_swaps=swaps,
+        )
+        if self.extra_metrics is not None:
+            snapshot.update(self.extra_metrics())
+        return snapshot
+
+    # ------------------------------------------------------------ lifecycle
+    def load(self) -> None:
+        """Load the bundle and reset the served counters.  Not idempotent."""
+        manifest = load_manifest(self.bundle_dir)
+        engine = ReadoutEngine.load(self.bundle_dir, max_workers=self._max_workers)
+        with self._swap_lock:
+            self._engine = engine
+            self._info = self._describe(engine, manifest)
+        with self._served_lock:
+            self._requests_served = 0
+            self._deduplicated_replies = 0
+
+    def close(self) -> None:
+        """Close the loaded engine (in-flight holders finish bit-identically)."""
+        with self._swap_lock:
+            engine, self._engine = self._engine, None
+        if engine is not None:
+            engine.close()
+
+    def _describe(self, engine: ReadoutEngine, manifest: dict) -> dict:
+        return {
+            "n_qubits": engine.n_qubits,
+            "backend": engine.backend_kind,
+            "supports_raw": engine.supports_raw,
+            "shard_layout": manifest.get("shard_layout"),
+            "bundle_id": bundle_id_of(manifest),
+        }
+
+    # ------------------------------------------------------------ the cache
+    def _cached_reply(self, request_id: str) -> bytes | None:
+        with self._cache_lock:
+            reply = self._reply_cache.get(request_id)
+            if reply is not None:
+                self._reply_cache.move_to_end(request_id)
+        return reply
+
+    def _cache_reply(self, request_id: str, reply: bytes) -> None:
+        if self._reply_cache_size <= 0:
+            return
+        with self._cache_lock:
+            self._reply_cache[request_id] = reply
+            self._reply_cache.move_to_end(request_id)
+            while len(self._reply_cache) > self._reply_cache_size:
+                self._reply_cache.popitem(last=False)
+
+    # ----------------------------------------------------------- dispatch
+    def reply_chunks_for(self, frame) -> list:
+        """Answer one frame: a list of reply buffers ready to scatter-write.
+
+        Joined, the chunks are exactly one self-contained reply frame; kept
+        apart, the result arrays cross the socket as the memoryviews
+        :func:`repro.engine.wire.encode_result_chunks` produced.  The reply
+        echoes the request envelope's ``seq`` tag so a pipelining peer can
+        route interleaved replies; errors -- including a failed hot swap --
+        travel as structured ERROR frames carrying the same echo.
+        """
+        handle_start = time.perf_counter()
+        envelope: dict | None = None
+        try:
+            kind = wire.frame_kind(frame)
+            request_meta = wire.frame_wire_meta(frame)
+            if "seq" in request_meta:
+                envelope = {"seq": request_meta["seq"]}
+            if kind == wire.INFO_REQUEST:
+                return [wire.encode_info(self.info(), wire_meta=envelope)]
+            if kind == wire.METRICS_REQUEST:
+                return [wire.encode_metrics(self.metrics(), wire_meta=envelope)]
+            if kind == wire.SWAP_REQUEST:
+                return [self._handle_swap(frame, envelope)]
+            if kind != wire.REQUEST:
+                raise wire.WireFormatError(
+                    "Readout servers answer REQUEST, INFO_REQUEST, "
+                    f"METRICS_REQUEST, and SWAP_REQUEST frames, got kind {kind}"
+                )
+            request_id = request_meta.get("request_id")
+            if request_id is not None:
+                cached = self._cached_reply(str(request_id))
+                if cached is not None:
+                    # A failover retry of work already done: replay the
+                    # answer instead of serving the same request twice.  The
+                    # cached frame carries the original trace echo -- the
+                    # resent frame is byte-identical, so the ids match.
+                    with self._served_lock:
+                        self._requests_served += 1
+                        self._deduplicated_replies += 1
+                    self._telemetry.count("deduplicated_replies")
+                    return [cached]
+            request = wire.decode_request(frame)
+            # A local reference, not self._engine at call time: a concurrent
+            # swap must not change which engine answers a request that has
+            # already been admitted (closed engines still serve, bit-exact).
+            with self._swap_lock:
+                engine = self._engine
+            result = engine.serve(request, parallel=self._parallel)
+            with self._served_lock:
+                self._requests_served += 1
+            # Echo the envelope's trace keys: the front-end (and the trace
+            # tests) read them back to prove the id crossed the wire.
+            trace_keys = {
+                key: request_meta[key]
+                for key in ("trace_id", "trace_ids")
+                if key in request_meta
+            }
+            self._telemetry.record("compute", result.elapsed_s)
+            chunks = wire.encode_result_chunks(
+                ReadoutResult(
+                    qubits=result.qubits,
+                    output=result.output,
+                    states=result.states,
+                    logits=result.logits,
+                    n_shots=result.n_shots,
+                    elapsed_s=result.elapsed_s,
+                    meta={
+                        **result.meta,
+                        "transport": self._transport_label,
+                        **trace_keys,
+                    },
+                ),
+                wire_meta=envelope,
+            )
+            if request_id is not None:
+                self._cache_reply(str(request_id), b"".join(chunks))
+            self._telemetry.record("handle", time.perf_counter() - handle_start)
+            return chunks
+        except Exception as exc:  # noqa: BLE001 - relayed to the caller
+            with self._served_lock:
+                self._requests_served += 1
+            self._telemetry.count("error_replies")
+            return [wire.encode_error(exc, wire_meta=envelope)]
+
+    def _handle_swap(self, frame, envelope: dict | None = None) -> bytes:
+        """Hot-swap to the bundle a SWAP_REQUEST names; ack with a SWAP frame.
+
+        The candidate is fully loaded and verified *before* anything flips,
+        so a broken bundle (bad checksum, wrong qubit count, mismatched
+        identity) answers with an error while the old engine keeps serving
+        -- the server-side half of "rollback after a failed candidate load".
+        In-flight requests on other handlers finish on the engine they
+        started with; the reply cache is deliberately *not* cleared, so
+        idempotent retries stay answered by the engine that originally
+        served them.
+        """
+        spec = wire.decode_swap_request(frame)
+        bundle_dir = Path(spec["bundle_dir"])
+        manifest = load_manifest(bundle_dir)
+        bundle_id = bundle_id_of(manifest)
+        expected = spec.get("expected_bundle_id")
+        if expected is not None and expected != bundle_id:
+            raise ValueError(
+                f"Bundle at {bundle_dir} has id {bundle_id[:12]}… but the swap "
+                f"request pinned {str(expected)[:12]}…; refusing to swap to an "
+                "artifact that is not the one the caller verified"
+            )
+        engine = ReadoutEngine.load(bundle_dir, max_workers=self._max_workers)
+        info = self._describe(engine, manifest)
+        with self._swap_lock:
+            old = self._engine
+            compatible = old is None or old.n_qubits == engine.n_qubits
+            if compatible:
+                self._engine = engine
+                self._info = info
+                self.bundle_dir = bundle_dir
+                self._swaps += 1
+                swaps = self._swaps
+        if not compatible:
+            engine.close()
+            raise ValueError(
+                f"Bundle at {bundle_dir} serves {engine.n_qubits} qubits but "
+                f"this server serves {old.n_qubits}; a hot swap cannot change "
+                "the deployment shape"
+            )
+        if old is not None:
+            # Closed engines still serve (sequentially, bit-identically), so
+            # requests that took a reference before the flip finish cleanly.
+            old.close()
+        self._telemetry.count("bundle_swaps")
+        return wire.encode_swap(
+            {
+                "swapped": True,
+                "bundle_dir": str(bundle_dir),
+                "bundle_id": bundle_id,
+                "n_qubits": engine.n_qubits,
+                "backend": engine.backend_kind,
+                "swaps": swaps,
+            },
+            wire_meta=envelope,
+        )
 
 
 # --------------------------------------------------------------------------
@@ -158,44 +467,37 @@ class ReadoutServer:
         reply_cache_size: int = 256,
         telemetry: bool = True,
     ) -> None:
-        self.bundle_dir = Path(bundle_dir)
+        self._core = ServingCore(
+            bundle_dir,
+            parallel=parallel,
+            max_workers=max_workers,
+            reply_cache_size=reply_cache_size,
+            telemetry=telemetry,
+            transport_label="tcp",
+        )
         self._requested = (host, int(port))
-        self._parallel = parallel
-        self._max_workers = max_workers
         self._backlog = int(backlog)
         self._drain_timeout = float(drain_timeout)
-        # The engine reference, deployment info, and swap counter flip
-        # together under one lock (SWAP_REQUEST handling); request threads
-        # take a local engine reference under it, so an in-flight request
-        # always finishes on the engine that started serving it.
-        self._swap_lock = threading.Lock()
-        self._engine: ReadoutEngine | None = None
-        self._info: dict = {}
-        self._swaps = 0
         self._listener: socket.socket | None = None
+        # close() wakes idle connection threads (blocked in their selectors)
+        # by writing one byte here; level-triggered readiness means a single
+        # never-consumed byte wakes every selector that registered the read
+        # end, no matter how many connections are parked.
+        self._wakeup_r: socket.socket | None = None
+        self._wakeup_w: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
         self._conn_lock = threading.Lock()
         self._connections: dict[socket.socket, threading.Thread] = {}
         self._closing = threading.Event()
         self._closed = threading.Event()
         self._started = False
-        self._requests_served = 0
-        self._deduplicated_replies = 0
-        # Connection handlers run on their own threads; the counter needs a
-        # lock or concurrent clients under-count it.
-        self._served_lock = threading.Lock()
-        self._reply_cache_size = int(reply_cache_size)
-        self._reply_cache: collections.OrderedDict[str, bytes] = (
-            collections.OrderedDict()
-        )
-        self._cache_lock = threading.Lock()
-        #: ``compute`` is the engine's own serve time; ``handle`` is the
-        #: whole decode-serve-encode round inside the connection thread.
-        self._telemetry = TelemetryRecorder(
-            enabled=bool(telemetry), stages=("compute", "handle")
-        )
 
     # ---------------------------------------------------------------- state
+    @property
+    def bundle_dir(self) -> Path:
+        """The served bundle's directory (tracks hot swaps)."""
+        return self._core.bundle_dir
+
     @property
     def address(self) -> tuple[str, int]:
         """The bound ``(host, port)`` (only meaningful after :meth:`start`)."""
@@ -206,12 +508,12 @@ class ReadoutServer:
     @property
     def requests_served(self) -> int:
         """REQUEST frames answered since start (result or error replies)."""
-        return self._requests_served
+        return self._core.requests_served
 
     @property
     def deduplicated_replies(self) -> int:
         """Retried requests answered from the idempotency cache."""
-        return self._deduplicated_replies
+        return self._core.deduplicated_replies
 
     def metrics(self) -> dict:
         """The live telemetry snapshot the METRICS wire frame serves.
@@ -220,19 +522,7 @@ class ReadoutServer:
         p50/p95/p99 summaries, the served/deduplicated counters, and the
         full bucket counts so a front-end can merge snapshots across hosts.
         """
-        with self._served_lock:
-            served = self._requests_served
-            deduplicated = self._deduplicated_replies
-        with self._swap_lock:
-            swaps = self._swaps
-        snapshot = self._telemetry.snapshot()
-        snapshot.update(
-            source="readout-server",
-            requests_served=served,
-            deduplicated_replies=deduplicated,
-            bundle_swaps=swaps,
-        )
-        return snapshot
+        return self._core.metrics()
 
     # ------------------------------------------------------------ lifecycle
     def start(self) -> "ReadoutServer":
@@ -241,19 +531,7 @@ class ReadoutServer:
             return self
         if self._closing.is_set():
             raise RuntimeError("ReadoutServer is closed")
-        manifest = load_manifest(self.bundle_dir)
-        engine = ReadoutEngine.load(self.bundle_dir, max_workers=self._max_workers)
-        with self._swap_lock:
-            self._engine = engine
-            self._info = {
-                "n_qubits": engine.n_qubits,
-                "backend": engine.backend_kind,
-                "supports_raw": engine.supports_raw,
-                "shard_layout": manifest.get("shard_layout"),
-                "bundle_id": bundle_id_of(manifest),
-            }
-        with self._served_lock:
-            self._requests_served = 0
+        self._core.load()
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         listener.bind(self._requested)
@@ -263,6 +541,7 @@ class ReadoutServer:
         # another thread, and shutdown must not eat the drain timeout.
         listener.settimeout(_POLL_INTERVAL_S)
         self._listener = listener
+        self._wakeup_r, self._wakeup_w = socket.socketpair()
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="readout-server-accept", daemon=True
         )
@@ -289,6 +568,11 @@ class ReadoutServer:
             self._closed.wait()
             return
         self._closing.set()
+        if self._wakeup_w is not None:
+            try:
+                self._wakeup_w.send(b"\0")  # wake every idle connection selector
+            except OSError:  # pragma: no cover - already torn down
+                pass
         if self._listener is not None:
             try:
                 self._listener.close()
@@ -306,10 +590,13 @@ class ReadoutServer:
                 except OSError:
                     pass
                 thread.join(self._drain_timeout)
-        with self._swap_lock:
-            engine, self._engine = self._engine, None
-        if engine is not None:
-            engine.close()
+        self._core.close()
+        for wakeup in (self._wakeup_r, self._wakeup_w):
+            if wakeup is not None:
+                try:
+                    wakeup.close()
+                except OSError:  # pragma: no cover - already closed
+                    pass
         self._closed.set()
 
     def __enter__(self) -> "ReadoutServer":
@@ -328,6 +615,15 @@ class ReadoutServer:
             except OSError:
                 return  # listener closed: drain is underway
             conn.settimeout(None)
+            try:
+                # Mirror the client side: replies are small next to carrier
+                # batches, so Nagle coalescing only adds latency; keepalive
+                # reaps connections whose peer vanished without a FIN.
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                conn.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
+            except OSError:  # pragma: no cover - peer already gone
+                conn.close()
+                continue
             if self._closing.is_set():
                 conn.close()
                 return
@@ -343,18 +639,25 @@ class ReadoutServer:
 
     def _connection_loop(self, conn: socket.socket) -> None:
         """Serve one client connection: frames in, frames out, strictly FIFO."""
+        selector = selectors.DefaultSelector()
         try:
-            # Unbuffered streams keep select() truthful: bytes are either in
-            # the kernel buffer (readable) or consumed into a frame, never
+            # Unbuffered streams keep the selector truthful: bytes are either
+            # in the kernel buffer (readable) or consumed into a frame, never
             # parked invisibly in a user-space BufferedReader.
             rfile = conn.makefile("rb", buffering=0)
             wfile = conn.makefile("wb", buffering=0)
+            # An idle connection blocks here without waking: no data, no CPU.
+            # close() writes one byte to the wakeup pair and the selector
+            # returns immediately (the byte is never consumed, so the wake is
+            # level-triggered for every connection thread at once).
+            selector.register(conn, selectors.EVENT_READ)
+            selector.register(self._wakeup_r, selectors.EVENT_READ)
             while True:
-                readable, _, _ = select.select([conn], [], [], _POLL_INTERVAL_S)
-                if not readable:
+                events = selector.select()
+                if not any(key.fileobj is conn for key, _ in events):
                     if self._closing.is_set():
                         return  # idle connection during drain
-                    continue
+                    continue  # spurious wakeup
                 frame = wire.read_frame(rfile)
                 if frame is None:
                     return  # client hung up cleanly
@@ -365,6 +668,7 @@ class ReadoutServer:
             # TransportError and may reconnect).
             return
         finally:
+            selector.close()
             with self._conn_lock:
                 self._connections.pop(conn, None)
             try:
@@ -372,152 +676,9 @@ class ReadoutServer:
             except OSError:  # pragma: no cover - already closed
                 pass
 
-    def _cached_reply(self, request_id: str) -> bytes | None:
-        with self._cache_lock:
-            reply = self._reply_cache.get(request_id)
-            if reply is not None:
-                self._reply_cache.move_to_end(request_id)
-        return reply
-
-    def _cache_reply(self, request_id: str, reply: bytes) -> None:
-        if self._reply_cache_size <= 0:
-            return
-        with self._cache_lock:
-            self._reply_cache[request_id] = reply
-            self._reply_cache.move_to_end(request_id)
-            while len(self._reply_cache) > self._reply_cache_size:
-                self._reply_cache.popitem(last=False)
-
     def _reply_for(self, frame: bytes) -> bytes:
-        handle_start = time.perf_counter()
-        try:
-            kind = wire.frame_kind(frame)
-            if kind == wire.INFO_REQUEST:
-                with self._swap_lock:
-                    return wire.encode_info(self._info)
-            if kind == wire.METRICS_REQUEST:
-                return wire.encode_metrics(self.metrics())
-            if kind == wire.SWAP_REQUEST:
-                return self._handle_swap(frame)
-            if kind != wire.REQUEST:
-                raise wire.WireFormatError(
-                    "ReadoutServer answers REQUEST, INFO_REQUEST, "
-                    f"METRICS_REQUEST, and SWAP_REQUEST frames, got kind {kind}"
-                )
-            wire_meta = wire.decode_request_wire_meta(frame)
-            request_id = wire_meta.get("request_id")
-            if request_id is not None:
-                cached = self._cached_reply(str(request_id))
-                if cached is not None:
-                    # A failover retry of work already done: replay the
-                    # answer instead of serving the same request twice.  The
-                    # cached frame carries the original trace echo -- the
-                    # resent frame is byte-identical, so the ids match.
-                    with self._served_lock:
-                        self._requests_served += 1
-                        self._deduplicated_replies += 1
-                    self._telemetry.count("deduplicated_replies")
-                    return cached
-            request = wire.decode_request(frame)
-            # A local reference, not self._engine at call time: a concurrent
-            # swap must not change which engine answers a request that has
-            # already been admitted (closed engines still serve, bit-exact).
-            with self._swap_lock:
-                engine = self._engine
-            result = engine.serve(request, parallel=self._parallel)
-            with self._served_lock:
-                self._requests_served += 1
-            # Echo the envelope's trace keys: the front-end (and the trace
-            # tests) read them back to prove the id crossed the wire.
-            trace_keys = {
-                key: wire_meta[key]
-                for key in ("trace_id", "trace_ids")
-                if key in wire_meta
-            }
-            self._telemetry.record("compute", result.elapsed_s)
-            reply = wire.encode_result(
-                ReadoutResult(
-                    qubits=result.qubits,
-                    output=result.output,
-                    states=result.states,
-                    logits=result.logits,
-                    n_shots=result.n_shots,
-                    elapsed_s=result.elapsed_s,
-                    meta={**result.meta, "transport": "tcp", **trace_keys},
-                )
-            )
-            if request_id is not None:
-                self._cache_reply(str(request_id), reply)
-            self._telemetry.record("handle", time.perf_counter() - handle_start)
-            return reply
-        except Exception as exc:  # noqa: BLE001 - relayed to the caller
-            with self._served_lock:
-                self._requests_served += 1
-            self._telemetry.count("error_replies")
-            return wire.encode_error(exc)
-
-    def _handle_swap(self, frame: bytes) -> bytes:
-        """Hot-swap to the bundle a SWAP_REQUEST names; ack with a SWAP frame.
-
-        The candidate is fully loaded and verified *before* anything flips,
-        so a broken bundle (bad checksum, wrong qubit count, mismatched
-        identity) answers with an error while the old engine keeps serving
-        -- the server-side half of "rollback after a failed candidate load".
-        In-flight requests on other connection threads finish on the engine
-        they started with; the reply cache is deliberately *not* cleared, so
-        idempotent retries stay answered by the engine that originally
-        served them.
-        """
-        spec = wire.decode_swap_request(frame)
-        bundle_dir = Path(spec["bundle_dir"])
-        manifest = load_manifest(bundle_dir)
-        bundle_id = bundle_id_of(manifest)
-        expected = spec.get("expected_bundle_id")
-        if expected is not None and expected != bundle_id:
-            raise ValueError(
-                f"Bundle at {bundle_dir} has id {bundle_id[:12]}… but the swap "
-                f"request pinned {str(expected)[:12]}…; refusing to swap to an "
-                "artifact that is not the one the caller verified"
-            )
-        engine = ReadoutEngine.load(bundle_dir, max_workers=self._max_workers)
-        info = {
-            "n_qubits": engine.n_qubits,
-            "backend": engine.backend_kind,
-            "supports_raw": engine.supports_raw,
-            "shard_layout": manifest.get("shard_layout"),
-            "bundle_id": bundle_id,
-        }
-        with self._swap_lock:
-            old = self._engine
-            compatible = old is None or old.n_qubits == engine.n_qubits
-            if compatible:
-                self._engine = engine
-                self._info = info
-                self.bundle_dir = bundle_dir
-                self._swaps += 1
-                swaps = self._swaps
-        if not compatible:
-            engine.close()
-            raise ValueError(
-                f"Bundle at {bundle_dir} serves {engine.n_qubits} qubits but "
-                f"this server serves {old.n_qubits}; a hot swap cannot change "
-                "the deployment shape"
-            )
-        if old is not None:
-            # Closed engines still serve (sequentially, bit-identically), so
-            # requests that took a reference before the flip finish cleanly.
-            old.close()
-        self._telemetry.count("bundle_swaps")
-        return wire.encode_swap(
-            {
-                "swapped": True,
-                "bundle_dir": str(bundle_dir),
-                "bundle_id": bundle_id,
-                "n_qubits": engine.n_qubits,
-                "backend": engine.backend_kind,
-                "swaps": swaps,
-            }
-        )
+        """One contiguous reply frame (the blocking tier joins the chunks)."""
+        return b"".join(self._core.reply_chunks_for(frame))
 
 
 # --------------------------------------------------------------------------
@@ -1237,19 +1398,23 @@ def spawn_server(
     host: str = "127.0.0.1",
     port: int = 0,
     start_method: str | None = None,
+    server_main=None,
 ) -> ServerProcessHandle:
     """Run a :class:`ReadoutServer` in a daemonic child process.
 
     Blocks until the child has bound its socket and reports the address (or
     failed to load the bundle).  The bench and the loopback smoke tests use
-    this so server and client do not share a GIL.
+    this so server and client do not share a GIL.  ``server_main`` swaps in
+    a different (picklable, module-level) child entry point with the same
+    signature -- how :func:`repro.service.aio.spawn_async_server` reuses
+    this plumbing.
     """
     import multiprocessing
 
     context = multiprocessing.get_context(start_method)
     parent_pipe, child_pipe = context.Pipe()
     process = context.Process(
-        target=_server_process_main,
+        target=_server_process_main if server_main is None else server_main,
         args=(str(bundle_dir), host, int(port), child_pipe),
         name="readout-server",
         daemon=True,

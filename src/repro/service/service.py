@@ -240,6 +240,15 @@ class ReadoutService:
     remote_timeout / connect_timeout:
         Per-request and connection deadlines (seconds) for ``shard_hosts``
         placements.
+    pipelined:
+        Place remote shards over the asyncio transport
+        (:class:`~repro.service.aio.AsyncTcpShardTransport`): every
+        sub-request is tagged and all of them ride one multiplexed
+        connection per shard concurrently, so a micro-batch split across
+        shards (or queued behind another) pipelines on the wire instead of
+        serializing round trips.  Requires ``shard_hosts`` and is exclusive
+        with the replicated transport (retries, probes, replica lists) --
+        pipelined placements fail fast and the answers stay bit-identical.
     retry:
         A :class:`~repro.service.retry.RetryPolicy` enabling self-healing:
         replicated TCP shards fail over under it, and dead local workers
@@ -315,6 +324,7 @@ class ReadoutService:
         start_method: str | None = None,
         remote_timeout: float = 30.0,
         connect_timeout: float = 5.0,
+        pipelined: bool = False,
         retry: RetryPolicy | None = None,
         degraded_ok: bool = False,
         probe_interval_s: float = 0.0,
@@ -458,6 +468,21 @@ class ReadoutService:
                 self.shard_hosts = self.shard_hosts[: self.n_shards]
                 self.shard_replicas = self.shard_replicas[: self.n_shards]
         self._mode = mode
+        self._pipelined = bool(pipelined)
+        if self._pipelined:
+            if mode != "tcp":
+                raise ValueError(
+                    "pipelined=True places shards over remote TCP; pass "
+                    "shard_hosts (it has no effect on in-process or local "
+                    "worker serving)"
+                )
+            if self._replicated:
+                raise ValueError(
+                    "pipelined=True is exclusive with the replicated "
+                    "transport (retry policies, health probes, replica "
+                    "lists): pipelining rides one multiplexed connection "
+                    "per shard and fails fast instead of failing over"
+                )
         self.shard_groups = shard_groups
         self._shards: list[ShardTransport] = []
 
@@ -477,7 +502,7 @@ class ReadoutService:
         # immutable snapshot and writers cannot interleave read-modify-write.
         self._stats_lock = threading.Lock()
         self._stats = ServiceStats(
-            transport=mode,
+            transport="aio" if self._pipelined else mode,
             placements=self.n_shards,
             backend=self._backend_kind,
             active_version=initial_version,
@@ -589,8 +614,9 @@ class ReadoutService:
 
     @property
     def transport_name(self) -> str:
-        """How dispatches travel: ``"inprocess"``, ``"local"``, or ``"tcp"``."""
-        return self._mode
+        """How dispatches travel: ``"inprocess"``, ``"local"``, ``"tcp"``,
+        or ``"aio"`` (pipelined remote placements)."""
+        return "aio" if self._pipelined else self._mode
 
     @property
     def stats(self) -> ServiceStats:
@@ -746,6 +772,12 @@ class ReadoutService:
                     TcpShardTransport,
                 )
 
+                if self._pipelined:
+                    from repro.service.aio import AsyncTcpShardTransport
+
+                    transport_cls = AsyncTcpShardTransport
+                else:
+                    transport_cls = TcpShardTransport
                 if self._replicated:
                     from repro.service.health import HostPool
 
@@ -779,7 +811,7 @@ class ReadoutService:
                             )
                         else:
                             shards.append(
-                                TcpShardTransport(
+                                transport_cls(
                                     index,
                                     group,
                                     replicas[0],
@@ -1681,7 +1713,7 @@ class ReadoutService:
         meta = {
             "backend": backend_kind,
             "shards": len(plan),
-            "transport": self._mode,
+            "transport": self.transport_name,
         }
         if self._telemetry.enabled:
             dispatch_s = time.perf_counter() - start
